@@ -1,0 +1,422 @@
+(* wirepipe: command-line front-end for the wire-pipelined SoC library.
+
+   Subcommands: table1, run, loops, floorplan, graph, equiv, area. *)
+
+open Cmdliner
+module Datapath = Wp_soc.Datapath
+module Programs = Wp_soc.Programs
+module Shell = Wp_lis.Shell
+module Config = Wp_core.Config
+
+(* --- shared argument parsing --------------------------------------- *)
+
+let program_of_string s =
+  let name, param =
+    match String.index_opt s ':' with
+    | None -> (s, None)
+    | Some i ->
+      ( String.sub s 0 i,
+        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  let size default = Option.value param ~default in
+  match name with
+  | "sort" -> Ok (Programs.extraction_sort ~values:(Programs.sort_values ~seed:1 ~n:(size 16)))
+  | "matmul" ->
+    let n = size 5 in
+    Ok
+      (Programs.matrix_multiply ~n ~a:(Programs.matrix_values ~seed:2 ~n)
+         ~b:(Programs.matrix_values ~seed:3 ~n))
+  | "fib" -> Ok (Programs.fibonacci ~n:(size 20))
+  | "dot" ->
+    let n = size 12 in
+    Ok (Programs.dot_product ~x:(Programs.sort_values ~seed:4 ~n) ~y:(Programs.sort_values ~seed:5 ~n))
+  | "memcpy" -> Ok (Programs.memcpy ~values:(Programs.sort_values ~seed:6 ~n:(size 12)))
+  | "bubble" -> Ok (Programs.bubble_sort ~values:(Programs.sort_values ~seed:7 ~n:(size 12)))
+  | "random" -> Ok (Wp_soc.Random_program.generate ~seed:(size 1) ())
+  | _ ->
+    Error
+      (`Msg
+        (Printf.sprintf
+           "unknown program %S (try sort, matmul, fib, dot, memcpy, bubble, random)" s))
+
+let program_conv =
+  Arg.conv
+    ( (fun s -> program_of_string s),
+      fun ppf p -> Format.pp_print_string ppf p.Wp_soc.Program.name )
+
+let machine_conv =
+  Arg.conv
+    ( (fun s ->
+        match String.lowercase_ascii s with
+        | "pipelined" | "p" -> Ok Datapath.Pipelined
+        | "btfn" | "pipelined+btfn" -> Ok Datapath.Pipelined_btfn
+        | "multicycle" | "mc" | "m" -> Ok Datapath.Multicycle
+        | _ -> Error (`Msg "machine must be 'pipelined', 'btfn' or 'multicycle'")),
+      fun ppf m -> Format.pp_print_string ppf (Datapath.machine_name m) )
+
+(* "CU-AL=1,DC-RF=2" *)
+let config_of_string s =
+  if String.trim s = "" || String.lowercase_ascii (String.trim s) = "none" then Ok Config.zero
+  else begin
+    let parts = String.split_on_char ',' s in
+    let parse_part acc part =
+      match acc with
+      | Error _ as e -> e
+      | Ok config ->
+        (match String.split_on_char '=' (String.trim part) with
+        | [ conn_name; count ] ->
+          (match (Datapath.connection_of_name conn_name, int_of_string_opt count) with
+          | Some conn, Some n when n >= 0 -> Ok (Config.set config conn n)
+          | None, _ -> Error (`Msg (Printf.sprintf "unknown connection %S" conn_name))
+          | _, (Some _ | None) -> Error (`Msg (Printf.sprintf "bad count in %S" part)))
+        | _ -> Error (`Msg (Printf.sprintf "expected CONN=N, got %S" part)))
+    in
+    List.fold_left parse_part (Ok Config.zero) parts
+  end
+
+let config_conv =
+  Arg.conv ((fun s -> config_of_string s), fun ppf c -> Config.pp ppf c)
+
+let program_arg =
+  Arg.(value & opt program_conv (Result.get_ok (program_of_string "sort")) & info [ "p"; "program" ] ~docv:"PROG" ~doc:"Workload: sort[:n], matmul[:n], fib[:n], dot[:n], memcpy[:n], bubble[:n], random[:seed].")
+
+let machine_arg =
+  Arg.(value & opt machine_conv Datapath.Pipelined & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"CPU fashion: pipelined or multicycle.")
+
+let config_arg =
+  Arg.(value & opt config_conv Config.zero & info [ "rs" ] ~docv:"CONFIG" ~doc:"Relay stations, e.g. 'CU-AL=1,DC-RF=2' (or 'none').")
+
+(* --- table1 --------------------------------------------------------- *)
+
+let table1_cmd =
+  let workload =
+    Arg.(value & opt (enum [ ("sort", `Sort); ("matmul", `Matmul) ]) `Sort
+         & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"sort or matmul.")
+  in
+  let size =
+    Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N" ~doc:"Workload size (sort length / matrix dimension).")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the rows as CSV.")
+  in
+  let run workload machine size csv =
+    let rows =
+      match workload with
+      | `Sort ->
+        let values = Programs.sort_values ~seed:1 ~n:(Option.value size ~default:16) in
+        Wp_core.Table1.sort_rows ~values ~machine ()
+      | `Matmul -> Wp_core.Table1.matmul_rows ?n:size ~machine ()
+    in
+    let title =
+      Printf.sprintf "Table 1 — %s (%s)"
+        (match workload with `Sort -> "Extraction Sort" | `Matmul -> "Matrix Multiply")
+        (Datapath.machine_name machine)
+    in
+    print_string (Wp_core.Table1.render ~title rows);
+    match csv with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Wp_core.Table1.to_csv rows);
+      close_out oc;
+      Printf.printf "CSV written to %s\n" path
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1")
+    Term.(const run $ workload $ machine_arg $ size $ csv)
+
+(* --- run ------------------------------------------------------------ *)
+
+let run_cmd =
+  let mode =
+    Arg.(value & opt (enum [ ("wp1", `Wp1); ("wp2", `Wp2); ("both", `Both) ]) `Both
+         & info [ "mode" ] ~docv:"MODE" ~doc:"wp1 (plain wrappers), wp2 (oracle) or both.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-block statistics.") in
+  let run program machine config mode verbose =
+    let golden = Wp_core.Experiment.golden ~machine program in
+    Printf.printf "program %s on the %s machine; golden run: %d cycles\n"
+      program.Wp_soc.Program.name (Datapath.machine_name machine) golden.Wp_soc.Cpu.cycles;
+    Printf.printf "relay stations: %s (static WP1 bound %.3f)\n" (Config.describe config)
+      (Wp_core.Analysis.wp1_bound_float config);
+    let one label shell_mode =
+      let r =
+        Wp_soc.Cpu.run ~machine ~mode:shell_mode ~rs:(Config.to_fun config) program
+      in
+      let th = Wp_soc.Cpu.throughput ~golden r in
+      Printf.printf "%s: %d cycles, throughput %.3f, result %s\n" label r.Wp_soc.Cpu.cycles th
+        (if r.Wp_soc.Cpu.result_ok then "correct" else "WRONG");
+      if verbose then print_string (Wp_sim.Monitor.to_table r.Wp_soc.Cpu.report)
+    in
+    (match mode with
+    | `Wp1 -> one "WP1" Shell.Plain
+    | `Wp2 -> one "WP2" Shell.Oracle
+    | `Both ->
+      one "WP1" Shell.Plain;
+      one "WP2" Shell.Oracle)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one workload under one RS configuration")
+    Term.(const run $ program_arg $ machine_arg $ config_arg $ mode $ verbose)
+
+(* --- loops ----------------------------------------------------------- *)
+
+let loops_cmd =
+  let run config =
+    let module T = Wp_util.Text_table in
+    let t =
+      T.create
+        ~columns:[ ("loop", T.Left); ("m", T.Right); ("n", T.Right); ("m/(m+n)", T.Right) ]
+    in
+    List.iter
+      (fun l ->
+        T.add_row t
+          [
+            String.concat " -> " l.Wp_core.Analysis.loop_blocks;
+            string_of_int l.Wp_core.Analysis.processes;
+            string_of_int l.Wp_core.Analysis.stations;
+            Format.asprintf "%a" Wp_graph.Cycle_ratio.ratio_pp l.Wp_core.Analysis.wp1_ratio;
+          ])
+      (Wp_core.Analysis.all_loops config);
+    T.print t;
+    Printf.printf "worst-loop WP1 bound: %.3f\n" (Wp_core.Analysis.wp1_bound_float config)
+  in
+  Cmd.v (Cmd.info "loops" ~doc:"Enumerate netlist loops and the static throughput bound")
+    Term.(const run $ config_arg)
+
+(* --- floorplan -------------------------------------------------------- *)
+
+let floorplan_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let reach =
+    Arg.(value & opt float 1.3 & info [ "reach" ] ~docv:"MM" ~doc:"Signal reach per clock (mm).")
+  in
+  let ablation = Arg.(value & flag & info [ "ablation" ] ~doc:"Compare floorplan objectives.") in
+  let show tag (r : Wp_floorplan.Flow.result) =
+    Printf.printf "%-24s die %.2f mm^2, wire %.1f mm, WP1 bound %.3f, RS: %s\n" tag
+      r.Wp_floorplan.Flow.die_area r.Wp_floorplan.Flow.wirelength r.Wp_floorplan.Flow.wp1_bound
+      (Config.describe r.Wp_floorplan.Flow.config)
+  in
+  let run seed reach ablation =
+    if ablation then
+      List.iter (fun (tag, r) -> show tag r) (Wp_floorplan.Flow.objectives_ablation ~seed ~reach ())
+    else begin
+      let r = Wp_floorplan.Flow.run ~seed ~reach () in
+      show "floorplan" r;
+      List.iter
+        (fun (name, rect) ->
+          Printf.printf "  %-4s at (%.2f, %.2f) size %.2f x %.2f\n" name
+            rect.Wp_floorplan.Geometry.origin.Wp_floorplan.Geometry.x
+            rect.Wp_floorplan.Geometry.origin.Wp_floorplan.Geometry.y
+            rect.Wp_floorplan.Geometry.width rect.Wp_floorplan.Geometry.height)
+        r.Wp_floorplan.Flow.placement.Wp_floorplan.Place.rects
+    end
+  in
+  Cmd.v
+    (Cmd.info "floorplan" ~doc:"Floorplan the SoC and derive relay-station counts")
+    Term.(const run $ seed $ reach $ ablation)
+
+(* --- graph ------------------------------------------------------------ *)
+
+let graph_cmd =
+  let run () = print_string (Datapath.figure1_dot ()) in
+  Cmd.v (Cmd.info "graph" ~doc:"Emit the case-study netlist (Figure 1) as Graphviz DOT")
+    Term.(const run $ const ())
+
+(* --- equiv ------------------------------------------------------------ *)
+
+let equiv_cmd =
+  let run program machine config =
+    List.iter
+      (fun (label, mode) ->
+        let v = Wp_core.Equiv_check.check ~machine ~mode ~config program in
+        Printf.printf "%s: %s (%d ports, %d informative events compared)%s\n" label
+          (if v.Wp_core.Equiv_check.equivalent then "equivalent" else "NOT EQUIVALENT")
+          v.Wp_core.Equiv_check.ports_checked v.Wp_core.Equiv_check.events_compared
+          (match v.Wp_core.Equiv_check.first_mismatch with
+          | Some port -> " first mismatch at " ^ port
+          | None -> ""))
+      [ ("WP1", Shell.Plain); ("WP2", Shell.Oracle) ]
+  in
+  Cmd.v
+    (Cmd.info "equiv" ~doc:"Check golden-vs-WP trace equivalence on every channel")
+    Term.(const run $ program_arg $ machine_arg $ config_arg)
+
+(* --- area ------------------------------------------------------------- *)
+
+let area_cmd =
+  let run () =
+    let module T = Wp_util.Text_table in
+    let t =
+      T.create
+        ~columns:
+          [
+            ("block", T.Left);
+            ("plain gates", T.Right);
+            ("oracle gates", T.Right);
+            ("overhead", T.Right);
+          ]
+    in
+    let plain = Wp_core.Area.case_study_report ~oracle:false in
+    let oracle = Wp_core.Area.case_study_report ~oracle:true in
+    List.iter2
+      (fun (name, p, _) (_, o, pct) ->
+        T.add_row t
+          [
+            name;
+            string_of_int p.Wp_core.Area.total_gates;
+            string_of_int o.Wp_core.Area.total_gates;
+            Printf.sprintf "%.2f%%" pct;
+          ])
+      plain oracle;
+    T.print t;
+    let rs = Wp_core.Area.relay_station ~width:32 in
+    Printf.printf "relay station (32-bit): %d gates\n" rs.Wp_core.Area.total_gates;
+    Printf.printf "(overhead relative to the paper's %d-gate reference IP)\n"
+      Wp_core.Area.reference_ip_gates
+  in
+  Cmd.v (Cmd.info "area" ~doc:"Wrapper and relay-station area estimates")
+    Term.(const run $ const ())
+
+(* --- exec: assemble and run a user program ---------------------------- *)
+
+let exec_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly source file.")
+  in
+  let result_region =
+    Arg.(value & opt (pair ~sep:':' int int) (0, 16)
+         & info [ "result" ] ~docv:"BASE:LEN" ~doc:"Memory region to print and check.")
+  in
+  let run file machine config (base, len) =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let source = really_input_string ic n in
+    close_in ic;
+    match Wp_soc.Asm.assemble source with
+    | Error e ->
+      Format.eprintf "%s: %a@." file Wp_soc.Asm.pp_error e;
+      exit 1
+    | Ok text ->
+      let program =
+        {
+          Wp_soc.Program.name = Filename.basename file;
+          source;
+          text;
+          mem_size = 4096;
+          mem_init = [];
+          result_region = (base, len);
+        }
+      in
+      let iss = Wp_soc.Program.reference_run program in
+      Printf.printf "ISS: %d instructions\n" iss.Wp_soc.Iss.instructions;
+      let golden = Wp_soc.Cpu.run_golden ~machine program in
+      Printf.printf "golden: %d cycles\n" golden.Wp_soc.Cpu.cycles;
+      let r =
+        Wp_soc.Cpu.run ~machine ~mode:Shell.Oracle ~rs:(Config.to_fun config) program
+      in
+      Printf.printf "WP2 under %s: %d cycles (throughput %.3f), result %s\n"
+        (Config.describe config) r.Wp_soc.Cpu.cycles
+        (Wp_soc.Cpu.throughput ~golden r)
+        (if r.Wp_soc.Cpu.result_ok then "correct" else "WRONG");
+      Printf.printf "memory[%d..%d]:" base (base + len - 1);
+      Array.iteri
+        (fun i v -> if i >= base && i < base + len then Printf.printf " %d" v)
+        r.Wp_soc.Cpu.memory;
+      print_newline ()
+  in
+  Cmd.v (Cmd.info "exec" ~doc:"Assemble a file and run it on the wire-pipelined SoC")
+    Term.(const run $ file $ machine_arg $ config_arg $ result_region)
+
+(* --- optimal ----------------------------------------------------------- *)
+
+let optimal_cmd =
+  let budget = Arg.(value & opt int 9 & info [ "budget" ] ~docv:"N" ~doc:"Total relay stations.") in
+  let per_max = Arg.(value & opt int 2 & info [ "max" ] ~docv:"K" ~doc:"Max per connection.") in
+  let run budget per_max program machine =
+    let config, value =
+      Wp_core.Optimizer.optimal ~budget ~per_connection_max:per_max
+        ~objective:(Wp_core.Experiment.wp2_cycles_objective ~machine ~program)
+        ()
+    in
+    Printf.printf "best placement of %d relay stations (max %d per connection):\n" budget per_max;
+    Printf.printf "  %s\n  simulated WP2 throughput %.3f (static WP1 bound %.3f)\n"
+      (Config.describe config) value (Wp_core.Analysis.wp1_bound_float config)
+  in
+  Cmd.v
+    (Cmd.info "optimal" ~doc:"Search for the best relay-station placement under a budget")
+    Term.(const run $ budget $ per_max $ program_arg $ machine_arg)
+
+(* --- wave -------------------------------------------------------------- *)
+
+let wave_cmd =
+  let cycles = Arg.(value & opt int 40 & info [ "cycles" ] ~docv:"N" ~doc:"Window length.") in
+  let from_cycle = Arg.(value & opt int 0 & info [ "from" ] ~docv:"CYCLE") in
+  let vcd_out =
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc:"Also write a VCD dump.")
+  in
+  let mode =
+    Arg.(value & opt (enum [ ("wp1", Shell.Plain); ("wp2", Shell.Oracle) ]) Shell.Oracle
+         & info [ "mode" ] ~docv:"MODE")
+  in
+  let run program machine config mode cycles from_cycle vcd_out =
+    let dp = Datapath.build ~machine ~rs:(Config.to_fun config) program in
+    let engine =
+      Wp_sim.Engine.create ~record_traces:true ~mode dp.Datapath.network
+    in
+    ignore (Wp_sim.Engine.run ~max_cycles:(from_cycle + cycles + 10_000) engine);
+    let traces = Wp_sim.Waveform.capture engine in
+    print_string (Wp_sim.Waveform.ascii ~from_cycle ~cycles traces);
+    match vcd_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Wp_sim.Waveform.vcd traces);
+      close_out oc;
+      Printf.printf "VCD written to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "wave" ~doc:"Render channel activity as an ASCII timeline (and optional VCD)")
+    Term.(const run $ program_arg $ machine_arg $ config_arg $ mode $ cycles $ from_cycle $ vcd_out)
+
+(* --- rtl --------------------------------------------------------------- *)
+
+let rtl_cmd =
+  let out_dir =
+    Arg.(value & opt string "rtl" & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let oracle =
+    Arg.(value & flag & info [ "oracle" ] ~doc:"Generate WP2 (oracle) shells instead of plain ones.")
+  in
+  let run out_dir oracle =
+    if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+    List.iter
+      (fun (filename, contents) ->
+        let path = Filename.concat out_dir filename in
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      (Wp_rtl.Vhdl.case_study_package ~oracle)
+  in
+  Cmd.v
+    (Cmd.info "rtl" ~doc:"Generate the VHDL wrappers, relay station and testbench")
+    Term.(const run $ out_dir $ oracle)
+
+let () =
+  let doc = "wire-pipelined SoC design methodology (DATE'05 reproduction)" in
+  let info = Cmd.info "wirepipe" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            table1_cmd;
+            run_cmd;
+            loops_cmd;
+            floorplan_cmd;
+            graph_cmd;
+            equiv_cmd;
+            area_cmd;
+            exec_cmd;
+            optimal_cmd;
+            wave_cmd;
+            rtl_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/dsp_pipeline.ml: Array List Printf Wp_lis Wp_sim

@@ -1,0 +1,1 @@
+examples/dsp_pipeline.mli:

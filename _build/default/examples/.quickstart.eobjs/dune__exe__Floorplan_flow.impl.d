@@ -1,0 +1,1 @@
+examples/floorplan_flow.ml: List Printf Wp_core Wp_floorplan Wp_soc

@@ -1,0 +1,1 @@
+examples/floorplan_flow.mli:

@@ -1,0 +1,1 @@
+examples/oracle_gain.ml: Array List Printf Wp_core Wp_lis Wp_sim Wp_soc

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Wp_lis Wp_sim

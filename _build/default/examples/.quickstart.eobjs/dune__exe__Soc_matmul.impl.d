@@ -1,0 +1,1 @@
+examples/soc_matmul.ml: Array List Printf Wp_core Wp_soc

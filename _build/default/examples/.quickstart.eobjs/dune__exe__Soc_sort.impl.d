@@ -1,0 +1,1 @@
+examples/soc_sort.ml: Array List Printf Wp_core Wp_soc

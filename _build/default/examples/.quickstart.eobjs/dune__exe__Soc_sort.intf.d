@@ -1,0 +1,1 @@
+examples/soc_sort.mli:

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Config Lazy List Printf Wp_graph Wp_sim Wp_soc

@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Config Wp_graph Wp_sim

@@ -1,0 +1,1 @@
+lib/core/area.ml: Config List Wp_soc

@@ -1,0 +1,1 @@
+lib/core/area.mli: Config Wp_soc

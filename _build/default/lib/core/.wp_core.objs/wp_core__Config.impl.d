@@ -1,0 +1,1 @@
+lib/core/config.ml: Array Format List Printf String Wp_soc

@@ -1,0 +1,1 @@
+lib/core/equiv_check.ml: Array Config List Wp_lis Wp_sim Wp_soc

@@ -1,0 +1,1 @@
+lib/core/equiv_check.mli: Config Wp_lis Wp_soc

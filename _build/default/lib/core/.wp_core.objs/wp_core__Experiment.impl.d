@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Analysis Config Hashtbl Printf Wp_lis Wp_soc Wp_util

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Config Wp_soc

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Analysis Array Config List Wp_soc Wp_util

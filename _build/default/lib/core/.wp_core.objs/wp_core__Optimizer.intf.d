@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Config Wp_soc Wp_util

@@ -1,0 +1,1 @@
+lib/core/table1.ml: Buffer Config Experiment List Optimizer Printf String Wp_soc Wp_util

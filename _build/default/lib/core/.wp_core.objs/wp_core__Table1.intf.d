@@ -1,0 +1,1 @@
+lib/core/table1.mli: Experiment Wp_soc

@@ -1,0 +1,107 @@
+type estimate = {
+  flop_bits : int;
+  logic_gates : int;
+  total_gates : int;
+}
+
+let gates_per_flop_bit = 4
+
+let make ~flop_bits ~logic_gates =
+  { flop_bits; logic_gates; total_gates = (flop_bits * gates_per_flop_bit) + logic_gates }
+
+(* Two data registers with valid bits and the 3-state stop FSM. *)
+let relay_station ~width = make ~flop_bits:((2 * width) + 2) ~logic_gates:20
+
+(* Per input port: fifo_depth slots of the port's width, pointer/occupancy
+   counters (6 bits), plus a pending-discard counter (6 bits) and mask
+   lookup for oracle shells.  Per output port: a valid flop and gating.
+   One synchroniser ANDing the per-port ready lines. *)
+let shell ~input_widths ~output_count ~fifo_depth ~oracle =
+  let input_bits =
+    List.fold_left
+      (fun acc w -> acc + (fifo_depth * w) + 6 + (if oracle then 6 else 0))
+      0 input_widths
+  in
+  let input_logic =
+    List.length input_widths * ((3 * fifo_depth) + 15 + if oracle then 10 else 0)
+  in
+  make
+    ~flop_bits:(input_bits + output_count)
+    ~logic_gates:(input_logic + (output_count * 5) + 10 + (2 * List.length input_widths))
+
+let overhead_percent ~ip_gates estimate =
+  100.0 *. float_of_int estimate.total_gates /. float_of_int ip_gates
+
+(* Port widths from the codecs: fetch = 17-bit address + valid; instr =
+   32-bit word + valid; ctrl = 22 payload bits + valid; op = 24 + valid;
+   cmd = 1 + valid; flags = 1 + valid; data buses 32 bits. *)
+let case_study_widths =
+  [
+    ("CU", [ 33; 2 ], 4);        (* instr, flags *)
+    ("IC", [ 18 ], 1);           (* fetch *)
+    ("RF", [ 23; 32; 32 ], 3);   (* ctrl, result, load *)
+    ("ALU", [ 25; 32; 32 ], 3);  (* op, src1, src2 *)
+    ("DC", [ 2; 32; 32 ], 1);    (* cmd, addr, store_data *)
+  ]
+
+let reference_ip_gates = 100_000
+
+let connection_widths =
+  let open Wp_soc.Datapath in
+  [
+    (CU_IC, [ 18; 33 ]);
+    (CU_RF, [ 23 ]);
+    (CU_AL, [ 25 ]);
+    (CU_DC, [ 2 ]);
+    (RF_ALU, [ 32; 32 ]);
+    (RF_DC, [ 32 ]);
+    (ALU_CU, [ 2 ]);
+    (ALU_RF, [ 32 ]);
+    (ALU_DC, [ 32 ]);
+    (DC_RF, [ 32 ]);
+  ]
+
+let add a b =
+  {
+    flop_bits = a.flop_bits + b.flop_bits;
+    logic_gates = a.logic_gates + b.logic_gates;
+    total_gates = a.total_gates + b.total_gates;
+  }
+
+let zero_estimate = { flop_bits = 0; logic_gates = 0; total_gates = 0 }
+
+let case_study_report ~oracle =
+  List.map
+    (fun (name, input_widths, output_count) ->
+      let e = shell ~input_widths ~output_count ~fifo_depth:2 ~oracle in
+      (name, e, overhead_percent ~ip_gates:reference_ip_gates e))
+    case_study_widths
+
+
+let system_overhead ~oracle config =
+  let wrappers =
+    List.fold_left
+      (fun acc (name, input_widths, output_count) ->
+        ignore name;
+        add acc (shell ~input_widths ~output_count ~fifo_depth:2 ~oracle))
+      zero_estimate case_study_widths
+  in
+  List.fold_left
+    (fun acc (conn, widths) ->
+      let count = Config.get config conn in
+      List.fold_left
+        (fun acc width ->
+          let rs = relay_station ~width in
+          let scaled =
+            {
+              flop_bits = count * rs.flop_bits;
+              logic_gates = count * rs.logic_gates;
+              total_gates = count * rs.total_gates;
+            }
+          in
+          add acc scaled)
+        acc widths)
+    wrappers connection_widths
+
+let system_overhead_percent ~oracle config =
+  overhead_percent ~ip_gates:(5 * reference_ip_gates) (system_overhead ~oracle config)

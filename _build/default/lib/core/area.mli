@@ -1,0 +1,53 @@
+(** Gate-level area model for wrappers and relay stations.
+
+    The paper's synthesis experiments (130 nm) report that the wrapper
+    overhead is "always less than 1% with respect to an IP of 100 kgates"
+    and never timing-critical.  With no synthesis flow available we
+    reproduce the {e estimate}: a transparent gate-equivalent model of the
+    shell (per-port FIFOs sized by actual bus width, lag counters,
+    synchroniser) and of the relay station (two registers plus the stop
+    FSM), evaluated on the case-study blocks with their real port
+    widths. *)
+
+type estimate = {
+  flop_bits : int;     (** storage bits *)
+  logic_gates : int;   (** control/steering logic, gate equivalents *)
+  total_gates : int;   (** flops at {!gates_per_flop_bit} + logic *)
+}
+
+val gates_per_flop_bit : int
+(** Gate equivalents per register bit (4, a NAND2-equivalent figure for a
+    small D flip-flop). *)
+
+val relay_station : width:int -> estimate
+(** One relay station on a [width]-bit channel. *)
+
+val shell :
+  input_widths:int list -> output_count:int -> fifo_depth:int -> oracle:bool -> estimate
+(** A wrapper buffering each input in a [fifo_depth]-deep FIFO of its own
+    width.  The oracle variant adds the required-port lookup and the
+    per-port pending-discard counters. *)
+
+val overhead_percent : ip_gates:int -> estimate -> float
+
+val case_study_widths : (string * int list * int) list
+(** Per block: name, input port widths, output port count — derived from
+    the channel codecs ({!Wp_soc.Codec}). *)
+
+val case_study_report : oracle:bool -> (string * estimate * float) list
+(** Per case-study block: wrapper estimate and overhead against the
+    paper's 100 kgate reference IP. *)
+
+val reference_ip_gates : int
+
+val connection_widths : (Wp_soc.Datapath.connection * int list) list
+(** Bus widths of each connection's channels (CU-IC and RF-ALU carry
+    two). *)
+
+val system_overhead : oracle:bool -> Config.t -> estimate
+(** Total added hardware of a wire-pipelined system: the five wrappers
+    plus every relay station implied by the configuration, each sized by
+    its channel's width. *)
+
+val system_overhead_percent : oracle:bool -> Config.t -> float
+(** {!system_overhead} against five reference IPs (500 kgates). *)

@@ -1,0 +1,69 @@
+module Datapath = Wp_soc.Datapath
+module Network = Wp_sim.Network
+module Engine = Wp_sim.Engine
+module Shell = Wp_lis.Shell
+module Trace = Wp_lis.Trace
+module Process = Wp_lis.Process
+
+type verdict = {
+  equivalent : bool;
+  ports_checked : int;
+  events_compared : int;
+  first_mismatch : string option;
+}
+
+(* Run one system and collect, per "BLOCK.port", the output trace. *)
+let traced_run ?(max_cycles = 2_000_000) ~machine ~mode ~config program =
+  let dp = Datapath.build ~machine ~rs:(Config.to_fun config) program in
+  let engine = Engine.create ~record_traces:true ~mode dp.Datapath.network in
+  ignore (Engine.run ~max_cycles engine);
+  let net = dp.Datapath.network in
+  List.concat_map
+    (fun node ->
+      let proc = Network.node_process net node in
+      let sh = Engine.shell engine node in
+      List.init
+        (Array.length proc.Process.output_names)
+        (fun p ->
+          ( proc.Process.name ^ "." ^ proc.Process.output_names.(p),
+            Shell.output_trace sh p )))
+    (Network.nodes net)
+
+let check ?max_cycles ~machine ~mode ~config program =
+  let golden = traced_run ?max_cycles ~machine ~mode:Shell.Plain ~config:Config.zero program in
+  let wp = traced_run ?max_cycles ~machine ~mode ~config program in
+  let ports_checked = ref 0 and events = ref 0 and mismatch = ref None in
+  List.iter
+    (fun (port, golden_trace) ->
+      match List.assoc_opt port wp with
+      | None -> if !mismatch = None then mismatch := Some port
+      | Some wp_trace ->
+        incr ports_checked;
+        let a = Trace.tau_filter golden_trace and b = Trace.tau_filter wp_trace in
+        let shorter = min (List.length a) (List.length b) in
+        events := !events + shorter;
+        if
+          Trace.equivalent_prefix ~eq:( = ) golden_trace wp_trace < shorter
+          && !mismatch = None
+        then mismatch := Some port)
+    golden;
+  {
+    equivalent = !mismatch = None;
+    ports_checked = !ports_checked;
+    events_compared = !events;
+    first_mismatch = !mismatch;
+  }
+
+let check_n_equivalence ?max_cycles ~n ~machine ~mode ~config program =
+  let golden = traced_run ?max_cycles ~machine ~mode:Shell.Plain ~config:Config.zero program in
+  let wp = traced_run ?max_cycles ~machine ~mode ~config program in
+  List.for_all
+    (fun (port, golden_trace) ->
+      match List.assoc_opt port wp with
+      | None -> false
+      | Some wp_trace ->
+        let enough t = Trace.informative_count t >= n in
+        if enough golden_trace && enough wp_trace then
+          Trace.n_equivalent ~eq:( = ) ~n golden_trace wp_trace
+        else true)
+    golden

@@ -1,0 +1,35 @@
+(** End-to-end equivalence checking of a wire-pipelined run against the
+    golden system — the paper's formal claim, made executable.
+
+    Both systems are simulated with trace recording; for every block and
+    every output port, the tau-filtered token stream of the WP system must
+    be prefix-compatible with the golden stream (the shorter is a prefix
+    of the longer).  This is exactly N-equivalence for N = the shorter
+    stream's length, on {e all} signals at once. *)
+
+type verdict = {
+  equivalent : bool;
+  ports_checked : int;
+  events_compared : int;  (** total informative events on the shorter sides *)
+  first_mismatch : string option;  (** "BLOCK.port" of the first failure *)
+}
+
+val check :
+  ?max_cycles:int ->
+  machine:Wp_soc.Datapath.machine ->
+  mode:Wp_lis.Shell.mode ->
+  config:Config.t ->
+  Wp_soc.Program.t ->
+  verdict
+
+val check_n_equivalence :
+  ?max_cycles:int ->
+  n:int ->
+  machine:Wp_soc.Datapath.machine ->
+  mode:Wp_lis.Shell.mode ->
+  config:Config.t ->
+  Wp_soc.Program.t ->
+  bool
+(** The paper's N-equivalence on every port: both runs must produce at
+    least [n] informative events per port and agree on the first [n].
+    Ports that never carry [n] events in either run are skipped. *)

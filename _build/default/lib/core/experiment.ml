@@ -1,0 +1,85 @@
+module Cpu = Wp_soc.Cpu
+module Datapath = Wp_soc.Datapath
+module Program = Wp_soc.Program
+module Shell = Wp_lis.Shell
+
+type record = {
+  program_name : string;
+  machine : Datapath.machine;
+  config : Config.t;
+  golden_cycles : int;
+  wp1 : Cpu.result;
+  wp2 : Cpu.result;
+  th_wp1 : float;
+  th_wp2 : float;
+  gain_percent : float;
+  wp1_bound : float;
+}
+
+let golden_cache : (string, Cpu.result) Hashtbl.t = Hashtbl.create 16
+
+let golden ~machine (program : Program.t) =
+  (* Two programs may share a name with different data (e.g. sorts of
+     different sizes); the key must cover the full workload content. *)
+  let fingerprint =
+    Hashtbl.hash
+      (program.Program.text, program.Program.mem_init, program.Program.mem_size)
+  in
+  let key =
+    Printf.sprintf "%s/%s/%d" (Datapath.machine_name machine) program.Program.name
+      fingerprint
+  in
+  match Hashtbl.find_opt golden_cache key with
+  | Some r -> r
+  | None ->
+    let r = Cpu.run_golden ~machine program in
+    if r.Cpu.outcome <> Cpu.Completed || not r.Cpu.result_ok then
+      failwith ("Experiment.golden: reference run failed for " ^ key);
+    Hashtbl.replace golden_cache key r;
+    r
+
+let checked_run ?max_cycles ~machine ~mode ~config program =
+  let r = Cpu.run ?max_cycles ~machine ~mode ~rs:(Config.to_fun config) program in
+  (match r.Cpu.outcome with
+  | Cpu.Completed -> ()
+  | Cpu.Deadlocked ->
+    failwith
+      (Printf.sprintf "Experiment: deadlock (%s, %s)" program.Program.name
+         (Config.describe config))
+  | Cpu.Out_of_cycles ->
+    failwith
+      (Printf.sprintf "Experiment: cycle budget exhausted (%s, %s)" program.Program.name
+         (Config.describe config)));
+  if not r.Cpu.result_ok then
+    failwith
+      (Printf.sprintf "Experiment: wrong architectural result (%s, %s)" program.Program.name
+         (Config.describe config));
+  r
+
+let run ?max_cycles ~machine ~program config =
+  let g = golden ~machine program in
+  let wp1 = checked_run ?max_cycles ~machine ~mode:Shell.Plain ~config program in
+  let wp2 = checked_run ?max_cycles ~machine ~mode:Shell.Oracle ~config program in
+  let th_wp1 = Cpu.throughput ~golden:g wp1 in
+  let th_wp2 = Cpu.throughput ~golden:g wp2 in
+  {
+    program_name = program.Program.name;
+    machine;
+    config;
+    golden_cycles = g.Cpu.cycles;
+    wp1;
+    wp2;
+    th_wp1;
+    th_wp2;
+    gain_percent = Wp_util.Stats.percent_gain th_wp1 th_wp2;
+    wp1_bound = Analysis.wp1_bound_float config;
+  }
+
+let wp2_cycles_objective ~machine ~program config =
+  let g = golden ~machine program in
+  let wp2 =
+    Cpu.run ~machine ~mode:Shell.Oracle ~rs:(Config.to_fun config) program
+  in
+  match wp2.Cpu.outcome with
+  | Cpu.Completed when wp2.Cpu.result_ok -> Cpu.throughput ~golden:g wp2
+  | Cpu.Completed | Cpu.Deadlocked | Cpu.Out_of_cycles -> 0.0

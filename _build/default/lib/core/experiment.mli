@@ -1,0 +1,33 @@
+(** One Table 1 measurement: a (program, machine, configuration) triple
+    simulated under both wrapper disciplines and compared to golden. *)
+
+type record = {
+  program_name : string;
+  machine : Wp_soc.Datapath.machine;
+  config : Config.t;
+  golden_cycles : int;
+  wp1 : Wp_soc.Cpu.result;
+  wp2 : Wp_soc.Cpu.result;
+  th_wp1 : float;          (** golden_cycles / wp1.cycles *)
+  th_wp2 : float;
+  gain_percent : float;    (** 100 * (th_wp2 - th_wp1) / th_wp1 *)
+  wp1_bound : float;       (** static worst-loop bound *)
+}
+
+val golden : machine:Wp_soc.Datapath.machine -> Wp_soc.Program.t -> Wp_soc.Cpu.result
+(** Run (and memoise per program name and machine) the reference system. *)
+
+val run :
+  ?max_cycles:int ->
+  machine:Wp_soc.Datapath.machine ->
+  program:Wp_soc.Program.t ->
+  Config.t ->
+  record
+(** Simulate WP1 and WP2.  @raise Failure if any run fails to complete or
+    corrupts the architectural result — equivalence is an invariant here,
+    not a statistic. *)
+
+val wp2_cycles_objective :
+  machine:Wp_soc.Datapath.machine -> program:Wp_soc.Program.t -> Config.t -> float
+(** Objective for the optimiser: the WP2 throughput of the configuration
+    (higher is better). *)

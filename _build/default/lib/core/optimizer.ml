@@ -1,0 +1,106 @@
+module Datapath = Wp_soc.Datapath
+
+let default_exclude = [ Datapath.CU_IC ]
+
+let enumerate ~budget ~per_connection_max ?(exclude = default_exclude) () =
+  if budget < 0 then invalid_arg "Optimizer.enumerate: negative budget";
+  let slots = List.filter (fun c -> not (List.mem c exclude)) Datapath.all_connections in
+  if budget > per_connection_max * List.length slots then
+    invalid_arg "Optimizer.enumerate: budget exceeds capacity";
+  let results = ref [] in
+  let rec distribute remaining config = function
+    | [] -> if remaining = 0 then results := config :: !results
+    | conn :: rest ->
+      for n = 0 to min remaining per_connection_max do
+        distribute (remaining - n) (Config.set config conn n) rest
+      done
+  in
+  distribute budget Config.zero slots;
+  List.rev !results
+
+(* The static score is evaluated once per placement (decorate-sort), never
+   inside a comparator: the "Optimal 2" search space has ~180k
+   placements. *)
+let static_score config =
+  (Analysis.wp1_bound_float config, -Config.total_channels config)
+
+let best_static ~budget ~per_connection_max ?(exclude = default_exclude) () =
+  let configs = enumerate ~budget ~per_connection_max ~exclude () in
+  match configs with
+  | [] -> invalid_arg "Optimizer.best_static: empty search space"
+  | first :: rest ->
+    let best, best_score =
+      List.fold_left
+        (fun (bc, bs) config ->
+          let s = static_score config in
+          if s > bs then (config, s) else (bc, bs))
+        (first, static_score first) rest
+    in
+    (best, fst best_score)
+
+let optimal ~budget ~per_connection_max ?(exclude = default_exclude) ?(candidates = 24)
+    ~objective () =
+  let configs = enumerate ~budget ~per_connection_max ~exclude () in
+  let decorated = List.map (fun c -> (static_score c, c)) configs in
+  let ranked = List.sort (fun (sa, _) (sb, _) -> compare sb sa) decorated in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  match take candidates ranked with
+  | [] -> invalid_arg "Optimizer.optimal: empty search space"
+  | (_, first) :: rest ->
+    List.fold_left
+      (fun (bc, bv) (_, config) ->
+        let v = objective config in
+        if v > bv then (config, v) else (bc, bv))
+      (first, objective first) rest
+
+let anneal_placement ~prng ~budget ~per_connection_max ?(exclude = default_exclude)
+    ?(objective = Analysis.wp1_bound_float) ?schedule () =
+  let slots =
+    Array.of_list (List.filter (fun c -> not (List.mem c exclude)) Datapath.all_connections)
+  in
+  let n = Array.length slots in
+  if budget > per_connection_max * n then
+    invalid_arg "Optimizer.anneal_placement: budget exceeds capacity";
+  (* Deterministic initial spread: round-robin one station at a time. *)
+  let init =
+    let config = ref Config.zero in
+    for i = 0 to budget - 1 do
+      let conn = slots.(i mod n) in
+      config := Config.set !config conn (Config.get !config conn + 1)
+    done;
+    !config
+  in
+  (* Move: take one relay station from a loaded connection, give it to a
+     connection with headroom. *)
+  let neighbor prng config =
+    let loaded = Array.to_list slots |> List.filter (fun c -> Config.get config c > 0) in
+    let roomy =
+      Array.to_list slots |> List.filter (fun c -> Config.get config c < per_connection_max)
+    in
+    match (loaded, roomy) with
+    | [], _ | _, [] -> config
+    | _ ->
+      let pick xs = List.nth xs (Wp_util.Prng.int prng (List.length xs)) in
+      let from_conn = pick loaded and to_conn = pick roomy in
+      if from_conn = to_conn then config
+      else
+        Config.set
+          (Config.set config from_conn (Config.get config from_conn - 1))
+          to_conn
+          (Config.get config to_conn + 1)
+  in
+  let schedule =
+    match schedule with
+    | Some s -> s
+    | None ->
+      { Wp_util.Anneal.steps = 2000; initial_temperature = 0.2; cooling = 0.95; plateau = 40 }
+  in
+  let result =
+    Wp_util.Anneal.optimize ~prng ~init ~neighbor
+      ~cost:(fun config -> -.objective config)
+      ~schedule ()
+  in
+  (result.Wp_util.Anneal.best, -.result.Wp_util.Anneal.best_cost)

@@ -1,0 +1,55 @@
+(** Relay-station placement optimisation (the "Optimal k" Table 1 rows).
+
+    Given a total relay-station budget, search the placements over the
+    nine optimisable connections (CU-IC is excluded: its RS count is fixed
+    by the fetch-interface length, and the paper never re-places it) for
+    the one with the best throughput.  Placements are pre-ranked by the
+    static worst-loop bound — cheap to evaluate — and only the best
+    candidates are simulated. *)
+
+val enumerate :
+  budget:int ->
+  per_connection_max:int ->
+  ?exclude:Wp_soc.Datapath.connection list ->
+  unit ->
+  Config.t list
+(** All configurations with exactly [budget] relay stations in total and
+    at most [per_connection_max] per connection; excluded connections stay
+    at zero.  @raise Invalid_argument if the budget is unreachable. *)
+
+val best_static :
+  budget:int ->
+  per_connection_max:int ->
+  ?exclude:Wp_soc.Datapath.connection list ->
+  unit ->
+  Config.t * float
+(** The placement maximising the static WP1 bound (ties broken towards
+    fewer physical relay stations, then enumeration order). *)
+
+val optimal :
+  budget:int ->
+  per_connection_max:int ->
+  ?exclude:Wp_soc.Datapath.connection list ->
+  ?candidates:int ->
+  objective:(Config.t -> float) ->
+  unit ->
+  Config.t * float
+(** Rank all placements by the static bound, keep the [candidates]
+    (default 24) best, evaluate [objective] (e.g. simulated WP2
+    throughput) on those, return the winner. *)
+
+val anneal_placement :
+  prng:Wp_util.Prng.t ->
+  budget:int ->
+  per_connection_max:int ->
+  ?exclude:Wp_soc.Datapath.connection list ->
+  ?objective:(Config.t -> float) ->
+  ?schedule:Config.t Wp_util.Anneal.schedule ->
+  unit ->
+  Config.t * float
+(** Simulated-annealing alternative for budgets where exhaustive
+    enumeration is impractical: moves shift one relay station between
+    connections, keeping the total exactly [budget].  The default
+    objective is the static WP1 bound (cheap); pass a simulation-backed
+    objective for final refinement.  @raise Invalid_argument if the
+    budget is unreachable. *)

@@ -1,0 +1,189 @@
+module Datapath = Wp_soc.Datapath
+module Programs = Wp_soc.Programs
+
+type row = {
+  index : int;
+  label : string;
+  record : Experiment.record;
+}
+
+(* Table 1 lists the single-RS rows in this order. *)
+let single_rs_order =
+  [
+    Datapath.CU_RF;
+    Datapath.CU_AL;
+    Datapath.CU_DC;
+    Datapath.CU_IC;
+    Datapath.RF_ALU;
+    Datapath.RF_DC;
+    Datapath.ALU_CU;
+    Datapath.ALU_RF;
+    Datapath.ALU_DC;
+    Datapath.DC_RF;
+  ]
+
+let optimal_config ~machine ~program ~k =
+  let budget = 9 * k in
+  let config, _ =
+    Optimizer.optimal ~budget ~per_connection_max:(2 * k)
+      ~objective:(Experiment.wp2_cycles_objective ~machine ~program)
+      ()
+  in
+  config
+
+let run_rows ~machine ~program specs =
+  List.mapi
+    (fun i (label, config) ->
+      { index = i + 1; label; record = Experiment.run ~machine ~program config })
+    specs
+
+let common_head =
+  [ ("All 0 (ideal)", Config.zero) ]
+  @ List.map
+      (fun conn ->
+        (Printf.sprintf "Only %s" (Datapath.connection_name conn), Config.only conn 1))
+      single_rs_order
+
+let sort_rows ?(values = Programs.sort_values ~seed:1 ~n:16) ~machine () =
+  let program = Programs.extraction_sort ~values in
+  let specs =
+    common_head
+    @ [
+        ("All 1 (no CU-IC)", Config.uniform ~except:[ Datapath.CU_IC ] 1);
+        ("Optimal 1 (no CU-IC)", optimal_config ~machine ~program ~k:1);
+      ]
+  in
+  run_rows ~machine ~program specs
+
+let matmul_rows ?(n = 5) ~machine () =
+  let program =
+    Programs.matrix_multiply ~n ~a:(Programs.matrix_values ~seed:2 ~n)
+      ~b:(Programs.matrix_values ~seed:3 ~n)
+  in
+  let all1 = Config.uniform ~except:[ Datapath.CU_IC ] 1 in
+  let all1_and_2 conn =
+    ( Printf.sprintf "All 1 and 2 %s" (Datapath.connection_name conn),
+      (* "All 1" leaves CU-IC at zero unless CU-IC itself is doubled. *)
+      Config.set all1 conn 2 )
+  in
+  let specs =
+    common_head
+    @ [ ("All 1 (no CU-IC)", all1) ]
+    @ List.map all1_and_2 single_rs_order
+    @ [
+        ("Optimal 2 (no CU-IC)", optimal_config ~machine ~program ~k:2);
+        ("All 2 (no CU-IC)", Config.uniform ~except:[ Datapath.CU_IC ] 2);
+        ( "All 2 and 1 CU-RF",
+          Config.set (Config.uniform ~except:[ Datapath.CU_IC ] 2) Datapath.CU_RF 1 );
+      ]
+  in
+  run_rows ~machine ~program specs
+
+let render ~title rows =
+  let module T = Wp_util.Text_table in
+  let t =
+    T.create
+      ~columns:
+        [
+          ("#", T.Right);
+          ("RS Configuration", T.Left);
+          ("Cycles (WP2)", T.Right);
+          ("Th WP1 bound", T.Right);
+          ("Th WP1 sim", T.Right);
+          ("Th WP2 sim", T.Right);
+          ("WP2 vs WP1", T.Right);
+        ]
+  in
+  T.add_span_row t title;
+  T.add_separator t;
+  List.iter
+    (fun row ->
+      let r = row.record in
+      T.add_row t
+        [
+          string_of_int row.index;
+          row.label;
+          string_of_int r.Experiment.wp2.Wp_soc.Cpu.cycles;
+          Printf.sprintf "%.3f" r.Experiment.wp1_bound;
+          Printf.sprintf "%.3f" r.Experiment.th_wp1;
+          Printf.sprintf "%.3f" r.Experiment.th_wp2;
+          Printf.sprintf "%+.0f%%" r.Experiment.gain_percent;
+        ])
+    rows;
+  T.render t
+
+let csv_field s =
+  let needs_quoting = String.exists (fun c -> c = ',' || c = '"' || c = '\n') s in
+  if needs_quoting then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_csv rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "index,configuration,wp2_cycles,wp1_bound,th_wp1,th_wp2,gain_percent\n";
+  List.iter
+    (fun row ->
+      let r = row.record in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%d,%.4f,%.4f,%.4f,%.2f\n" row.index (csv_field row.label)
+           r.Experiment.wp2.Wp_soc.Cpu.cycles r.Experiment.wp1_bound r.Experiment.th_wp1
+           r.Experiment.th_wp2 r.Experiment.gain_percent))
+    rows;
+  Buffer.contents buf
+
+(* Paper Table 1 (pipelined case): row, label, Th WP1, Th WP2. *)
+let paper_reference ~workload =
+  match workload with
+  | `Sort ->
+    [
+      (1, "All 0 (ideal)", 1.0, 1.0);
+      (2, "Only CU-RF", 0.75, 0.75);
+      (3, "Only CU-AL", 0.667, 0.75);
+      (4, "Only CU-DC", 0.75, 0.75);
+      (5, "Only CU-IC", 0.5, 0.5);
+      (6, "Only RF-ALU", 0.667, 0.83);
+      (7, "Only RF-DC", 0.667, 0.99);
+      (8, "Only ALU-CU", 0.667, 0.93);
+      (9, "Only ALU-RF", 0.667, 0.92);
+      (10, "Only ALU-DC", 0.667, 0.96);
+      (11, "Only DC-RF", 0.667, 0.96);
+      (12, "All 1 (no CU-IC)", 0.5, 0.67);
+      (13, "Optimal 1 (no CU-IC)", 0.667, 0.80);
+    ]
+  | `Matmul ->
+    [
+      (1, "All 0 (ideal)", 1.0, 1.0);
+      (2, "Only CU-RF", 0.75, 0.75);
+      (3, "Only CU-AL", 0.667, 0.75);
+      (4, "Only CU-DC", 0.75, 0.75);
+      (5, "Only CU-IC", 0.5, 0.5);
+      (6, "Only RF-ALU", 0.667, 0.77);
+      (7, "Only RF-DC", 0.667, 0.98);
+      (8, "Only ALU-CU", 0.667, 0.97);
+      (9, "Only ALU-RF", 0.667, 0.81);
+      (10, "Only ALU-DC", 0.667, 0.91);
+      (11, "Only DC-RF", 0.667, 0.93);
+      (12, "All 1 (no CU-IC)", 0.5, 0.59);
+      (13, "All 1 and 2 CU-RF", 0.5, 0.58);
+      (14, "All 1 and 2 CU-AL", 0.4, 0.59);
+      (15, "All 1 and 2 CU-DC", 0.5, 0.59);
+      (16, "All 1 and 2 CU-IC", 0.33, 0.33);
+      (17, "All 1 and 2 RF-ALU", 0.4, 0.50);
+      (18, "All 1 and 2 RF-DC", 0.4, 0.59);
+      (19, "All 1 and 2 ALU-CU", 0.4, 0.58);
+      (20, "All 1 and 2 ALU-RF", 0.4, 0.53);
+      (21, "All 1 and 2 ALU-DC", 0.4, 0.56);
+      (22, "All 1 and 2 DC-RF", 0.4, 0.56);
+      (23, "Optimal 2 (no CU-IC)", 0.4, 0.56);
+      (24, "All 2 (no CU-IC)", 0.33, 0.42);
+      (25, "All 2 and 1 CU-RF", 0.33, 0.42);
+    ]

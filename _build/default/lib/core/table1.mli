@@ -1,0 +1,43 @@
+(** The driver that regenerates the paper's Table 1.
+
+    Rows (per workload): the ideal system; one RS on each of the ten
+    connections; [All 1 (no CU-IC)]; an optimised 1-RS-class placement;
+    and, for matrix multiply, the [All 1 and 2 X] family, the optimised
+    2-RS-class placement, [All 2 (no CU-IC)] and [All 2 and 1 CU-RF] —
+    the same 13 + 25 row structure as the paper.
+
+    "Optimal k (no CU-IC)" is defined as: the placement of the same total
+    relay-station budget as [All k (no CU-IC)] (nine connections, k each),
+    at most 2k per connection, maximising simulated WP2 throughput (the
+    paper does not spell its criterion out; this one is recorded in
+    EXPERIMENTS.md). *)
+
+type row = {
+  index : int;                 (** 1-based row number, as in the paper *)
+  label : string;              (** e.g. ["Only CU-RF"] *)
+  record : Experiment.record;
+}
+
+val sort_rows :
+  ?values:int array -> machine:Wp_soc.Datapath.machine -> unit -> row list
+(** The 13 extraction-sort rows.  Default workload: 16 pseudo-random
+    values (seed 1). *)
+
+val matmul_rows :
+  ?n:int -> machine:Wp_soc.Datapath.machine -> unit -> row list
+(** The 25 matrix-multiply rows.  Default: 5x5 matrices (seed 2/3) — large
+    enough to show every trend, small enough to simulate 25 configurations
+    quickly; pass [n] to scale up. *)
+
+val render : title:string -> row list -> string
+(** Text table in the paper's column layout: RS configuration, WP2 cycles,
+    Th WP1 (static bound and simulated), Th WP2, gain. *)
+
+val to_csv : row list -> string
+(** Machine-readable export: header plus one line per row with label,
+    WP2 cycles, static bound, simulated WP1/WP2 throughput and gain.
+    Labels containing commas or quotes are quoted per RFC 4180. *)
+
+val paper_reference : workload:[ `Sort | `Matmul ] -> (int * string * float * float) list
+(** The published numbers: (row index, label, Th WP1, Th WP2) from the
+    paper's Table 1 (pipelined case), for side-by-side reporting. *)

@@ -1,0 +1,1 @@
+lib/floorplan/flow.ml: List Place Slicing Wp_core Wp_soc Wp_util

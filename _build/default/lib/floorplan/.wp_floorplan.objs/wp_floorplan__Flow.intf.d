@@ -1,0 +1,1 @@
+lib/floorplan/flow.mli: Place Slicing Wp_core Wp_util

@@ -1,0 +1,1 @@
+lib/floorplan/place.ml: Array Geometry List Sequence_pair Slicing Wp_util

@@ -1,0 +1,1 @@
+lib/floorplan/place.mli: Geometry Sequence_pair Slicing Wp_util

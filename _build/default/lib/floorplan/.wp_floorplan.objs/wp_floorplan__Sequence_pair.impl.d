@@ -1,0 +1,1 @@
+lib/floorplan/sequence_pair.ml: Array Fun Geometry List Slicing Wp_util

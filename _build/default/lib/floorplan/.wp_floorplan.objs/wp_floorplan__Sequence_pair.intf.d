@@ -1,0 +1,1 @@
+lib/floorplan/sequence_pair.mli: Geometry Slicing Wp_util

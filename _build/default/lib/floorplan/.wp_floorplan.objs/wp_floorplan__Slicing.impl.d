@@ -1,0 +1,1 @@
+lib/floorplan/slicing.ml: Array Geometry List Wp_util

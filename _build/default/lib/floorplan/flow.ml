@@ -1,0 +1,83 @@
+module Config = Wp_core.Config
+module Analysis = Wp_core.Analysis
+module Datapath = Wp_soc.Datapath
+
+let relay_stations_for ~reach length =
+  if reach <= 0.0 then invalid_arg "Flow.relay_stations_for: non-positive reach";
+  max 0 (int_of_float (ceil (length /. reach)) - 1)
+
+let case_study_blocks =
+  [
+    Place.block ~name:"CU" ~area:0.8 ();
+    Place.block ~name:"IC" ~area:2.2 ();
+    Place.block ~name:"DC" ~area:2.2 ();
+    Place.block ~name:"RF" ~area:0.6 ();
+    Place.block ~name:"ALU" ~area:1.0 ();
+  ]
+
+let nets =
+  List.map
+    (fun (_, (src_block, _), (dst_block, _)) -> (src_block, dst_block))
+    Datapath.topology
+
+(* Every channel of a connection runs between the same two blocks, so one
+   length per connection suffices. *)
+let connection_endpoints conn =
+  let _, (src_block, _), (dst_block, _) =
+    List.find (fun (c, _, _) -> c = conn) Datapath.topology
+  in
+  (src_block, dst_block)
+
+let config_of_placement ~reach placement =
+  List.fold_left
+    (fun config conn ->
+      let a, b = connection_endpoints conn in
+      let rs = relay_stations_for ~reach (Place.wire_length placement a b) in
+      Config.set config conn rs)
+    Config.zero Datapath.all_connections
+
+type result = {
+  placement : Place.placement;
+  config : Config.t;
+  wp1_bound : float;
+  die_area : float;
+  wirelength : float;
+}
+
+let result_of_placement ~reach placement =
+  let config = config_of_placement ~reach placement in
+  {
+    placement;
+    config;
+    wp1_bound = Analysis.wp1_bound_float config;
+    die_area = placement.Place.die.Slicing.w *. placement.Place.die.Slicing.h;
+    wirelength = Place.total_wirelength placement ~nets;
+  }
+
+let run ?(seed = 42) ?(reach = 1.5) ?(wirelength_weight = 0.5) ?(throughput_weight = 0.0)
+    ?schedule () =
+  let prng = Wp_util.Prng.create ~seed in
+  let extra_cost placement =
+    if throughput_weight = 0.0 then 0.0
+    else begin
+      let config = config_of_placement ~reach placement in
+      throughput_weight *. (1.0 -. Analysis.wp1_bound_float config)
+    end
+  in
+  let placement =
+    Place.anneal ~prng ~blocks:case_study_blocks ~nets ~wirelength_weight ~extra_cost
+      ?schedule ()
+  in
+  result_of_placement ~reach placement
+
+(* Weight chosen so the throughput term competes with die area (a few
+   mm^2): losing 0.25 of loop throughput costs like 7.5 mm^2 of silicon. *)
+let aware_weight = 30.0
+
+let objectives_ablation ?(seed = 42) ?(reach = 1.3) () =
+  [
+    ("area only", run ~seed ~reach ~wirelength_weight:0.0 ());
+    ("area + wirelength", run ~seed ~reach ~wirelength_weight:0.5 ());
+    ( "area + loop throughput",
+      run ~seed ~reach ~wirelength_weight:0.0 ~throughput_weight:aware_weight () );
+  ]

@@ -1,0 +1,55 @@
+(** The paper's "new system design methodology", end to end:
+
+    floorplan the SoC -> derive per-connection wire lengths -> size each
+    connection's relay-station chain from the signal reach per clock ->
+    analyse the resulting loop throughput -> (optionally) let the
+    floorplanner see that throughput, so that placement trades a little
+    area/wirelength for shorter loops.
+
+    A wire of length [l] needs [ceil (l / reach) - 1] relay stations:
+    with reach = the distance a signal covers in one clock period, a wire
+    shorter than one reach needs none. *)
+
+val relay_stations_for : reach:float -> float -> int
+(** @raise Invalid_argument if [reach <= 0]. *)
+
+val case_study_blocks : Place.block list
+(** The five blocks with representative 130 nm-class areas (mm^2):
+    CU 0.8, IC 2.2, DC 2.2, RF 0.6, ALU 1.0. *)
+
+val nets : (string * string) list
+(** Block-name pairs, one per channel of {!Wp_soc.Datapath.topology}. *)
+
+val config_of_placement : reach:float -> Place.placement -> Wp_core.Config.t
+(** Size every connection from its center-to-center Manhattan length; a
+    bundle (CU-IC) gets the same count on both directions by
+    construction. *)
+
+type result = {
+  placement : Place.placement;
+  config : Wp_core.Config.t;
+  wp1_bound : float;       (** static worst-loop throughput of the config *)
+  die_area : float;
+  wirelength : float;      (** total over {!nets} *)
+}
+
+val run :
+  ?seed:int ->
+  ?reach:float ->
+  ?wirelength_weight:float ->
+  ?throughput_weight:float ->
+  ?schedule:Slicing.expr Wp_util.Anneal.schedule ->
+  unit ->
+  result
+(** One methodology pass.  [reach] defaults to 1.5 (mm per cycle);
+    [wirelength_weight] (default 0.5) scales the net-length term and
+    [throughput_weight] (default 0.0) scales a [(1 - wp1_bound)] penalty
+    inside the annealing cost — setting the latter positive is the
+    wire-pipelining-aware mode. *)
+
+val objectives_ablation : ?seed:int -> ?reach:float -> unit -> (string * result) list
+(** The methodology ablation, same seed throughout: floorplan driven by
+    (a) area only, (b) area + wirelength, (c) area + loop throughput.
+    The headline is that (c) achieves the best loop bound — on the
+    5-block case study (a) typically lands at 0.5 while (c) reaches the
+    geometric optimum. *)

@@ -1,0 +1,47 @@
+type point = {
+  x : float;
+  y : float;
+}
+
+type rect = {
+  origin : point;
+  width : float;
+  height : float;
+}
+
+let rect ~x ~y ~w ~h =
+  if w < 0.0 || h < 0.0 then invalid_arg "Geometry.rect: negative dimension";
+  { origin = { x; y }; width = w; height = h }
+
+let center r = { x = r.origin.x +. (r.width /. 2.0); y = r.origin.y +. (r.height /. 2.0) }
+
+let area r = r.width *. r.height
+
+let aspect r =
+  if r.width = 0.0 then invalid_arg "Geometry.aspect: zero width";
+  r.height /. r.width
+
+let manhattan a b = abs_float (a.x -. b.x) +. abs_float (a.y -. b.y)
+
+let overlap a b =
+  a.origin.x < b.origin.x +. b.width
+  && b.origin.x < a.origin.x +. a.width
+  && a.origin.y < b.origin.y +. b.height
+  && b.origin.y < a.origin.y +. a.height
+
+let contains ~outer r =
+  r.origin.x >= outer.origin.x -. 1e-9
+  && r.origin.y >= outer.origin.y -. 1e-9
+  && r.origin.x +. r.width <= outer.origin.x +. outer.width +. 1e-9
+  && r.origin.y +. r.height <= outer.origin.y +. outer.height +. 1e-9
+
+let hpwl = function
+  | [] | [ _ ] -> 0.0
+  | p :: rest ->
+    let min_x, max_x, min_y, max_y =
+      List.fold_left
+        (fun (min_x, max_x, min_y, max_y) q ->
+          (min min_x q.x, max max_x q.x, min min_y q.y, max max_y q.y))
+        (p.x, p.x, p.y, p.y) rest
+    in
+    max_x -. min_x +. (max_y -. min_y)

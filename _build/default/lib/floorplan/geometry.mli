@@ -1,0 +1,31 @@
+(** Plane geometry for floorplanning. *)
+
+type point = {
+  x : float;
+  y : float;
+}
+
+type rect = {
+  origin : point;   (** lower-left corner *)
+  width : float;
+  height : float;
+}
+
+val rect : x:float -> y:float -> w:float -> h:float -> rect
+(** @raise Invalid_argument on negative dimensions. *)
+
+val center : rect -> point
+val area : rect -> float
+val aspect : rect -> float
+(** height / width. @raise Invalid_argument on zero width. *)
+
+val manhattan : point -> point -> float
+
+val overlap : rect -> rect -> bool
+(** Strict interior overlap (sharing an edge is not overlap). *)
+
+val contains : outer:rect -> rect -> bool
+
+val hpwl : point list -> float
+(** Half-perimeter wire length of a set of pin positions; 0 for fewer
+    than two points. *)

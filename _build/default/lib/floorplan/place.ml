@@ -1,0 +1,112 @@
+type block = {
+  block_name : string;
+  block_area : float;
+  aspect_ratios : float list;
+}
+
+let block ?(aspect_ratios = [ 0.5; 1.0; 2.0 ]) ~name ~area () =
+  if area <= 0.0 then invalid_arg "Place.block: non-positive area";
+  List.iter
+    (fun r -> if r <= 0.0 then invalid_arg "Place.block: non-positive aspect ratio")
+    aspect_ratios;
+  { block_name = name; block_area = area; aspect_ratios }
+
+type placement = {
+  die : Slicing.shape;
+  rects : (string * Geometry.rect) list;
+  expression : Slicing.expr;
+}
+
+(* aspect = h/w and w*h = area  =>  w = sqrt (area / aspect). *)
+let shapes_of_block b =
+  List.map
+    (fun aspect ->
+      let w = sqrt (b.block_area /. aspect) in
+      { Slicing.w; h = b.block_area /. w })
+    b.aspect_ratios
+
+let pack_expression ~blocks expr =
+  let arr = Array.of_list blocks in
+  let shapes i = shapes_of_block arr.(i) in
+  let die, rects = Slicing.pack ~shapes expr in
+  {
+    die;
+    rects = List.mapi (fun i b -> (b.block_name, rects.(i))) blocks;
+    expression = expr;
+  }
+
+let wire_length placement a b =
+  let center name = Geometry.center (List.assoc name placement.rects) in
+  Geometry.manhattan (center a) (center b)
+
+let total_wirelength placement ~nets =
+  List.fold_left (fun acc (a, b) -> acc +. wire_length placement a b) 0.0 nets
+
+let anneal ~prng ~blocks ~nets ?(wirelength_weight = 0.5) ?(extra_cost = fun _ -> 0.0)
+    ?schedule () =
+  let cost expr =
+    let placement = pack_expression ~blocks expr in
+    (placement.die.Slicing.w *. placement.die.Slicing.h)
+    +. (wirelength_weight *. total_wirelength placement ~nets)
+    +. extra_cost placement
+  in
+  let schedule =
+    match schedule with
+    | Some s -> s
+    | None ->
+      {
+        Wp_util.Anneal.default_schedule with
+        Wp_util.Anneal.initial_temperature =
+          (* Scale to the problem: a fraction of the total area. *)
+          0.3 *. List.fold_left (fun acc b -> acc +. b.block_area) 0.0 blocks;
+      }
+  in
+  let result =
+    Wp_util.Anneal.optimize ~prng
+      ~init:(Slicing.initial ~block_count:(List.length blocks))
+      ~neighbor:Slicing.random_neighbor ~cost ~schedule ()
+  in
+  pack_expression ~blocks result.Wp_util.Anneal.best
+
+let utilization placement ~blocks =
+  let total = List.fold_left (fun acc b -> acc +. b.block_area) 0.0 blocks in
+  let die = placement.die.Slicing.w *. placement.die.Slicing.h in
+  if die = 0.0 then 0.0 else total /. die
+
+let pack_sequence_pair ~blocks sp =
+  let arr = Array.of_list blocks in
+  let shapes i = shapes_of_block arr.(i) in
+  let die, rects = Sequence_pair.pack ~shapes sp in
+  {
+    die;
+    rects = List.mapi (fun i b -> (b.block_name, rects.(i))) blocks;
+    expression = Slicing.initial ~block_count:(List.length blocks);
+  }
+
+let anneal_sequence_pair ~prng ~blocks ~nets ?(wirelength_weight = 0.5)
+    ?(extra_cost = fun _ -> 0.0) ?schedule () =
+  let arr = Array.of_list blocks in
+  let shapes i = shapes_of_block arr.(i) in
+  let cost sp =
+    let placement = pack_sequence_pair ~blocks sp in
+    (placement.die.Slicing.w *. placement.die.Slicing.h)
+    +. (wirelength_weight *. total_wirelength placement ~nets)
+    +. extra_cost placement
+  in
+  let schedule =
+    match schedule with
+    | Some s -> s
+    | None ->
+      {
+        Wp_util.Anneal.default_schedule with
+        Wp_util.Anneal.initial_temperature =
+          0.3 *. List.fold_left (fun acc b -> acc +. b.block_area) 0.0 blocks;
+      }
+  in
+  let result =
+    Wp_util.Anneal.optimize ~prng
+      ~init:(Sequence_pair.initial ~block_count:(List.length blocks))
+      ~neighbor:(fun prng sp -> Sequence_pair.random_neighbor prng ~shapes sp)
+      ~cost ~schedule ()
+  in
+  pack_sequence_pair ~blocks result.Wp_util.Anneal.best

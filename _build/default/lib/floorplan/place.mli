@@ -1,0 +1,61 @@
+(** Block placement by simulated annealing over slicing floorplans. *)
+
+type block = {
+  block_name : string;
+  block_area : float;        (** mm^2 *)
+  aspect_ratios : float list;(** allowed height/width ratios *)
+}
+
+val block : ?aspect_ratios:float list -> name:string -> area:float -> unit -> block
+(** Default aspect ratios: 0.5, 1.0, 2.0.
+    @raise Invalid_argument on a non-positive area or ratio. *)
+
+type placement = {
+  die : Slicing.shape;
+  rects : (string * Geometry.rect) list;
+  expression : Slicing.expr;
+}
+
+val shapes_of_block : block -> Slicing.shape list
+
+val pack_expression : blocks:block list -> Slicing.expr -> placement
+(** Deterministic packing of one expression. *)
+
+val wire_length : placement -> string -> string -> float
+(** Manhattan distance between two block centers.  @raise Not_found. *)
+
+val total_wirelength : placement -> nets:(string * string) list -> float
+
+val anneal :
+  prng:Wp_util.Prng.t ->
+  blocks:block list ->
+  nets:(string * string) list ->
+  ?wirelength_weight:float ->
+  ?extra_cost:(placement -> float) ->
+  ?schedule:Slicing.expr Wp_util.Anneal.schedule ->
+  unit ->
+  placement
+(** Minimise [die area + wirelength_weight * total net length +
+    extra_cost placement] (default weight 0.5, extra cost 0).  The
+    [extra_cost] hook is where the wire-pipelining methodology plugs in a
+    throughput objective. *)
+
+val utilization : placement -> blocks:block list -> float
+(** Sum of block areas / die area (<= 1; 1 means no dead space). *)
+
+val pack_sequence_pair : blocks:block list -> Sequence_pair.t -> placement
+(** Deterministic packing of one sequence pair (the [expression] field of
+    the result holds a degenerate chain; sequence pairs are not slicing
+    expressions). *)
+
+val anneal_sequence_pair :
+  prng:Wp_util.Prng.t ->
+  blocks:block list ->
+  nets:(string * string) list ->
+  ?wirelength_weight:float ->
+  ?extra_cost:(placement -> float) ->
+  ?schedule:Sequence_pair.t Wp_util.Anneal.schedule ->
+  unit ->
+  placement
+(** Same objective as {!anneal}, searched over sequence pairs instead of
+    slicing trees — reaches non-slicing packings. *)

@@ -1,0 +1,109 @@
+module Prng = Wp_util.Prng
+
+type t = {
+  order_a : int array;
+  order_b : int array;
+  choice : int array;
+}
+
+let initial ~block_count =
+  if block_count < 1 then invalid_arg "Sequence_pair.initial: need at least one block";
+  {
+    order_a = Array.init block_count Fun.id;
+    order_b = Array.init block_count Fun.id;
+    choice = Array.make block_count 0;
+  }
+
+let is_permutation arr =
+  let n = Array.length arr in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then false
+      else begin
+        seen.(v) <- true;
+        true
+      end)
+    arr
+
+let is_valid ~shapes t =
+  let n = Array.length t.order_a in
+  Array.length t.order_b = n
+  && Array.length t.choice = n
+  && is_permutation t.order_a
+  && is_permutation t.order_b
+  && Array.for_all (fun c -> c >= 0) t.choice
+  &&
+  let ok = ref true in
+  Array.iteri (fun b c -> if c >= List.length (shapes b) then ok := false) t.choice;
+  !ok
+
+let pack ~shapes t =
+  if not (is_valid ~shapes t) then invalid_arg "Sequence_pair.pack: invalid state";
+  let n = Array.length t.order_a in
+  let shape b = List.nth (shapes b) t.choice.(b) in
+  let a_index = Array.make n 0 and b_index = Array.make n 0 in
+  Array.iteri (fun i b -> a_index.(b) <- i) t.order_a;
+  Array.iteri (fun i b -> b_index.(b) <- i) t.order_b;
+  let x = Array.make n 0.0 and y = Array.make n 0.0 in
+  (* Process blocks in second-sequence order: both the left-of and the
+     below relations only relate a block to ones earlier in it. *)
+  Array.iteri
+    (fun _ i ->
+      Array.iter
+        (fun j ->
+          if b_index.(j) < b_index.(i) && j <> i then begin
+            let sj = shape j in
+            if a_index.(j) < a_index.(i) then
+              (* j left of i *)
+              x.(i) <- max x.(i) (x.(j) +. sj.Slicing.w)
+            else
+              (* j below i *)
+              y.(i) <- max y.(i) (y.(j) +. sj.Slicing.h)
+          end)
+        t.order_b)
+    t.order_b;
+  let die_w = ref 0.0 and die_h = ref 0.0 in
+  let rects =
+    Array.init n (fun b ->
+        let s = shape b in
+        die_w := max !die_w (x.(b) +. s.Slicing.w);
+        die_h := max !die_h (y.(b) +. s.Slicing.h);
+        Geometry.rect ~x:x.(b) ~y:y.(b) ~w:s.Slicing.w ~h:s.Slicing.h)
+  in
+  ({ Slicing.w = !die_w; h = !die_h }, rects)
+
+let swap arr prng =
+  let fresh = Array.copy arr in
+  let n = Array.length fresh in
+  if n >= 2 then begin
+    let i = Prng.int prng n in
+    let j = (i + 1 + Prng.int prng (n - 1)) mod n in
+    let tmp = fresh.(i) in
+    fresh.(i) <- fresh.(j);
+    fresh.(j) <- tmp
+  end;
+  fresh
+
+let random_neighbor prng ~shapes t =
+  match Prng.int prng 3 with
+  | 0 -> { t with order_a = swap t.order_a prng }
+  | 1 ->
+    (* Swap the same pair of blocks in both sequences: moves the block in
+       the placement without changing relative relations of others. *)
+    let n = Array.length t.order_a in
+    if n < 2 then t
+    else begin
+      let u = Prng.int prng n in
+      let v = (u + 1 + Prng.int prng (n - 1)) mod n in
+      let swap_values arr =
+        Array.map (fun b -> if b = u then v else if b = v then u else b) arr
+      in
+      { t with order_a = swap_values t.order_a; order_b = swap_values t.order_b }
+    end
+  | _ ->
+    let b = Prng.int prng (Array.length t.choice) in
+    let options = List.length (shapes b) in
+    let fresh = Array.copy t.choice in
+    fresh.(b) <- Prng.int prng options;
+    { t with choice = fresh }

@@ -1,0 +1,35 @@
+(** Sequence-pair floorplans (Murata et al.).
+
+    A sequence pair is two permutations of the block set.  Block [j] is
+    left of block [i] when [j] precedes [i] in both sequences, and below
+    [i] when [j] follows [i] in the first but precedes it in the second;
+    packing is a pair of longest-path problems over those relations.
+    Unlike slicing trees, sequence pairs can express every compacted
+    placement — the test suite uses this as an independent check on the
+    slicing packer, and the annealer as an alternative placement engine.
+
+    Each block also carries a {e shape choice}: an index into its list of
+    candidate shapes (aspect ratios/rotations), mutated by the annealing
+    moves alongside the permutations. *)
+
+type t = {
+  order_a : int array;  (** first sequence: block ids *)
+  order_b : int array;  (** second sequence *)
+  choice : int array;   (** per block: index into its shape list *)
+}
+
+val initial : block_count:int -> t
+(** Identity permutations, first shape everywhere.
+    @raise Invalid_argument if [block_count < 1]. *)
+
+val is_valid : shapes:(int -> Slicing.shape list) -> t -> bool
+(** Both arrays are permutations of the block ids and every choice is in
+    range. *)
+
+val pack : shapes:(int -> Slicing.shape list) -> t -> Slicing.shape * Geometry.rect array
+(** Compacted placement: die bounding box and one rectangle per block.
+    @raise Invalid_argument on an invalid state. *)
+
+val random_neighbor : Wp_util.Prng.t -> shapes:(int -> Slicing.shape list) -> t -> t
+(** One of: swap two blocks in the first sequence, swap in both
+    sequences, or re-choose one block's shape. *)

@@ -1,0 +1,231 @@
+module Prng = Wp_util.Prng
+
+type token =
+  | Leaf of int
+  | H
+  | V
+
+type expr = token array
+
+type shape = {
+  w : float;
+  h : float;
+}
+
+let initial ~block_count =
+  if block_count < 1 then invalid_arg "Slicing.initial: need at least one block";
+  let tokens = ref [ Leaf 0 ] in
+  for b = 1 to block_count - 1 do
+    tokens := V :: Leaf b :: !tokens
+  done;
+  Array.of_list (List.rev !tokens)
+
+let is_valid expr =
+  let operands = ref 0 and operators = ref 0 and balloting = ref true in
+  Array.iter
+    (fun t ->
+      (match t with
+      | Leaf _ -> incr operands
+      | H | V -> incr operators);
+      if !operators >= !operands then balloting := false)
+    expr;
+  !balloting && !operands = !operators + 1 && !operands >= 1
+
+(* --- packing ------------------------------------------------------- *)
+
+type tree =
+  | T_leaf of int
+  | T_node of token * tree * tree
+
+let tree_of_expr expr =
+  let stack = ref [] in
+  Array.iter
+    (fun t ->
+      match t with
+      | Leaf b -> stack := T_leaf b :: !stack
+      | H | V ->
+        (match !stack with
+        | right :: left :: rest -> stack := T_node (t, left, right) :: rest
+        | [] | [ _ ] -> invalid_arg "Slicing.pack: invalid expression"))
+    expr;
+  match !stack with
+  | [ root ] -> root
+  | [] | _ :: _ -> invalid_arg "Slicing.pack: invalid expression"
+
+(* A curve point: a realisable shape plus how it was obtained. *)
+type curve_point = {
+  shape : shape;
+  left_index : int;   (* -1 for leaves *)
+  right_index : int;
+  leaf_shape : shape option;
+}
+
+(* Keep the Pareto frontier: sort by width, keep strictly decreasing
+   heights. *)
+let prune points =
+  let sorted =
+    List.sort
+      (fun a b -> compare (a.shape.w, a.shape.h) (b.shape.w, b.shape.h))
+      points
+  in
+  let rec keep best_h = function
+    | [] -> []
+    | p :: rest -> if p.shape.h < best_h then p :: keep p.shape.h rest else keep best_h rest
+  in
+  keep infinity sorted
+
+let rec curve ~shapes = function
+  | T_leaf b ->
+    let candidates = shapes b in
+    if candidates = [] then invalid_arg "Slicing.pack: empty shape list";
+    prune
+      (List.map
+         (fun s -> { shape = s; left_index = -1; right_index = -1; leaf_shape = Some s })
+         candidates)
+  | T_node (op, left, right) ->
+    let cl = curve ~shapes left and cr = curve ~shapes right in
+    let combine i j (pl : curve_point) (pr : curve_point) =
+      let shape =
+        match op with
+        | V -> { w = pl.shape.w +. pr.shape.w; h = max pl.shape.h pr.shape.h }
+        | H -> { w = max pl.shape.w pr.shape.w; h = pl.shape.h +. pr.shape.h }
+        | Leaf _ -> assert false
+      in
+      { shape; left_index = i; right_index = j; leaf_shape = None }
+    in
+    prune
+      (List.concat
+         (List.mapi (fun i pl -> List.mapi (fun j pr -> combine i j pl pr) cr) cl))
+
+let pack ~shapes expr =
+  if not (is_valid expr) then invalid_arg "Slicing.pack: invalid expression";
+  let block_count =
+    Array.fold_left (fun acc t -> match t with Leaf _ -> acc + 1 | H | V -> acc) 0 expr
+  in
+  let tree = tree_of_expr expr in
+  (* Memoise curves per subtree by recomputing along the chosen path;
+     at our sizes a direct recomputation is fine. *)
+  let rects = Array.make block_count (Geometry.rect ~x:0.0 ~y:0.0 ~w:0.0 ~h:0.0) in
+  let rec place node points index ~x ~y =
+    let p = List.nth points index in
+    match node with
+    | T_leaf b ->
+      (match p.leaf_shape with
+      | Some s -> rects.(b) <- Geometry.rect ~x ~y ~w:s.w ~h:s.h
+      | None -> assert false)
+    | T_node (op, left, right) ->
+      let cl = curve ~shapes left and cr = curve ~shapes right in
+      let pl = List.nth cl p.left_index in
+      (match op with
+      | V ->
+        place left cl p.left_index ~x ~y;
+        place right cr p.right_index ~x:(x +. pl.shape.w) ~y
+      | H ->
+        place left cl p.left_index ~x ~y;
+        place right cr p.right_index ~x ~y:(y +. pl.shape.h)
+      | Leaf _ -> assert false)
+  in
+  let root_curve = curve ~shapes tree in
+  let index, chosen =
+    match root_curve with
+    | [] -> invalid_arg "Slicing.pack: empty curve"
+    | first :: rest ->
+      let curve_area p = p.shape.w *. p.shape.h in
+      let _, bi, bp =
+        List.fold_left
+          (fun (i, bi, bp) q ->
+            let i = i + 1 in
+            if curve_area q < curve_area bp then (i, i, q) else (i, bi, bp))
+          (0, 0, first) rest
+      in
+      (bi, bp)
+  in
+  place tree root_curve index ~x:0.0 ~y:0.0;
+  (chosen.shape, rects)
+
+(* --- moves --------------------------------------------------------- *)
+
+let operand_positions expr =
+  let acc = ref [] in
+  Array.iteri (fun i t -> match t with Leaf _ -> acc := i :: !acc | H | V -> ()) expr;
+  Array.of_list (List.rev !acc)
+
+let swap_adjacent_operands prng expr =
+  let ops = operand_positions expr in
+  if Array.length ops < 2 then Array.copy expr
+  else begin
+    let i = Prng.int prng (Array.length ops - 1) in
+    let fresh = Array.copy expr in
+    let a = ops.(i) and b = ops.(i + 1) in
+    let tmp = fresh.(a) in
+    fresh.(a) <- fresh.(b);
+    fresh.(b) <- tmp;
+    fresh
+  end
+
+let complement = function
+  | H -> V
+  | V -> H
+  | Leaf _ -> invalid_arg "Slicing.complement: operand"
+
+let operator_chains expr =
+  (* Maximal runs of consecutive operators, as (start, length). *)
+  let chains = ref [] in
+  let start = ref (-1) in
+  Array.iteri
+    (fun i t ->
+      match t with
+      | H | V -> if !start < 0 then start := i
+      | Leaf _ ->
+        if !start >= 0 then begin
+          chains := (!start, i - !start) :: !chains;
+          start := -1
+        end)
+    expr;
+  if !start >= 0 then chains := (!start, Array.length expr - !start) :: !chains;
+  Array.of_list (List.rev !chains)
+
+let complement_chain prng expr =
+  let chains = operator_chains expr in
+  if Array.length chains = 0 then Array.copy expr
+  else begin
+    let start, len = chains.(Prng.int prng (Array.length chains)) in
+    let fresh = Array.copy expr in
+    for i = start to start + len - 1 do
+      fresh.(i) <- complement fresh.(i)
+    done;
+    fresh
+  end
+
+let swap_operand_operator prng expr =
+  let n = Array.length expr in
+  if n < 3 then None
+  else begin
+    let candidates = ref [] in
+    for i = 0 to n - 2 do
+      let is_operand t = match t with Leaf _ -> true | H | V -> false in
+      if is_operand expr.(i) <> is_operand expr.(i + 1) then candidates := i :: !candidates
+    done;
+    match !candidates with
+    | [] -> None
+    | cs ->
+      let arr = Array.of_list cs in
+      let i = arr.(Prng.int prng (Array.length arr)) in
+      let fresh = Array.copy expr in
+      let tmp = fresh.(i) in
+      fresh.(i) <- fresh.(i + 1);
+      fresh.(i + 1) <- tmp;
+      if is_valid fresh then Some fresh else None
+  end
+
+let random_neighbor prng expr =
+  let rec attempt () =
+    match Prng.int prng 3 with
+    | 0 -> swap_adjacent_operands prng expr
+    | 1 -> complement_chain prng expr
+    | _ ->
+      (match swap_operand_operator prng expr with
+      | Some fresh -> fresh
+      | None -> attempt ())
+  in
+  attempt ()

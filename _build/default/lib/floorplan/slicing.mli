@@ -1,0 +1,47 @@
+(** Slicing floorplans as normalised Polish expressions (Wong-Liu).
+
+    A floorplan of [n] blocks is a postfix sequence of [n] operands and
+    [n-1] cut operators; [H] stacks the two sub-floorplans vertically
+    (one above the other), [V] places them side by side.  Packing uses
+    shape curves (Stockmeyer): each block offers a list of (w, h)
+    candidates (e.g. rotations), curves are combined bottom-up with
+    dominated points pruned, and positions are recovered by walking the
+    chosen shapes back down the tree. *)
+
+type token =
+  | Leaf of int      (** block index *)
+  | H                (** horizontal cut: top/bottom composition *)
+  | V                (** vertical cut: left/right composition *)
+
+type expr = token array
+
+type shape = {
+  w : float;
+  h : float;
+}
+
+val initial : block_count:int -> expr
+(** The canonical chain [b0 b1 V b2 V ...].
+    @raise Invalid_argument if [block_count < 1]. *)
+
+val is_valid : expr -> bool
+(** Balloting property and operand/operator counts; normality (no two
+    identical operators adjacent in the skewed sense) is not required. *)
+
+val pack : shapes:(int -> shape list) -> expr -> shape * Geometry.rect array
+(** Minimum-area packing: the chosen die shape and one placed rectangle
+    per block (indexed by block id).  @raise Invalid_argument on an
+    invalid expression or an empty shape list. *)
+
+val swap_adjacent_operands : Wp_util.Prng.t -> expr -> expr
+(** Move M1: exchange two adjacent operands. *)
+
+val complement_chain : Wp_util.Prng.t -> expr -> expr
+(** Move M2: complement the operators of a random chain. *)
+
+val swap_operand_operator : Wp_util.Prng.t -> expr -> expr option
+(** Move M3: exchange an adjacent operand/operator pair when the result
+    is still a valid expression. *)
+
+val random_neighbor : Wp_util.Prng.t -> expr -> expr
+(** One of M1/M2/M3, retrying until a valid neighbour appears. *)

@@ -1,0 +1,1 @@
+lib/graph/cycle_ratio.ml: Cycles Digraph Format List Scc Shortest_path

@@ -1,0 +1,1 @@
+lib/graph/cycle_ratio.mli: Digraph Format

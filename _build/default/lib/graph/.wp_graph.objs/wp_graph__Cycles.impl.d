@@ -1,0 +1,1 @@
+lib/graph/cycles.ml: Array Digraph List

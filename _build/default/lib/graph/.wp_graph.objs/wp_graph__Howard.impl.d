@@ -1,0 +1,1 @@
+lib/graph/howard.ml: Array Cycle_ratio Digraph List Scc

@@ -1,0 +1,1 @@
+lib/graph/howard.mli: Cycle_ratio Digraph

@@ -1,0 +1,1 @@
+lib/graph/karp.ml: Array Digraph Hashtbl List Scc

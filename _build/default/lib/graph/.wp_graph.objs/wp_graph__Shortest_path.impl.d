@@ -1,0 +1,1 @@
+lib/graph/shortest_path.ml: Array Digraph Hashtbl List

@@ -1,0 +1,1 @@
+lib/graph/shortest_path.mli: Digraph

@@ -1,0 +1,104 @@
+type ratio = { num : int; den : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make_ratio num den =
+  if den = 0 then invalid_arg "Cycle_ratio.make_ratio: zero denominator";
+  let num, den = if den < 0 then (-num, -den) else (num, den) in
+  let g = gcd (abs num) den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let ratio_to_float r = float_of_int r.num /. float_of_int r.den
+
+(* Cross-multiplication; operands stay small in this library. *)
+let ratio_compare a b = compare (a.num * b.den) (b.num * a.den)
+
+let ratio_pp ppf r =
+  if r.den = 1 then Format.fprintf ppf "%d" r.num
+  else Format.fprintf ppf "%d/%d" r.num r.den
+
+let sum_over cycle f = List.fold_left (fun acc e -> acc + f e) 0 cycle
+
+let cycle_ratio _g ~cost ~time cycle =
+  make_ratio (sum_over cycle cost) (sum_over cycle time)
+
+let validate_times g ~time =
+  Digraph.iter_edges g (fun e ->
+      if time e < 0 then invalid_arg "Cycle_ratio: negative time");
+  (* A cycle of zero total time exists iff the subgraph of zero-time edges
+     contains a cycle; reject it, the ratio would be infinite. *)
+  let zero_sub = Digraph.create () in
+  List.iter
+    (fun v -> ignore (Digraph.add_vertex zero_sub ~label:(Digraph.vertex_label g v)))
+    (Digraph.vertices g);
+  Digraph.iter_edges g (fun e ->
+      if time e = 0 then
+        ignore
+          (Digraph.add_edge zero_sub ~src:(Digraph.edge_src g e)
+             ~dst:(Digraph.edge_dst g e) ~label:""));
+  let has_cycle =
+    List.exists (fun comp -> not (Scc.is_trivial zero_sub comp)) (Scc.components zero_sub)
+  in
+  if has_cycle then invalid_arg "Cycle_ratio: cycle with zero total time"
+
+let minimum_by_enumeration g ~cost ~time =
+  validate_times g ~time;
+  let best = ref None in
+  let consider cycle =
+    let r = cycle_ratio g ~cost ~time cycle in
+    match !best with
+    | None -> best := Some (r, cycle)
+    | Some (r0, _) -> if ratio_compare r r0 < 0 then best := Some (r, cycle)
+  in
+  List.iter consider (Cycles.elementary_cycles g);
+  !best
+
+(* Is there a cycle with total (cost - lambda * time) < 0 ?  Exactly the
+   Lawler feasibility test.  [lambda] is a float; edge attributes are
+   integers so the arithmetic is well conditioned. *)
+let has_negative_cycle g ~cost ~time lambda =
+  let weight e = float_of_int (cost e) -. (lambda *. float_of_int (time e)) in
+  match Shortest_path.potentials g ~weight with
+  | Shortest_path.Negative_cycle c -> Some c
+  | Shortest_path.Distances _ -> None
+
+let has_cycle g =
+  List.exists (fun comp -> not (Scc.is_trivial g comp)) (Scc.components g)
+
+let minimum g ~cost ~time =
+  validate_times g ~time;
+  if not (has_cycle g) then None
+  else begin
+    let max_abs_cost =
+      Digraph.fold_edges g ~init:1 ~f:(fun acc e -> max acc (abs (cost e)))
+    in
+    let bound = float_of_int (max_abs_cost * max 1 (Digraph.edge_count g)) +. 1.0 in
+    (* Invariant: a cycle of ratio < hi exists; none of ratio < lo does.
+       After 64 halvings [hi - lo] is far below the smallest gap between
+       two distinct achievable ratios (>= 1 / total_time^2), so the last
+       witness cycle achieves the optimum; its exact integer ratio is the
+       answer. *)
+    let lo = ref (-.bound) and hi = ref bound and witness = ref None in
+    (match has_negative_cycle g ~cost ~time !hi with
+    | Some c -> witness := Some c
+    | None ->
+      (* Every cycle ratio is < bound by construction. *)
+      assert false);
+    for _ = 1 to 64 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if !hi -. !lo > 1e-12 then
+        match has_negative_cycle g ~cost ~time mid with
+        | Some c ->
+          hi := mid;
+          witness := Some c
+        | None -> lo := mid
+    done;
+    match !witness with
+    | Some c -> Some (cycle_ratio g ~cost ~time c, c)
+    | None -> None
+  end
+
+let maximum g ~cost ~time =
+  match minimum g ~cost:(fun e -> -cost e) ~time with
+  | None -> None
+  | Some (r, c) -> Some (make_ratio (-r.num) r.den, c)

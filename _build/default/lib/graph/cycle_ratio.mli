@@ -1,0 +1,59 @@
+(** Minimum / maximum cycle ratio.
+
+    For edge attributes [cost] and [time] (integers, [time >= 0], every
+    cycle having positive total time), the minimum cycle ratio is
+
+      min over elementary cycles C of  (sum cost) / (sum time).
+
+    This is the quantity behind the paper's sustainable-throughput bound:
+    with [cost e = 1] and [time e = 1 + relay_stations e], the minimum over
+    loops of [m / (m + n)] is exactly the minimum cycle ratio.
+
+    Two implementations are provided: an exact enumeration (small graphs)
+    and a scalable parametric search (Lawler binary search over Bellman-Ford
+    negative-cycle tests) whose result is returned as an exact rational
+    certified by the witnessing cycle. *)
+
+type ratio = {
+  num : int;
+  den : int;  (** always > 0; the fraction is in lowest terms *)
+}
+
+val ratio_to_float : ratio -> float
+val ratio_compare : ratio -> ratio -> int
+val ratio_pp : Format.formatter -> ratio -> unit
+
+val make_ratio : int -> int -> ratio
+(** Normalises sign and reduces. @raise Invalid_argument when the
+    denominator is 0. *)
+
+val minimum :
+  Digraph.t ->
+  cost:(Digraph.edge -> int) ->
+  time:(Digraph.edge -> int) ->
+  (ratio * Digraph.edge list) option
+(** [None] when the graph is acyclic.  The returned cycle achieves the
+    ratio.  @raise Invalid_argument if some [time] is negative or some cycle
+    has zero total time. *)
+
+val maximum :
+  Digraph.t ->
+  cost:(Digraph.edge -> int) ->
+  time:(Digraph.edge -> int) ->
+  (ratio * Digraph.edge list) option
+
+val minimum_by_enumeration :
+  Digraph.t ->
+  cost:(Digraph.edge -> int) ->
+  time:(Digraph.edge -> int) ->
+  (ratio * Digraph.edge list) option
+(** Reference implementation over [Cycles.elementary_cycles]; exponential in
+    the worst case, exact always. *)
+
+val cycle_ratio :
+  Digraph.t ->
+  cost:(Digraph.edge -> int) ->
+  time:(Digraph.edge -> int) ->
+  Digraph.edge list ->
+  ratio
+(** Ratio of one given cycle. *)

@@ -1,0 +1,95 @@
+type vertex = int
+type edge = int
+
+type edge_info = { src : vertex; dst : vertex; e_label : string }
+
+type t = {
+  mutable v_labels : string array;
+  mutable n_vertices : int;
+  mutable e_infos : edge_info array;
+  mutable n_edges : int;
+  mutable out_adj : edge list array; (* reversed insertion order *)
+  mutable in_adj : edge list array;
+}
+
+let dummy_edge = { src = -1; dst = -1; e_label = "" }
+
+let create () =
+  {
+    v_labels = Array.make 8 "";
+    n_vertices = 0;
+    e_infos = Array.make 8 dummy_edge;
+    n_edges = 0;
+    out_adj = Array.make 8 [];
+    in_adj = Array.make 8 [];
+  }
+
+let ensure_capacity arr used fill =
+  if used < Array.length arr then arr
+  else begin
+    let fresh = Array.make (2 * Array.length arr) fill in
+    Array.blit arr 0 fresh 0 used;
+    fresh
+  end
+
+let add_vertex t ~label =
+  t.v_labels <- ensure_capacity t.v_labels t.n_vertices "";
+  t.out_adj <- ensure_capacity t.out_adj t.n_vertices [];
+  t.in_adj <- ensure_capacity t.in_adj t.n_vertices [];
+  let v = t.n_vertices in
+  t.v_labels.(v) <- label;
+  t.out_adj.(v) <- [];
+  t.in_adj.(v) <- [];
+  t.n_vertices <- v + 1;
+  v
+
+let check_vertex t v =
+  if v < 0 || v >= t.n_vertices then invalid_arg "Digraph: no such vertex"
+
+let add_edge t ~src ~dst ~label =
+  check_vertex t src;
+  check_vertex t dst;
+  t.e_infos <- ensure_capacity t.e_infos t.n_edges dummy_edge;
+  let e = t.n_edges in
+  t.e_infos.(e) <- { src; dst; e_label = label };
+  t.out_adj.(src) <- e :: t.out_adj.(src);
+  t.in_adj.(dst) <- e :: t.in_adj.(dst);
+  t.n_edges <- e + 1;
+  e
+
+let vertex_count t = t.n_vertices
+let edge_count t = t.n_edges
+
+let vertex_label t v = check_vertex t v; t.v_labels.(v)
+
+let check_edge t e =
+  if e < 0 || e >= t.n_edges then invalid_arg "Digraph: no such edge"
+
+let edge_label t e = check_edge t e; t.e_infos.(e).e_label
+let edge_src t e = check_edge t e; t.e_infos.(e).src
+let edge_dst t e = check_edge t e; t.e_infos.(e).dst
+
+let out_edges t v = check_vertex t v; List.rev t.out_adj.(v)
+let in_edges t v = check_vertex t v; List.rev t.in_adj.(v)
+
+let succ t v = List.map (fun e -> t.e_infos.(e).dst) (out_edges t v)
+
+let vertices t = List.init t.n_vertices Fun.id
+let edges t = List.init t.n_edges Fun.id
+
+let find_by label n get =
+  let rec loop i = if i >= n then None else if get i = label then Some i else loop (i + 1) in
+  loop 0
+
+let find_vertex t label = find_by label t.n_vertices (fun v -> t.v_labels.(v))
+let find_edge t label = find_by label t.n_edges (fun e -> t.e_infos.(e).e_label)
+
+let iter_edges t f =
+  for e = 0 to t.n_edges - 1 do
+    f e
+  done
+
+let fold_edges t ~init ~f =
+  let acc = ref init in
+  iter_edges t (fun e -> acc := f !acc e);
+  !acc

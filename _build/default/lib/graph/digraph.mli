@@ -1,0 +1,47 @@
+(** Mutable directed multigraph with labelled vertices and edges.
+
+    Vertices and edges are dense integer ids handed out in creation order,
+    which keeps every algorithm in this library array-based and
+    deterministic.  Self-loops and parallel edges are allowed (a netlist may
+    have several channels between the same pair of blocks). *)
+
+type t
+
+type vertex = int
+type edge = int
+
+val create : unit -> t
+
+val add_vertex : t -> label:string -> vertex
+(** Ids are consecutive from 0. *)
+
+val add_edge : t -> src:vertex -> dst:vertex -> label:string -> edge
+(** Ids are consecutive from 0.
+    @raise Invalid_argument if an endpoint is not a vertex of [t]. *)
+
+val vertex_count : t -> int
+val edge_count : t -> int
+
+val vertex_label : t -> vertex -> string
+val edge_label : t -> edge -> string
+val edge_src : t -> edge -> vertex
+val edge_dst : t -> edge -> vertex
+
+val out_edges : t -> vertex -> edge list
+(** In insertion order. *)
+
+val in_edges : t -> vertex -> edge list
+
+val succ : t -> vertex -> vertex list
+(** Successor vertices (with duplicates if parallel edges exist). *)
+
+val vertices : t -> vertex list
+val edges : t -> edge list
+
+val find_vertex : t -> string -> vertex option
+(** First vertex with the given label, if any. *)
+
+val find_edge : t -> string -> edge option
+
+val iter_edges : t -> (edge -> unit) -> unit
+val fold_edges : t -> init:'a -> f:('a -> edge -> 'a) -> 'a

@@ -1,0 +1,36 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c -> if c = '"' || c = '\\' then Buffer.add_char buf '\\'; Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attrs_to_string attrs =
+  match attrs with
+  | [] -> ""
+  | _ ->
+    let body =
+      String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) attrs)
+    in
+    ", " ^ body
+
+let to_string ?(name = "netlist") ?(edge_attr = fun _ -> []) ?(vertex_attr = fun _ -> []) g =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=LR;\n";
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"%s];\n" v
+           (escape (Digraph.vertex_label g v))
+           (attrs_to_string (vertex_attr v))))
+    (Digraph.vertices g);
+  Digraph.iter_edges g (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%s\"%s];\n" (Digraph.edge_src g e)
+           (Digraph.edge_dst g e)
+           (escape (Digraph.edge_label g e))
+           (attrs_to_string (edge_attr e))));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

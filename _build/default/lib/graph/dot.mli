@@ -1,0 +1,10 @@
+(** Graphviz DOT export (used to regenerate the paper's Figure 1). *)
+
+val to_string :
+  ?name:string ->
+  ?edge_attr:(Digraph.edge -> (string * string) list) ->
+  ?vertex_attr:(Digraph.vertex -> (string * string) list) ->
+  Digraph.t ->
+  string
+(** Directed graph in DOT syntax; vertex and edge labels come from the
+    graph, extra attributes from the callbacks. *)

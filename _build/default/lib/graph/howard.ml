@@ -1,0 +1,134 @@
+let epsilon = 1e-9
+
+(* Evaluate a policy (one out-edge per vertex, -1 where none): for every
+   vertex, the ratio of the policy cycle it reaches and its potential.
+   Returns (lambda, potential, cycle_of: vertex -> representative policy
+   cycle as an edge list). *)
+let evaluate g ~cost ~time policy =
+  let n = Digraph.vertex_count g in
+  let lambda = Array.make n infinity in
+  let potential = Array.make n 0.0 in
+  let cycle_repr = Array.make n [] in
+  let state = Array.make n `White in
+  let rec walk v path =
+    (* Follow policy edges until a settled vertex or a cycle closes. *)
+    match state.(v) with
+    | `Done -> ()
+    | `Gray ->
+      (* Closed a cycle: [path] holds edges newest-first; the cycle is
+         the suffix of [path] from v's edge. *)
+      let rec cut acc = function
+        | [] -> acc
+        | e :: rest ->
+          let acc = e :: acc in
+          if Digraph.edge_src g e = v then acc else cut acc rest
+      in
+      let cycle = cut [] path in
+      let total_cost = List.fold_left (fun a e -> a + cost e) 0 cycle in
+      let total_time = List.fold_left (fun a e -> a + time e) 0 cycle in
+      let lam = float_of_int total_cost /. float_of_int total_time in
+      (* Potentials around the cycle: fix v at 0, propagate backwards
+         along the cycle (d(u) = w(e) - lam*t(e) + d(dst e)). *)
+      lambda.(v) <- lam;
+      potential.(v) <- 0.0;
+      cycle_repr.(v) <- cycle;
+      state.(v) <- `Done;
+      let rec assign = function
+        | [] -> ()
+        | e :: rest ->
+          let u = Digraph.edge_src g e and x = Digraph.edge_dst g e in
+          if state.(u) <> `Done then begin
+            (* dst potential is known once we process edges cycle-end
+               first; recurse to the end first. *)
+            assign rest;
+            lambda.(u) <- lam;
+            potential.(u) <-
+              float_of_int (cost e) -. (lam *. float_of_int (time e)) +. potential.(x);
+            cycle_repr.(u) <- cycle;
+            state.(u) <- `Done
+          end
+          else assign rest
+      in
+      assign cycle
+    | `White ->
+      state.(v) <- `Gray;
+      (match policy.(v) with
+      | -1 ->
+        (* Dead end: no cycle reachable through the policy. *)
+        state.(v) <- `Done;
+        lambda.(v) <- infinity
+      | e ->
+        let x = Digraph.edge_dst g e in
+        walk x (e :: path);
+        if state.(v) <> `Done then begin
+          (* Tail vertex: inherits the cycle it reaches. *)
+          lambda.(v) <- lambda.(x);
+          potential.(v) <-
+            float_of_int (cost e) -. (lambda.(x) *. float_of_int (time e)) +. potential.(x);
+          cycle_repr.(v) <- cycle_repr.(x);
+          state.(v) <- `Done
+        end)
+  in
+  for v = 0 to n - 1 do
+    walk v []
+  done;
+  (lambda, potential, cycle_repr)
+
+let minimum_cycle_ratio g ~cost ~time =
+  let n = Digraph.vertex_count g in
+  if n = 0 then None
+  else begin
+    (* Initial policy: any out-edge that stays inside the vertex's SCC so
+       a policy path can always close a cycle; -1 if none exists. *)
+    let comp = Scc.component_ids g in
+    let policy = Array.make n (-1) in
+    for v = 0 to n - 1 do
+      policy.(v) <-
+        (match
+           List.find_opt (fun e -> comp.(Digraph.edge_dst g e) = comp.(v)) (Digraph.out_edges g v)
+         with
+        | Some e -> e
+        | None -> -1)
+    done;
+    if Array.for_all (fun e -> e = -1) policy then None
+    else begin
+      let max_iterations = (n * Digraph.edge_count g) + 16 in
+      let rec iterate k =
+        let lambda, potential, cycle_repr = evaluate g ~cost ~time policy in
+        let improved = ref false in
+        Digraph.iter_edges g (fun e ->
+            let u = Digraph.edge_src g e and x = Digraph.edge_dst g e in
+            if comp.(u) = comp.(x) && lambda.(x) < infinity then begin
+              if lambda.(x) < lambda.(u) -. epsilon then begin
+                policy.(u) <- e;
+                improved := true
+              end
+              else if
+                abs_float (lambda.(x) -. lambda.(u)) <= epsilon
+                && float_of_int (cost e)
+                   -. (lambda.(u) *. float_of_int (time e))
+                   +. potential.(x)
+                   < potential.(u) -. epsilon
+              then begin
+                policy.(u) <- e;
+                improved := true
+              end
+            end);
+        if !improved && k < max_iterations then iterate (k + 1)
+        else (lambda, cycle_repr)
+      in
+      let lambda, cycle_repr = iterate 0 in
+      let best = ref None in
+      for v = 0 to n - 1 do
+        if lambda.(v) < infinity then
+          match !best with
+          | None -> best := Some v
+          | Some b -> if lambda.(v) < lambda.(b) then best := Some v
+      done;
+      match !best with
+      | None -> None
+      | Some v ->
+        let cycle = cycle_repr.(v) in
+        Some (Cycle_ratio.cycle_ratio g ~cost ~time cycle, cycle)
+    end
+  end

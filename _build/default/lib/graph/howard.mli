@@ -1,0 +1,22 @@
+(** Howard's policy iteration for the minimum cycle ratio.
+
+    An independent solver for the same problem as {!Cycle_ratio.minimum}
+    — min over cycles of (total cost / total time) — using the
+    policy-iteration scheme standard in performance analysis of timed
+    event graphs.  Each vertex holds one chosen outgoing edge (the
+    policy); evaluation finds the policy graph's cycles and potentials,
+    improvement switches any edge that beats the Bellman equation, and
+    the process converges to the optimum.
+
+    Kept alongside the Lawler binary search as a cross-check (the test
+    suite verifies all three implementations agree) and because policy
+    iteration is typically the fastest in practice on large graphs. *)
+
+val minimum_cycle_ratio :
+  Digraph.t ->
+  cost:(Digraph.edge -> int) ->
+  time:(Digraph.edge -> int) ->
+  (Cycle_ratio.ratio * Digraph.edge list) option
+(** [None] when the graph is acyclic; otherwise the exact optimal ratio
+    and a witnessing cycle.  Same preconditions as
+    {!Cycle_ratio.minimum}: non-negative times, no zero-time cycle. *)

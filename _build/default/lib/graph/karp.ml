@@ -1,0 +1,70 @@
+(* Karp 1978.  For each SCC with vertex set S (size k), pick any root r in S
+   and compute d.(j).(v) = maximum weight of a j-edge walk from r to v inside
+   the SCC.  Then
+
+     max cycle mean = max over v with d.(k).(v) finite of
+                        min over j < k of (d.(k).(v) - d.(j).(v)) / (k - j).
+*)
+
+let component_mean g ~weight comp_vertices =
+  let in_comp = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace in_comp v ()) comp_vertices;
+  let k = List.length comp_vertices in
+  match comp_vertices with
+  | [] -> None
+  | root :: _ ->
+    let index = Hashtbl.create 16 in
+    List.iteri (fun i v -> Hashtbl.replace index v i) comp_vertices;
+    let d = Array.make_matrix (k + 1) k neg_infinity in
+    d.(0).(Hashtbl.find index root) <- 0.0;
+    for j = 1 to k do
+      List.iter
+        (fun v ->
+          let iv = Hashtbl.find index v in
+          List.iter
+            (fun e ->
+              let w = Digraph.edge_dst g e in
+              if Hashtbl.mem in_comp w then begin
+                let iw = Hashtbl.find index w in
+                if d.(j - 1).(iv) > neg_infinity then begin
+                  let cand = d.(j - 1).(iv) +. weight e in
+                  if cand > d.(j).(iw) then d.(j).(iw) <- cand
+                end
+              end)
+            (Digraph.out_edges g v))
+        comp_vertices
+    done;
+    let best = ref None in
+    for iv = 0 to k - 1 do
+      if d.(k).(iv) > neg_infinity then begin
+        let worst = ref infinity in
+        for j = 0 to k - 1 do
+          if d.(j).(iv) > neg_infinity then begin
+            let mean = (d.(k).(iv) -. d.(j).(iv)) /. float_of_int (k - j) in
+            if mean < !worst then worst := mean
+          end
+        done;
+        if !worst < infinity then
+          match !best with
+          | None -> best := Some !worst
+          | Some b -> if !worst > b then best := Some !worst
+      end
+    done;
+    !best
+
+let maximum_cycle_mean g ~weight =
+  let comps = Scc.components g in
+  let candidates =
+    List.filter_map
+      (fun comp ->
+        if Scc.is_trivial g comp then None else component_mean g ~weight comp)
+      comps
+  in
+  match candidates with
+  | [] -> None
+  | x :: rest -> Some (List.fold_left max x rest)
+
+let minimum_cycle_mean g ~weight =
+  match maximum_cycle_mean g ~weight:(fun e -> -.weight e) with
+  | None -> None
+  | Some m -> Some (-.m)

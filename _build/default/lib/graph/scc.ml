@@ -1,0 +1,58 @@
+(* Iterative Tarjan so deep graphs do not overflow the OCaml stack. *)
+
+let components g =
+  let n = Digraph.vertex_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let comps = ref [] in
+  (* Explicit DFS frames: vertex plus the list of successors still to visit. *)
+  let visit root =
+    let frames = Stack.create () in
+    let open_vertex v =
+      index.(v) <- !next_index;
+      lowlink.(v) <- !next_index;
+      incr next_index;
+      Stack.push v stack;
+      on_stack.(v) <- true;
+      Stack.push (v, ref (Digraph.succ g v)) frames
+    in
+    open_vertex root;
+    while not (Stack.is_empty frames) do
+      let v, todo = Stack.top frames in
+      match !todo with
+      | w :: rest ->
+        todo := rest;
+        if index.(w) = -1 then open_vertex w
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+      | [] ->
+        ignore (Stack.pop frames);
+        if not (Stack.is_empty frames) then begin
+          let parent, _ = Stack.top frames in
+          lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+        end;
+        if lowlink.(v) = index.(v) then begin
+          let rec collect acc =
+            let w = Stack.pop stack in
+            on_stack.(w) <- false;
+            if w = v then w :: acc else collect (w :: acc)
+          in
+          comps := collect [] :: !comps
+        end
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  List.rev !comps
+
+let component_ids g =
+  let ids = Array.make (Digraph.vertex_count g) (-1) in
+  List.iteri (fun i comp -> List.iter (fun v -> ids.(v) <- i) comp) (components g);
+  ids
+
+let is_trivial g = function
+  | [ v ] -> not (List.exists (fun w -> w = v) (Digraph.succ g v))
+  | [] | _ :: _ :: _ -> false

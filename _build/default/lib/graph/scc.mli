@@ -1,0 +1,12 @@
+(** Strongly connected components (Tarjan's algorithm, iterative). *)
+
+val components : Digraph.t -> Digraph.vertex list list
+(** Components in reverse topological order of the condensation (a vertex's
+    component appears after the components it can reach).  Each component
+    lists its vertices in discovery order. *)
+
+val component_ids : Digraph.t -> int array
+(** [ids.(v)] is the index of [v]'s component in [components]. *)
+
+val is_trivial : Digraph.t -> Digraph.vertex list -> bool
+(** A single vertex with no self-loop (hence no cycle through it). *)

@@ -1,0 +1,130 @@
+type result =
+  | Distances of float array * Digraph.edge option array
+  | Negative_cycle of Digraph.edge list
+
+(* Walk predecessor edges back from [start]; when a vertex repeats, the
+   portion walked between the two visits is a cycle of the predecessor
+   graph.  Returns [None] when the chain ends at a root first (possible for
+   some witnesses; the caller then tries the next witness). *)
+let cycle_through_preds g pred start =
+  let n = Digraph.vertex_count g in
+  let seen = Hashtbl.create 16 in
+  let rec walk v steps =
+    if steps > n + 1 then None
+    else if Hashtbl.mem seen v then Some v
+    else begin
+      Hashtbl.add seen v ();
+      match pred.(v) with
+      | Some e -> walk (Digraph.edge_src g e) (steps + 1)
+      | None -> None
+    end
+  in
+  match walk start 0 with
+  | None -> None
+  | Some inside ->
+    let rec collect v acc =
+      match pred.(v) with
+      | Some e ->
+        let u = Digraph.edge_src g e in
+        if u = inside then Some (e :: acc) else collect u (e :: acc)
+      | None -> None
+    in
+    collect inside []
+
+let rec bellman_ford_core g ~weight ~init_dist =
+  let n = Digraph.vertex_count g in
+  let dist = init_dist in
+  let pred = Array.make n None in
+  let changed = ref true in
+  let passes = ref 0 in
+  while !changed && !passes < n do
+    changed := false;
+    incr passes;
+    Digraph.iter_edges g (fun e ->
+        let u = Digraph.edge_src g e and v = Digraph.edge_dst g e in
+        if dist.(u) < infinity then begin
+          let d = dist.(u) +. weight e in
+          if d < dist.(v) then begin
+            dist.(v) <- d;
+            pred.(v) <- Some e;
+            changed := true
+          end
+        end)
+  done;
+  (* Extra pass: any further relaxation proves a reachable negative cycle. *)
+  let witnesses = ref [] in
+  Digraph.iter_edges g (fun e ->
+      let u = Digraph.edge_src g e and v = Digraph.edge_dst g e in
+      if dist.(u) < infinity && dist.(u) +. weight e < dist.(v) then begin
+        dist.(v) <- dist.(u) +. weight e;
+        pred.(v) <- Some e;
+        witnesses := v :: !witnesses
+      end);
+  let rec first_cycle = function
+    | [] -> None
+    | w :: rest ->
+      (match cycle_through_preds g pred w with
+      | Some cycle -> Some cycle
+      | None -> first_cycle rest)
+  in
+  match first_cycle !witnesses with
+  | Some cycle -> Negative_cycle cycle
+  | None ->
+    if !witnesses <> [] then
+      (* A relaxation happened but no pred-cycle surfaced yet: keep
+         relaxing; the predecessor graph must develop a cycle within n
+         further passes. *)
+      bellman_ford_core g ~weight ~init_dist:dist
+    else Distances (dist, pred)
+
+let bellman_ford g ~weight ~src =
+  let n = Digraph.vertex_count g in
+  let dist = Array.make n infinity in
+  dist.(src) <- 0.0;
+  bellman_ford_core g ~weight ~init_dist:dist
+
+let potentials g ~weight =
+  let dist = Array.make (Digraph.vertex_count g) 0.0 in
+  bellman_ford_core g ~weight ~init_dist:dist
+
+let dijkstra g ~weight ~src =
+  Digraph.iter_edges g (fun e ->
+      if weight e < 0.0 then invalid_arg "Shortest_path.dijkstra: negative weight");
+  let n = Digraph.vertex_count g in
+  let dist = Array.make n infinity in
+  let pred = Array.make n None in
+  let visited = Array.make n false in
+  dist.(src) <- 0.0;
+  (* A linear-scan "priority queue" is ample at our graph sizes. *)
+  let rec loop () =
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not visited.(v)) && dist.(v) < infinity
+         && (!best = -1 || dist.(v) < dist.(!best))
+      then best := v
+    done;
+    if !best >= 0 then begin
+      let u = !best in
+      visited.(u) <- true;
+      List.iter
+        (fun e ->
+          let v = Digraph.edge_dst g e in
+          let d = dist.(u) +. weight e in
+          if d < dist.(v) then begin
+            dist.(v) <- d;
+            pred.(v) <- Some e
+          end)
+        (Digraph.out_edges g u);
+      loop ()
+    end
+  in
+  loop ();
+  (dist, pred)
+
+let path_to g pred v =
+  let rec collect v acc =
+    match pred.(v) with
+    | None -> acc
+    | Some e -> collect (Digraph.edge_src g e) (e :: acc)
+  in
+  collect v []

@@ -1,0 +1,23 @@
+(** Shortest paths and negative-cycle detection. *)
+
+type result =
+  | Distances of float array * Digraph.edge option array
+      (** [Distances (dist, pred)]: [dist.(v)] is the shortest distance from
+          the source set ([infinity] when unreachable) and [pred.(v)] the
+          final edge of one shortest path. *)
+  | Negative_cycle of Digraph.edge list
+      (** A reachable cycle of negative total weight, as an edge list. *)
+
+val bellman_ford : Digraph.t -> weight:(Digraph.edge -> float) -> src:Digraph.vertex -> result
+
+val potentials : Digraph.t -> weight:(Digraph.edge -> float) -> result
+(** Bellman-Ford from a virtual source connected to every vertex with weight
+    0; reaches everything, so it detects negative cycles anywhere in the
+    graph and otherwise returns finite potentials for all vertices. *)
+
+val dijkstra : Digraph.t -> weight:(Digraph.edge -> float) -> src:Digraph.vertex -> float array * Digraph.edge option array
+(** Classic Dijkstra.  @raise Invalid_argument on a negative edge weight. *)
+
+val path_to : Digraph.t -> Digraph.edge option array -> Digraph.vertex -> Digraph.edge list
+(** Reconstruct the edge path ending at the given vertex from a predecessor
+    array, source-first. *)

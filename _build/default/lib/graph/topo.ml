@@ -1,0 +1,11 @@
+let sort g =
+  let comps = Scc.components g in
+  match List.find_opt (fun comp -> not (Scc.is_trivial g comp)) comps with
+  | Some comp -> Error comp
+  | None ->
+    (* Components come in reverse topological order of the condensation;
+       with all components trivial, reversing gives a vertex order with all
+       edges forward. *)
+    Ok (List.rev_map (function [ v ] -> v | _ -> assert false) comps)
+
+let is_dag g = match sort g with Ok _ -> true | Error _ -> false

@@ -1,0 +1,8 @@
+(** Topological ordering. *)
+
+val sort : Digraph.t -> (Digraph.vertex list, Digraph.vertex list) result
+(** [Ok order] lists all vertices with every edge going forward;
+    [Error comp] returns a non-trivial strongly connected component that
+    prevents ordering. *)
+
+val is_dag : Digraph.t -> bool

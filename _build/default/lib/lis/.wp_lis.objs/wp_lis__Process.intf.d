@@ -1,0 +1,1 @@
+lib/lis/process.mli:

@@ -1,0 +1,1 @@
+lib/lis/relay_station.ml: Printf Token Wp_util

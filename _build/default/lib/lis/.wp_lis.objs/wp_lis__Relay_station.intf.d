@@ -1,0 +1,1 @@
+lib/lis/relay_station.mli: Token

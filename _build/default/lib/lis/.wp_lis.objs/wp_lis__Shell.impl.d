@@ -1,0 +1,1 @@
+lib/lis/shell.ml: Array List Printf Process Token Wp_util

@@ -1,0 +1,1 @@
+lib/lis/shell.mli: Process Token Trace

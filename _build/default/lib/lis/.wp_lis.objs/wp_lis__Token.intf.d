@@ -1,0 +1,1 @@
+lib/lis/token.mli: Format

@@ -1,0 +1,1 @@
+lib/lis/trace.ml: Format List Token

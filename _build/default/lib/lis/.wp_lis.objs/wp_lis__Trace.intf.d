@@ -1,0 +1,1 @@
+lib/lis/trace.mli: Format Token

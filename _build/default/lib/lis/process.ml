@@ -1,0 +1,93 @@
+type instance = {
+  required : unit -> bool array;
+  fire : int option array -> int array;
+  halted : unit -> bool;
+}
+
+type t = {
+  name : string;
+  input_names : string array;
+  output_names : string array;
+  reset_outputs : int array;
+  make : unit -> instance;
+}
+
+let n_inputs t = Array.length t.input_names
+let n_outputs t = Array.length t.output_names
+
+let index_of names port =
+  let rec scan i =
+    if i >= Array.length names then raise Not_found
+    else if names.(i) = port then i
+    else scan (i + 1)
+  in
+  scan 0
+
+let input_index t port = index_of t.input_names port
+let output_index t port = index_of t.output_names port
+
+let validate t =
+  if Array.length t.reset_outputs <> n_outputs t then
+    invalid_arg (t.name ^ ": reset_outputs arity mismatch");
+  let inst = t.make () in
+  if Array.length (inst.required ()) <> n_inputs t then
+    invalid_arg (t.name ^ ": required() arity mismatch")
+
+let all_required n =
+  let mask = Array.make n true in
+  fun () -> mask
+
+let get inputs i =
+  match inputs.(i) with
+  | Some v -> v
+  | None -> invalid_arg "Process: reading an input that was not required"
+
+let pure_source ~name ~output_name ~reset f =
+  {
+    name;
+    input_names = [||];
+    output_names = [| output_name |];
+    reset_outputs = [| reset |];
+    make =
+      (fun () ->
+        let k = ref 0 in
+        {
+          required = all_required 0;
+          fire =
+            (fun _ ->
+              let v = f !k in
+              incr k;
+              [| v |]);
+          halted = (fun () -> false);
+        });
+  }
+
+let sink ~name ~input_name =
+  {
+    name;
+    input_names = [| input_name |];
+    output_names = [||];
+    reset_outputs = [||];
+    make =
+      (fun () ->
+        {
+          required = all_required 1;
+          fire = (fun _ -> [||]);
+          halted = (fun () -> false);
+        });
+  }
+
+let unary ~name ~input_name ~output_name ~reset f =
+  {
+    name;
+    input_names = [| input_name |];
+    output_names = [| output_name |];
+    reset_outputs = [| reset |];
+    make =
+      (fun () ->
+        {
+          required = all_required 1;
+          fire = (fun inputs -> [| f (get inputs 0) |]);
+          halted = (fun () -> false);
+        });
+  }

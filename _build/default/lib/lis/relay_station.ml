@@ -1,0 +1,32 @@
+module Ring_fifo = Wp_util.Ring_fifo
+
+type 'a t = {
+  rs_name : string;
+  buffer : 'a Ring_fifo.t; (* main + auxiliary register *)
+}
+
+let create ?(name = "rs") () = { rs_name = name; buffer = Ring_fifo.create (Ring_fifo.Bounded 2) }
+
+let name t = t.rs_name
+let occupancy t = Ring_fifo.length t.buffer
+let is_full t = Ring_fifo.is_full t.buffer
+
+(* Full and stopped: next cycle both registers stay occupied, so the
+   upstream must hold its datum. *)
+let stop_out t ~stop_in = stop_in && is_full t
+
+let emit t ~stop_in =
+  if stop_in then Token.Void
+  else
+    match Ring_fifo.pop t.buffer with
+    | Some v -> Token.Valid v
+    | None -> Token.Void
+
+let accept t token =
+  match token with
+  | Token.Void -> ()
+  | Token.Valid v ->
+    if not (Ring_fifo.push t.buffer v) then
+      failwith (Printf.sprintf "Relay_station %s: datum lost (stop protocol violated)" t.rs_name)
+
+let reset t = Ring_fifo.clear t.buffer

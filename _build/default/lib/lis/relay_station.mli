@@ -1,0 +1,37 @@
+(** The relay station: a stallable wire-pipelining buffer.
+
+    A relay station (RS) segments a long wire.  Besides the pipeline
+    register it holds one auxiliary register so that a valid datum arriving
+    while the downstream is stopped is not lost; only when both registers
+    are occupied does the stop propagate upstream (paper section 1,
+    following Carloni's ICCAD'99 FSM).
+
+    Per-clock protocol, in the order the simulation engine uses it:
+
+    + [stop_out rs ~stop_in] — combinational back-pressure for this cycle:
+      asserted exactly when the RS is full and the downstream stop is
+      asserted.  The upstream must not emit a valid token while it is
+      asserted.
+    + [emit rs ~stop_in] — the token presented downstream this cycle:
+      [Void] when stopped or empty, otherwise the oldest buffered datum,
+      which is consumed.
+    + [accept rs token] — latch the token arriving from upstream at the end
+      of the cycle.  Voids are absorbed; a valid token is buffered.
+      @raise Failure if a valid token arrives while no register is free
+      (the upstream violated the stop protocol). *)
+
+type 'a t
+
+val create : ?name:string -> unit -> 'a t
+
+val name : 'a t -> string
+val occupancy : 'a t -> int
+(** 0, 1 or 2 buffered valid data. *)
+
+val is_full : 'a t -> bool
+
+val stop_out : 'a t -> stop_in:bool -> bool
+val emit : 'a t -> stop_in:bool -> 'a Token.t
+val accept : 'a t -> 'a Token.t -> unit
+
+val reset : 'a t -> unit

@@ -1,0 +1,24 @@
+type 'a t =
+  | Void
+  | Valid of 'a
+
+let is_valid = function Valid _ -> true | Void -> false
+let is_void t = not (is_valid t)
+
+let value = function Valid v -> Some v | Void -> None
+
+let value_exn = function
+  | Valid v -> v
+  | Void -> invalid_arg "Token.value_exn: void token"
+
+let map f = function Void -> Void | Valid v -> Valid (f v)
+
+let equal eq a b =
+  match (a, b) with
+  | Void, Void -> true
+  | Valid x, Valid y -> eq x y
+  | Void, Valid _ | Valid _, Void -> false
+
+let pp pp_v ppf = function
+  | Void -> Format.pp_print_string ppf "tau"
+  | Valid v -> pp_v ppf v

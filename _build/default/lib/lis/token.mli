@@ -1,0 +1,20 @@
+(** Tokens travelling on latency-insensitive channels.
+
+    A channel realisation is a sequence of clock-cycle slots, each carrying
+    either an informative event [Valid v] or the void symbol tau ([Void])
+    that wire pipelining introduces (paper, section 1). *)
+
+type 'a t =
+  | Void          (** tau: no informative event this clock cycle *)
+  | Valid of 'a
+
+val is_valid : 'a t -> bool
+val is_void : 'a t -> bool
+
+val value : 'a t -> 'a option
+val value_exn : 'a t -> 'a
+(** @raise Invalid_argument on [Void]. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,41 @@
+type 'a t = 'a Token.t list
+
+let tau_filter t = List.filter_map Token.value t
+
+let informative_count t =
+  List.fold_left (fun acc tok -> if Token.is_valid tok then acc + 1 else acc) 0 t
+
+let n_equivalent ~eq ~n t1 t2 =
+  if n < 0 then invalid_arg "Trace.n_equivalent: negative n";
+  let rec first_n k = function
+    | _ when k = 0 -> Some []
+    | [] -> None
+    | x :: rest ->
+      (match first_n (k - 1) rest with None -> None | Some tail -> Some (x :: tail))
+  in
+  match (first_n n (tau_filter t1), first_n n (tau_filter t2)) with
+  | Some a, Some b -> List.for_all2 eq a b
+  | None, _ | _, None -> false
+
+let equivalent_prefix ~eq t1 t2 =
+  let rec common k a b =
+    match (a, b) with
+    | x :: a', y :: b' when eq x y -> common (k + 1) a' b'
+    | _, _ -> k
+  in
+  common 0 (tau_filter t1) (tau_filter t2)
+
+let equivalent_upto_shorter ~eq t1 t2 =
+  let a = tau_filter t1 and b = tau_filter t2 in
+  equivalent_prefix ~eq t1 t2 = min (List.length a) (List.length b)
+
+let throughput t =
+  match List.length t with
+  | 0 -> 0.0
+  | cycles -> float_of_int (informative_count t) /. float_of_int cycles
+
+let pp pp_v ppf t =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ".")
+       (Token.pp pp_v))
+    t

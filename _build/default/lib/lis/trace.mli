@@ -1,0 +1,31 @@
+(** Signal traces and the paper's (N-)equivalence relations.
+
+    A trace is the realisation of one channel over a simulation: the
+    cycle-by-cycle sequence of tokens it carried.  Two systems are
+    N-equivalent when, after filtering out the void symbols, every signal
+    agrees on its first N informative events; they are equivalent when this
+    holds for every N (paper, section 1). *)
+
+type 'a t = 'a Token.t list
+(** Oldest event first. *)
+
+val tau_filter : 'a t -> 'a list
+(** The informative events in order. *)
+
+val informative_count : 'a t -> int
+
+val n_equivalent : eq:('a -> 'a -> bool) -> n:int -> 'a t -> 'a t -> bool
+(** Both tau-filtered traces must contain at least [n] events and agree on
+    the first [n].  @raise Invalid_argument if [n < 0]. *)
+
+val equivalent_prefix : eq:('a -> 'a -> bool) -> 'a t -> 'a t -> int
+(** Length of the longest common prefix of the tau-filtered traces. *)
+
+val equivalent_upto_shorter : eq:('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+(** The shorter filtered trace is a prefix of the longer one: the strongest
+    equivalence observable from finite simulations of different lengths. *)
+
+val throughput : 'a t -> float
+(** Informative events per clock cycle; 0.0 on the empty trace. *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,1 @@
+lib/rtl/vhdl.ml: Array Buffer List Option Printf String Wp_lis Wp_soc

@@ -1,0 +1,1 @@
+lib/rtl/vhdl.mli: Wp_lis

@@ -1,0 +1,43 @@
+(** Synthesizable VHDL for the latency-insensitive building blocks.
+
+    The paper's artifacts were VHDL: "wrappers with and without the
+    additional oracle ... were described in VHDL and simulated", then
+    synthesised on a 130 nm library.  This module regenerates that
+    artifact from the executable models — a parametric relay station, a
+    per-process shell (plain or oracle), and a self-checking relay-station
+    testbench — so the OCaml semantics and the RTL stay one codebase.
+
+    The generated code is plain VHDL-93 with numeric_std, one clock, one
+    synchronous active-high reset, and the valid/stop channel protocol of
+    {!Wp_lis.Relay_station}:
+
+    - a channel is [data : std_logic_vector(width-1 downto 0)] plus
+      [valid : std_logic] downstream and [stop : std_logic] upstream;
+    - a relay station captures an incoming valid datum even while
+      stopped (the auxiliary register) and asserts [stop] upstream only
+      when both registers are full;
+    - a shell holds one FIFO per input, fires the enclosed IP when every
+      required input is buffered and no output is stopped, and emits
+      tau (valid = '0') otherwise. *)
+
+val relay_station : unit -> string
+(** Entity [relay_station] with generic [width]. *)
+
+val relay_station_testbench : unit -> string
+(** Self-checking testbench: pushes a known burst through a relay station
+    under a stop pattern and asserts losslessness and order. *)
+
+val shell : ?oracle:bool -> Wp_lis.Process.t -> string
+(** Entity [<name>_shell] wrapping the process: channel ports for every
+    input and output (widths taken from {!port_width}), component
+    declaration for the enclosed IP, per-input FIFOs, the synchroniser,
+    and — when [oracle] is set — the required-mask port driven by the IP
+    (the paper's "processing signal"). *)
+
+val port_width : block:string -> port:string -> int
+(** Bus width of a case-study port, from {!Wp_core.Area.case_study_widths}
+    conventions; 32 for unknown ports. *)
+
+val case_study_package : oracle:bool -> (string * string) list
+(** The full RTL drop for the case study: one (filename, contents) pair
+    per block shell, plus the relay station and its testbench. *)

@@ -1,0 +1,1 @@
+lib/sim/denotational.ml: Array List Network Wp_lis

@@ -1,0 +1,1 @@
+lib/sim/denotational.mli: Engine Network Wp_lis

@@ -1,0 +1,1 @@
+lib/sim/monitor.ml: Array Engine List Network Printf Wp_lis Wp_util

@@ -1,0 +1,1 @@
+lib/sim/monitor.mli: Engine

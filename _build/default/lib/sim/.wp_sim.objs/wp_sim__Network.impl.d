@@ -1,0 +1,1 @@
+lib/sim/network.ml: Array Fun List Printf Wp_graph Wp_lis

@@ -1,0 +1,1 @@
+lib/sim/network.mli: Wp_graph Wp_lis

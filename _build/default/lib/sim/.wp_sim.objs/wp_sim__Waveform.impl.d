@@ -1,0 +1,1 @@
+lib/sim/waveform.ml: Array Buffer Char Engine List Network Printf String Wp_lis

@@ -1,0 +1,1 @@
+lib/sim/waveform.mli: Engine Wp_lis

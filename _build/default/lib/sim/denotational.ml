@@ -1,0 +1,90 @@
+module Process = Wp_lis.Process
+module Token = Wp_lis.Token
+
+type run = {
+  rounds : int;
+  halted : bool;
+  streams : (string * int list) list;
+}
+
+let run ?(max_rounds = 100_000) net =
+  Network.validate net;
+  let n = Network.node_count net in
+  let instances =
+    Array.init n (fun node -> (Network.node_process net node).Process.make ())
+  in
+  let out_arity node = Array.length (Network.node_process net node).Process.output_names in
+  (* current.(node).(port): the word the node emitted last round. *)
+  let current =
+    Array.init n (fun node -> Array.copy (Network.node_process net node).Process.reset_outputs)
+  in
+  let channels = Network.channels net in
+  let history = List.map (fun c -> (c, ref [])) channels in
+  let record () =
+    List.iter
+      (fun (c, acc) ->
+        let src_node, src_port = Network.channel_src net c in
+        acc := current.(src_node).(src_port) :: !acc)
+      history
+  in
+  (* Inputs of a node this round: the words its producers emitted last
+     round — exactly one channel per input port (validated). *)
+  let inputs_of node =
+    let proc = Network.node_process net node in
+    let arr = Array.make (Array.length proc.Process.input_names) None in
+    List.iter
+      (fun c ->
+        let dst_node, dst_port = Network.channel_dst net c in
+        if dst_node = node then begin
+          let src_node, src_port = Network.channel_src net c in
+          arr.(dst_port) <- Some current.(src_node).(src_port)
+        end)
+      channels;
+    arr
+  in
+  let rec loop round =
+    if Array.exists (fun inst -> inst.Process.halted ()) instances then (round, true)
+    else if round >= max_rounds then (round, false)
+    else begin
+      (* The producers' round-(k-1) outputs feed round k: snapshot all
+         inputs before firing anyone. *)
+      let all_inputs = Array.init n inputs_of in
+      for node = 0 to n - 1 do
+        let words = instances.(node).Process.fire all_inputs.(node) in
+        assert (Array.length words = out_arity node);
+        current.(node) <- words
+      done;
+      record ();
+      loop (round + 1)
+    end
+  in
+  (* Streams record emissions only (round 0 = each process's first
+     firing), exactly like [Shell.output_trace]; the reset values are
+     visible to consumers through [current]'s initialisation, matching
+     the engine's initial tokens. *)
+  let rounds, halted = loop 0 in
+  {
+    rounds;
+    halted;
+    streams =
+      List.map
+        (fun (c, acc) -> (Network.channel_label net c, List.rev !acc))
+        history;
+  }
+
+let stream run label = List.assoc label run.streams
+
+let rec is_prefix a b =
+  match (a, b) with
+  | [], _ -> true
+  | x :: a', y :: b' -> x = y && is_prefix a' b'
+  | _ :: _, [] -> false
+
+let engine_matches reference _engine traces =
+  List.for_all
+    (fun (label, trace) ->
+      match List.assoc_opt label reference.streams with
+      | None -> false
+      | Some expected ->
+        is_prefix (List.filter_map Token.value trace) expected)
+    traces

@@ -1,0 +1,35 @@
+(** Denotational reference semantics: the ideal synchronous system.
+
+    Evaluates a network by plain synchronous unrolling — every process
+    fires every round, consuming the tokens its producers emitted the
+    previous round (reset values on round 0).  No shells, no FIFOs, no
+    relay stations, no back-pressure: this is the textbook semantics the
+    latency-insensitive machinery must preserve, implemented with none of
+    the engine's code.
+
+    Its uses:
+
+    - an independent oracle: the tau-filtered stream of any {!Engine} run
+      (any relay-station budget, either wrapper discipline) must be a
+      prefix of the denotational stream of the same channel;
+    - an exact reference for the golden cycle count: the engine with zero
+      relay stations must halt on the same round. *)
+
+type run = {
+  rounds : int;                        (** rounds evaluated *)
+  halted : bool;                       (** a process reached its terminal state *)
+  streams : (string * int list) list;  (** per channel label, oldest first *)
+}
+
+val run : ?max_rounds:int -> Network.t -> run
+(** Evaluate until a process halts or [max_rounds] (default 100_000).
+    @raise Invalid_argument if the network fails {!Network.validate}. *)
+
+val stream : run -> string -> int list
+(** Stream of a channel by label.  @raise Not_found. *)
+
+val engine_matches :
+  run -> Engine.t -> (string * int Wp_lis.Token.t list) list -> bool
+(** [engine_matches reference engine traces] — convenience used by tests:
+    every tau-filtered engine trace is a prefix of the reference stream
+    with the same label. *)

@@ -1,0 +1,173 @@
+module Shell = Wp_lis.Shell
+module Relay_station = Wp_lis.Relay_station
+module Token = Wp_lis.Token
+module Process = Wp_lis.Process
+
+type chain = {
+  channel : Network.channel;
+  relays : int Relay_station.t array; (* index 0 nearest the producer *)
+  mutable delivered : int;
+  (* scratch, refreshed each cycle *)
+  mutable producer_stop : bool;
+  mutable consumer_stop : bool;
+  stage_stops : bool array; (* stop_in seen by each relay this cycle *)
+}
+
+type t = {
+  net : Network.t;
+  engine_mode : Shell.mode;
+  shells : Shell.t array;
+  chains : chain array;
+  out_channels : Network.channel list array; (* per node *)
+  mutable clock : int;
+  mutable last_fired : bool;
+  mutable quiet_cycles : int;
+  quiescence : int;
+}
+
+type outcome =
+  | Halted of int
+  | Deadlocked of int
+  | Exhausted of int
+
+let create ?(capacity = 2) ?(record_traces = false) ~mode net =
+  Network.validate net;
+  let shells =
+    Array.init (Network.node_count net) (fun n ->
+        Shell.create ~capacity ~record_traces ~mode (Network.node_process net n))
+  in
+  let chains =
+    Array.of_list
+      (List.map
+         (fun c ->
+           let rs = Network.relay_stations net c in
+           let label = Network.channel_label net c in
+           {
+             channel = c;
+             relays =
+               Array.init rs (fun i ->
+                   Relay_station.create ~name:(Printf.sprintf "%s/rs%d" label i) ());
+             delivered = 0;
+             producer_stop = false;
+             consumer_stop = false;
+             stage_stops = Array.make rs false;
+           })
+         (Network.channels net))
+  in
+  let out_channels = Array.make (Network.node_count net) [] in
+  List.iter
+    (fun c ->
+      let src, _ = Network.channel_src net c in
+      out_channels.(src) <- c :: out_channels.(src))
+    (List.rev (Network.channels net));
+  let total_rs =
+    List.fold_left (fun acc c -> acc + Network.relay_stations net c) 0 (Network.channels net)
+  in
+  let quiescence =
+    16 + (4 * (Network.node_count net + Network.channel_count net + total_rs))
+  in
+  (* Reset: one initial token per channel = the reset value of the
+     producer's output register, latched in the consumer FIFO. *)
+  Array.iter
+    (fun ch ->
+      let src_node, src_port = Network.channel_src net ch.channel in
+      let dst_node, dst_port = Network.channel_dst net ch.channel in
+      let reset_value = (Network.node_process net src_node).Process.reset_outputs.(src_port) in
+      Shell.accept shells.(dst_node) ~port:dst_port (Token.Valid reset_value))
+    chains;
+  {
+    net;
+    engine_mode = mode;
+    shells;
+    chains;
+    out_channels;
+    clock = 0;
+    last_fired = false;
+    quiet_cycles = 0;
+    quiescence;
+  }
+
+let cycles t = t.clock
+let mode t = t.engine_mode
+let network t = t.net
+let shell t n = t.shells.(n)
+
+let delivered t c =
+  let chain = t.chains.(c) in
+  chain.delivered
+
+let fired_last_cycle t = t.last_fired
+let quiescence_window t = t.quiescence
+
+(* Phase 1: propagate stops backwards along one channel. *)
+let compute_stops t chain =
+  let dst_node, dst_port = Network.channel_dst t.net chain.channel in
+  chain.consumer_stop <- Shell.input_stop t.shells.(dst_node) dst_port;
+  let k = Array.length chain.relays in
+  let stop = ref chain.consumer_stop in
+  for i = k - 1 downto 0 do
+    chain.stage_stops.(i) <- !stop;
+    stop := Relay_station.stop_out chain.relays.(i) ~stop_in:!stop
+  done;
+  chain.producer_stop <- !stop
+
+let step t =
+  Array.iter (fun chain -> compute_stops t chain) t.chains;
+  (* Phase 2: firing decisions; collect every node's output tokens. *)
+  let fired_any = ref false in
+  let emissions =
+    Array.mapi
+      (fun n sh ->
+        let outputs_clear =
+          List.for_all (fun c -> not t.chains.(c).producer_stop) t.out_channels.(n)
+        in
+        if Shell.ready sh && outputs_clear then begin
+          fired_any := true;
+          Shell.fire sh
+        end
+        else Shell.stall sh ~reason:(if Shell.ready sh then `Output else `Input))
+      t.shells
+  in
+  (* Phase 3: move tokens.  All relay emissions are computed before any
+     acceptance so the shift is simultaneous. *)
+  Array.iter
+    (fun chain ->
+      let src_node, src_port = Network.channel_src t.net chain.channel in
+      let dst_node, dst_port = Network.channel_dst t.net chain.channel in
+      let produced = emissions.(src_node).(src_port) in
+      let k = Array.length chain.relays in
+      let to_consumer =
+        if k = 0 then produced
+        else begin
+          let outs =
+            Array.mapi
+              (fun i rs -> Relay_station.emit rs ~stop_in:chain.stage_stops.(i))
+              chain.relays
+          in
+          Relay_station.accept chain.relays.(0) produced;
+          for i = 1 to k - 1 do
+            Relay_station.accept chain.relays.(i) outs.(i - 1)
+          done;
+          outs.(k - 1)
+        end
+      in
+      if Token.is_valid to_consumer then chain.delivered <- chain.delivered + 1;
+      Shell.accept t.shells.(dst_node) ~port:dst_port to_consumer)
+    t.chains;
+  t.clock <- t.clock + 1;
+  t.last_fired <- !fired_any;
+  if !fired_any then t.quiet_cycles <- 0 else t.quiet_cycles <- t.quiet_cycles + 1
+
+let any_halted t = Array.exists Shell.halted t.shells
+
+let run ?(max_cycles = 1_000_000) t =
+  let rec loop () =
+    if any_halted t then Halted t.clock
+    else if t.quiet_cycles > t.quiescence then Deadlocked t.clock
+    else if t.clock >= max_cycles then Exhausted t.clock
+    else begin
+      step t;
+      loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,56 @@
+(** Cycle-accurate execution of a network under a wrapper mode.
+
+    Each simulated clock cycle proceeds in three phases:
+
+    + back-pressure: for every channel, the consumer FIFO's stop is
+      propagated backwards through the relay chain (a relay station
+      forwards the stop only when both of its registers are full);
+    + firing: every shell whose required inputs are buffered and whose
+      output channels all accept either fires the enclosed process or
+      emits tau;
+    + movement: relay stations shift by one stage and tokens arriving at
+      consumer FIFOs are latched.
+
+    At reset every channel holds exactly one initial token — the reset
+    value of the producer's output register — which gives the golden
+    (zero-relay-station) system a throughput of 1.0 and RS-extended loops
+    the paper's [m/(m+n)] behaviour. *)
+
+type t
+
+type outcome =
+  | Halted of int      (** a process reached its terminal state at this cycle count *)
+  | Deadlocked of int  (** no firing for a full quiescence window *)
+  | Exhausted of int   (** max_cycles reached *)
+
+val create :
+  ?capacity:int ->
+  ?record_traces:bool ->
+  mode:Wp_lis.Shell.mode ->
+  Network.t ->
+  t
+(** Instantiate shells and relay chains.  [capacity] is each shell FIFO's
+    bound (default 2; 0 = unbounded).  @raise Invalid_argument if the
+    network fails {!Network.validate}. *)
+
+val step : t -> unit
+(** Advance one clock cycle. *)
+
+val run : ?max_cycles:int -> t -> outcome
+(** Step until a process halts, a deadlock is detected, or [max_cycles]
+    (default 1_000_000) elapses. *)
+
+val cycles : t -> int
+val mode : t -> Wp_lis.Shell.mode
+val network : t -> Network.t
+
+val shell : t -> Network.node -> Wp_lis.Shell.t
+(** Access a shell for stats and traces. *)
+
+val delivered : t -> Network.channel -> int
+(** Valid tokens delivered end-to-end on a channel so far. *)
+
+val fired_last_cycle : t -> bool
+
+val quiescence_window : t -> int
+(** Cycles without any firing after which {!run} declares deadlock. *)

@@ -1,0 +1,169 @@
+module Process = Wp_lis.Process
+
+type node = int
+type channel = int
+
+type channel_info = {
+  src_node : node;
+  src_port : int;
+  dst_node : node;
+  dst_port : int;
+  mutable rs_count : int;
+  label : string;
+}
+
+type t = {
+  mutable procs : Process.t array;
+  mutable n_nodes : int;
+  mutable chans : channel_info array;
+  mutable n_chans : int;
+}
+
+let dummy_chan =
+  { src_node = -1; src_port = -1; dst_node = -1; dst_port = -1; rs_count = 0; label = "" }
+
+let create () =
+  {
+    procs = Array.make 8 (Process.sink ~name:"" ~input_name:"");
+    n_nodes = 0;
+    chans = Array.make 8 dummy_chan;
+    n_chans = 0;
+  }
+
+let grow arr used fill =
+  if used < Array.length arr then arr
+  else begin
+    let fresh = Array.make (2 * Array.length arr) fill in
+    Array.blit arr 0 fresh 0 used;
+    fresh
+  end
+
+let node_count t = t.n_nodes
+let channel_count t = t.n_chans
+
+let check_node t n = if n < 0 || n >= t.n_nodes then invalid_arg "Network: no such node"
+let check_channel t c = if c < 0 || c >= t.n_chans then invalid_arg "Network: no such channel"
+
+let node_process t n = check_node t n; t.procs.(n)
+
+let node_of_name t name =
+  let rec scan i =
+    if i >= t.n_nodes then None
+    else if t.procs.(i).Process.name = name then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let add t proc =
+  Process.validate proc;
+  (match node_of_name t proc.Process.name with
+  | Some _ -> invalid_arg ("Network.add: duplicate process name " ^ proc.Process.name)
+  | None -> ());
+  t.procs <- grow t.procs t.n_nodes proc;
+  let n = t.n_nodes in
+  t.procs.(n) <- proc;
+  t.n_nodes <- n + 1;
+  n
+
+let port_taken t ~output node port =
+  let taken = ref false in
+  for c = 0 to t.n_chans - 1 do
+    let info = t.chans.(c) in
+    if output then begin
+      if info.src_node = node && info.src_port = port then taken := true
+    end
+    else if info.dst_node = node && info.dst_port = port then taken := true
+  done;
+  !taken
+
+let connect t ~src:(src_node, src_port_name) ~dst:(dst_node, dst_port_name)
+    ?(relay_stations = 0) ?label () =
+  check_node t src_node;
+  check_node t dst_node;
+  if relay_stations < 0 then invalid_arg "Network.connect: negative relay station count";
+  let src_proc = t.procs.(src_node) and dst_proc = t.procs.(dst_node) in
+  let src_port =
+    try Process.output_index src_proc src_port_name
+    with Not_found ->
+      invalid_arg
+        (Printf.sprintf "Network.connect: %s has no output port %s" src_proc.Process.name
+           src_port_name)
+  in
+  let dst_port =
+    try Process.input_index dst_proc dst_port_name
+    with Not_found ->
+      invalid_arg
+        (Printf.sprintf "Network.connect: %s has no input port %s" dst_proc.Process.name
+           dst_port_name)
+  in
+  if port_taken t ~output:true src_node src_port then
+    invalid_arg
+      (Printf.sprintf "Network.connect: output %s.%s already connected"
+         src_proc.Process.name src_port_name);
+  if port_taken t ~output:false dst_node dst_port then
+    invalid_arg
+      (Printf.sprintf "Network.connect: input %s.%s already connected" dst_proc.Process.name
+         dst_port_name);
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+      Printf.sprintf "%s.%s -> %s.%s" src_proc.Process.name src_port_name
+        dst_proc.Process.name dst_port_name
+  in
+  t.chans <- grow t.chans t.n_chans dummy_chan;
+  let c = t.n_chans in
+  t.chans.(c) <- { src_node; src_port; dst_node; dst_port; rs_count = relay_stations; label };
+  t.n_chans <- c + 1;
+  c
+
+let set_relay_stations t c n =
+  check_channel t c;
+  if n < 0 then invalid_arg "Network.set_relay_stations: negative count";
+  t.chans.(c).rs_count <- n
+
+let relay_stations t c = check_channel t c; t.chans.(c).rs_count
+
+let validate t =
+  for n = 0 to t.n_nodes - 1 do
+    let proc = t.procs.(n) in
+    for p = 0 to Process.n_inputs proc - 1 do
+      if not (port_taken t ~output:false n p) then
+        invalid_arg
+          (Printf.sprintf "Network.validate: input %s.%s unconnected" proc.Process.name
+             proc.Process.input_names.(p))
+    done;
+    for p = 0 to Process.n_outputs proc - 1 do
+      if not (port_taken t ~output:true n p) then
+        invalid_arg
+          (Printf.sprintf "Network.validate: output %s.%s unconnected" proc.Process.name
+             proc.Process.output_names.(p))
+    done
+  done
+
+let channel_of_label t label =
+  let rec scan c =
+    if c >= t.n_chans then None
+    else if t.chans.(c).label = label then Some c
+    else scan (c + 1)
+  in
+  scan 0
+
+let channel_label t c = check_channel t c; t.chans.(c).label
+let channel_src t c = check_channel t c; (t.chans.(c).src_node, t.chans.(c).src_port)
+let channel_dst t c = check_channel t c; (t.chans.(c).dst_node, t.chans.(c).dst_port)
+
+let channels t = List.init t.n_chans Fun.id
+let nodes t = List.init t.n_nodes Fun.id
+
+let to_digraph t =
+  let g = Wp_graph.Digraph.create () in
+  for n = 0 to t.n_nodes - 1 do
+    ignore (Wp_graph.Digraph.add_vertex g ~label:t.procs.(n).Process.name)
+  done;
+  for c = 0 to t.n_chans - 1 do
+    let info = t.chans.(c) in
+    ignore
+      (Wp_graph.Digraph.add_edge g ~src:info.src_node ~dst:info.dst_node ~label:info.label)
+  done;
+  (g, fun e -> e)

@@ -1,0 +1,56 @@
+(** Netlist description: processes connected by point-to-point channels,
+    each channel carrying a number of relay stations.
+
+    The network is a static description; the {!Engine} instantiates it into
+    shells and relay chains.  Every input and output port must be connected
+    exactly once (hardware fan-out is modelled by giving a process one
+    output port per destination, as the paper's case study does). *)
+
+type t
+
+type node = int
+type channel = int
+
+val create : unit -> t
+
+val add : t -> Wp_lis.Process.t -> node
+(** @raise Invalid_argument if the process fails {!Wp_lis.Process.validate}
+    or a process with the same name was already added. *)
+
+val connect :
+  t ->
+  src:node * string ->
+  dst:node * string ->
+  ?relay_stations:int ->
+  ?label:string ->
+  unit ->
+  channel
+(** Connect output port [snd src] of [fst src] to input port [snd dst].
+    [relay_stations] defaults to 0; the default label is
+    ["<src>.<port> -> <dst>.<port>"].
+    @raise Invalid_argument on unknown node/port, negative RS count, or a
+    port connected twice. *)
+
+val set_relay_stations : t -> channel -> int -> unit
+(** Re-dimension one channel (used to sweep RS configurations without
+    rebuilding the netlist). @raise Invalid_argument if negative. *)
+
+val relay_stations : t -> channel -> int
+
+val validate : t -> unit
+(** @raise Invalid_argument listing any unconnected port. *)
+
+val node_count : t -> int
+val channel_count : t -> int
+val node_process : t -> node -> Wp_lis.Process.t
+val node_of_name : t -> string -> node option
+val channel_of_label : t -> string -> channel option
+val channel_label : t -> channel -> string
+val channel_src : t -> channel -> node * int
+val channel_dst : t -> channel -> node * int
+val channels : t -> channel list
+val nodes : t -> node list
+
+val to_digraph : t -> Wp_graph.Digraph.t * (Wp_graph.Digraph.edge -> channel)
+(** Graph with one vertex per node (same indices) and one edge per channel
+    (same indices), plus the edge-to-channel mapping for analytics. *)

@@ -1,0 +1,125 @@
+module Token = Wp_lis.Token
+module Shell = Wp_lis.Shell
+
+type channel_trace = {
+  wave_label : string;
+  tokens : int Token.t list;
+}
+
+let capture engine =
+  let net = Engine.network engine in
+  List.map
+    (fun c ->
+      let src_node, src_port = Network.channel_src net c in
+      {
+        wave_label = Network.channel_label net c;
+        tokens = Shell.output_trace (Engine.shell engine src_node) src_port;
+      })
+    (Network.channels net)
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+
+let rec drop n = function
+  | [] -> []
+  | _ :: rest as l -> if n = 0 then l else drop (n - 1) rest
+
+let ascii ?(from_cycle = 0) ?(cycles = 40) ?(fmt = string_of_int) traces =
+  let window t = take cycles (drop from_cycle t.tokens) in
+  (* Column width: widest rendered token in the window, at least 1. *)
+  let rendered =
+    List.map
+      (fun t ->
+        ( t.wave_label,
+          List.map
+            (function Token.Void -> "." | Token.Valid v -> fmt v)
+            (window t) ))
+      traces
+  in
+  let cell_width =
+    List.fold_left
+      (fun acc (_, cells) ->
+        List.fold_left (fun acc c -> max acc (String.length c)) acc cells)
+      1 rendered
+  in
+  let label_width =
+    List.fold_left (fun acc (label, _) -> max acc (String.length label)) 0 rendered
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (label, cells) ->
+      Buffer.add_string buf (Printf.sprintf "%-*s " label_width label);
+      List.iter
+        (fun c -> Buffer.add_string buf (Printf.sprintf "|%*s" cell_width c))
+        cells;
+      Buffer.add_string buf "|\n")
+    rendered;
+  Buffer.contents buf
+
+(* --- VCD ------------------------------------------------------------ *)
+
+(* Short printable identifiers: '!', '"', '#', ... per VCD convention. *)
+let vcd_id n =
+  let base = 94 and first = 33 in
+  let rec build n acc =
+    let digit = Char.chr (first + (n mod base)) in
+    let acc = String.make 1 digit ^ acc in
+    if n < base then acc else build ((n / base) - 1) acc
+  in
+  build n ""
+
+let binary_of_int width v =
+  String.init width (fun i ->
+      let bit = width - 1 - i in
+      if (v lsr bit) land 1 = 1 then '1' else '0')
+
+let vcd ?(timescale = "1ns") traces =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$date reproduction run $end\n";
+  Buffer.add_string buf "$version wirepipe $end\n";
+  Buffer.add_string buf (Printf.sprintf "$timescale %s $end\n" timescale);
+  Buffer.add_string buf "$scope module netlist $end\n";
+  let sanitize label =
+    String.map (fun c -> if c = ' ' then '_' else c) label
+  in
+  List.iteri
+    (fun i t ->
+      let data_id = vcd_id (2 * i) and valid_id = vcd_id ((2 * i) + 1) in
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire 32 %s %s_data $end\n" data_id (sanitize t.wave_label));
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire 1 %s %s_valid $end\n" valid_id (sanitize t.wave_label)))
+    traces;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let horizon =
+    List.fold_left (fun acc t -> max acc (List.length t.tokens)) 0 traces
+  in
+  let arrays = List.map (fun t -> Array.of_list t.tokens) traces in
+  let previous = Array.make (List.length traces) None in
+  for cycle = 0 to horizon - 1 do
+    let changes = Buffer.create 64 in
+    List.iteri
+      (fun i tokens ->
+        let token = if cycle < Array.length tokens then Some tokens.(cycle) else None in
+        match token with
+        | None -> ()
+        | Some tok ->
+          if previous.(i) <> Some tok then begin
+            previous.(i) <- Some tok;
+            let data_id = vcd_id (2 * i) and valid_id = vcd_id ((2 * i) + 1) in
+            (match tok with
+            | Token.Valid v ->
+              Buffer.add_string changes
+                (Printf.sprintf "b%s %s\n1%s\n" (binary_of_int 32 (v land 0xFFFFFFFF)) data_id valid_id)
+            | Token.Void ->
+              Buffer.add_string changes (Printf.sprintf "bx %s\n0%s\n" data_id valid_id))
+          end)
+      arrays;
+    if Buffer.length changes > 0 then begin
+      Buffer.add_string buf (Printf.sprintf "#%d\n" cycle);
+      Buffer.add_buffer buf changes
+    end
+  done;
+  Buffer.add_string buf (Printf.sprintf "#%d\n" horizon);
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Waveform rendering of recorded traces.
+
+    Two output styles for inspecting latency-insensitive runs:
+
+    - a compact ASCII timeline (one row per channel, one column per clock
+      cycle, [.] for tau), handy in a terminal;
+    - a Value Change Dump (VCD) of every channel — data word plus
+      validity bit — loadable in GTKWave or any EDA waveform viewer.
+
+    Both require the engine to have been created with
+    [~record_traces:true]. *)
+
+type channel_trace = {
+  wave_label : string;       (** channel label from the network *)
+  tokens : int Wp_lis.Token.t list;  (** oldest first, one per cycle *)
+}
+
+val capture : Engine.t -> channel_trace list
+(** One trace per channel, read from the producing shell's recorded
+    output port (i.e. what entered the wire, before relay stations). *)
+
+val ascii :
+  ?from_cycle:int ->
+  ?cycles:int ->
+  ?fmt:(int -> string) ->
+  channel_trace list ->
+  string
+(** Timeline like:
+    {v
+      CU-IC:CU.fetch   |5|6|.|.|7|
+      CU-IC:IC.instr   |.|a|b|.|.|
+    v}
+    [fmt] renders a valid word (default decimal); tau prints as [.].
+    [from_cycle] defaults to 0, [cycles] to 40. *)
+
+val vcd : ?timescale:string -> channel_trace list -> string
+(** A VCD document: for every channel, a 32-bit data vector and a
+    1-bit valid wire.  [timescale] defaults to ["1ns"]. *)

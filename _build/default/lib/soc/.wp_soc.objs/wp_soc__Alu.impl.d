@@ -1,0 +1,1 @@
+lib/soc/alu.ml: Array Codec Isa Wp_lis

@@ -1,0 +1,1 @@
+lib/soc/alu.mli: Wp_lis

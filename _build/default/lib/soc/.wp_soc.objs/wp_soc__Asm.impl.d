@@ -1,0 +1,1 @@
+lib/soc/asm.ml: Array Buffer Format Hashtbl Isa List Printf String

@@ -1,0 +1,1 @@
+lib/soc/asm.mli: Format Isa

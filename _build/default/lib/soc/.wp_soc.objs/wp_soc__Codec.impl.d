@@ -1,0 +1,1 @@
+lib/soc/codec.ml: Isa Printf

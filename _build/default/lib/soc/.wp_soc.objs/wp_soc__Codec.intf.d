@@ -1,0 +1,1 @@
+lib/soc/codec.mli: Isa

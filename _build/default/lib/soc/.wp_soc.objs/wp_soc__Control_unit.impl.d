@@ -1,0 +1,1 @@
+lib/soc/control_unit.ml: Array Codec Isa Latency List Queue Wp_lis

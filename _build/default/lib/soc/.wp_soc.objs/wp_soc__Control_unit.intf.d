@@ -1,0 +1,1 @@
+lib/soc/control_unit.mli: Wp_lis

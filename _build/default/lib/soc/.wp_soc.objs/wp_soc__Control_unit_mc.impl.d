@@ -1,0 +1,1 @@
+lib/soc/control_unit_mc.ml: Array Codec Isa Latency Wp_lis

@@ -1,0 +1,1 @@
+lib/soc/control_unit_mc.mli: Wp_lis

@@ -1,0 +1,1 @@
+lib/soc/cpu.ml: Array Datapath Program Wp_lis Wp_sim

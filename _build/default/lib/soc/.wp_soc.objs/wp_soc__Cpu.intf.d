@@ -1,0 +1,1 @@
+lib/soc/cpu.mli: Datapath Program Wp_lis Wp_sim

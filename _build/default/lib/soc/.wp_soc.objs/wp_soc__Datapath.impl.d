@@ -1,0 +1,1 @@
+lib/soc/datapath.ml: Alu Array Control_unit Control_unit_mc Dcache Icache List Printf Program Programs Regfile String Wp_graph Wp_sim

@@ -1,0 +1,1 @@
+lib/soc/datapath.mli: Program Wp_sim

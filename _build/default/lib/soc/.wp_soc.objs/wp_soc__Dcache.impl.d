@@ -1,0 +1,1 @@
+lib/soc/dcache.ml: Array Codec Latency List Printf Wp_lis

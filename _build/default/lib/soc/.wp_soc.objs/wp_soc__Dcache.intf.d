@@ -1,0 +1,1 @@
+lib/soc/dcache.mli: Wp_lis

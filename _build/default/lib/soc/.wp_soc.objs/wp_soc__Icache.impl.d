@@ -1,0 +1,1 @@
+lib/soc/icache.ml: Array Codec Isa Printf Wp_lis

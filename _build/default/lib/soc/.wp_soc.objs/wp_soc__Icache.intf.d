@@ -1,0 +1,1 @@
+lib/soc/icache.mli: Isa Wp_lis

@@ -1,0 +1,1 @@
+lib/soc/isa.ml: Format Printf

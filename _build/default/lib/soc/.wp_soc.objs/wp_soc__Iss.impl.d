@@ -1,0 +1,1 @@
+lib/soc/iss.ml: Array Isa List Printf

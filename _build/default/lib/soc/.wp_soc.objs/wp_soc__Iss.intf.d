@@ -1,0 +1,1 @@
+lib/soc/iss.mli: Isa

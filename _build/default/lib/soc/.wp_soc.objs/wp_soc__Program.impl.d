@@ -1,0 +1,1 @@
+lib/soc/program.ml: Array Asm Isa Iss

@@ -1,0 +1,1 @@
+lib/soc/program.mli: Isa Iss

@@ -1,0 +1,1 @@
+lib/soc/programs.ml: Array List Printf Program Wp_util

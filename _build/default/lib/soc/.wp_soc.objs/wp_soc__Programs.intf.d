@@ -1,0 +1,1 @@
+lib/soc/programs.mli: Program

@@ -1,0 +1,1 @@
+lib/soc/random_program.ml: Array Asm Isa List Printf Program Wp_util

@@ -1,0 +1,1 @@
+lib/soc/random_program.mli: Program

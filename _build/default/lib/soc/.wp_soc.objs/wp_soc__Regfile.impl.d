@@ -1,0 +1,1 @@
+lib/soc/regfile.ml: Array Codec Latency Wp_lis

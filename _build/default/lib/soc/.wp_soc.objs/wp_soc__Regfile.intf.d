@@ -1,0 +1,1 @@
+lib/soc/regfile.mli: Wp_lis

@@ -1,0 +1,49 @@
+module Process = Wp_lis.Process
+
+let eval_cond ~eq ~lt = function
+  | Isa.Always -> true
+  | Isa.Eq -> eq
+  | Isa.Ne -> not eq
+  | Isa.Lt -> lt
+  | Isa.Ge -> not lt
+  | Isa.Le -> lt || eq
+  | Isa.Gt -> not (lt || eq)
+
+let process () =
+  {
+    Process.name = "ALU";
+    input_names = [| "op"; "src1"; "src2" |];
+    output_names = [| "result"; "flags"; "addr" |];
+    reset_outputs = [| 0; Codec.bubble; 0 |];
+    make =
+      (fun () ->
+        let pending = ref None in
+        let flags_eq = ref false and flags_lt = ref false in
+        {
+          Process.required = Process.all_required 3;
+          fire =
+            (fun inputs ->
+              let value i = match inputs.(i) with Some v -> v | None -> assert false in
+              let op_word = value 0 and a = value 1 and b = value 2 in
+              let result = ref 0 and flags_out = ref Codec.bubble and addr = ref 0 in
+              (match !pending with
+              | None -> ()
+              | Some { Codec.kind; imm } ->
+                (match kind with
+                | Codec.K_add -> result := a + b
+                | Codec.K_sub -> result := a - b
+                | Codec.K_mul -> result := a * b
+                | Codec.K_addi -> result := a + imm
+                | Codec.K_imm -> result := imm
+                | Codec.K_addr -> addr := a + imm
+                | Codec.K_cmp ->
+                  flags_eq := a = b;
+                  flags_lt := a < b
+                | Codec.K_br cond ->
+                  flags_out :=
+                    Codec.pack_flags (Some (eval_cond ~eq:!flags_eq ~lt:!flags_lt cond))));
+              pending := Codec.unpack_alu_op op_word;
+              [| !result; !flags_out; !addr |]);
+          halted = (fun () -> false);
+        });
+  }

@@ -1,0 +1,18 @@
+(** Arithmetic-logic unit block (ALU).
+
+    Inputs: ["op"] (operation word from the CU), ["src1"], ["src2"]
+    (operand values from the RF).  Outputs: ["result"] (to the RF),
+    ["flags"] (branch resolutions, to the CU), ["addr"] (effective
+    addresses, to the DC).
+
+    The operation received at firing [j] is buffered one firing and
+    executed at [j+1], when the matching operands arrive (see
+    {!Latency}).  The flags register (equal/less-than) lives here: [Cmp]
+    updates it, [Br] evaluates its condition against it and reports the
+    resolution on ["flags"].
+
+    The ALU has no useful oracle — its next operation is only known from
+    the very tokens it consumes — so it requires all inputs every firing;
+    WP2 gains on ALU channels come from the peers' oracles. *)
+
+val process : unit -> Wp_lis.Process.t

@@ -1,0 +1,192 @@
+type error = {
+  line : int;
+  message : string;
+}
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Err of error
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Err { line; message })) fmt
+
+(* --- lexical helpers ---------------------------------------------- *)
+
+let strip_comment line =
+  match String.index_opt line ';' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let trim = String.trim
+
+(* Split a statement into label part and body. *)
+let split_label line_no s =
+  match String.index_opt s ':' with
+  | None -> (None, s)
+  | Some i ->
+    let label = trim (String.sub s 0 i) in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    if label = "" then fail line_no "empty label";
+    String.iter
+      (fun c ->
+        if not (c = '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))
+        then fail line_no "bad character in label %S" label)
+      label;
+    (Some label, rest)
+
+(* Tokenise an operand list: split on commas, trim. *)
+let operands s =
+  if trim s = "" then []
+  else List.map trim (String.split_on_char ',' s)
+
+let mnemonic_and_rest line_no body =
+  let body = trim body in
+  if body = "" then None
+  else begin
+    let i = ref 0 in
+    let n = String.length body in
+    while !i < n && not (is_space body.[!i]) do
+      incr i
+    done;
+    let m = String.lowercase_ascii (String.sub body 0 !i) in
+    let rest = if !i >= n then "" else String.sub body !i (n - !i) in
+    ignore line_no;
+    Some (m, rest)
+  end
+
+let parse_reg line_no s =
+  let s = trim s in
+  let bad () = fail line_no "expected a register, got %S" s in
+  if String.length s < 2 || (s.[0] <> 'r' && s.[0] <> 'R') then bad ();
+  match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+  | Some r when r >= 0 && r <= 15 -> r
+  | Some r -> fail line_no "register r%d out of range" r
+  | None -> bad ()
+
+let parse_int line_no s =
+  match int_of_string_opt (trim s) with
+  | Some v -> v
+  | None -> fail line_no "expected an integer, got %S" (trim s)
+
+(* "imm(rX)" for memory operands. *)
+let parse_mem line_no s =
+  let s = trim s in
+  match String.index_opt s '(' with
+  | None -> fail line_no "expected imm(rN), got %S" s
+  | Some i ->
+    if String.length s = 0 || s.[String.length s - 1] <> ')' then
+      fail line_no "expected imm(rN), got %S" s;
+    let imm_part = String.sub s 0 i in
+    let reg_part = String.sub s (i + 1) (String.length s - i - 2) in
+    let imm = if trim imm_part = "" then 0 else parse_int line_no imm_part in
+    (parse_reg line_no reg_part, imm)
+
+type pending =
+  | Ready of Isa.instr
+  | Branch of Isa.cond * string (* label or integer, resolved in pass 2 *)
+
+let parse_statement line_no m rest =
+  let ops = operands rest in
+  let arity n =
+    if List.length ops <> n then
+      fail line_no "%s expects %d operand(s), got %d" m n (List.length ops)
+  in
+  let reg i = parse_reg line_no (List.nth ops i) in
+  match m with
+  | "nop" -> arity 0; Ready Isa.Nop
+  | "halt" -> arity 0; Ready Isa.Halt
+  | "ldi" -> arity 2; Ready (Isa.Ldi (reg 0, parse_int line_no (List.nth ops 1)))
+  | "add" -> arity 3; Ready (Isa.Add (reg 0, reg 1, reg 2))
+  | "sub" -> arity 3; Ready (Isa.Sub (reg 0, reg 1, reg 2))
+  | "mul" -> arity 3; Ready (Isa.Mul (reg 0, reg 1, reg 2))
+  | "addi" -> arity 3; Ready (Isa.Addi (reg 0, reg 1, parse_int line_no (List.nth ops 2)))
+  | "cmp" -> arity 2; Ready (Isa.Cmp (reg 0, reg 1))
+  | "ld" ->
+    arity 2;
+    let ra, imm = parse_mem line_no (List.nth ops 1) in
+    Ready (Isa.Ld (reg 0, ra, imm))
+  | "st" ->
+    arity 2;
+    let ra, imm = parse_mem line_no (List.nth ops 0) in
+    Ready (Isa.St (ra, imm, parse_reg line_no (List.nth ops 1)))
+  | _ ->
+    if String.length m > 3 && String.sub m 0 3 = "br." then begin
+      arity 1;
+      let cond =
+        match String.sub m 3 (String.length m - 3) with
+        | "al" -> Isa.Always
+        | "eq" -> Isa.Eq
+        | "ne" -> Isa.Ne
+        | "lt" -> Isa.Lt
+        | "ge" -> Isa.Ge
+        | "le" -> Isa.Le
+        | "gt" -> Isa.Gt
+        | c -> fail line_no "unknown branch condition %S" c
+      in
+      Branch (cond, List.nth ops 0)
+    end
+    else fail line_no "unknown mnemonic %S" m
+
+let assemble source =
+  try
+    let lines = String.split_on_char '\n' source in
+    let labels = Hashtbl.create 16 in
+    let statements = ref [] in
+    (* Pass 1: collect statements and label addresses. *)
+    List.iteri
+      (fun idx raw ->
+        let line_no = idx + 1 in
+        let body = trim (strip_comment raw) in
+        if body <> "" then begin
+          let label, rest = split_label line_no body in
+          (match label with
+          | Some l ->
+            if Hashtbl.mem labels l then fail line_no "duplicate label %S" l;
+            Hashtbl.replace labels l (List.length !statements)
+          | None -> ());
+          match mnemonic_and_rest line_no rest with
+          | None -> ()
+          | Some (m, operand_text) ->
+            statements := (line_no, parse_statement line_no m operand_text) :: !statements
+        end)
+      lines;
+    (* Pass 2: resolve branch targets. *)
+    let resolve line_no target =
+      match int_of_string_opt (trim target) with
+      | Some addr -> addr
+      | None ->
+        (match Hashtbl.find_opt labels (trim target) with
+        | Some addr -> addr
+        | None -> fail line_no "unknown label %S" (trim target))
+    in
+    let instrs =
+      List.rev_map
+        (fun (line_no, p) ->
+          let instr =
+            match p with
+            | Ready i -> i
+            | Branch (cond, target) -> Isa.Br (cond, resolve line_no target)
+          in
+          (* Round-trip through the encoder to surface range errors with a
+             line number. *)
+          (match Isa.encode instr with
+          | exception Invalid_argument msg -> fail line_no "%s" msg
+          | _ -> ());
+          instr)
+        !statements
+    in
+    Ok (Array.of_list instrs)
+  with Err e -> Error e
+
+let assemble_exn source =
+  match assemble source with
+  | Ok instrs -> instrs
+  | Error e -> failwith (Format.asprintf "Asm: %a" pp_error e)
+
+let disassemble instrs =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun addr i -> Buffer.add_string buf (Printf.sprintf "%4d: %s\n" addr (Isa.to_string i)))
+    instrs;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Two-pass text assembler for the minimal ISA.
+
+    Syntax, one statement per line:
+    {v
+      ; comment                        -- also after a statement
+      label:  add  r1, r2, r3
+              addi r1, r2, -5
+              ldi  r4, 100
+              ld   r5, 4(r2)           -- r5 <- mem[r2 + 4]
+              st   4(r2), r5           -- mem[r2 + 4] <- r5
+              cmp  r1, r2
+              br.lt label              -- conditions: al eq ne lt ge le gt
+              nop
+              halt
+    v}
+    Branch targets may be labels or absolute integers. *)
+
+type error = {
+  line : int;     (** 1-based source line *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val assemble : string -> (Isa.instr array, error) result
+(** Assemble a whole source text. *)
+
+val assemble_exn : string -> Isa.instr array
+(** @raise Failure with a rendered error. *)
+
+val disassemble : Isa.instr array -> string
+(** One instruction per line, prefixed by its address. *)

@@ -1,0 +1,175 @@
+type rf_ctrl = {
+  ra : int;
+  rb : int;
+  rv : int;
+  wb1 : int option;
+  wb2 : int option;
+}
+
+type alu_kind =
+  | K_add
+  | K_sub
+  | K_mul
+  | K_cmp
+  | K_imm
+  | K_addi
+  | K_addr
+  | K_br of Isa.cond
+
+type alu_op = {
+  kind : alu_kind;
+  imm : int;
+}
+
+type mem_kind =
+  | M_load
+  | M_store
+
+let bubble = 0
+
+let wrap payload =
+  assert (payload >= 0);
+  (payload lsl 1) lor 1
+
+let unwrap word = if word land 1 = 0 then None else Some (word lsr 1)
+
+let pack_fetch = function
+  | None -> bubble
+  | Some addr ->
+    if addr < 0 then invalid_arg "Codec.pack_fetch: negative address";
+    wrap addr
+
+let unpack_fetch = unwrap
+
+let pack_instr = function
+  | None -> bubble
+  | Some word -> wrap word
+
+let unpack_instr = unwrap
+
+(* rf_ctrl payload: ra(4) rb(4) rv(4) wb1_en(1) wb1_rd(4) wb2_en(1) wb2_rd(4). *)
+let pack_rf_ctrl = function
+  | None -> bubble
+  | Some c ->
+    let flag_reg = function None -> (0, 0) | Some rd -> (1, rd) in
+    let wb1_en, wb1_rd = flag_reg c.wb1 in
+    let wb2_en, wb2_rd = flag_reg c.wb2 in
+    wrap
+      (c.ra lor (c.rb lsl 4) lor (c.rv lsl 8) lor (wb1_en lsl 12) lor (wb1_rd lsl 13)
+      lor (wb2_en lsl 17)
+      lor (wb2_rd lsl 18))
+
+let unpack_rf_ctrl word =
+  match unwrap word with
+  | None -> None
+  | Some p ->
+    let field off width = (p lsr off) land ((1 lsl width) - 1) in
+    let opt_reg en_off rd_off = if field en_off 1 = 1 then Some (field rd_off 4) else None in
+    Some
+      {
+        ra = field 0 4;
+        rb = field 4 4;
+        rv = field 8 4;
+        wb1 = opt_reg 12 13;
+        wb2 = opt_reg 17 18;
+      }
+
+(* alu_op payload: kind(3) cond(3) imm(18, biased by 2^17). *)
+let imm_bias = 1 lsl 17
+
+let kind_code = function
+  | K_add -> 0
+  | K_sub -> 1
+  | K_mul -> 2
+  | K_cmp -> 3
+  | K_imm -> 4
+  | K_addi -> 5
+  | K_addr -> 6
+  | K_br _ -> 7
+
+let cond_code = function
+  | Isa.Always -> 0
+  | Isa.Eq -> 1
+  | Isa.Ne -> 2
+  | Isa.Lt -> 3
+  | Isa.Ge -> 4
+  | Isa.Le -> 5
+  | Isa.Gt -> 6
+
+let cond_of_code = function
+  | 0 -> Isa.Always
+  | 1 -> Isa.Eq
+  | 2 -> Isa.Ne
+  | 3 -> Isa.Lt
+  | 4 -> Isa.Ge
+  | 5 -> Isa.Le
+  | 6 -> Isa.Gt
+  | c -> invalid_arg (Printf.sprintf "Codec: bad condition %d" c)
+
+let pack_alu_op = function
+  | None -> bubble
+  | Some { kind; imm } ->
+    if imm < Isa.imm_min || imm > Isa.imm_max then
+      invalid_arg (Printf.sprintf "Codec.pack_alu_op: immediate %d" imm);
+    let cond = match kind with K_br c -> cond_code c | _ -> 0 in
+    wrap (kind_code kind lor (cond lsl 3) lor ((imm + imm_bias) lsl 6))
+
+let unpack_alu_op word =
+  match unwrap word with
+  | None -> None
+  | Some p ->
+    let kind =
+      match p land 7 with
+      | 0 -> K_add
+      | 1 -> K_sub
+      | 2 -> K_mul
+      | 3 -> K_cmp
+      | 4 -> K_imm
+      | 5 -> K_addi
+      | 6 -> K_addr
+      | 7 -> K_br (cond_of_code ((p lsr 3) land 7))
+      | _ -> assert false
+    in
+    Some { kind; imm = ((p lsr 6) land ((1 lsl 18) - 1)) - imm_bias }
+
+let pack_mem_cmd = function
+  | None -> bubble
+  | Some M_load -> wrap 0
+  | Some M_store -> wrap 1
+
+let unpack_mem_cmd word =
+  match unwrap word with
+  | None -> None
+  | Some 0 -> Some M_load
+  | Some 1 -> Some M_store
+  | Some k -> invalid_arg (Printf.sprintf "Codec: bad memory command %d" k)
+
+let pack_flags = function
+  | None -> bubble
+  | Some taken -> wrap (if taken then 1 else 0)
+
+let unpack_flags word =
+  match unwrap word with
+  | None -> None
+  | Some b -> Some (b = 1)
+
+let no_reads = { ra = 0; rb = 0; rv = 0; wb1 = None; wb2 = None }
+
+let dispatch_of_instr = function
+  | Isa.Nop | Isa.Halt -> (None, None, None)
+  | Isa.Ldi (rd, imm) ->
+    (Some { no_reads with wb1 = Some rd }, Some { kind = K_imm; imm }, None)
+  | Isa.Add (rd, ra, rb) ->
+    (Some { no_reads with ra; rb; wb1 = Some rd }, Some { kind = K_add; imm = 0 }, None)
+  | Isa.Sub (rd, ra, rb) ->
+    (Some { no_reads with ra; rb; wb1 = Some rd }, Some { kind = K_sub; imm = 0 }, None)
+  | Isa.Mul (rd, ra, rb) ->
+    (Some { no_reads with ra; rb; wb1 = Some rd }, Some { kind = K_mul; imm = 0 }, None)
+  | Isa.Addi (rd, ra, imm) ->
+    (Some { no_reads with ra; wb1 = Some rd }, Some { kind = K_addi; imm }, None)
+  | Isa.Cmp (ra, rb) -> (Some { no_reads with ra; rb }, Some { kind = K_cmp; imm = 0 }, None)
+  | Isa.Ld (rd, ra, imm) ->
+    (Some { no_reads with ra; wb2 = Some rd }, Some { kind = K_addr; imm }, Some M_load)
+  | Isa.St (ra, imm, rv) ->
+    (Some { no_reads with ra; rv }, Some { kind = K_addr; imm }, Some M_store)
+  | Isa.Br (c, _target) -> (None, Some { kind = K_br c; imm = 0 }, None)

@@ -1,0 +1,67 @@
+(** Bit-packing of the control words travelling between blocks.
+
+    Control channels carry one machine word per clock; a bubble (the
+    word emitted when the CU dispatches nothing) is encoded as 0 and every
+    informative word has its low bit set, exactly like a validity bit on a
+    hardware bus.  Pure data channels (operands, results, store and load
+    data) carry raw two's-complement words and need no codec: their
+    consumers know from their own schedules which tags are meaningful. *)
+
+(** What the register file must do for one instruction. *)
+type rf_ctrl = {
+  ra : int;            (** first operand register (0 when unused) *)
+  rb : int;            (** second operand register *)
+  rv : int;            (** register streamed to the DC for a store *)
+  wb1 : int option;    (** ALU writeback destination *)
+  wb2 : int option;    (** load writeback destination *)
+}
+
+(** ALU operation classes. *)
+type alu_kind =
+  | K_add
+  | K_sub
+  | K_mul
+  | K_cmp              (** update the flags register *)
+  | K_imm              (** pass the immediate through *)
+  | K_addi
+  | K_addr             (** effective address: first operand + immediate *)
+  | K_br of Isa.cond   (** evaluate the condition against the flags *)
+
+type alu_op = {
+  kind : alu_kind;
+  imm : int;
+}
+
+type mem_kind =
+  | M_load
+  | M_store
+
+val bubble : int
+(** The word carried by control channels on dispatch bubbles (= 0). *)
+
+val pack_fetch : int option -> int
+val unpack_fetch : int -> int option
+(** Fetch address, or [None] for a bubble slot.
+    @raise Invalid_argument on a negative address. *)
+
+val pack_instr : int option -> int
+val unpack_instr : int -> int option
+(** Encoded instruction word from the IC. *)
+
+val pack_rf_ctrl : rf_ctrl option -> int
+val unpack_rf_ctrl : int -> rf_ctrl option
+
+val pack_alu_op : alu_op option -> int
+val unpack_alu_op : int -> alu_op option
+(** @raise Invalid_argument if the immediate exceeds {!Isa.imm_max}. *)
+
+val pack_mem_cmd : mem_kind option -> int
+val unpack_mem_cmd : int -> mem_kind option
+
+val pack_flags : bool option -> int
+val unpack_flags : int -> bool option
+(** Branch resolution: [Some taken], or [None] on non-branch tags. *)
+
+val dispatch_of_instr : Isa.instr -> rf_ctrl option * alu_op option * mem_kind option
+(** The three control words the CU emits when dispatching an instruction.
+    [Nop] and [Halt] dispatch nothing. *)

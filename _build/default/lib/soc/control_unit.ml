@@ -1,0 +1,176 @@
+module Process = Wp_lis.Process
+
+let queue_capacity = 4
+
+type pipe_entry =
+  | P_bubble
+  | P_real of int  (* the pc this response belongs to *)
+  | P_squash       (* fetched on a wrong path; discard on arrival *)
+
+type branch_state =
+  | No_branch
+  | Pending of {
+      resolve_tag : int;
+      target : int;
+      fallthrough : int;
+      predicted_taken : bool;
+    }
+
+type run_state =
+  | Running
+  | Draining of int
+  | Done
+
+let process ?(predict_taken_backward = false) ~text_length () =
+  if text_length <= 0 then invalid_arg "Control_unit.process: empty program";
+  {
+    Process.name = "CU";
+    input_names = [| "instr"; "flags" |];
+    output_names = [| "fetch"; "ctrl"; "op"; "cmd" |];
+    reset_outputs = [| Codec.bubble; Codec.bubble; Codec.bubble; Codec.bubble |];
+    make =
+      (fun () ->
+        let firing = ref 0 in
+        let pipe = Array.make Latency.fetch_response P_bubble in
+        let in_flight = ref 0 in
+        let queue : (Isa.instr * int) Queue.t = Queue.create () in
+        let scoreboard = Array.make 16 0 in
+        let branch = ref No_branch in
+        let state = ref Running in
+        let fetch_pc = ref 0 in
+        let squash () =
+          Queue.clear queue;
+          Array.iteri
+            (fun i entry ->
+              match entry with
+              | P_real _ ->
+                pipe.(i) <- P_squash;
+                decr in_flight
+              | P_bubble | P_squash -> ())
+            pipe
+        in
+        let flags_due () =
+          match !branch with
+          | Pending { resolve_tag; _ } -> resolve_tag = !firing
+          | No_branch -> false
+        in
+        {
+          Process.required = (fun () -> [| true; flags_due () |]);
+          fire =
+            (fun inputs ->
+              let k = !firing in
+              let slot = k mod Latency.fetch_response in
+              (* 1. Accept the arriving fetch response. *)
+              let instr_word = match inputs.(0) with Some w -> w | None -> assert false in
+              (match pipe.(slot) with
+              | P_real pc ->
+                decr in_flight;
+                (match Codec.unpack_instr instr_word with
+                | Some w -> Queue.add (Isa.decode w, pc) queue
+                | None -> failwith "CU: expected an instruction, got a bubble")
+              | P_bubble | P_squash -> ());
+              (* 2. Branch resolution. *)
+              if flags_due () then begin
+                let taken =
+                  match inputs.(1) with
+                  | Some w ->
+                    (match Codec.unpack_flags w with
+                    | Some taken -> taken
+                    | None -> failwith "CU: expected a branch resolution")
+                  | None -> assert false
+                in
+                (match !branch with
+                | Pending { target; fallthrough; predicted_taken; _ } ->
+                  branch := No_branch;
+                  if taken <> predicted_taken then begin
+                    (* Mispredicted path in flight: flush and refetch. *)
+                    squash ();
+                    fetch_pc := (if taken then target else fallthrough)
+                  end
+                | No_branch -> assert false)
+              end;
+              (* 3. In-order dispatch. *)
+              let rf = ref None and op = ref None and cmd = ref None in
+              if !state = Running && !branch = No_branch && not (Queue.is_empty queue) then begin
+                let instr, pc = Queue.peek queue in
+                match instr with
+                | Isa.Halt ->
+                  ignore (Queue.pop queue);
+                  state := Draining Latency.drain
+                | Isa.Br (Isa.Always, target) ->
+                  ignore (Queue.pop queue);
+                  squash ();
+                  fetch_pc := target
+                | Isa.Nop | Isa.Ldi _ | Isa.Add _ | Isa.Sub _ | Isa.Mul _ | Isa.Addi _
+                | Isa.Cmp _ | Isa.Ld _ | Isa.St _ | Isa.Br _ ->
+                  let ready =
+                    List.for_all (fun r -> scoreboard.(r) <= k) (Isa.reads instr)
+                  in
+                  if ready then begin
+                    ignore (Queue.pop queue);
+                    let rf', op', cmd' = Codec.dispatch_of_instr instr in
+                    rf := rf';
+                    op := op';
+                    cmd := cmd';
+                    (match Isa.writes instr with
+                    | Some rd ->
+                      let delay =
+                        if Isa.is_load instr then Latency.load_ready_after
+                        else Latency.alu_ready_after
+                      in
+                      scoreboard.(rd) <- max scoreboard.(rd) (k + delay)
+                    | None -> ());
+                    match instr with
+                    | Isa.Br (cond, target) ->
+                      assert (cond <> Isa.Always);
+                      (* Static BTFN: backward conditional branches are
+                         loop closers, predict them taken and fetch the
+                         target speculatively. *)
+                      let predicted_taken = predict_taken_backward && target <= pc in
+                      if predicted_taken then begin
+                        squash ();
+                        fetch_pc := target
+                      end;
+                      branch :=
+                        Pending
+                          {
+                            resolve_tag = k + Latency.flags_response;
+                            target;
+                            fallthrough = pc + 1;
+                            predicted_taken;
+                          }
+                    | Isa.Nop | Isa.Halt | Isa.Ldi _ | Isa.Add _ | Isa.Sub _ | Isa.Mul _
+                    | Isa.Addi _ | Isa.Cmp _ | Isa.Ld _ | Isa.St _ ->
+                      ()
+                  end
+              end;
+              (* 4. Fetch ahead while there is budget. *)
+              let room = !in_flight + Queue.length queue < queue_capacity in
+              let fetch_word =
+                if !state = Running && room && !fetch_pc < text_length then begin
+                  let pc = !fetch_pc in
+                  pipe.(slot) <- P_real pc;
+                  incr in_flight;
+                  incr fetch_pc;
+                  Codec.pack_fetch (Some pc)
+                end
+                else begin
+                  pipe.(slot) <- P_bubble;
+                  Codec.pack_fetch None
+                end
+              in
+              (* 5. Drain countdown after HALT. *)
+              (match !state with
+              | Draining 0 -> state := Done
+              | Draining n -> state := Draining (n - 1)
+              | Running | Done -> ());
+              incr firing;
+              [|
+                fetch_word;
+                Codec.pack_rf_ctrl !rf;
+                Codec.pack_alu_op !op;
+                Codec.pack_mem_cmd !cmd;
+              |]);
+          halted = (fun () -> !state = Done);
+        });
+  }

@@ -1,0 +1,42 @@
+(** Pipelined control unit (CU).
+
+    Inputs: ["instr"] (fetch responses from the IC), ["flags"] (branch
+    resolutions from the ALU).  Outputs: ["fetch"] (to the IC), ["ctrl"]
+    (to the RF), ["op"] (to the ALU), ["cmd"] (to the DC).
+
+    Microarchitecture (all offsets in firings, see {!Latency}):
+
+    - {b Fetch}: up to [queue_capacity] instructions in flight (decode
+      queue + outstanding fetches); the fetch response issued at firing
+      [k] is consumed at [k + 2].  Fetch runs ahead speculatively across
+      conditional branches (fall-through path).
+    - {b Dispatch}: in order, one per firing, gated by a register
+      scoreboard (an ALU destination is readable 2 dispatch tags later, a
+      load destination 3) and by at most one unresolved branch.
+    - {b Branches}: [br.al] redirects at dispatch (queue and in-flight
+      fetches squashed).  Conditional branches dispatch a condition
+      evaluation to the ALU and resolve 3 firings later; on taken, the
+      speculative fall-through work is squashed.
+    - {b Halt}: dispatching [halt] stops fetch and dispatch; the CU keeps
+      firing for {!Latency.drain} firings so in-flight effects settle,
+      then reports halted.
+
+    Oracle: ["flags"] is required only at the firing where a branch
+    resolution is due — knowledge derived purely from the CU's own state,
+    the paper's WP2 enabler.  ["instr"] is required every firing: whether
+    a fetch response is useful cannot be decided without decoding it, so
+    the fetch loop is deliberately not oracle-optimised — which reproduces
+    the paper's CU-IC rows (no WP2 gain on the fetch loop in the pipelined
+    machine). *)
+
+val queue_capacity : int
+(** Decode-queue + in-flight fetch budget (4). *)
+
+val process : ?predict_taken_backward:bool -> text_length:int -> unit -> Wp_lis.Process.t
+(** [text_length] bounds the PC (speculative fetch past the end of the
+    program emits bubbles).  [predict_taken_backward] (default false)
+    enables static BTFN branch prediction: backward conditional branches
+    redirect fetch to their target at dispatch; a misprediction in either
+    direction flushes the speculative fetches (the paper's processor has
+    no predictor — this is the future-work variant, compared in the
+    bench).  @raise Invalid_argument if [text_length] is not positive. *)

@@ -1,0 +1,105 @@
+module Process = Wp_lis.Process
+
+type run_state =
+  | Running
+  | Draining of int
+  | Done
+
+let process ~text_length =
+  if text_length <= 0 then invalid_arg "Control_unit_mc.process: empty program";
+  {
+    Process.name = "CU";
+    input_names = [| "instr"; "flags" |];
+    output_names = [| "fetch"; "ctrl"; "op"; "cmd" |];
+    reset_outputs = [| Codec.bubble; Codec.bubble; Codec.bubble; Codec.bubble |];
+    make =
+      (fun () ->
+        let firing = ref 0 in
+        let pc = ref 0 in
+        let next_fetch_at = ref 0 in
+        let instr_due = ref (-1) in
+        (* (resolve firing, target, fallthrough) of the branch in flight *)
+        let flags_due = ref None in
+        let state = ref Running in
+        {
+          Process.required =
+            (fun () ->
+              let k = !firing in
+              let flags_needed =
+                match !flags_due with Some (at, _, _) -> at = k | None -> false
+              in
+              [| !instr_due = k; flags_needed |]);
+          fire =
+            (fun inputs ->
+              let k = !firing in
+              let rf = ref None and op = ref None and cmd = ref None in
+              (* Branch resolution phase. *)
+              (match !flags_due with
+              | Some (at, target, fallthrough) when at = k ->
+                let taken =
+                  match inputs.(1) with
+                  | Some w ->
+                    (match Codec.unpack_flags w with
+                    | Some taken -> taken
+                    | None -> failwith "CU(mc): expected a branch resolution")
+                  | None -> assert false
+                in
+                flags_due := None;
+                pc := (if taken then target else fallthrough);
+                next_fetch_at := k
+              | Some _ | None -> ());
+              (* Decode + dispatch phase. *)
+              if !instr_due = k then begin
+                let instr =
+                  match inputs.(0) with
+                  | Some w ->
+                    (match Codec.unpack_instr w with
+                    | Some enc -> Isa.decode enc
+                    | None -> failwith "CU(mc): expected an instruction, got a bubble")
+                  | None -> assert false
+                in
+                instr_due := -1;
+                match instr with
+                | Isa.Halt -> state := Draining Latency.drain
+                | Isa.Br (Isa.Always, target) ->
+                  pc := target;
+                  next_fetch_at := k + Latency.flags_response
+                | Isa.Br (cond, target) ->
+                  assert (cond <> Isa.Always);
+                  let _, op', _ = Codec.dispatch_of_instr instr in
+                  op := op';
+                  flags_due := Some (k + Latency.flags_response, target, !pc + 1)
+                | Isa.Nop | Isa.Ldi _ | Isa.Add _ | Isa.Sub _ | Isa.Mul _ | Isa.Addi _
+                | Isa.Cmp _ | Isa.Ld _ | Isa.St _ ->
+                  let rf', op', cmd' = Codec.dispatch_of_instr instr in
+                  rf := rf';
+                  op := op';
+                  cmd := cmd';
+                  pc := !pc + 1;
+                  (* Loads settle one firing later than ALU writebacks. *)
+                  let stride = if Isa.is_load instr then 4 else 3 in
+                  next_fetch_at := k + stride
+              end;
+              (* Fetch phase. *)
+              let fetch_word =
+                if !state = Running && !next_fetch_at = k && !pc < text_length then begin
+                  instr_due := k + Latency.fetch_response;
+                  next_fetch_at := -1;
+                  Codec.pack_fetch (Some !pc)
+                end
+                else Codec.pack_fetch None
+              in
+              (match !state with
+              | Draining 0 -> state := Done
+              | Draining n -> state := Draining (n - 1)
+              | Running | Done -> ());
+              incr firing;
+              [|
+                fetch_word;
+                Codec.pack_rf_ctrl !rf;
+                Codec.pack_alu_op !op;
+                Codec.pack_mem_cmd !cmd;
+              |]);
+          halted = (fun () -> !state = Done);
+        });
+  }

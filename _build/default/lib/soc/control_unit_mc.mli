@@ -1,0 +1,17 @@
+(** Multicycle control unit.
+
+    Same ports as {!Control_unit}, but strictly one instruction at a time
+    through the classic phase sequence — fetch, wait, decode+dispatch,
+    execute, memory/writeback — so every channel is exercised at most once
+    per 5-6 firings.  This is the machine in which the paper observes the
+    largest WP2 gain on the CU-IC loop: the fetch response is needed in
+    exactly one phase, so the multicycle oracle {e does} skip the
+    ["instr"] port on the other firings (contrast with {!Control_unit}).
+
+    Schedule for an instruction fetched at firing [t]:
+    dispatch at [t+2]; next fetch at [t+5] for ALU/store instructions, at
+    [t+6] for loads (writeback settles one firing later) and, for
+    conditional branches, at the resolution firing [t+5]. *)
+
+val process : text_length:int -> Wp_lis.Process.t
+(** @raise Invalid_argument if [text_length] is not positive. *)

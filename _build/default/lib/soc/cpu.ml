@@ -1,0 +1,51 @@
+module Engine = Wp_sim.Engine
+module Monitor = Wp_sim.Monitor
+
+type outcome =
+  | Completed
+  | Deadlocked
+  | Out_of_cycles
+
+type result = {
+  cycles : int;
+  outcome : outcome;
+  memory : int array;
+  registers : int array;
+  result_ok : bool;
+  report : Monitor.report;
+}
+
+let no_relay_stations (_ : Datapath.connection) = 0
+
+let run ?(capacity = 2) ?(max_cycles = 2_000_000) ~machine ~mode ~rs (program : Program.t) =
+  let dp = Datapath.build ~machine ~rs program in
+  let engine = Engine.create ~capacity ~mode dp.Datapath.network in
+  let outcome, cycles =
+    match Engine.run ~max_cycles engine with
+    | Engine.Halted c -> (Completed, c)
+    | Engine.Deadlocked c -> (Deadlocked, c)
+    | Engine.Exhausted c -> (Out_of_cycles, c)
+  in
+  let memory =
+    match !(dp.Datapath.memory_tap) with Some get -> get () | None -> [||]
+  in
+  let registers =
+    match !(dp.Datapath.register_tap) with Some get -> get () | None -> [||]
+  in
+  let result_ok =
+    outcome = Completed
+    &&
+    let base, len = program.Program.result_region in
+    let expected = Program.expected_result program in
+    len = 0
+    || (Array.length memory >= base + len
+       && Array.for_all2 ( = ) expected (Array.sub memory base len))
+  in
+  { cycles; outcome; memory; registers; result_ok; report = Monitor.collect engine }
+
+let run_golden ~machine program =
+  run ~machine ~mode:Wp_lis.Shell.Plain ~rs:no_relay_stations program
+
+let throughput ~golden result =
+  if result.cycles = 0 then 0.0
+  else float_of_int golden.cycles /. float_of_int result.cycles

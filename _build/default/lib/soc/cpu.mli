@@ -1,0 +1,40 @@
+(** Top-level runner: execute a program on a wire-pipelined machine.
+
+    This ties everything together: build the datapath, run the engine,
+    check the architectural result against the instruction-set simulator,
+    and report cycle counts — the primitive behind every Table 1 entry. *)
+
+type outcome =
+  | Completed
+  | Deadlocked
+  | Out_of_cycles
+
+type result = {
+  cycles : int;
+  outcome : outcome;
+  memory : int array;        (** final data memory *)
+  registers : int array;     (** final architectural registers *)
+  result_ok : bool;          (** result region matches the ISS reference *)
+  report : Wp_sim.Monitor.report;
+}
+
+val run :
+  ?capacity:int ->
+  ?max_cycles:int ->
+  machine:Datapath.machine ->
+  mode:Wp_lis.Shell.mode ->
+  rs:(Datapath.connection -> int) ->
+  Program.t ->
+  result
+(** [capacity] is the shell FIFO bound (default 2); [max_cycles] defaults
+    to 2_000_000. *)
+
+val run_golden : machine:Datapath.machine -> Program.t -> result
+(** Zero relay stations everywhere, plain wrappers: the reference system
+    whose cycle count defines throughput 1.0. *)
+
+val throughput : golden:result -> result -> float
+(** [golden.cycles / wp.cycles]. *)
+
+val no_relay_stations : Datapath.connection -> int
+(** The all-zero RS budget. *)

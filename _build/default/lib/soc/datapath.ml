@@ -1,0 +1,118 @@
+module Network = Wp_sim.Network
+
+type machine =
+  | Pipelined
+  | Pipelined_btfn
+  | Multicycle
+
+type connection =
+  | CU_IC
+  | CU_RF
+  | CU_AL
+  | CU_DC
+  | RF_ALU
+  | RF_DC
+  | ALU_CU
+  | ALU_RF
+  | ALU_DC
+  | DC_RF
+
+let all_connections =
+  [ CU_RF; CU_AL; CU_DC; CU_IC; RF_ALU; RF_DC; ALU_CU; ALU_RF; ALU_DC; DC_RF ]
+
+let connection_name = function
+  | CU_IC -> "CU-IC"
+  | CU_RF -> "CU-RF"
+  | CU_AL -> "CU-AL"
+  | CU_DC -> "CU-DC"
+  | RF_ALU -> "RF-ALU"
+  | RF_DC -> "RF-DC"
+  | ALU_CU -> "ALU-CU"
+  | ALU_RF -> "ALU-RF"
+  | ALU_DC -> "ALU-DC"
+  | DC_RF -> "DC-RF"
+
+let connection_of_name s =
+  let s = String.uppercase_ascii s in
+  List.find_opt (fun c -> connection_name c = s) all_connections
+
+let machine_name = function
+  | Pipelined -> "pipelined"
+  | Pipelined_btfn -> "pipelined+btfn"
+  | Multicycle -> "multicycle"
+
+type t = {
+  network : Network.t;
+  channels_of : connection -> Network.channel list;
+  memory_tap : (unit -> int array) option ref;
+  register_tap : (unit -> int array) option ref;
+}
+
+(* (connection, producer port, consumer port) for every channel; block
+   membership is implied by the port names. *)
+let wires =
+  [
+    (CU_IC, ("CU", "fetch"), ("IC", "fetch"));
+    (CU_IC, ("IC", "instr"), ("CU", "instr"));
+    (CU_RF, ("CU", "ctrl"), ("RF", "ctrl"));
+    (CU_AL, ("CU", "op"), ("ALU", "op"));
+    (CU_DC, ("CU", "cmd"), ("DC", "cmd"));
+    (RF_ALU, ("RF", "src1"), ("ALU", "src1"));
+    (RF_ALU, ("RF", "src2"), ("ALU", "src2"));
+    (RF_DC, ("RF", "store_data"), ("DC", "store_data"));
+    (ALU_CU, ("ALU", "flags"), ("CU", "flags"));
+    (ALU_RF, ("ALU", "result"), ("RF", "result"));
+    (ALU_DC, ("ALU", "addr"), ("DC", "addr"));
+    (DC_RF, ("DC", "load"), ("RF", "load"));
+  ]
+
+let build ~machine ~rs (program : Program.t) =
+  let net = Network.create () in
+  let memory_tap = ref None and register_tap = ref None in
+  let text_length = Array.length program.Program.text in
+  let cu =
+    match machine with
+    | Pipelined -> Control_unit.process ~text_length ()
+    | Pipelined_btfn -> Control_unit.process ~predict_taken_backward:true ~text_length ()
+    | Multicycle -> Control_unit_mc.process ~text_length
+  in
+  let nodes =
+    [
+      ("CU", Network.add net cu);
+      ("IC", Network.add net (Icache.process ~text:program.Program.text));
+      ("RF", Network.add net (Regfile.process ~tap:register_tap ()));
+      ("ALU", Network.add net (Alu.process ()));
+      ( "DC",
+        Network.add net
+          (Dcache.process ~tap:memory_tap ~mem_size:program.Program.mem_size
+             ~mem_init:program.Program.mem_init ()) );
+    ]
+  in
+  let node name = List.assoc name nodes in
+  let table =
+    List.map
+      (fun (conn, (src_block, src_port), (dst_block, dst_port)) ->
+        let channel =
+          Network.connect net
+            ~src:(node src_block, src_port)
+            ~dst:(node dst_block, dst_port)
+            ~relay_stations:(rs conn)
+            ~label:(Printf.sprintf "%s:%s.%s" (connection_name conn) src_block src_port)
+            ()
+        in
+        (conn, channel))
+      wires
+  in
+  Network.validate net;
+  let channels_of conn = List.filter_map (fun (c, ch) -> if c = conn then Some ch else None) table in
+  { network = net; channels_of; memory_tap; register_tap }
+
+let topology = wires
+
+let block_names = [ "CU"; "IC"; "RF"; "ALU"; "DC" ]
+
+let figure1_dot () =
+  let program = Programs.fibonacci ~n:4 in
+  let dp = build ~machine:Pipelined ~rs:(fun _ -> 0) program in
+  let g, _ = Network.to_digraph dp.network in
+  Wp_graph.Dot.to_string ~name:"figure1" g

@@ -1,0 +1,57 @@
+(** The case-study netlist (the paper's Figure 1): five blocks, ten named
+    connections, twelve point-to-point channels.
+
+    A {e connection} is the paper's unit of relay-station insertion: the
+    bundle of wires between two blocks.  CU-IC bundles both directions of
+    the fetch interface (which is why one RS on CU-IC costs the fetch loop
+    two stages); RF-ALU bundles the two operand buses. *)
+
+type machine =
+  | Pipelined
+  | Pipelined_btfn  (** pipelined with static backward-taken prediction *)
+  | Multicycle
+
+type connection =
+  | CU_IC
+  | CU_RF
+  | CU_AL
+  | CU_DC
+  | RF_ALU
+  | RF_DC
+  | ALU_CU
+  | ALU_RF
+  | ALU_DC
+  | DC_RF
+
+val all_connections : connection list
+(** In the paper's Table 1 row order. *)
+
+val connection_name : connection -> string
+(** E.g. ["CU-IC"]. *)
+
+val connection_of_name : string -> connection option
+(** Case-insensitive. *)
+
+val machine_name : machine -> string
+
+type t = {
+  network : Wp_sim.Network.t;
+  channels_of : connection -> Wp_sim.Network.channel list;
+  memory_tap : (unit -> int array) option ref;
+      (** set once an engine instantiates the DC *)
+  register_tap : (unit -> int array) option ref;
+}
+
+val build : machine:machine -> rs:(connection -> int) -> Program.t -> t
+(** Fresh network with the given relay-station budget per connection. *)
+
+val topology : (connection * (string * string) * (string * string)) list
+(** The static wire list: (connection, (producer block, output port),
+    (consumer block, input port)) for each of the twelve channels. *)
+
+val block_names : string list
+(** The five block names: CU, IC, RF, ALU, DC. *)
+
+val figure1_dot : unit -> string
+(** The topology as Graphviz DOT (relay-station-free), regenerating the
+    paper's Figure 1. *)

@@ -1,0 +1,69 @@
+module Process = Wp_lis.Process
+
+let ring_size = Latency.dc_address + 2
+
+let process ?(tap = ref None) ~mem_size ~mem_init () =
+  if mem_size <= 0 then invalid_arg "Dcache.process: mem_size must be positive";
+  List.iter
+    (fun (addr, _) ->
+      if addr < 0 || addr >= mem_size then
+        invalid_arg (Printf.sprintf "Dcache.process: initialiser address %d out of range" addr))
+    mem_init;
+  {
+    Process.name = "DC";
+    input_names = [| "cmd"; "addr"; "store_data" |];
+    output_names = [| "load" |];
+    reset_outputs = [| 0 |];
+    make =
+      (fun () ->
+        let mem = Array.make mem_size 0 in
+        List.iter (fun (addr, v) -> mem.(addr) <- v) mem_init;
+        tap := Some (fun () -> Array.copy mem);
+        (* exec_sched: what access happens at a firing; data_sched: a store
+           datum must be consumed; value_sched: the datum, buffered until
+           the access fires. *)
+        let exec_sched = Array.make ring_size None in
+        let data_sched = Array.make ring_size false in
+        let value_sched = Array.make ring_size 0 in
+        let firing = ref 0 in
+        let slot offset = (!firing + offset) mod ring_size in
+        {
+          Process.required =
+            (fun () ->
+              let here = !firing mod ring_size in
+              [| true; exec_sched.(here) <> None; data_sched.(here) |]);
+          fire =
+            (fun inputs ->
+              let here = !firing mod ring_size in
+              (* Buffer an arriving store datum for its access firing. *)
+              if data_sched.(here) then begin
+                data_sched.(here) <- false;
+                match inputs.(2) with
+                | Some v ->
+                  value_sched.(slot (Latency.dc_address - Latency.dc_store_data)) <- v
+                | None -> assert false
+              end;
+              (* Perform the access scheduled for this firing. *)
+              let load_out = ref 0 in
+              (match exec_sched.(here) with
+              | None -> ()
+              | Some kind ->
+                exec_sched.(here) <- None;
+                let addr = match inputs.(1) with Some v -> v | None -> assert false in
+                if addr < 0 || addr >= mem_size then
+                  failwith (Printf.sprintf "DC: access to address %d out of range" addr);
+                (match kind with
+                | Codec.M_load -> load_out := mem.(addr)
+                | Codec.M_store -> mem.(addr) <- value_sched.(here)));
+              (* Register a newly arriving command. *)
+              let cmd_word = match inputs.(0) with Some w -> w | None -> assert false in
+              (match Codec.unpack_mem_cmd cmd_word with
+              | None -> ()
+              | Some kind ->
+                exec_sched.(slot Latency.dc_address) <- Some kind;
+                if kind = Codec.M_store then data_sched.(slot Latency.dc_store_data) <- true);
+              incr firing;
+              [| !load_out |]);
+          halted = (fun () -> false);
+        });
+  }

@@ -1,0 +1,22 @@
+(** Data cache/memory block (DC).
+
+    Inputs: ["cmd"] (memory command from the CU), ["addr"] (effective
+    address from the ALU), ["store_data"] (datum from the RF).  Output:
+    ["load"] (loaded values, to the RF).
+
+    A command consumed at firing [d] schedules the store datum at [d + 1]
+    and the address — and the access itself — at [d + 2] ({!Latency}).
+    Like the RF, this schedule is the block's WP2 oracle: ["addr"] and
+    ["store_data"] are required only at scheduled firings, while ["cmd"]
+    is always required.
+
+    [tap] exposes the memory image after a run for result checking. *)
+
+val process :
+  ?tap:(unit -> int array) option ref ->
+  mem_size:int ->
+  mem_init:(int * int) list ->
+  unit ->
+  Wp_lis.Process.t
+(** @raise Invalid_argument on a non-positive size or an out-of-range
+    initialiser. *)

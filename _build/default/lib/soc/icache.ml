@@ -1,0 +1,31 @@
+module Process = Wp_lis.Process
+
+let process ~text =
+  if Array.length text = 0 then invalid_arg "Icache.process: empty program";
+  let imem = Array.map Isa.encode text in
+  {
+    Process.name = "IC";
+    input_names = [| "fetch" |];
+    output_names = [| "instr" |];
+    reset_outputs = [| Codec.bubble |];
+    make =
+      (fun () ->
+        {
+          Process.required = Process.all_required 1;
+          fire =
+            (fun inputs ->
+              let fetch_word =
+                match inputs.(0) with Some w -> w | None -> assert false
+              in
+              let instr =
+                match Codec.unpack_fetch fetch_word with
+                | None -> Codec.bubble
+                | Some addr ->
+                  if addr < 0 || addr >= Array.length imem then
+                    failwith (Printf.sprintf "IC: fetch address %d out of range" addr)
+                  else Codec.pack_instr (Some imem.(addr))
+              in
+              [| instr |]);
+          halted = (fun () -> false);
+        });
+  }

@@ -1,0 +1,9 @@
+(** Instruction cache/memory block (IC).
+
+    One input port ["fetch"] (address or bubble from the CU), one output
+    port ["instr"] (encoded instruction or bubble), one firing of latency.
+    The whole program text is resident — the paper's case study models the
+    IC as an ideal single-cycle instruction store. *)
+
+val process : text:Isa.instr array -> Wp_lis.Process.t
+(** @raise Invalid_argument on an empty program. *)

@@ -1,0 +1,153 @@
+type reg = int
+
+type cond =
+  | Always
+  | Eq
+  | Ne
+  | Lt
+  | Ge
+  | Le
+  | Gt
+
+type instr =
+  | Nop
+  | Halt
+  | Ldi of reg * int
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Addi of reg * reg * int
+  | Cmp of reg * reg
+  | Ld of reg * reg * int
+  | St of reg * int * reg
+  | Br of cond * int
+
+let pp_cond ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | Always -> "al"
+    | Eq -> "eq"
+    | Ne -> "ne"
+    | Lt -> "lt"
+    | Ge -> "ge"
+    | Le -> "le"
+    | Gt -> "gt")
+
+let pp ppf = function
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Halt -> Format.pp_print_string ppf "halt"
+  | Ldi (rd, imm) -> Format.fprintf ppf "ldi r%d, %d" rd imm
+  | Add (rd, ra, rb) -> Format.fprintf ppf "add r%d, r%d, r%d" rd ra rb
+  | Sub (rd, ra, rb) -> Format.fprintf ppf "sub r%d, r%d, r%d" rd ra rb
+  | Mul (rd, ra, rb) -> Format.fprintf ppf "mul r%d, r%d, r%d" rd ra rb
+  | Addi (rd, ra, imm) -> Format.fprintf ppf "addi r%d, r%d, %d" rd ra imm
+  | Cmp (ra, rb) -> Format.fprintf ppf "cmp r%d, r%d" ra rb
+  | Ld (rd, ra, imm) -> Format.fprintf ppf "ld r%d, %d(r%d)" rd imm ra
+  | St (ra, imm, rv) -> Format.fprintf ppf "st %d(r%d), r%d" imm ra rv
+  | Br (c, target) -> Format.fprintf ppf "br.%a %d" pp_cond c target
+
+let to_string i = Format.asprintf "%a" pp i
+let equal = ( = )
+
+(* --- encoding ----------------------------------------------------- *)
+
+let imm_bits = 17
+let imm_min = -(1 lsl (imm_bits - 1))
+let imm_max = (1 lsl (imm_bits - 1)) - 1
+
+let opcode = function
+  | Nop -> 0
+  | Halt -> 1
+  | Ldi _ -> 2
+  | Add _ -> 3
+  | Sub _ -> 4
+  | Mul _ -> 5
+  | Addi _ -> 6
+  | Cmp _ -> 7
+  | Ld _ -> 8
+  | St _ -> 9
+  | Br _ -> 10
+
+let cond_code = function
+  | Always -> 0
+  | Eq -> 1
+  | Ne -> 2
+  | Lt -> 3
+  | Ge -> 4
+  | Le -> 5
+  | Gt -> 6
+
+let cond_of_code = function
+  | 0 -> Always
+  | 1 -> Eq
+  | 2 -> Ne
+  | 3 -> Lt
+  | 4 -> Ge
+  | 5 -> Le
+  | 6 -> Gt
+  | c -> invalid_arg (Printf.sprintf "Isa.decode: bad condition %d" c)
+
+let check_reg r = if r < 0 || r > 15 then invalid_arg (Printf.sprintf "Isa: register r%d" r)
+
+let check_imm v =
+  if v < imm_min || v > imm_max then invalid_arg (Printf.sprintf "Isa: immediate %d" v)
+
+(* Layout (low to high): imm(17) | rb(4) | ra(4) | rd(4) | opcode(5). *)
+let encode i =
+  let fields rd ra rb imm =
+    check_reg rd;
+    check_reg ra;
+    check_reg rb;
+    check_imm imm;
+    let imm_u = imm land ((1 lsl imm_bits) - 1) in
+    imm_u lor (rb lsl 17) lor (ra lsl 21) lor (rd lsl 25) lor (opcode i lsl 29)
+  in
+  match i with
+  | Nop | Halt -> fields 0 0 0 0
+  | Ldi (rd, imm) -> fields rd 0 0 imm
+  | Add (rd, ra, rb) | Sub (rd, ra, rb) | Mul (rd, ra, rb) -> fields rd ra rb 0
+  | Addi (rd, ra, imm) -> fields rd ra 0 imm
+  | Cmp (ra, rb) -> fields 0 ra rb 0
+  | Ld (rd, ra, imm) -> fields rd ra 0 imm
+  | St (ra, imm, rv) -> fields 0 ra rv imm
+  | Br (c, target) -> fields (cond_code c) 0 0 target
+
+let decode w =
+  if w < 0 then invalid_arg "Isa.decode: negative word";
+  let imm_u = w land ((1 lsl imm_bits) - 1) in
+  let imm =
+    if imm_u >= 1 lsl (imm_bits - 1) then imm_u - (1 lsl imm_bits) else imm_u
+  in
+  let rb = (w lsr 17) land 0xF in
+  let ra = (w lsr 21) land 0xF in
+  let rd = (w lsr 25) land 0xF in
+  match (w lsr 29) land 0x1F with
+  | 0 -> Nop
+  | 1 -> Halt
+  | 2 -> Ldi (rd, imm)
+  | 3 -> Add (rd, ra, rb)
+  | 4 -> Sub (rd, ra, rb)
+  | 5 -> Mul (rd, ra, rb)
+  | 6 -> Addi (rd, ra, imm)
+  | 7 -> Cmp (ra, rb)
+  | 8 -> Ld (rd, ra, imm)
+  | 9 -> St (ra, imm, rb)
+  | 10 -> Br (cond_of_code rd, imm)
+  | op -> invalid_arg (Printf.sprintf "Isa.decode: bad opcode %d" op)
+
+let reads = function
+  | Nop | Halt | Ldi _ | Br _ -> []
+  | Add (_, ra, rb) | Sub (_, ra, rb) | Mul (_, ra, rb) | Cmp (ra, rb) -> [ ra; rb ]
+  | Addi (_, ra, _) | Ld (_, ra, _) -> [ ra ]
+  | St (ra, _, rv) -> [ ra; rv ]
+
+let writes = function
+  | Nop | Halt | Cmp _ | St _ | Br _ -> None
+  | Ldi (rd, _) | Add (rd, _, _) | Sub (rd, _, _) | Mul (rd, _, _) | Addi (rd, _, _)
+  | Ld (rd, _, _) ->
+    Some rd
+
+let is_load = function Ld _ -> true | _ -> false
+let is_store = function St _ -> true | _ -> false
+let is_branch = function Br _ -> true | _ -> false
+let sets_flags = function Cmp _ -> true | _ -> false

@@ -1,0 +1,58 @@
+(** The minimal instruction set of the case-study processor.
+
+    16 general registers, word-addressed memory, arithmetic on machine
+    words, compare-and-branch via a flags register that lives in the ALU.
+    Immediates are 16-bit signed; branch targets are absolute instruction
+    addresses resolved by the assembler. *)
+
+type reg = int
+(** Register index in [0, 15]. *)
+
+type cond =
+  | Always
+  | Eq   (** last compare was equal *)
+  | Ne
+  | Lt   (** signed less-than *)
+  | Ge
+  | Le
+  | Gt
+
+type instr =
+  | Nop
+  | Halt
+  | Ldi of reg * int          (** rd <- imm *)
+  | Add of reg * reg * reg    (** rd <- ra + rb *)
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Addi of reg * reg * int   (** rd <- ra + imm *)
+  | Cmp of reg * reg          (** set flags from ra - rb *)
+  | Ld of reg * reg * int     (** rd <- mem[ra + imm] *)
+  | St of reg * int * reg     (** mem[ra + imm] <- rv *)
+  | Br of cond * int          (** if cond then pc <- target *)
+
+val pp_cond : Format.formatter -> cond -> unit
+val pp : Format.formatter -> instr -> unit
+val to_string : instr -> string
+val equal : instr -> instr -> bool
+
+val encode : instr -> int
+(** Pack into a word: opcode(5) | rd(4) | ra(4) | rb(4) | imm(17, signed).
+    @raise Invalid_argument on out-of-range register or immediate. *)
+
+val decode : int -> instr
+(** @raise Invalid_argument on an unknown opcode or malformed word. *)
+
+val imm_min : int
+val imm_max : int
+(** Range of representable immediates (also branch targets). *)
+
+val reads : instr -> reg list
+(** Source registers, in operand order. *)
+
+val writes : instr -> reg option
+(** Destination register, if any. *)
+
+val is_load : instr -> bool
+val is_store : instr -> bool
+val is_branch : instr -> bool
+val sets_flags : instr -> bool

@@ -1,0 +1,77 @@
+type result = {
+  registers : int array;
+  memory : int array;
+  instructions : int;
+}
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun m -> raise (Fault m)) fmt
+
+let run ?registers ?(max_steps = 10_000_000) ~mem_size ~mem_init text =
+  let regs =
+    match registers with
+    | Some r ->
+      if Array.length r <> 16 then fault "Iss: register file must have 16 entries";
+      Array.copy r
+    | None -> Array.make 16 0
+  in
+  let mem = Array.make mem_size 0 in
+  List.iter
+    (fun (addr, v) ->
+      if addr < 0 || addr >= mem_size then fault "Iss: mem_init address %d out of range" addr;
+      mem.(addr) <- v)
+    mem_init;
+  let flags_eq = ref false and flags_lt = ref false in
+  let check_mem addr =
+    if addr < 0 || addr >= mem_size then fault "Iss: memory access %d out of range" addr
+  in
+  let taken = function
+    | Isa.Always -> true
+    | Isa.Eq -> !flags_eq
+    | Isa.Ne -> not !flags_eq
+    | Isa.Lt -> !flags_lt
+    | Isa.Ge -> not !flags_lt
+    | Isa.Le -> !flags_lt || !flags_eq
+    | Isa.Gt -> not (!flags_lt || !flags_eq)
+  in
+  let rec step pc count =
+    if count > max_steps then fault "Iss: step limit exceeded";
+    if pc < 0 || pc >= Array.length text then fault "Iss: PC %d out of range" pc;
+    match text.(pc) with
+    | Isa.Halt -> count + 1
+    | Isa.Nop -> step (pc + 1) (count + 1)
+    | Isa.Ldi (rd, imm) ->
+      regs.(rd) <- imm;
+      step (pc + 1) (count + 1)
+    | Isa.Add (rd, ra, rb) ->
+      regs.(rd) <- regs.(ra) + regs.(rb);
+      step (pc + 1) (count + 1)
+    | Isa.Sub (rd, ra, rb) ->
+      regs.(rd) <- regs.(ra) - regs.(rb);
+      step (pc + 1) (count + 1)
+    | Isa.Mul (rd, ra, rb) ->
+      regs.(rd) <- regs.(ra) * regs.(rb);
+      step (pc + 1) (count + 1)
+    | Isa.Addi (rd, ra, imm) ->
+      regs.(rd) <- regs.(ra) + imm;
+      step (pc + 1) (count + 1)
+    | Isa.Cmp (ra, rb) ->
+      flags_eq := regs.(ra) = regs.(rb);
+      flags_lt := regs.(ra) < regs.(rb);
+      step (pc + 1) (count + 1)
+    | Isa.Ld (rd, ra, imm) ->
+      let addr = regs.(ra) + imm in
+      check_mem addr;
+      regs.(rd) <- mem.(addr);
+      step (pc + 1) (count + 1)
+    | Isa.St (ra, imm, rv) ->
+      let addr = regs.(ra) + imm in
+      check_mem addr;
+      mem.(addr) <- regs.(rv);
+      step (pc + 1) (count + 1)
+    | Isa.Br (cond, target) ->
+      step (if taken cond then target else pc + 1) (count + 1)
+  in
+  let instructions = step 0 0 in
+  { registers = regs; memory = mem; instructions }

@@ -1,0 +1,25 @@
+(** Instruction-set simulator: the functional golden reference.
+
+    Executes a program directly (no pipeline, no timing) and returns the
+    architectural state.  Every timed simulation — golden, WP1, WP2 — must
+    leave memory in exactly this state; the test suite enforces it. *)
+
+type result = {
+  registers : int array;   (** 16 entries *)
+  memory : int array;
+  instructions : int;      (** dynamic instruction count, HALT included *)
+}
+
+exception Fault of string
+(** Raised on PC or memory access out of range, or step-limit overrun. *)
+
+val run :
+  ?registers:int array ->
+  ?max_steps:int ->
+  mem_size:int ->
+  mem_init:(int * int) list ->
+  Isa.instr array ->
+  result
+(** [run ~mem_size ~mem_init text] starts at PC 0 with zeroed registers
+    (or [registers]) and memory zero except the [mem_init] bindings.
+    [max_steps] defaults to 10_000_000. *)

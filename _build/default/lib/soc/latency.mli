@@ -1,0 +1,61 @@
+(** Tag-latency constants of the datapath.
+
+    Latency-insensitive design preserves behaviour at {e tag} granularity:
+    a token emitted by a block at its firing [k] is consumed by the peer at
+    the peer's firing [k+1], regardless of how many relay stations the wire
+    carries.  All pipeline bookkeeping (scoreboard, writeback pipes, oracle
+    schedules) is therefore expressed in these tag offsets, which hold in
+    the golden system and in every wire-pipelined variant — the formal
+    reason the blocks need no modification.
+
+    Derivation, for an instruction dispatched by the CU at its firing [k]
+    (one hop = +1 firing):
+
+    - RF consumes the register-control token at firing [k+1], reads
+      operands and emits them;
+    - the ALU buffers its opcode one firing (received [k+1], paired with
+      operands arriving tag [k+2]) and executes at firing [k+2];
+    - the DC consumes the memory command at [k+1], the store datum at
+      [k+2] and the effective address — emitted by the ALU at its firing
+      [k+2] — at [k+3]; the DC therefore executes at its firing
+      [k+3] = command + 2;
+    - writebacks reach the RF at firing [k+3] (ALU result) and [k+4]
+      (load). *)
+
+val fetch_response : int
+(** CU firings between issuing a fetch address and consuming the
+    instruction word (= 2: one hop to the IC, one hop back). *)
+
+val flags_response : int
+(** CU firings between dispatching a branch and consuming its resolution
+    (= 3: dispatch -> ALU executes at +2 -> flags consumed at +3). *)
+
+val rf_alu_writeback : int
+(** RF firings between consuming a control token and consuming the
+    corresponding ALU result (= 2). *)
+
+val rf_load_writeback : int
+(** RF firings between consuming a control token and consuming the
+    corresponding load datum (= 3). *)
+
+val dc_store_data : int
+(** DC firings between consuming a command and consuming the store datum
+    (= 1). *)
+
+val dc_address : int
+(** DC firings between consuming a command and consuming the effective
+    address — also the firing at which the DC executes the access (= 2). *)
+
+val alu_ready_after : int
+(** Dispatch-tag distance after which a register written by an ALU-class
+    instruction may be read by a younger instruction (= 2: writeback is
+    applied at RF firing [k+3], a reader dispatched at [k'] reads at
+    [k'+1], writes apply before reads). *)
+
+val load_ready_after : int
+(** Same for a register written by a load (= 3). *)
+
+val drain : int
+(** CU firings to keep running after dispatching HALT so that in-flight
+    stores and writebacks settle (= 6, one more than the longest
+    dispatch-to-effect distance). *)

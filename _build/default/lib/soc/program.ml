@@ -1,0 +1,17 @@
+type t = {
+  name : string;
+  source : string;
+  text : Isa.instr array;
+  mem_size : int;
+  mem_init : (int * int) list;
+  result_region : int * int;
+}
+
+let of_source ~name ?(mem_size = 4096) ?(mem_init = []) ?(result_region = (0, 0)) source =
+  { name; source; text = Asm.assemble_exn source; mem_size; mem_init; result_region }
+
+let reference_run t = Iss.run ~mem_size:t.mem_size ~mem_init:t.mem_init t.text
+
+let expected_result t =
+  let base, len = t.result_region in
+  Array.sub (reference_run t).Iss.memory base len

@@ -1,0 +1,26 @@
+(** A runnable workload: assembled text plus initial data memory. *)
+
+type t = {
+  name : string;
+  source : string;              (** assembly source, for display *)
+  text : Isa.instr array;
+  mem_size : int;
+  mem_init : (int * int) list;  (** address/value pairs, rest zero *)
+  result_region : int * int;    (** (base, length) holding the result *)
+}
+
+val of_source :
+  name:string ->
+  ?mem_size:int ->
+  ?mem_init:(int * int) list ->
+  ?result_region:int * int ->
+  string ->
+  t
+(** Assemble [source]; defaults: [mem_size] 4096, empty init, result region
+    (0, 0).  @raise Failure on assembly errors. *)
+
+val reference_run : t -> Iss.result
+(** Execute on the instruction-set simulator. *)
+
+val expected_result : t -> int array
+(** The [result_region] slice of the ISS's final memory. *)

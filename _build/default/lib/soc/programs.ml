@@ -1,0 +1,239 @@
+let data_base = 16
+
+let init_of_array base values =
+  List.mapi (fun i v -> (base + i, v)) (Array.to_list values)
+
+(* Register plan: r1=i r2=j r3=min_idx r4=min_val r5=tmp r6=n r7=base
+   r8=addr r9=addr2. *)
+let extraction_sort ~values =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Programs.extraction_sort: empty array";
+  let source =
+    Printf.sprintf
+      {|        ; extraction (selection) sort, in place at %d..%d
+        ldi  r6, %d          ; n
+        ldi  r7, %d          ; base
+        ldi  r1, 0           ; i = 0
+outer:  addi r5, r6, -1
+        cmp  r1, r5
+        br.ge done           ; while i < n-1
+        addi r3, r1, 0       ; min_idx = i
+        add  r8, r7, r1
+        ld   r4, 0(r8)       ; min_val = a[i]
+        addi r2, r1, 1       ; j = i+1
+inner:  cmp  r2, r6
+        br.ge swap           ; while j < n
+        add  r9, r7, r2
+        ld   r5, 0(r9)       ; a[j]
+        cmp  r5, r4
+        br.ge skip
+        addi r3, r2, 0       ; min_idx = j
+        addi r4, r5, 0       ; min_val = a[j]
+skip:   addi r2, r2, 1
+        br.al inner
+swap:   add  r8, r7, r1
+        ld   r5, 0(r8)       ; tmp = a[i]
+        st   0(r8), r4       ; a[i] = min_val
+        add  r9, r7, r3
+        st   0(r9), r5       ; a[min_idx] = tmp
+        addi r1, r1, 1
+        br.al outer
+done:   halt
+|}
+      data_base
+      (data_base + n - 1)
+      n data_base
+  in
+  Program.of_source ~name:"extraction_sort"
+    ~mem_init:(init_of_array data_base values)
+    ~result_region:(data_base, n) source
+
+(* Register plan: r1=i r2=j r3=k r4=acc r5=tmp r6=n r7=A[i][k] r8=B[k][j]
+   r9=addr r10=A r11=B r12=C. *)
+let matrix_multiply ~n ~a ~b =
+  if n < 1 then invalid_arg "Programs.matrix_multiply: n must be >= 1";
+  if Array.length a <> n * n || Array.length b <> n * n then
+    invalid_arg "Programs.matrix_multiply: matrices must have n*n elements";
+  let a_base = data_base and b_base = data_base + (n * n) and c_base = data_base + (2 * n * n) in
+  let source =
+    Printf.sprintf
+      {|        ; C = A * B, %dx%d
+        ldi  r6, %d          ; n
+        ldi  r10, %d         ; A
+        ldi  r11, %d         ; B
+        ldi  r12, %d         ; C
+        ldi  r1, 0           ; i
+li:     cmp  r1, r6
+        br.ge mmdone
+        ldi  r2, 0           ; j
+lj:     cmp  r2, r6
+        br.ge nexti
+        ldi  r4, 0           ; acc
+        ldi  r3, 0           ; k
+lk:     cmp  r3, r6
+        br.ge storec
+        mul  r9, r1, r6
+        add  r9, r9, r3
+        add  r9, r9, r10
+        ld   r7, 0(r9)       ; A[i][k]
+        mul  r9, r3, r6
+        add  r9, r9, r2
+        add  r9, r9, r11
+        ld   r8, 0(r9)       ; B[k][j]
+        mul  r5, r7, r8
+        add  r4, r4, r5
+        addi r3, r3, 1
+        br.al lk
+storec: mul  r9, r1, r6
+        add  r9, r9, r2
+        add  r9, r9, r12
+        st   0(r9), r4
+        addi r2, r2, 1
+        br.al lj
+nexti:  addi r1, r1, 1
+        br.al li
+mmdone: halt
+|}
+      n n n a_base b_base c_base
+  in
+  Program.of_source ~name:"matrix_multiply"
+    ~mem_init:(init_of_array a_base a @ init_of_array b_base b)
+    ~result_region:(c_base, n * n)
+    source
+
+let fibonacci ~n =
+  let source =
+    Printf.sprintf
+      {|        ; fib(%d) into mem[0]
+        ldi  r1, 0           ; fib(0)
+        ldi  r2, 1           ; fib(1)
+        ldi  r3, %d          ; counter
+        ldi  r4, 0
+floop:  cmp  r4, r3
+        br.ge fdone
+        add  r5, r1, r2
+        addi r1, r2, 0
+        addi r2, r5, 0
+        addi r4, r4, 1
+        br.al floop
+fdone:  ldi  r6, 0
+        st   0(r6), r1
+        halt
+|}
+      n n
+  in
+  Program.of_source ~name:"fibonacci" ~result_region:(0, 1) source
+
+let dot_product ~x ~y =
+  let n = Array.length x in
+  if n = 0 || Array.length y <> n then
+    invalid_arg "Programs.dot_product: vectors must be equal-length and non-empty";
+  let x_base = data_base and y_base = data_base + n in
+  let source =
+    Printf.sprintf
+      {|        ; dot product of two %d-vectors into mem[0]
+        ldi  r6, %d          ; n
+        ldi  r10, %d         ; x
+        ldi  r11, %d         ; y
+        ldi  r1, 0           ; i
+        ldi  r4, 0           ; acc
+dloop:  cmp  r1, r6
+        br.ge ddone
+        add  r9, r10, r1
+        ld   r7, 0(r9)
+        add  r9, r11, r1
+        ld   r8, 0(r9)
+        mul  r5, r7, r8
+        add  r4, r4, r5
+        addi r1, r1, 1
+        br.al dloop
+ddone:  ldi  r9, 0
+        st   0(r9), r4
+        halt
+|}
+      n n x_base y_base
+  in
+  Program.of_source ~name:"dot_product"
+    ~mem_init:(init_of_array x_base x @ init_of_array y_base y)
+    ~result_region:(0, 1) source
+
+let memcpy ~values =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Programs.memcpy: empty array";
+  let src = data_base and dst = data_base + n in
+  let source =
+    Printf.sprintf
+      {|        ; copy %d words from %d to %d
+        ldi  r6, %d          ; n
+        ldi  r10, %d         ; src
+        ldi  r11, %d         ; dst
+        ldi  r1, 0           ; i
+cloop:  cmp  r1, r6
+        br.ge cdone
+        add  r8, r10, r1
+        ld   r5, 0(r8)
+        add  r9, r11, r1
+        st   0(r9), r5
+        addi r1, r1, 1
+        br.al cloop
+cdone:  halt
+|}
+      n src dst n src dst
+  in
+  Program.of_source ~name:"memcpy"
+    ~mem_init:(init_of_array src values)
+    ~result_region:(dst, n) source
+
+(* Register plan: r1=i r2=limit r3=addr r4=a[j] r5=a[j+1] r6=n r7=base
+   r8=swapped. *)
+let bubble_sort ~values =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Programs.bubble_sort: empty array";
+  let source =
+    Printf.sprintf
+      {|        ; bubble sort, in place at %d..%d
+        ldi  r6, %d          ; n
+        ldi  r7, %d          ; base
+bpass:  ldi  r8, 0           ; swapped = 0
+        ldi  r1, 0           ; j = 0
+bloop:  addi r2, r6, -1
+        cmp  r1, r2
+        br.ge bend           ; while j < n-1
+        add  r3, r7, r1
+        ld   r4, 0(r3)       ; a[j]
+        ld   r5, 1(r3)       ; a[j+1]
+        cmp  r4, r5
+        br.le bskip
+        st   0(r3), r5       ; swap
+        st   1(r3), r4
+        ldi  r8, 1           ; swapped = 1
+bskip:  addi r1, r1, 1
+        br.al bloop
+bend:   ldi  r2, 0
+        cmp  r8, r2
+        br.gt bpass          ; repeat until no swaps
+        halt
+|}
+      data_base
+      (data_base + n - 1)
+      n data_base
+  in
+  Program.of_source ~name:"bubble_sort"
+    ~mem_init:(init_of_array data_base values)
+    ~result_region:(data_base, n) source
+
+let random_values prng ~n ~bound = Array.init n (fun _ -> Wp_util.Prng.int prng bound)
+
+let sort_values ~seed ~n = random_values (Wp_util.Prng.create ~seed) ~n ~bound:1000
+
+let matrix_values ~seed ~n = random_values (Wp_util.Prng.create ~seed) ~n:(n * n) ~bound:10
+
+let all () =
+  [
+    extraction_sort ~values:(sort_values ~seed:1 ~n:16);
+    matrix_multiply ~n:4 ~a:(matrix_values ~seed:2 ~n:4) ~b:(matrix_values ~seed:3 ~n:4);
+    fibonacci ~n:20;
+    dot_product ~x:(sort_values ~seed:4 ~n:12) ~y:(sort_values ~seed:5 ~n:12);
+    memcpy ~values:(sort_values ~seed:6 ~n:12);
+    bubble_sort ~values:(sort_values ~seed:7 ~n:10);
+  ]

@@ -1,0 +1,39 @@
+(** The paper's two workloads plus auxiliary programs.
+
+    Extraction (selection) sort is the "strictly data dependent problem";
+    matrix multiply is the regular kernel.  The extras exercise corners the
+    paper does not (register-only code, streaming copies) and feed the
+    wider test suite. *)
+
+val extraction_sort : values:int array -> Program.t
+(** In-place ascending selection sort of [values] stored at address 16.
+    @raise Invalid_argument on an empty array. *)
+
+val matrix_multiply : n:int -> a:int array -> b:int array ->  Program.t
+(** C = A x B for row-major [n*n] matrices; A at 16, B at 16+n², C at
+    16+2n².  @raise Invalid_argument unless both arrays have [n*n]
+    elements and [n >= 1]. *)
+
+val fibonacci : n:int -> Program.t
+(** Iteratively computes fib(n) (fib(0)=0, fib(1)=1) into memory\[0\];
+    register-only inner loop. *)
+
+val dot_product : x:int array -> y:int array -> Program.t
+(** Sum of products into memory\[0\]; vectors at 16 and 16+n. *)
+
+val memcpy : values:int array -> Program.t
+(** Copies the block at 16 to 16+n (a store-heavy streaming loop). *)
+
+val bubble_sort : values:int array -> Program.t
+(** In-place ascending bubble sort at address 16 — a second
+    data-dependent workload with a different branch/memory mix than
+    extraction sort.  @raise Invalid_argument on an empty array. *)
+
+val all : unit -> Program.t list
+(** A representative instance of each workload (deterministic data),
+    used by tests and benches. *)
+
+val sort_values : seed:int -> n:int -> int array
+(** Deterministic pseudo-random workload data. *)
+
+val matrix_values : seed:int -> n:int -> int array

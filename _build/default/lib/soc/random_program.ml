@@ -1,0 +1,115 @@
+module Prng = Wp_util.Prng
+
+(* Register plan: r1-r6 free data registers; r7 loop counter; r8-r9
+   address registers with statically known values; r15 holds zero. *)
+let data_regs = [| 1; 2; 3; 4; 5; 6 |]
+let addr_regs = [| 8; 9 |]
+let counter_reg = 7
+let zero_reg = 15
+
+let scratch_base = 16
+let scratch_size = 24
+
+let generate ?(length = 24) ~seed () =
+  let prng = Prng.create ~seed in
+  let data_reg () = data_regs.(Prng.int prng (Array.length data_regs)) in
+  let addr_index () = Prng.int prng (Array.length addr_regs) in
+  (* Known values of the address registers. *)
+  let addr_values = Array.map (fun _ -> scratch_base) addr_regs in
+  let code = ref [] in
+  let count = ref 0 in
+  let emit instr =
+    code := instr :: !code;
+    incr count
+  in
+  let here () = !count in
+  (* Prologue: zero register, address registers, data registers. *)
+  emit (Isa.Ldi (zero_reg, 0));
+  Array.iteri
+    (fun i r ->
+      let v = scratch_base + Prng.int prng (scratch_size / 2) in
+      addr_values.(i) <- v;
+      emit (Isa.Ldi (r, v)))
+    addr_regs;
+  Array.iter (fun r -> emit (Isa.Ldi (r, Prng.int_in prng (-100) 100))) data_regs;
+  (* Loop header. *)
+  let iterations = Prng.int_in prng 1 3 in
+  emit (Isa.Ldi (counter_reg, iterations));
+  let loop_start = here () in
+  (* Body: random segments.  Forward branches are emitted with a
+     placeholder target and patched once the skip region is known; the
+     generated instruction list is finalised into an array at the end. *)
+  let patches = ref [] in
+  let offset_for i =
+    let a = addr_values.(i) in
+    Prng.int_in prng (scratch_base - a) (scratch_base + scratch_size - 1 - a)
+  in
+  let emit_segment () =
+    match Prng.int prng 8 with
+    | 0 -> emit (Isa.Add (data_reg (), data_reg (), data_reg ()))
+    | 1 -> emit (Isa.Sub (data_reg (), data_reg (), data_reg ()))
+    | 2 -> emit (Isa.Mul (data_reg (), data_reg (), data_reg ()))
+    | 3 -> emit (Isa.Addi (data_reg (), data_reg (), Prng.int_in prng (-20) 20))
+    | 4 -> emit (Isa.Ldi (data_reg (), Prng.int_in prng (-100) 100))
+    | 5 ->
+      let i = addr_index () in
+      emit (Isa.Ld (data_reg (), addr_regs.(i), offset_for i))
+    | 6 ->
+      let i = addr_index () in
+      emit (Isa.St (addr_regs.(i), offset_for i, data_reg ()))
+    | _ ->
+      (* cmp + forward conditional branch over a couple of simple ops. *)
+      emit (Isa.Cmp (data_reg (), data_reg ()));
+      let branch_at = here () in
+      let cond =
+        match Prng.int prng 6 with
+        | 0 -> Isa.Eq
+        | 1 -> Isa.Ne
+        | 2 -> Isa.Lt
+        | 3 -> Isa.Ge
+        | 4 -> Isa.Le
+        | _ -> Isa.Gt
+      in
+      emit (Isa.Br (cond, 0) (* patched below *));
+      for _ = 1 to Prng.int_in prng 1 3 do
+        emit (Isa.Addi (data_reg (), data_reg (), Prng.int_in prng (-5) 5))
+      done;
+      patches := (branch_at, here ()) :: !patches
+  in
+  for _ = 1 to length do
+    emit_segment ()
+  done;
+  (* Loop trailer. *)
+  emit (Isa.Addi (counter_reg, counter_reg, -1));
+  emit (Isa.Cmp (counter_reg, zero_reg));
+  emit (Isa.Br (Isa.Gt, loop_start));
+  (* Epilogue: spill the data registers so the result region captures the
+     whole architectural outcome, then halt. *)
+  Array.iteri
+    (fun i r -> emit (Isa.St (addr_regs.(0), scratch_base - addr_values.(0) + i, r)))
+    data_regs;
+  emit Isa.Halt;
+  let text = Array.of_list (List.rev !code) in
+  List.iter
+    (fun (at, target) ->
+      match text.(at) with
+      | Isa.Br (cond, _) -> text.(at) <- Isa.Br (cond, target)
+      | Isa.Nop | Isa.Halt | Isa.Ldi _ | Isa.Add _ | Isa.Sub _ | Isa.Mul _ | Isa.Addi _
+      | Isa.Cmp _ | Isa.Ld _ | Isa.St _ ->
+        assert false)
+    !patches;
+  let mem_init =
+    List.init scratch_size (fun i -> (scratch_base + i, Prng.int_in prng (-50) 50))
+  in
+  let source =
+    ("; randomly generated program (seed " ^ string_of_int seed ^ ")\n")
+    ^ Asm.disassemble text
+  in
+  {
+    Program.name = Printf.sprintf "random_%d" seed;
+    source;
+    text;
+    mem_size = 4096;
+    mem_init;
+    result_region = (scratch_base, scratch_size);
+  }

@@ -1,0 +1,17 @@
+(** Random, guaranteed-halting programs for differential testing.
+
+    The generator builds programs that exercise every instruction class —
+    arithmetic (including overflowing multiply chains, which wrap
+    identically in the ISS and in the blocks), loads and stores into a
+    tracked scratch region, forward conditional branches, and one bounded
+    counted loop — while remaining well-formed by construction: memory is
+    only addressed through registers whose values the generator knows
+    statically, and every branch target is resolved within the program.
+
+    Used by the test suite to cross-check the ISS against both timed
+    machines under random relay-station budgets. *)
+
+val generate : ?length:int -> seed:int -> unit -> Program.t
+(** [generate ~seed] builds a program of roughly [length] (default 24)
+    body instructions plus prologue and loop scaffolding; equal seeds give
+    equal programs.  The result region covers the whole scratch area. *)

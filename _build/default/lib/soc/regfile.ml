@@ -1,0 +1,63 @@
+module Process = Wp_lis.Process
+
+(* Schedule rings are indexed by firing modulo their length; slots are
+   cleared as they are consumed, so a ring of length offset+1 suffices. *)
+let ring_size = max Latency.rf_alu_writeback Latency.rf_load_writeback + 1
+
+let process ?(tap = ref None) () =
+  {
+    Process.name = "RF";
+    input_names = [| "ctrl"; "result"; "load" |];
+    output_names = [| "src1"; "src2"; "store_data" |];
+    reset_outputs = [| 0; 0; 0 |];
+    make =
+      (fun () ->
+        let regs = Array.make 16 0 in
+        let wb1_sched = Array.make ring_size None in
+        let wb2_sched = Array.make ring_size None in
+        let firing = ref 0 in
+        tap := Some (fun () -> Array.copy regs);
+        let slot offset = (!firing + offset) mod ring_size in
+        {
+          Process.required =
+            (fun () ->
+              let here = !firing mod ring_size in
+              [| true; wb1_sched.(here) <> None; wb2_sched.(here) <> None |]);
+          fire =
+            (fun inputs ->
+              let here = !firing mod ring_size in
+              (* Apply writebacks, oldest instruction first: a colliding
+                 load writeback belongs to an older instruction than the
+                 ALU writeback landing the same firing. *)
+              (match wb2_sched.(here) with
+              | None -> ()
+              | Some rd ->
+                wb2_sched.(here) <- None;
+                (match inputs.(2) with
+                | Some v -> regs.(rd) <- v
+                | None -> assert false));
+              (match wb1_sched.(here) with
+              | None -> ()
+              | Some rd ->
+                wb1_sched.(here) <- None;
+                (match inputs.(1) with
+                | Some v -> regs.(rd) <- v
+                | None -> assert false));
+              let ctrl_word = match inputs.(0) with Some w -> w | None -> assert false in
+              let outputs =
+                match Codec.unpack_rf_ctrl ctrl_word with
+                | None -> [| 0; 0; 0 |]
+                | Some c ->
+                  (match c.Codec.wb1 with
+                  | Some rd -> wb1_sched.(slot Latency.rf_alu_writeback) <- Some rd
+                  | None -> ());
+                  (match c.Codec.wb2 with
+                  | Some rd -> wb2_sched.(slot Latency.rf_load_writeback) <- Some rd
+                  | None -> ());
+                  [| regs.(c.Codec.ra); regs.(c.Codec.rb); regs.(c.Codec.rv) |]
+              in
+              incr firing;
+              outputs);
+          halted = (fun () -> false);
+        });
+  }

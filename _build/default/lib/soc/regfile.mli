@@ -1,0 +1,19 @@
+(** Register file block (RF).
+
+    Inputs: ["ctrl"] (register control word from the CU), ["result"] (ALU
+    writebacks), ["load"] (DC load writebacks).  Outputs: ["src1"],
+    ["src2"] (operands, to the ALU) and ["store_data"] (to the DC).
+
+    Writebacks are scheduled: a control word consumed at firing [r]
+    announces an ALU writeback arriving at [r + 2] and a load writeback at
+    [r + 3] ({!Latency}).  This schedule {e is} the RF's oracle: under WP2
+    the ["result"] and ["load"] ports are required only at announced
+    firings — the paper's "processing signal derived from the process
+    operation".  Writes are applied before reads within a firing; when an
+    ALU writeback and a load writeback collide on one firing the load
+    (which belongs to the older instruction) is applied first.
+
+    [tap] is set by each instantiation to expose the architectural
+    registers to tests. *)
+
+val process : ?tap:(unit -> int array) option ref -> unit -> Wp_lis.Process.t

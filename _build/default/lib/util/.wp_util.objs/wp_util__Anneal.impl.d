@@ -1,0 +1,1 @@
+lib/util/anneal.ml: Prng

@@ -1,0 +1,1 @@
+lib/util/ring_fifo.ml: Array List

@@ -1,0 +1,44 @@
+module Prng = Prng
+
+type 'state schedule = {
+  steps : int;
+  initial_temperature : float;
+  cooling : float;
+  plateau : int;
+}
+
+let default_schedule =
+  { steps = 4000; initial_temperature = 1.0; cooling = 0.95; plateau = 40 }
+
+type 'state result = {
+  best : 'state;
+  best_cost : float;
+  accepted : int;
+  evaluated : int;
+}
+
+let optimize ~prng ~init ~neighbor ~cost ?(schedule = default_schedule) () =
+  let current = ref init and current_cost = ref (cost init) in
+  let best = ref init and best_cost = ref !current_cost in
+  let temperature = ref schedule.initial_temperature in
+  let accepted = ref 0 in
+  for step = 1 to schedule.steps do
+    let candidate = neighbor prng !current in
+    let candidate_cost = cost candidate in
+    let delta = candidate_cost -. !current_cost in
+    let accept =
+      delta <= 0.0
+      || Prng.float prng 1.0 < exp (-.delta /. max 1e-12 !temperature)
+    in
+    if accept then begin
+      current := candidate;
+      current_cost := candidate_cost;
+      incr accepted;
+      if candidate_cost < !best_cost then begin
+        best := candidate;
+        best_cost := candidate_cost
+      end
+    end;
+    if step mod schedule.plateau = 0 then temperature := !temperature *. schedule.cooling
+  done;
+  { best = !best; best_cost = !best_cost; accepted = !accepted; evaluated = schedule.steps }

@@ -1,0 +1,32 @@
+(** Generic simulated annealing with geometric cooling.
+
+    Deterministic given the PRNG: every accept/reject decision draws from
+    the supplied generator.  Tracks and returns the best state ever seen,
+    not the final one. *)
+
+type 'state schedule = {
+  steps : int;             (** total moves attempted *)
+  initial_temperature : float;
+  cooling : float;         (** multiplier applied every [plateau] steps *)
+  plateau : int;           (** moves per temperature level *)
+}
+
+val default_schedule : 'state schedule
+
+type 'state result = {
+  best : 'state;
+  best_cost : float;
+  accepted : int;
+  evaluated : int;
+}
+
+val optimize :
+  prng:Prng.t ->
+  init:'state ->
+  neighbor:(Prng.t -> 'state -> 'state) ->
+  cost:('state -> float) ->
+  ?schedule:'state schedule ->
+  unit ->
+  'state result
+(** Classic Metropolis acceptance: a worse move of cost increase [d] is
+    accepted with probability [exp (-d / temperature)]. *)

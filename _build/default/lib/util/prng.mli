@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All stochastic parts of the library (floorplan annealing, workload
+    generation) draw from this generator so that every run is reproducible
+    from a single integer seed.  The global [Random] module is never used. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that will produce the same future
+    stream as [t]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output of the splitmix64 step function. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive).
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** [split t] returns a new generator seeded from [t]'s stream, advancing
+    [t].  Streams of the parent and child are independent for practical
+    purposes. *)

@@ -1,0 +1,80 @@
+type capacity =
+  | Bounded of int
+  | Unbounded
+
+type 'a t = {
+  cap : capacity;
+  mutable buf : 'a option array;
+  mutable head : int; (* index of the next element to pop *)
+  mutable len : int;
+}
+
+let initial_size cap =
+  match cap with
+  | Bounded n ->
+    if n < 1 then invalid_arg "Ring_fifo.create: capacity must be >= 1";
+    n
+  | Unbounded -> 8
+
+let create cap = { cap; buf = Array.make (initial_size cap) None; head = 0; len = 0 }
+
+let capacity t = t.cap
+let length t = t.len
+let is_empty t = t.len = 0
+
+let is_full t =
+  match t.cap with
+  | Bounded n -> t.len >= n
+  | Unbounded -> false
+
+let grow t =
+  let old = t.buf in
+  let n = Array.length old in
+  let fresh = Array.make (2 * n) None in
+  for i = 0 to t.len - 1 do
+    fresh.(i) <- old.((t.head + i) mod n)
+  done;
+  t.buf <- fresh;
+  t.head <- 0
+
+let push t x =
+  if is_full t then false
+  else begin
+    if t.len = Array.length t.buf then grow t;
+    let tail = (t.head + t.len) mod Array.length t.buf in
+    t.buf.(tail) <- Some x;
+    t.len <- t.len + 1;
+    true
+  end
+
+let push_exn t x = if not (push t x) then failwith "Ring_fifo.push_exn: full"
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1;
+    x
+  end
+
+let peek t = if t.len = 0 then None else t.buf.(t.head)
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  let n = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    match t.buf.((t.head + i) mod n) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc

@@ -1,0 +1,40 @@
+(** Bounded and unbounded FIFO queues backed by a growable ring buffer.
+
+    Used for shell input queues and relay-chain modelling where both a hard
+    capacity (hardware FIFOs with back-pressure) and an unbounded mode (the
+    paper's "semi-infinite fifo" theoretical wrapper) are needed. *)
+
+type 'a t
+
+type capacity =
+  | Bounded of int  (** hard capacity; [push] refuses when full *)
+  | Unbounded       (** grows as needed *)
+
+val create : capacity -> 'a t
+(** @raise Invalid_argument if a bounded capacity is [< 1]. *)
+
+val capacity : 'a t -> capacity
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val is_full : 'a t -> bool
+(** Always [false] for unbounded queues. *)
+
+val push : 'a t -> 'a -> bool
+(** [push t x] enqueues [x] at the tail; returns [false] (and leaves the
+    queue unchanged) when the queue is bounded and full. *)
+
+val push_exn : 'a t -> 'a -> unit
+(** @raise Failure when full. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue from the head. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Head-first snapshot of the contents. *)
+
+val iter : ('a -> unit) -> 'a t -> unit

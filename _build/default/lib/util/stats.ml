@@ -1,0 +1,28 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p outside [0,1]";
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  let rank = int_of_float (ceil (p *. float_of_int n)) in
+  let index = max 0 (min (n - 1) (rank - 1)) in
+  List.nth sorted index
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let percent_gain baseline improved =
+  if baseline = 0.0 then 0.0 else 100.0 *. (improved -. baseline) /. baseline
+
+let round_to digits x =
+  let factor = 10.0 ** float_of_int digits in
+  Float.round (x *. factor) /. factor

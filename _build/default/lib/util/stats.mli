@@ -1,0 +1,21 @@
+(** Small numeric helpers shared by monitors and benches. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0.0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0.0 on lists shorter than 2. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank on the sorted list.
+    @raise Invalid_argument on the empty list or [p] outside [\[0,1\]]. *)
+
+val ratio : int -> int -> float
+(** [ratio num den] as a float; 0.0 when [den = 0]. *)
+
+val percent_gain : float -> float -> float
+(** [percent_gain baseline improved] is [100 * (improved - baseline) /
+    baseline]; 0.0 when [baseline = 0.0]. *)
+
+val round_to : int -> float -> float
+(** [round_to digits x] rounds to the given number of decimal digits. *)

@@ -1,0 +1,79 @@
+type align =
+  | Left
+  | Right
+  | Center
+
+type row =
+  | Cells of string list
+  | Separator
+  | Span of string
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~columns =
+  { headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Text_table.add_row: wrong arity";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+let add_span_row t label = t.rows <- Span label :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+      let left = (width - n) / 2 in
+      String.make left ' ' ^ s ^ String.make (width - n - left) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    let init = List.map String.length t.headers in
+    let max_row acc = function
+      | Cells cells -> List.map2 (fun w c -> max w (String.length c)) acc cells
+      | Separator | Span _ -> acc
+    in
+    List.fold_left max_row init rows
+  in
+  let buf = Buffer.create 1024 in
+  let rule ch =
+    List.iter (fun w -> Buffer.add_char buf '+'; Buffer.add_string buf (String.make (w + 2) ch)) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let total_width = List.fold_left (fun acc w -> acc + w + 3) 0 widths - 1 in
+  let line cells aligns =
+    List.iter2
+      (fun (w, a) c ->
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (pad a w c);
+        Buffer.add_char buf ' ')
+      (List.combine widths aligns) cells;
+    Buffer.add_string buf "|\n"
+  in
+  rule '-';
+  line t.headers (List.map (fun _ -> Center) t.headers);
+  rule '=';
+  let emit = function
+    | Cells cells -> line cells t.aligns
+    | Separator -> rule '-'
+    | Span label ->
+      Buffer.add_string buf "| ";
+      Buffer.add_string buf (pad Left (total_width - 2) label);
+      Buffer.add_string buf " |\n"
+  in
+  List.iter emit rows;
+  rule '-';
+  Buffer.contents buf
+
+let print t = print_string (render t)

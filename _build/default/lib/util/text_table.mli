@@ -1,0 +1,29 @@
+(** Plain-text table rendering for bench and CLI output.
+
+    Renders rows of cells under a header, right-aligning numeric-looking
+    cells, in the style of the paper's Table 1. *)
+
+type align =
+  | Left
+  | Right
+  | Center
+
+type t
+
+val create : columns:(string * align) list -> t
+(** [create ~columns] starts an empty table with the given header. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row has the wrong number of cells. *)
+
+val add_separator : t -> unit
+(** Insert a horizontal rule between row groups. *)
+
+val add_span_row : t -> string -> unit
+(** A row whose single cell spans all columns (section label). *)
+
+val render : t -> string
+(** Full table with box-drawing rules, terminated by a newline. *)
+
+val print : t -> unit
+(** [render] to stdout. *)

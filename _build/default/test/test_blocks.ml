@@ -1,0 +1,325 @@
+(* Block-level unit tests: drive each processor block standalone through
+   its Process interface and check the microarchitectural contracts
+   (latencies, schedules, write ordering) that the end-to-end suites rely
+   on. *)
+
+open Wp_soc
+module Process = Wp_lis.Process
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Fire an instance once with all inputs present (plain-wrapper view). *)
+let fire inst inputs = inst.Process.fire (Array.map (fun v -> Some v) inputs)
+
+(* ------------------------------------------------------------------ *)
+(* IC                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ic_fetch () =
+  let text = [| Isa.Ldi (1, 7); Isa.Halt |] in
+  let ic = (Icache.process ~text).Process.make () in
+  (* A real fetch returns the encoded instruction. *)
+  let out = fire ic [| Codec.pack_fetch (Some 0) |] in
+  checkb "instruction word" true
+    (Codec.unpack_instr out.(0) = Some (Isa.encode (Isa.Ldi (1, 7))));
+  (* A bubble propagates as a bubble. *)
+  let out = fire ic [| Codec.pack_fetch None |] in
+  checkb "bubble propagates" true (Codec.unpack_instr out.(0) = None)
+
+let test_ic_out_of_range () =
+  let ic = (Icache.process ~text:[| Isa.Halt |]).Process.make () in
+  checkb "fault" true
+    (match fire ic [| Codec.pack_fetch (Some 9) |] with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_ic_rejects_empty_program () =
+  checkb "empty program" true
+    (match Icache.process ~text:[||] with exception Invalid_argument _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* ALU                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The ALU executes the operation received the previous firing, paired
+   with this firing's operands. *)
+let alu_run ops_and_operands =
+  let alu = (Alu.process ()).Process.make () in
+  List.map
+    (fun (op, a, b) -> fire alu [| Codec.pack_alu_op op; a; b |])
+    ops_and_operands
+
+let test_alu_latency_and_arith () =
+  let bubble = None in
+  let outs =
+    alu_run
+      [
+        (Some { Codec.kind = Codec.K_add; imm = 0 }, 0, 0);   (* op enters pipe *)
+        (Some { Codec.kind = Codec.K_sub; imm = 0 }, 30, 12); (* add executes: 42 *)
+        (Some { Codec.kind = Codec.K_mul; imm = 0 }, 50, 8);  (* sub executes: 42 *)
+        (bubble, 6, 7);                                       (* mul executes: 42 *)
+        (bubble, 9, 9);                                       (* bubble: nothing *)
+      ]
+  in
+  let result i = (List.nth outs i).(0) in
+  checki "first firing idle" 0 (result 0);
+  checki "add" 42 (result 1);
+  checki "sub" 42 (result 2);
+  checki "mul" 42 (result 3);
+  checki "bubble executes nothing" 0 (result 4)
+
+let test_alu_imm_and_addr () =
+  let outs =
+    alu_run
+      [
+        (Some { Codec.kind = Codec.K_imm; imm = -5 }, 0, 0);
+        (Some { Codec.kind = Codec.K_addr; imm = 10 }, 0, 0); (* imm executes *)
+        (Some { Codec.kind = Codec.K_addi; imm = 3 }, 32, 0); (* addr executes: 32+10 *)
+        (None, 100, 0);                                       (* addi executes: 103 *)
+      ]
+  in
+  checki "imm passes through" (-5) (List.nth outs 1).(0);
+  checki "effective address" 42 (List.nth outs 2).(2);
+  checki "addi" 103 (List.nth outs 3).(0)
+
+let test_alu_flags_and_branches () =
+  let branch cond = Some { Codec.kind = Codec.K_br cond; imm = 0 } in
+  let cmp = Some { Codec.kind = Codec.K_cmp; imm = 0 } in
+  let outs =
+    alu_run
+      [
+        (cmp, 0, 0);                 (* enters pipe *)
+        (branch Isa.Lt, 3, 9);       (* cmp 3 9 executes: lt *)
+        (branch Isa.Ge, 0, 0);       (* br.lt evaluates: taken *)
+        (None, 0, 0);                (* br.ge evaluates: not taken *)
+      ]
+  in
+  checkb "lt taken" true (Codec.unpack_flags (List.nth outs 2).(1) = Some true);
+  checkb "ge not taken" true (Codec.unpack_flags (List.nth outs 3).(1) = Some false);
+  checkb "non-branch firings emit no resolution" true
+    (Codec.unpack_flags (List.nth outs 1).(1) = None)
+
+let test_alu_eq_conditions () =
+  let branch cond = Some { Codec.kind = Codec.K_br cond; imm = 0 } in
+  let cmp = Some { Codec.kind = Codec.K_cmp; imm = 0 } in
+  let outs =
+    alu_run
+      [
+        (cmp, 0, 0);
+        (branch Isa.Eq, 5, 5);  (* cmp 5 5: eq *)
+        (branch Isa.Ne, 0, 0);  (* eq -> taken *)
+        (branch Isa.Gt, 0, 0);  (* ne -> not taken *)
+        (None, 0, 0);           (* gt on eq flags -> not taken *)
+      ]
+  in
+  checkb "eq taken" true (Codec.unpack_flags (List.nth outs 2).(1) = Some true);
+  checkb "ne not taken" true (Codec.unpack_flags (List.nth outs 3).(1) = Some false);
+  checkb "gt not taken" true (Codec.unpack_flags (List.nth outs 4).(1) = Some false)
+
+(* ------------------------------------------------------------------ *)
+(* RF                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rf_ctrl ?(ra = 0) ?(rb = 0) ?(rv = 0) ?wb1 ?wb2 () =
+  Codec.pack_rf_ctrl (Some { Codec.ra; rb; rv; wb1; wb2 })
+
+let rf_bubble = Codec.pack_rf_ctrl None
+
+let test_rf_alu_writeback_schedule () =
+  let rf = (Regfile.process ()).Process.make () in
+  (* Firing 0: announce an ALU writeback to r3 (applies at firing 2). *)
+  ignore (fire rf [| rf_ctrl ~wb1:3 (); 0; 0 |]);
+  ignore (fire rf [| rf_bubble; 0; 0 |]);
+  (* Firing 2: the result token (99) arrives and is written before the
+     same firing's reads. *)
+  let out = fire rf [| rf_ctrl ~ra:3 (); 99; 0 |] in
+  checki "read-after-write same firing" 99 out.(0)
+
+let test_rf_load_writeback_schedule () =
+  let rf = (Regfile.process ()).Process.make () in
+  ignore (fire rf [| rf_ctrl ~wb2:5 (); 0; 0 |]);
+  ignore (fire rf [| rf_bubble; 0; 0 |]);
+  ignore (fire rf [| rf_bubble; 0; 0 |]);
+  (* Firing 3: load datum 77 arrives. *)
+  let out = fire rf [| rf_ctrl ~ra:5 ~rb:5 ~rv:5 (); 0; 77 |] in
+  checki "src1" 77 out.(0);
+  checki "src2" 77 out.(1);
+  checki "store data port" 77 out.(2)
+
+let test_rf_collision_alu_wins () =
+  (* A load writeback (older instruction) and an ALU writeback (newer)
+     landing the same firing on the same register: the newer wins. *)
+  let rf = (Regfile.process ()).Process.make () in
+  ignore (fire rf [| rf_ctrl ~wb2:7 (); 0; 0 |]);    (* firing 0: load to r7, due at 3 *)
+  ignore (fire rf [| rf_ctrl ~wb1:7 (); 0; 0 |]);    (* firing 1: alu to r7, due at 3 *)
+  ignore (fire rf [| rf_bubble; 0; 0 |]);            (* firing 2 *)
+  let out = fire rf [| rf_ctrl ~ra:7 (); 500; 400 |] in  (* firing 3: both arrive *)
+  checki "newer (ALU) value wins" 500 out.(0)
+
+let test_rf_tap () =
+  let tap = ref None in
+  let rf = (Regfile.process ~tap ()).Process.make () in
+  ignore (fire rf [| rf_ctrl ~wb1:2 (); 0; 0 |]);
+  ignore (fire rf [| rf_bubble; 0; 0 |]);
+  ignore (fire rf [| rf_bubble; 11; 0 |]);
+  match !tap with
+  | Some get -> checki "tap sees the write" 11 (get ()).(2)
+  | None -> Alcotest.fail "tap not set"
+
+(* ------------------------------------------------------------------ *)
+(* DC                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let dc_cmd kind = Codec.pack_mem_cmd kind
+
+let test_dc_store_then_load () =
+  let dc = (Dcache.process ~mem_size:32 ~mem_init:[] ()).Process.make () in
+  (* Store: cmd at firing 0, datum at 1, address at 2. *)
+  ignore (fire dc [| dc_cmd (Some Codec.M_store); 0; 0 |]);
+  ignore (fire dc [| dc_cmd None; 0; 123 |]);
+  ignore (fire dc [| dc_cmd (Some Codec.M_load); 9; 0 |]);
+  (* The load command entered at firing 2; its address arrives at 4. *)
+  ignore (fire dc [| dc_cmd None; 0; 0 |]);
+  let out = fire dc [| dc_cmd None; 9; 0 |] in
+  checki "load returns the stored value" 123 out.(0)
+
+let test_dc_back_to_back_stores () =
+  let tap = ref None in
+  let dc = (Dcache.process ~tap ~mem_size:32 ~mem_init:[] ()).Process.make () in
+  (* Two stores dispatched on consecutive firings. *)
+  ignore (fire dc [| dc_cmd (Some Codec.M_store); 0; 0 |]);   (* firing 0 *)
+  ignore (fire dc [| dc_cmd (Some Codec.M_store); 0; 11 |]);  (* firing 1: datum for 1st *)
+  ignore (fire dc [| dc_cmd None; 3; 22 |]);                  (* firing 2: addr 1st, datum 2nd *)
+  ignore (fire dc [| dc_cmd None; 4; 0 |]);                   (* firing 3: addr 2nd *)
+  match !tap with
+  | Some get ->
+    let mem = get () in
+    checki "first store" 11 mem.(3);
+    checki "second store" 22 mem.(4)
+  | None -> Alcotest.fail "tap not set"
+
+let test_dc_mem_init_and_fault () =
+  let dc = (Dcache.process ~mem_size:8 ~mem_init:[ (5, 55) ] ()).Process.make () in
+  ignore (fire dc [| dc_cmd (Some Codec.M_load); 0; 0 |]);
+  ignore (fire dc [| dc_cmd None; 0; 0 |]);
+  let out = fire dc [| dc_cmd None; 5; 0 |] in
+  checki "initialised memory" 55 out.(0);
+  let dc = (Dcache.process ~mem_size:8 ~mem_init:[] ()).Process.make () in
+  ignore (fire dc [| dc_cmd (Some Codec.M_load); 0; 0 |]);
+  ignore (fire dc [| dc_cmd None; 0; 0 |]);
+  checkb "out-of-range faults" true
+    (match fire dc [| dc_cmd None; 99; 0 |] with
+    | exception Failure _ -> true
+    | _ -> false);
+  checkb "bad initialiser rejected" true
+    (match Dcache.process ~mem_size:4 ~mem_init:[ (9, 1) ] () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Pipelined CU in a closed-loop harness                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Respond to the CU's fetch stream like an ideal IC (2-firing response
+   latency); supply bubble flags.  Returns the rf_ctrl stream. *)
+let drive_cu text firings =
+  let cu = (Control_unit.process ~text_length:(Array.length text) ()).Process.make () in
+  let imem = Array.map Isa.encode text in
+  (* Responses in flight: the token consumed at firing k is the response
+     to the fetch emitted at k-2. *)
+  let pending = Queue.create () in
+  Queue.add (Codec.pack_instr None) pending;
+  Queue.add (Codec.pack_instr None) pending;
+  let ctrls = ref [] in
+  for _ = 1 to firings do
+    let instr_word = Queue.pop pending in
+    let outs = cu.Process.fire [| Some instr_word; Some (Codec.pack_flags None) |] in
+    let response =
+      match Codec.unpack_fetch outs.(0) with
+      | Some addr -> Codec.pack_instr (Some imem.(addr))
+      | None -> Codec.pack_instr None
+    in
+    Queue.add response pending;
+    ctrls := Codec.unpack_rf_ctrl outs.(1) :: !ctrls
+  done;
+  (cu, List.rev !ctrls)
+
+let test_cu_dispatch_timing () =
+  (* ldi r1; addi r2, r1 (RAW hazard: 1 bubble); halt. *)
+  let text = [| Isa.Ldi (1, 5); Isa.Addi (2, 1, 1); Isa.Halt |] in
+  let _, ctrls = drive_cu text 8 in
+  let dispatched = List.mapi (fun k c -> (k, c)) ctrls in
+  let real = List.filter (fun (_, c) -> c <> None) dispatched in
+  (match real with
+  | [ (k1, Some c1); (k2, Some c2) ] ->
+    checki "ldi dispatched when its fetch returns" 2 k1;
+    checkb "ldi writes r1" true (c1.Codec.wb1 = Some 1);
+    checki "dependent addi waits for the scoreboard" 4 k2;
+    checkb "addi reads r1" true (c2.Codec.ra = 1)
+  | _ -> Alcotest.failf "expected 2 dispatches, got %d" (List.length real))
+
+let test_cu_halt_drains () =
+  let text = [| Isa.Halt |] in
+  let cu, _ = drive_cu text (3 + Latency.drain) in
+  checkb "halted after the drain window" true (cu.Process.halted ())
+
+let test_cu_straightline_throughput () =
+  (* Independent instructions dispatch back to back: CPI 1. *)
+  let text =
+    [| Isa.Ldi (1, 1); Isa.Ldi (2, 2); Isa.Ldi (3, 3); Isa.Ldi (4, 4); Isa.Halt |]
+  in
+  let _, ctrls = drive_cu text 10 in
+  let dispatch_tags =
+    List.concat
+      (List.mapi (fun k c -> match c with Some _ -> [ k ] | None -> []) ctrls)
+  in
+  Alcotest.(check (list int)) "dispatches at consecutive firings" [ 2; 3; 4; 5 ] dispatch_tags
+
+let test_cu_unconditional_branch_redirect () =
+  (* br.al jumps over a poisoned instruction; the poison must never be
+     dispatched. *)
+  let text = [| Isa.Br (Isa.Always, 2); Isa.Ldi (9, 999); Isa.Ldi (1, 1); Isa.Halt |] in
+  let _, ctrls = drive_cu text 12 in
+  let writes =
+    List.filter_map (fun c -> Option.bind c (fun c -> c.Codec.wb1)) ctrls
+  in
+  Alcotest.(check (list int)) "only the target executes" [ 1 ] writes
+
+let () =
+  Alcotest.run "wp_blocks"
+    [
+      ( "ic",
+        [
+          Alcotest.test_case "fetch" `Quick test_ic_fetch;
+          Alcotest.test_case "out of range" `Quick test_ic_out_of_range;
+          Alcotest.test_case "empty program" `Quick test_ic_rejects_empty_program;
+        ] );
+      ( "alu",
+        [
+          Alcotest.test_case "latency and arithmetic" `Quick test_alu_latency_and_arith;
+          Alcotest.test_case "imm and address" `Quick test_alu_imm_and_addr;
+          Alcotest.test_case "flags and branches" `Quick test_alu_flags_and_branches;
+          Alcotest.test_case "eq conditions" `Quick test_alu_eq_conditions;
+        ] );
+      ( "rf",
+        [
+          Alcotest.test_case "alu writeback schedule" `Quick test_rf_alu_writeback_schedule;
+          Alcotest.test_case "load writeback schedule" `Quick test_rf_load_writeback_schedule;
+          Alcotest.test_case "collision: newer wins" `Quick test_rf_collision_alu_wins;
+          Alcotest.test_case "register tap" `Quick test_rf_tap;
+        ] );
+      ( "dc",
+        [
+          Alcotest.test_case "store then load" `Quick test_dc_store_then_load;
+          Alcotest.test_case "back-to-back stores" `Quick test_dc_back_to_back_stores;
+          Alcotest.test_case "init and faults" `Quick test_dc_mem_init_and_fault;
+        ] );
+      ( "cu",
+        [
+          Alcotest.test_case "dispatch timing" `Quick test_cu_dispatch_timing;
+          Alcotest.test_case "halt drains" `Quick test_cu_halt_drains;
+          Alcotest.test_case "straight-line CPI 1" `Quick test_cu_straightline_throughput;
+          Alcotest.test_case "br.al redirect" `Quick test_cu_unconditional_branch_redirect;
+        ] );
+    ]

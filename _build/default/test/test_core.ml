@@ -1,0 +1,381 @@
+(* Tests for Wp_core: configurations, static analysis, optimiser,
+   experiments, Table 1 driver, area model and equivalence checking. *)
+
+open Wp_core
+module Datapath = Wp_soc.Datapath
+module Programs = Wp_soc.Programs
+module Shell = Wp_lis.Shell
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Config                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_basics () =
+  checki "zero everywhere" 0 (Config.get Config.zero Datapath.CU_IC);
+  let c = Config.only Datapath.ALU_RF 2 in
+  checki "set" 2 (Config.get c Datapath.ALU_RF);
+  checki "others zero" 0 (Config.get c Datapath.CU_RF);
+  checki "total connections" 2 (Config.total_connections c);
+  checki "total channels" 2 (Config.total_channels c);
+  Alcotest.(check string) "describe" "ALU-RF=2" (Config.describe c);
+  Alcotest.(check string) "describe zero" "none" (Config.describe Config.zero)
+
+let test_config_uniform () =
+  let c = Config.uniform ~except:[ Datapath.CU_IC ] 1 in
+  checki "CU-IC excluded" 0 (Config.get c Datapath.CU_IC);
+  checki "others 1" 1 (Config.get c Datapath.DC_RF);
+  checki "total connections" 9 (Config.total_connections c);
+  (* RF-ALU is a 2-channel bundle. *)
+  checki "total channels" 10 (Config.total_channels c)
+
+let test_config_bundles () =
+  checki "CU-IC counts twice" 2 (Config.total_channels (Config.only Datapath.CU_IC 1));
+  checki "RF-ALU counts twice" 4 (Config.total_channels (Config.only Datapath.RF_ALU 2))
+
+let test_config_set_negative () =
+  checkb "negative rejected" true
+    (match Config.set Config.zero Datapath.CU_RF (-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_config_alist_roundtrip () =
+  let c = Config.of_alist [ (Datapath.CU_AL, 3); (Datapath.DC_RF, 1) ] in
+  checkb "functional view" true (Config.to_fun c Datapath.CU_AL = 3);
+  let alist = Config.to_alist c in
+  checki "all connections listed" 10 (List.length alist);
+  checkb "equal to itself" true (Config.equal c (Config.of_alist alist))
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ratio_testable =
+  Alcotest.testable Wp_graph.Cycle_ratio.ratio_pp (fun a b ->
+      Wp_graph.Cycle_ratio.ratio_compare a b = 0)
+
+let test_analysis_known_bounds () =
+  let bound c = Analysis.wp1_bound c in
+  Alcotest.check ratio_testable "ideal" (Wp_graph.Cycle_ratio.make_ratio 1 1)
+    (bound Config.zero);
+  (* CU->ALU->CU loop with one RS. *)
+  Alcotest.check ratio_testable "CU-AL" (Wp_graph.Cycle_ratio.make_ratio 2 3)
+    (bound (Config.only Datapath.CU_AL 1));
+  (* CU-IC is a bundle: one RS each way. *)
+  Alcotest.check ratio_testable "CU-IC" (Wp_graph.Cycle_ratio.make_ratio 1 2)
+    (bound (Config.only Datapath.CU_IC 1));
+  (* CU-RF sits only in 3+-loops. *)
+  Alcotest.check ratio_testable "CU-RF" (Wp_graph.Cycle_ratio.make_ratio 3 4)
+    (bound (Config.only Datapath.CU_RF 1));
+  (* CU->DC only appears in the 4-loop through RF and ALU. *)
+  Alcotest.check ratio_testable "CU-DC" (Wp_graph.Cycle_ratio.make_ratio 4 5)
+    (bound (Config.only Datapath.CU_DC 1));
+  Alcotest.check ratio_testable "all 1 no CU-IC" (Wp_graph.Cycle_ratio.make_ratio 1 2)
+    (bound (Config.uniform ~except:[ Datapath.CU_IC ] 1))
+
+let test_analysis_loops () =
+  let loops = Analysis.all_loops Config.zero in
+  checkb "several loops" true (List.length loops >= 6);
+  let critical = Analysis.critical_loop (Config.only Datapath.CU_IC 2) in
+  Alcotest.(check (list string)) "fetch loop is critical" [ "CU"; "IC" ]
+    (List.sort compare critical.Analysis.loop_blocks);
+  checki "m" 2 critical.Analysis.processes;
+  checki "n" 4 critical.Analysis.stations
+
+let test_analysis_wp2_estimate () =
+  let config = Config.only Datapath.ALU_CU 1 in
+  let full ~node:_ ~port:_ = 1.0 in
+  checkf "u=1 reduces to wp1 bound" (Analysis.wp1_bound_float config)
+    (Analysis.wp2_estimate config ~utilization:full);
+  let never ~node:_ ~port:_ = 0.0 in
+  checkf "u=0 removes all constraints" 1.0 (Analysis.wp2_estimate config ~utilization:never);
+  let half ~node:_ ~port:_ = 0.5 in
+  let est = Analysis.wp2_estimate config ~utilization:half in
+  checkb "monotone in utilisation" true
+    (est > Analysis.wp1_bound_float config && est < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_optimizer_enumerate () =
+  (* budget 2 over 9 slots, max 1 each: C(9,2) = 36. *)
+  let configs = Optimizer.enumerate ~budget:2 ~per_connection_max:1 () in
+  checki "36 placements" 36 (List.length configs);
+  List.iter
+    (fun c ->
+      checki "budget respected" 2 (Config.total_connections c);
+      checki "CU-IC excluded" 0 (Config.get c Datapath.CU_IC))
+    configs
+
+let test_optimizer_enumerate_bounds () =
+  checkb "unreachable budget" true
+    (match Optimizer.enumerate ~budget:100 ~per_connection_max:1 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checki "budget zero" 1 (List.length (Optimizer.enumerate ~budget:0 ~per_connection_max:1 ()))
+
+let test_optimizer_best_static () =
+  (* With budget 1 the best placement avoids every 2-loop: CU-RF or CU-DC
+     (3- and 4-loops only). *)
+  let config, bound = Optimizer.best_static ~budget:1 ~per_connection_max:1 () in
+  checkb "bound is 3/4 or better" true (bound >= 0.75 -. 1e-9);
+  checkb "placement on a long loop" true
+    (Config.get config Datapath.CU_RF = 1 || Config.get config Datapath.CU_DC = 1)
+
+let test_optimizer_optimal_calls_objective () =
+  let calls = ref 0 in
+  let objective c =
+    incr calls;
+    (* Prefer relay stations on DC-RF for the sake of the test. *)
+    float_of_int (Config.get c Datapath.DC_RF)
+  in
+  let config, value =
+    Optimizer.optimal ~budget:1 ~per_connection_max:1 ~candidates:9 ~objective ()
+  in
+  checkb "objective evaluated" true (!calls > 0 && !calls <= 9);
+  checkb "winner maximises objective among shortlist" true
+    (value >= 0.0 && Config.total_connections config = 1)
+
+let test_optimizer_anneal_matches_exhaustive () =
+  (* Small budgets: the annealer must find the same static optimum the
+     exhaustive search does. *)
+  List.iter
+    (fun budget ->
+      let _, exhaustive = Optimizer.best_static ~budget ~per_connection_max:2 () in
+      let _, annealed =
+        Optimizer.anneal_placement
+          ~prng:(Wp_util.Prng.create ~seed:31)
+          ~budget ~per_connection_max:2 ()
+      in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "budget %d" budget)
+        exhaustive annealed)
+    [ 1; 2; 3 ]
+
+let test_optimizer_anneal_respects_budget () =
+  let config, _ =
+    Optimizer.anneal_placement
+      ~prng:(Wp_util.Prng.create ~seed:32)
+      ~budget:7 ~per_connection_max:3 ()
+  in
+  checki "budget preserved" 7 (Config.total_connections config);
+  checki "CU-IC untouched" 0 (Config.get config Datapath.CU_IC);
+  List.iter
+    (fun (_, n) -> checkb "per-connection cap" true (n <= 3))
+    (Config.to_alist config)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let small_sort = Programs.extraction_sort ~values:(Programs.sort_values ~seed:11 ~n:8)
+
+let test_experiment_consistency () =
+  let record =
+    Experiment.run ~machine:Datapath.Pipelined ~program:small_sort
+      (Config.only Datapath.ALU_CU 1)
+  in
+  checkb "wp1 at least as slow as golden" true
+    (record.Experiment.wp1.Wp_soc.Cpu.cycles >= record.Experiment.golden_cycles);
+  checkb "wp2 at most wp1" true
+    (record.Experiment.wp2.Wp_soc.Cpu.cycles <= record.Experiment.wp1.Wp_soc.Cpu.cycles);
+  checkf "th_wp1 consistent"
+    (float_of_int record.Experiment.golden_cycles
+    /. float_of_int record.Experiment.wp1.Wp_soc.Cpu.cycles)
+    record.Experiment.th_wp1;
+  checkb "gain non-negative here" true (record.Experiment.gain_percent >= 0.0);
+  checkf "bound for ALU-CU" (2.0 /. 3.0) record.Experiment.wp1_bound
+
+let test_experiment_golden_memoised () =
+  let a = Experiment.golden ~machine:Datapath.Pipelined small_sort in
+  let b = Experiment.golden ~machine:Datapath.Pipelined small_sort in
+  checkb "same result object" true (a == b)
+
+(* ------------------------------------------------------------------ *)
+(* Table1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_table1_sort_structure () =
+  let rows =
+    Table1.sort_rows ~values:(Programs.sort_values ~seed:1 ~n:8) ~machine:Datapath.Pipelined ()
+  in
+  checki "13 rows" 13 (List.length rows);
+  let row i = List.nth rows (i - 1) in
+  Alcotest.(check string) "row 1" "All 0 (ideal)" (row 1).Table1.label;
+  Alcotest.(check string) "row 5" "Only CU-IC" (row 5).Table1.label;
+  Alcotest.(check string) "row 12" "All 1 (no CU-IC)" (row 12).Table1.label;
+  checkf "ideal throughput" 1.0 (row 1).Table1.record.Experiment.th_wp1;
+  checkb "CU-IC halves throughput" true
+    (abs_float ((row 5).Table1.record.Experiment.th_wp1 -. 0.5) < 0.01);
+  checkb "CU-IC oracle-immune" true
+    (abs_float ((row 5).Table1.record.Experiment.gain_percent) < 1.0);
+  (* Optimal row must be at least as good as All 1. *)
+  checkb "optimal beats all-1" true
+    ((row 13).Table1.record.Experiment.th_wp2
+    >= (row 12).Table1.record.Experiment.th_wp2 -. 1e-9);
+  let rendered = Table1.render ~title:"test" rows in
+  checkb "render mentions config" true
+    (let needle = "Only RF-DC" in
+     let n = String.length needle and h = String.length rendered in
+     let rec scan i = i + n <= h && (String.sub rendered i n = needle || scan (i + 1)) in
+     scan 0)
+
+let test_table1_csv () =
+  (* A tiny synthetic row list exercises the CSV writer without another
+     simulation sweep. *)
+  let record =
+    Experiment.run ~machine:Datapath.Pipelined ~program:small_sort
+      (Config.only Datapath.DC_RF 1)
+  in
+  let rows =
+    [
+      { Table1.index = 1; label = "Only DC-RF"; record };
+      { Table1.index = 2; label = "has,comma \"q\""; record };
+    ]
+  in
+  let csv = Table1.to_csv rows in
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  checki "header + 2 rows" 3 (List.length lines);
+  checkb "header" true
+    (List.hd lines = "index,configuration,wp2_cycles,wp1_bound,th_wp1,th_wp2,gain_percent");
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  checkb "quoting" true (contains csv "\"has,comma \"\"q\"\"\"")
+
+let test_table1_paper_reference () =
+  checki "sort reference rows" 13 (List.length (Table1.paper_reference ~workload:`Sort));
+  checki "matmul reference rows" 25 (List.length (Table1.paper_reference ~workload:`Matmul));
+  let _, label, wp1, wp2 = List.nth (Table1.paper_reference ~workload:`Sort) 6 in
+  Alcotest.(check string) "row 7 label" "Only RF-DC" label;
+  checkf "row 7 wp1" 0.667 wp1;
+  checkf "row 7 wp2" 0.99 wp2
+
+(* ------------------------------------------------------------------ *)
+(* Area                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_area_model () =
+  List.iter
+    (fun oracle ->
+      List.iter
+        (fun (name, e, pct) ->
+          checkb
+            (Printf.sprintf "%s wrapper under 1%% (oracle=%b)" name oracle)
+            true (pct < 1.0);
+          checki
+            (name ^ " total consistent")
+            e.Area.total_gates
+            ((e.Area.flop_bits * Area.gates_per_flop_bit) + e.Area.logic_gates))
+        (Area.case_study_report ~oracle))
+    [ false; true ];
+  let plain = Area.shell ~input_widths:[ 32 ] ~output_count:1 ~fifo_depth:2 ~oracle:false in
+  let oracle = Area.shell ~input_widths:[ 32 ] ~output_count:1 ~fifo_depth:2 ~oracle:true in
+  checkb "oracle adds hardware" true (oracle.Area.total_gates > plain.Area.total_gates);
+  let rs = Area.relay_station ~width:32 in
+  checkb "relay station small" true (rs.Area.total_gates < 400);
+  checki "relay station bits" 66 rs.Area.flop_bits
+
+let test_area_system_overhead () =
+  let wrappers_only = Area.system_overhead ~oracle:true Config.zero in
+  let with_rs =
+    Area.system_overhead ~oracle:true (Config.uniform ~except:[ Datapath.CU_IC ] 1)
+  in
+  checkb "relay stations add gates" true
+    (with_rs.Area.total_gates > wrappers_only.Area.total_gates);
+  (* All ten connections covered by the width table. *)
+  checki "width table complete" 10 (List.length Area.connection_widths);
+  (* System overhead stays low: the whole point of the approach. *)
+  checkb "under 2% of the SoC" true
+    (Area.system_overhead_percent ~oracle:true (Config.uniform 2) < 2.0);
+  (* A doubled budget costs exactly the relay-station difference. *)
+  let one = Area.system_overhead ~oracle:false (Config.only Datapath.DC_RF 1) in
+  let two = Area.system_overhead ~oracle:false (Config.only Datapath.DC_RF 2) in
+  let rs32 = Area.relay_station ~width:32 in
+  checki "linear in count" rs32.Area.total_gates (two.Area.total_gates - one.Area.total_gates)
+
+(* ------------------------------------------------------------------ *)
+(* Equiv_check                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_equiv_check_pipelined () =
+  let config = Config.uniform ~except:[ Datapath.CU_IC ] 1 in
+  List.iter
+    (fun mode ->
+      let v =
+        Equiv_check.check ~machine:Datapath.Pipelined ~mode ~config small_sort
+      in
+      checkb "equivalent" true v.Equiv_check.equivalent;
+      checki "12 ports" 12 v.Equiv_check.ports_checked;
+      checkb "events compared" true (v.Equiv_check.events_compared > 1000);
+      checkb "no mismatch" true (v.Equiv_check.first_mismatch = None))
+    [ Shell.Plain; Shell.Oracle ]
+
+let test_equiv_check_multicycle () =
+  let config = Config.only Datapath.CU_IC 1 in
+  let v =
+    Equiv_check.check ~machine:Datapath.Multicycle ~mode:Shell.Oracle ~config small_sort
+  in
+  checkb "multicycle equivalent" true v.Equiv_check.equivalent
+
+let test_n_equivalence () =
+  let config = Config.only Datapath.DC_RF 2 in
+  checkb "100-equivalent" true
+    (Equiv_check.check_n_equivalence ~n:100 ~machine:Datapath.Pipelined ~mode:Shell.Oracle
+       ~config small_sort)
+
+let () =
+  Alcotest.run "wp_core"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "basics" `Quick test_config_basics;
+          Alcotest.test_case "uniform" `Quick test_config_uniform;
+          Alcotest.test_case "bundles" `Quick test_config_bundles;
+          Alcotest.test_case "negative" `Quick test_config_set_negative;
+          Alcotest.test_case "alist roundtrip" `Quick test_config_alist_roundtrip;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "known bounds" `Quick test_analysis_known_bounds;
+          Alcotest.test_case "loops" `Quick test_analysis_loops;
+          Alcotest.test_case "wp2 estimate" `Quick test_analysis_wp2_estimate;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "enumerate" `Quick test_optimizer_enumerate;
+          Alcotest.test_case "enumerate bounds" `Quick test_optimizer_enumerate_bounds;
+          Alcotest.test_case "best static" `Quick test_optimizer_best_static;
+          Alcotest.test_case "objective shortlist" `Quick test_optimizer_optimal_calls_objective;
+          Alcotest.test_case "anneal matches exhaustive" `Quick test_optimizer_anneal_matches_exhaustive;
+          Alcotest.test_case "anneal respects budget" `Quick test_optimizer_anneal_respects_budget;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "consistency" `Quick test_experiment_consistency;
+          Alcotest.test_case "golden memoised" `Quick test_experiment_golden_memoised;
+        ] );
+      ( "table1",
+        [
+          Alcotest.test_case "sort structure" `Slow test_table1_sort_structure;
+          Alcotest.test_case "paper reference" `Quick test_table1_paper_reference;
+          Alcotest.test_case "csv export" `Quick test_table1_csv;
+        ] );
+      ( "area",
+        [
+          Alcotest.test_case "model" `Quick test_area_model;
+          Alcotest.test_case "system overhead" `Quick test_area_system_overhead;
+        ] );
+      ( "equiv_check",
+        [
+          Alcotest.test_case "pipelined" `Quick test_equiv_check_pipelined;
+          Alcotest.test_case "multicycle" `Quick test_equiv_check_multicycle;
+          Alcotest.test_case "n-equivalence" `Quick test_n_equivalence;
+        ] );
+    ]

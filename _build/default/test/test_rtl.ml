@@ -1,0 +1,144 @@
+(* Tests for Wp_rtl: structural sanity of the generated VHDL. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let count_occurrences haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i acc =
+    if i + n > h then acc
+    else if String.sub haystack i n = needle then scan (i + n) (acc + 1)
+    else scan (i + 1) acc
+  in
+  scan 0 0
+
+(* Crude structural checker: VHDL block keywords must balance.  Comments
+   are stripped first so prose does not confuse the counts. *)
+let strip_comments text =
+  String.split_on_char '\n' text
+  |> List.map (fun line ->
+         let rec find i =
+           if i + 1 >= String.length line then None
+           else if line.[i] = '-' && line.[i + 1] = '-' then Some i
+           else find (i + 1)
+         in
+         match find 0 with Some i -> String.sub line 0 i | None -> line)
+  |> String.concat "\n"
+
+let check_balanced text =
+  let text = strip_comments text in
+  let count needle = count_occurrences text needle in
+  (* Line-anchored and role-specific tokens avoid substring aliasing
+     ("architecture" inside "end architecture"). *)
+  checki "architectures balanced" (count "\narchitecture ") (count "\nend architecture");
+  checki "processes balanced" (count ": process") (count "end process");
+  checkb "has an entity" true (count "\nentity " >= 1);
+  checkb "entities closed" true (count "end entity" >= 1);
+  checkb "ifs closed" true (count "end if" >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Relay station                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_relay_station_rtl () =
+  let vhdl = Wp_rtl.Vhdl.relay_station () in
+  checkb "entity" true (contains vhdl "entity relay_station is");
+  checkb "generic width" true (contains vhdl "generic (width : positive := 32)");
+  checkb "stop law" true (contains vhdl "in_stop   <= out_stop and main_full and aux_full");
+  checkb "loss assertion" true (contains vhdl "datum lost");
+  check_balanced vhdl
+
+let test_relay_station_testbench () =
+  let vhdl = Wp_rtl.Vhdl.relay_station_testbench () in
+  checkb "instantiates dut" true (contains vhdl "entity work.relay_station");
+  checkb "self-checking" true (contains vhdl "out of order");
+  check_balanced vhdl
+
+(* ------------------------------------------------------------------ *)
+(* Shells                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let alu = Wp_soc.Alu.process ()
+
+let test_shell_ports () =
+  let vhdl = Wp_rtl.Vhdl.shell alu in
+  checkb "entity name" true (contains vhdl "entity alu_shell is");
+  (* Every process port appears as a data/valid/stop triple. *)
+  Array.iter
+    (fun port ->
+      checkb (port ^ " data") true (contains vhdl (port ^ "_data"));
+      checkb (port ^ " valid") true (contains vhdl (port ^ "_valid"));
+      checkb (port ^ " stop") true (contains vhdl (port ^ "_stop")))
+    [| "op"; "src1"; "src2"; "result"; "flags"; "addr" |];
+  (* Widths come from the codec table. *)
+  checkb "op is 25 bits" true (contains vhdl "op_data : in std_logic_vector(24 downto 0)");
+  checkb "flags is 2 bits" true
+    (contains vhdl "flags_data : out std_logic_vector(1 downto 0)");
+  check_balanced vhdl
+
+let test_shell_plain_vs_oracle () =
+  let plain = Wp_rtl.Vhdl.shell ~oracle:false alu in
+  let oracle = Wp_rtl.Vhdl.shell ~oracle:true alu in
+  checkb "plain has no mask" false (contains plain "required_mask");
+  checkb "oracle has the mask" true (contains oracle "required_mask");
+  checkb "oracle has discard counters" true (contains oracle "pending_discard");
+  checkb "oracle mask sized by inputs" true
+    (contains oracle "required : out std_logic_vector(2 downto 0)");
+  check_balanced oracle
+
+let test_shell_fire_condition () =
+  let vhdl = Wp_rtl.Vhdl.shell alu in
+  checkb "fires on all inputs and no stop" true
+    (contains vhdl
+       "fire <= op_ready and src1_ready and src2_ready and not result_stop and not \
+        flags_stop and not addr_stop");
+  checkb "tau on stall" true (contains vhdl "result_valid <= fire")
+
+let test_case_study_package () =
+  let files = Wp_rtl.Vhdl.case_study_package ~oracle:true in
+  checki "7 files" 7 (List.length files);
+  List.iter
+    (fun expected ->
+      checkb (expected ^ " present") true (List.mem_assoc expected files))
+    [
+      "relay_station.vhd";
+      "relay_station_tb.vhd";
+      "cu_shell.vhd";
+      "ic_shell.vhd";
+      "rf_shell.vhd";
+      "alu_shell.vhd";
+      "dc_shell.vhd";
+    ];
+  List.iter (fun (_, vhdl) -> check_balanced vhdl) files
+
+let test_port_width_table () =
+  checki "cu instr" 33 (Wp_rtl.Vhdl.port_width ~block:"CU" ~port:"instr");
+  checki "dc cmd" 2 (Wp_rtl.Vhdl.port_width ~block:"DC" ~port:"cmd");
+  checki "unknown defaults to 32" 32 (Wp_rtl.Vhdl.port_width ~block:"XX" ~port:"yy")
+
+let test_generation_deterministic () =
+  checkb "same output" true (Wp_rtl.Vhdl.shell alu = Wp_rtl.Vhdl.shell alu)
+
+let () =
+  Alcotest.run "wp_rtl"
+    [
+      ( "relay_station",
+        [
+          Alcotest.test_case "rtl" `Quick test_relay_station_rtl;
+          Alcotest.test_case "testbench" `Quick test_relay_station_testbench;
+        ] );
+      ( "shells",
+        [
+          Alcotest.test_case "ports" `Quick test_shell_ports;
+          Alcotest.test_case "plain vs oracle" `Quick test_shell_plain_vs_oracle;
+          Alcotest.test_case "fire condition" `Quick test_shell_fire_condition;
+          Alcotest.test_case "case-study package" `Quick test_case_study_package;
+          Alcotest.test_case "width table" `Quick test_port_width_table;
+          Alcotest.test_case "deterministic" `Quick test_generation_deterministic;
+        ] );
+    ]

@@ -1,0 +1,285 @@
+(* Unit and property tests for Wp_util. *)
+
+module Prng = Wp_util.Prng
+module Ring_fifo = Wp_util.Ring_fifo
+module Stats = Wp_util.Stats
+module Text_table = Wp_util.Text_table
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.next_int64 a <> Prng.next_int64 b then differs := true
+  done;
+  checkb "different seeds diverge" true !differs
+
+let test_prng_copy () =
+  let a = Prng.create ~seed:7 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  check Alcotest.int64 "copy continues identically" (Prng.next_int64 a) (Prng.next_int64 b)
+
+let test_prng_int_bounds () =
+  let t = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 17 in
+    checkb "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_invalid () =
+  let t = Prng.create ~seed:5 in
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int t 0))
+
+let test_prng_int_in () =
+  let t = Prng.create ~seed:11 in
+  for _ = 1 to 500 do
+    let v = Prng.int_in t (-3) 4 in
+    checkb "in [-3,4]" true (v >= -3 && v <= 4)
+  done
+
+let test_prng_float_bounds () =
+  let t = Prng.create ~seed:13 in
+  for _ = 1 to 500 do
+    let v = Prng.float t 2.5 in
+    checkb "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_int_coverage () =
+  (* Every residue of a small bound should appear in a long stream. *)
+  let t = Prng.create ~seed:3 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int t 7) <- true
+  done;
+  Array.iteri (fun i b -> checkb (Printf.sprintf "residue %d seen" i) true b) seen
+
+let test_prng_shuffle_permutation () =
+  let t = Prng.create ~seed:9 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "shuffle permutes" (Array.init 50 Fun.id) sorted
+
+let test_prng_split_independent () =
+  let parent = Prng.create ~seed:21 in
+  let child = Prng.split parent in
+  (* Child and parent should not emit identical streams. *)
+  let same = ref true in
+  for _ = 1 to 5 do
+    if Prng.next_int64 parent <> Prng.next_int64 child then same := false
+  done;
+  checkb "split diverges from parent" false !same
+
+(* ------------------------------------------------------------------ *)
+(* Ring_fifo                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_fifo_order () =
+  let q = Ring_fifo.create (Ring_fifo.Bounded 4) in
+  List.iter (fun x -> checkb "push ok" true (Ring_fifo.push q x)) [ 1; 2; 3 ];
+  checki "length" 3 (Ring_fifo.length q);
+  check Alcotest.(option int) "pop 1" (Some 1) (Ring_fifo.pop q);
+  check Alcotest.(option int) "pop 2" (Some 2) (Ring_fifo.pop q);
+  check Alcotest.(option int) "pop 3" (Some 3) (Ring_fifo.pop q);
+  check Alcotest.(option int) "empty" None (Ring_fifo.pop q)
+
+let test_fifo_bounded_refuses () =
+  let q = Ring_fifo.create (Ring_fifo.Bounded 2) in
+  checkb "1st" true (Ring_fifo.push q 1);
+  checkb "2nd" true (Ring_fifo.push q 2);
+  checkb "3rd refused" false (Ring_fifo.push q 3);
+  checki "length still 2" 2 (Ring_fifo.length q);
+  check Alcotest.(option int) "contents intact" (Some 1) (Ring_fifo.peek q)
+
+let test_fifo_invalid_capacity () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Ring_fifo.create: capacity must be >= 1") (fun () ->
+      ignore (Ring_fifo.create (Ring_fifo.Bounded 0)))
+
+let test_fifo_wraparound () =
+  let q = Ring_fifo.create (Ring_fifo.Bounded 3) in
+  for round = 0 to 20 do
+    checkb "push" true (Ring_fifo.push q round);
+    check Alcotest.(option int) "pop" (Some round) (Ring_fifo.pop q)
+  done
+
+let test_fifo_unbounded_grows () =
+  let q = Ring_fifo.create Ring_fifo.Unbounded in
+  for i = 0 to 999 do
+    Ring_fifo.push_exn q i
+  done;
+  checki "length 1000" 1000 (Ring_fifo.length q);
+  checkb "never full" false (Ring_fifo.is_full q);
+  for i = 0 to 999 do
+    check Alcotest.(option int) "fifo order" (Some i) (Ring_fifo.pop q)
+  done
+
+let test_fifo_clear () =
+  let q = Ring_fifo.create (Ring_fifo.Bounded 4) in
+  Ring_fifo.push_exn q 1;
+  Ring_fifo.push_exn q 2;
+  Ring_fifo.clear q;
+  checkb "empty after clear" true (Ring_fifo.is_empty q);
+  Ring_fifo.push_exn q 9;
+  check Alcotest.(list int) "usable after clear" [ 9 ] (Ring_fifo.to_list q)
+
+(* Model-based property: a random push/pop interleaving behaves like a
+   list. *)
+let prop_fifo_model =
+  QCheck2.Test.make ~count:500 ~name:"ring_fifo behaves like a list queue"
+    QCheck2.Gen.(list (pair bool small_nat))
+    (fun ops ->
+      let q = Ring_fifo.create Ring_fifo.Unbounded in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, x) ->
+          if is_push then begin
+            Ring_fifo.push_exn q x;
+            model := !model @ [ x ];
+            true
+          end
+          else
+            match (Ring_fifo.pop q, !model) with
+            | None, [] -> true
+            | Some got, m :: rest ->
+              model := rest;
+              got = m
+            | None, _ :: _ | Some _, [] -> false)
+        ops
+      && Ring_fifo.to_list q = !model)
+
+let prop_fifo_bounded_never_overflows =
+  QCheck2.Test.make ~count:300 ~name:"bounded fifo never exceeds capacity"
+    QCheck2.Gen.(pair (int_range 1 5) (list bool))
+    (fun (cap, ops) ->
+      let q = Ring_fifo.create (Ring_fifo.Bounded cap) in
+      List.for_all
+        (fun is_push ->
+          if is_push then begin
+            ignore (Ring_fifo.push q 0);
+            Ring_fifo.length q <= cap
+          end
+          else begin
+            ignore (Ring_fifo.pop q);
+            Ring_fifo.length q >= 0
+          end)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_stats_mean () =
+  checkf "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  checkf "mean empty" 0.0 (Stats.mean [])
+
+let test_stats_stddev () =
+  checkf "stddev of constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  checkf "stddev" (sqrt 2.0) (Stats.stddev [ 1.0; 3.0; 1.0; 3.0; 1.0; 3.0 ] *. sqrt 2.0)
+
+let test_stats_percentile () =
+  let xs = [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  checkf "median" 3.0 (Stats.percentile 0.5 xs);
+  checkf "min" 1.0 (Stats.percentile 0.0 xs);
+  checkf "max" 5.0 (Stats.percentile 1.0 xs)
+
+let test_stats_ratio () =
+  checkf "ratio" 0.5 (Stats.ratio 1 2);
+  checkf "ratio by zero" 0.0 (Stats.ratio 1 0)
+
+let test_stats_gain () =
+  checkf "gain" 50.0 (Stats.percent_gain 0.5 0.75);
+  checkf "gain from zero" 0.0 (Stats.percent_gain 0.0 1.0)
+
+let test_stats_round_to () =
+  checkf "round 2" 0.67 (Stats.round_to 2 (2.0 /. 3.0));
+  checkf "round 0" 1.0 (Stats.round_to 0 0.6)
+
+(* ------------------------------------------------------------------ *)
+(* Text_table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_renders () =
+  let t =
+    Text_table.create ~columns:[ ("Name", Text_table.Left); ("N", Text_table.Right) ]
+  in
+  Text_table.add_row t [ "alpha"; "1" ];
+  Text_table.add_span_row t "group";
+  Text_table.add_separator t;
+  Text_table.add_row t [ "b"; "23" ];
+  let s = Text_table.render t in
+  checkb "mentions header" true (String.length s > 0 && String.index_opt s 'N' <> None);
+  let contains needle =
+    let n = String.length needle and h = String.length s in
+    let rec scan i = i + n <= h && (String.sub s i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  checkb "contains alpha row" true (contains "alpha");
+  checkb "right-aligns numbers" true (contains "23");
+  checkb "span row present" true (contains "group")
+
+let test_table_arity () =
+  let t = Text_table.create ~columns:[ ("A", Text_table.Left) ] in
+  Alcotest.check_raises "arity enforced" (Invalid_argument "Text_table.add_row: wrong arity")
+    (fun () -> Text_table.add_row t [ "x"; "y" ])
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_fifo_model; prop_fifo_bounded_never_overflows ] in
+  Alcotest.run "wp_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_prng_int_invalid;
+          Alcotest.test_case "int_in range" `Quick test_prng_int_in;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "int coverage" `Quick test_prng_int_coverage;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+        ] );
+      ( "ring_fifo",
+        [
+          Alcotest.test_case "fifo order" `Quick test_fifo_order;
+          Alcotest.test_case "bounded refuses" `Quick test_fifo_bounded_refuses;
+          Alcotest.test_case "invalid capacity" `Quick test_fifo_invalid_capacity;
+          Alcotest.test_case "wraparound" `Quick test_fifo_wraparound;
+          Alcotest.test_case "unbounded grows" `Quick test_fifo_unbounded_grows;
+          Alcotest.test_case "clear" `Quick test_fifo_clear;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "ratio" `Quick test_stats_ratio;
+          Alcotest.test_case "percent gain" `Quick test_stats_gain;
+          Alcotest.test_case "round_to" `Quick test_stats_round_to;
+        ] );
+      ( "text_table",
+        [
+          Alcotest.test_case "renders" `Quick test_table_renders;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+        ] );
+      ("properties", qsuite);
+    ]
