@@ -21,11 +21,27 @@ module Shell = Wp_lis.Shell
 module Config = Wp_core.Config
 module Experiment = Wp_core.Experiment
 module Table1 = Wp_core.Table1
+module Runner = Wp_core.Runner
 
 let fast = Sys.getenv_opt "WIREPIPE_BENCH_FAST" <> None
 
+(* One runner for the whole harness: WIREPIPE_JOBS workers, shared result
+   cache.  Later sections (ablation, depth sweep) re-request rows the
+   Table 1 sections already simulated, so the cache-hit counters below are
+   live observability, not decoration. *)
+let runner = Runner.create ()
+
 let heading title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* Run a section on the runner's wall clock and report it immediately.
+   (The tables themselves are byte-identical for any WIREPIPE_JOBS; only
+   these bracketed stats lines vary run to run.) *)
+let timed name f =
+  let result, s = Runner.timed runner name f in
+  Printf.printf "[%s: %.3f s wall, %d tasks, %d cache hits]\n" name
+    s.Runner.wall_seconds s.Runner.section_tasks s.Runner.section_cache_hits;
+  result
 
 (* ------------------------------------------------------------------ *)
 (* 1. Figure 1                                                        *)
@@ -107,12 +123,18 @@ let side_by_side ~title ~workload rows =
 let table1_sort () =
   heading "Table 1 — Extraction Sort, pipelined (paper vs this reproduction)";
   let values = Programs.sort_values ~seed:1 ~n:(if fast then 10 else 16) in
-  let rows = Table1.sort_rows ~values ~machine:Datapath.Pipelined () in
+  let rows =
+    timed "table1-sort" (fun () ->
+        Table1.sort_rows ~values ~runner ~machine:Datapath.Pipelined ())
+  in
   side_by_side ~title:"Extraction Sort (pipelined)" ~workload:`Sort rows
 
 let table1_matmul () =
   heading "Table 1 — Matrix Multiply, pipelined (paper vs this reproduction)";
-  let rows = Table1.matmul_rows ~n:(if fast then 3 else 5) ~machine:Datapath.Pipelined () in
+  let rows =
+    timed "table1-matmul" (fun () ->
+        Table1.matmul_rows ~n:(if fast then 3 else 5) ~runner ~machine:Datapath.Pipelined ())
+  in
   side_by_side ~title:"Matrix Multiply (pipelined)" ~workload:`Matmul rows
 
 (* ------------------------------------------------------------------ *)
@@ -139,9 +161,21 @@ let multicycle () =
           ("WP2 vs WP1", T.Right);
         ]
   in
-  List.iter
-    (fun (label, config) ->
-      let r = Experiment.run ~machine:Datapath.Multicycle ~program config in
+  let specs =
+    [ ("Only CU-IC", Config.only Datapath.CU_IC 1) ]
+    @ List.map
+        (fun conn ->
+          (Printf.sprintf "Only %s" (Datapath.connection_name conn), Config.only conn 1))
+        [ Datapath.CU_AL; Datapath.ALU_CU; Datapath.RF_DC ]
+    @ [ ("All 1 (no CU-IC)", Config.uniform ~except:[ Datapath.CU_IC ] 1) ]
+  in
+  let records =
+    timed "multicycle" (fun () ->
+        Runner.experiments runner ~machine:Datapath.Multicycle ~program
+          (List.map snd specs))
+  in
+  List.iter2
+    (fun (label, _) r ->
       T.add_row t
         [
           label;
@@ -149,12 +183,7 @@ let multicycle () =
           Printf.sprintf "%.3f" r.Experiment.th_wp2;
           Printf.sprintf "%+.0f%%" r.Experiment.gain_percent;
         ])
-    ([ ("Only CU-IC", Config.only Datapath.CU_IC 1) ]
-    @ List.map
-        (fun conn ->
-          (Printf.sprintf "Only %s" (Datapath.connection_name conn), Config.only conn 1))
-        [ Datapath.CU_AL; Datapath.ALU_CU; Datapath.RF_DC ]
-    @ [ ("All 1 (no CU-IC)", Config.uniform ~except:[ Datapath.CU_IC ] 1) ]);
+    specs records;
   T.print t
 
 (* ------------------------------------------------------------------ *)
@@ -198,12 +227,7 @@ let equivalence () =
   let program =
     Programs.extraction_sort ~values:(Programs.sort_values ~seed:1 ~n:(if fast then 8 else 12))
   in
-  List.iter
-    (fun (label, machine, mode, config) ->
-      let v = Wp_core.Equiv_check.check ~machine ~mode ~config program in
-      Printf.printf "%-44s %s (%d ports, %d events)\n" label
-        (if v.Wp_core.Equiv_check.equivalent then "equivalent" else "NOT EQUIVALENT")
-        v.Wp_core.Equiv_check.ports_checked v.Wp_core.Equiv_check.events_compared)
+  let checks =
     [
       ( "pipelined WP1, All 1 (no CU-IC)",
         Datapath.Pipelined,
@@ -222,6 +246,20 @@ let equivalence () =
         Shell.Oracle,
         Config.only Datapath.CU_IC 1 );
     ]
+  in
+  let verdicts =
+    timed "equivalence" (fun () ->
+        Runner.map runner
+          (fun (_, machine, mode, config) ->
+            Wp_core.Equiv_check.check ~machine ~mode ~config program)
+          checks)
+  in
+  List.iter2
+    (fun (label, _, _, _) v ->
+      Printf.printf "%-44s %s (%d ports, %d events)\n" label
+        (if v.Wp_core.Equiv_check.equivalent then "equivalent" else "NOT EQUIVALENT")
+        v.Wp_core.Equiv_check.ports_checked v.Wp_core.Equiv_check.events_compared)
+    checks verdicts
 
 (* ------------------------------------------------------------------ *)
 (* 7. Ablation: analytics vs simulation                               *)
@@ -250,9 +288,20 @@ let ablation () =
           ("WP2 sim", T.Right);
         ]
   in
-  List.iter
-    (fun (label, config) ->
-      let r = Experiment.run ~machine:Datapath.Pipelined ~program config in
+  let specs =
+    List.map
+      (fun conn ->
+        (Printf.sprintf "Only %s" (Datapath.connection_name conn), Config.only conn 1))
+      Datapath.all_connections
+    @ [ ("All 1 (no CU-IC)", Config.uniform ~except:[ Datapath.CU_IC ] 1) ]
+  in
+  let records =
+    timed "ablation" (fun () ->
+        Runner.experiments runner ~machine:Datapath.Pipelined ~program
+          (List.map snd specs))
+  in
+  List.iter2
+    (fun (label, config) r ->
       T.add_row t
         [
           label;
@@ -261,11 +310,7 @@ let ablation () =
           Printf.sprintf "%.3f" (Wp_core.Analysis.wp2_estimate config ~utilization);
           Printf.sprintf "%.3f" r.Experiment.th_wp2;
         ])
-    (List.map
-       (fun conn ->
-         (Printf.sprintf "Only %s" (Datapath.connection_name conn), Config.only conn 1))
-       Datapath.all_connections
-    @ [ ("All 1 (no CU-IC)", Config.uniform ~except:[ Datapath.CU_IC ] 1) ]);
+    specs records;
   T.print t;
   print_endline
     "(the estimator is first-order: it ignores dependency chaining through the\n\
@@ -372,20 +417,35 @@ let depth_sweep () =
              (fun d -> [ (Printf.sprintf "WP1 n=%d" d, T.Right); (Printf.sprintf "WP2 n=%d" d, T.Right) ])
              depths)
   in
-  List.iter
-    (fun conn ->
-      let cells =
-        List.concat_map
-          (fun d ->
-            let r = Experiment.run ~machine:Datapath.Pipelined ~program (Config.only conn d) in
-            [
-              Printf.sprintf "%.2f" r.Experiment.th_wp1;
-              Printf.sprintf "%.2f" r.Experiment.th_wp2;
-            ])
-          depths
+  let conns = [ Datapath.CU_IC; Datapath.ALU_CU; Datapath.RF_DC; Datapath.CU_RF ] in
+  let configs =
+    List.concat_map (fun conn -> List.map (Config.only conn) depths) conns
+  in
+  let records =
+    timed "depth-sweep" (fun () ->
+        Runner.experiments runner ~machine:Datapath.Pipelined ~program configs)
+  in
+  let cells =
+    List.map
+      (fun (r : Experiment.record) ->
+        [
+          Printf.sprintf "%.2f" r.Experiment.th_wp1;
+          Printf.sprintf "%.2f" r.Experiment.th_wp2;
+        ])
+      records
+  in
+  let rec rows conns cells =
+    match conns with
+    | [] -> ()
+    | conn :: rest ->
+      let here, remaining =
+        let n = List.length depths in
+        (List.filteri (fun i _ -> i < n) cells, List.filteri (fun i _ -> i >= n) cells)
       in
-      T.add_row t (Datapath.connection_name conn :: cells))
-    [ Datapath.CU_IC; Datapath.ALU_CU; Datapath.RF_DC; Datapath.CU_RF ];
+      T.add_row t (Datapath.connection_name conn :: List.concat here);
+      rows rest remaining
+  in
+  rows conns cells;
   T.print t;
   print_endline
     "(each WP1 column follows the worst loop m/(m+n); the oracle columns decay\n\
@@ -432,7 +492,8 @@ loop:   addi r1, r1, -1
     (fun program ->
       let g m = (Experiment.golden ~machine:m program).Wp_soc.Cpu.cycles in
       let wp2 m =
-        (Experiment.run ~machine:m ~program all1).Experiment.wp2.Wp_soc.Cpu.cycles
+        (Runner.experiment runner ~machine:m ~program all1).Experiment.wp2
+          .Wp_soc.Cpu.cycles
       in
       let plain = g Datapath.Pipelined and btfn = g Datapath.Pipelined_btfn in
       T.add_row t
@@ -538,6 +599,8 @@ let bechamel_section () =
 let () =
   print_endline "Wire-Pipelined SoC — benchmark harness (DATE'05 reproduction)";
   if fast then print_endline "(fast mode: shrunken workloads)";
+  Printf.printf "(parallel runner: %d jobs; set WIREPIPE_JOBS to override)\n"
+    (Runner.jobs runner);
   figure1 ();
   table1_sort ();
   table1_matmul ();
@@ -551,4 +614,6 @@ let () =
   prediction_ablation ();
   floorplan ();
   bechamel_section ();
+  heading "Runner observability";
+  Format.printf "%a@." Runner.pp_stats (Runner.stats runner);
   print_endline "\ndone."

@@ -86,6 +86,32 @@ let machine_arg =
 let config_arg =
   Arg.(value & opt config_conv Config.zero & info [ "rs" ] ~docv:"CONFIG" ~doc:"Relay stations, e.g. 'CU-AL=1,DC-RF=2' (or 'none').")
 
+(* Parallel runner controls, shared by the simulation-sweep commands. *)
+
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker pool size for simulation sweeps (default: \
+                 $(b,WIREPIPE_JOBS) or one per core). Output is \
+                 byte-identical for any value.")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Disable the content-addressed experiment result cache \
+                 (every row is re-simulated).")
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ] ~doc:"Print runner statistics (tasks, cache hits, wall time) to stderr.")
+
+let make_runner jobs no_cache =
+  Wp_core.Runner.create ?jobs ~cache:(not no_cache) ()
+
+let report_stats runner stats =
+  if stats then
+    Format.eprintf "%a@." Wp_core.Runner.pp_stats (Wp_core.Runner.stats runner)
+
 (* --- table1 --------------------------------------------------------- *)
 
 let table1_cmd =
@@ -99,13 +125,15 @@ let table1_cmd =
   let csv =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the rows as CSV.")
   in
-  let run workload machine size csv =
-    let rows =
-      match workload with
-      | `Sort ->
-        let values = Programs.sort_values ~seed:1 ~n:(Option.value size ~default:16) in
-        Wp_core.Table1.sort_rows ~values ~machine ()
-      | `Matmul -> Wp_core.Table1.matmul_rows ?n:size ~machine ()
+  let run workload machine size csv jobs no_cache stats =
+    let runner = make_runner jobs no_cache in
+    let rows, _ =
+      Wp_core.Runner.timed runner "table1" (fun () ->
+          match workload with
+          | `Sort ->
+            let values = Programs.sort_values ~seed:1 ~n:(Option.value size ~default:16) in
+            Wp_core.Table1.sort_rows ~values ~runner ~machine ()
+          | `Matmul -> Wp_core.Table1.matmul_rows ?n:size ~runner ~machine ())
     in
     let title =
       Printf.sprintf "Table 1 — %s (%s)"
@@ -113,16 +141,17 @@ let table1_cmd =
         (Datapath.machine_name machine)
     in
     print_string (Wp_core.Table1.render ~title rows);
-    match csv with
+    (match csv with
     | None -> ()
     | Some path ->
       let oc = open_out path in
       output_string oc (Wp_core.Table1.to_csv rows);
       close_out oc;
-      Printf.printf "CSV written to %s\n" path
+      Printf.printf "CSV written to %s\n" path);
+    report_stats runner stats
   in
   Cmd.v (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1")
-    Term.(const run $ workload $ machine_arg $ size $ csv)
+    Term.(const run $ workload $ machine_arg $ size $ csv $ jobs_arg $ no_cache_arg $ stats_arg)
 
 (* --- run ------------------------------------------------------------ *)
 
@@ -331,19 +360,23 @@ let exec_cmd =
 let optimal_cmd =
   let budget = Arg.(value & opt int 9 & info [ "budget" ] ~docv:"N" ~doc:"Total relay stations.") in
   let per_max = Arg.(value & opt int 2 & info [ "max" ] ~docv:"K" ~doc:"Max per connection.") in
-  let run budget per_max program machine =
-    let config, value =
-      Wp_core.Optimizer.optimal ~budget ~per_connection_max:per_max
-        ~objective:(Wp_core.Experiment.wp2_cycles_objective ~machine ~program)
-        ()
+  let run budget per_max program machine jobs no_cache stats =
+    let runner = make_runner jobs no_cache in
+    let (config, value), _ =
+      Wp_core.Runner.timed runner "optimal" (fun () ->
+          Wp_core.Optimizer.optimal ~budget ~per_connection_max:per_max
+            ~map:(Wp_core.Runner.map runner)
+            ~objective:(Wp_core.Runner.objective runner ~machine ~program)
+            ())
     in
     Printf.printf "best placement of %d relay stations (max %d per connection):\n" budget per_max;
     Printf.printf "  %s\n  simulated WP2 throughput %.3f (static WP1 bound %.3f)\n"
-      (Config.describe config) value (Wp_core.Analysis.wp1_bound_float config)
+      (Config.describe config) value (Wp_core.Analysis.wp1_bound_float config);
+    report_stats runner stats
   in
   Cmd.v
     (Cmd.info "optimal" ~doc:"Search for the best relay-station placement under a budget")
-    Term.(const run $ budget $ per_max $ program_arg $ machine_arg)
+    Term.(const run $ budget $ per_max $ program_arg $ machine_arg $ jobs_arg $ no_cache_arg $ stats_arg)
 
 (* --- wave -------------------------------------------------------------- *)
 

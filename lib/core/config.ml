@@ -51,6 +51,18 @@ let total_channels t =
 
 let equal = ( = )
 
+let digest t =
+  (* Content-addressed key material for the experiment cache: stable
+     across processes (unlike [Hashtbl.hash]) and injective on the count
+     vector.  The array is in [Datapath.all_connections] order. *)
+  let buf = Buffer.create 32 in
+  Array.iter
+    (fun n ->
+      Buffer.add_string buf (string_of_int n);
+      Buffer.add_char buf ',')
+    t;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let describe t =
   let parts =
     List.filter_map

@@ -36,6 +36,12 @@ val total_channels : t -> int
     double) — the physical RS count. *)
 
 val equal : t -> t -> bool
+
+val digest : t -> string
+(** Stable hex digest of the full count vector (equal configurations give
+    equal digests, distinct ones distinct digests) — the configuration
+    component of {!Runner}'s content-addressed result-cache keys. *)
+
 val pp : Format.formatter -> t -> unit
 val describe : t -> string
 (** Compact human description, e.g. ["ALU-RF=1 DC-RF=2"] or ["none"]. *)

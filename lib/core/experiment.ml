@@ -16,27 +16,53 @@ type record = {
   wp1_bound : float;
 }
 
+let program_digest (program : Program.t) =
+  (* Two programs may share a name with different data (e.g. sorts of
+     different sizes); the key must cover the full workload content.
+     [Digest] (not [Hashtbl.hash]) so the key is collision-resistant and
+     stable across processes. *)
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (program.Program.text, program.Program.mem_init, program.Program.mem_size)
+          []))
+
+(* The golden memo table is shared by every worker domain of the parallel
+   runner, so all access goes through [golden_mutex].  The reference run
+   itself executes outside the lock: concurrent misses on the same key may
+   duplicate the simulation (harmless — [Cpu.run_golden] is pure), but the
+   first completed result wins the table, so later calls return the same
+   physical record. *)
 let golden_cache : (string, Cpu.result) Hashtbl.t = Hashtbl.create 16
+let golden_mutex = Mutex.create ()
 
 let golden ~machine (program : Program.t) =
-  (* Two programs may share a name with different data (e.g. sorts of
-     different sizes); the key must cover the full workload content. *)
-  let fingerprint =
-    Hashtbl.hash
-      (program.Program.text, program.Program.mem_init, program.Program.mem_size)
-  in
   let key =
-    Printf.sprintf "%s/%s/%d" (Datapath.machine_name machine) program.Program.name
-      fingerprint
+    Printf.sprintf "%s/%s/%s" (Datapath.machine_name machine) program.Program.name
+      (program_digest program)
   in
-  match Hashtbl.find_opt golden_cache key with
+  let cached =
+    Mutex.lock golden_mutex;
+    let r = Hashtbl.find_opt golden_cache key in
+    Mutex.unlock golden_mutex;
+    r
+  in
+  match cached with
   | Some r -> r
   | None ->
     let r = Cpu.run_golden ~machine program in
     if r.Cpu.outcome <> Cpu.Completed || not r.Cpu.result_ok then
       failwith ("Experiment.golden: reference run failed for " ^ key);
-    Hashtbl.replace golden_cache key r;
-    r
+    Mutex.lock golden_mutex;
+    let winner =
+      match Hashtbl.find_opt golden_cache key with
+      | Some first -> first
+      | None ->
+        Hashtbl.replace golden_cache key r;
+        r
+    in
+    Mutex.unlock golden_mutex;
+    winner
 
 let checked_run ?max_cycles ~machine ~mode ~config program =
   let r = Cpu.run ?max_cycles ~machine ~mode ~rs:(Config.to_fun config) program in

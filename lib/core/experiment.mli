@@ -14,8 +14,15 @@ type record = {
   wp1_bound : float;       (** static worst-loop bound *)
 }
 
+val program_digest : Wp_soc.Program.t -> string
+(** Stable hex digest of the full workload content (text, initial memory,
+    memory size) — the program component of cache keys here and in
+    {!Runner}. *)
+
 val golden : machine:Wp_soc.Datapath.machine -> Wp_soc.Program.t -> Wp_soc.Cpu.result
-(** Run (and memoise per program name and machine) the reference system. *)
+(** Run (and memoise per program content and machine) the reference
+    system.  The memo table is thread-safe: worker domains of the
+    parallel {!Runner} may call this concurrently. *)
 
 val run :
   ?max_cycles:int ->

@@ -39,7 +39,7 @@ let best_static ~budget ~per_connection_max ?(exclude = default_exclude) () =
     (best, fst best_score)
 
 let optimal ~budget ~per_connection_max ?(exclude = default_exclude) ?(candidates = 24)
-    ~objective () =
+    ?(map = List.map) ~objective () =
   let configs = enumerate ~budget ~per_connection_max ~exclude () in
   let decorated = List.map (fun c -> (static_score c, c)) configs in
   let ranked = List.sort (fun (sa, _) (sb, _) -> compare sb sa) decorated in
@@ -49,12 +49,19 @@ let optimal ~budget ~per_connection_max ?(exclude = default_exclude) ?(candidate
   in
   match take candidates ranked with
   | [] -> invalid_arg "Optimizer.optimal: empty search space"
-  | (_, first) :: rest ->
-    List.fold_left
-      (fun (bc, bv) (_, config) ->
-        let v = objective config in
-        if v > bv then (config, v) else (bc, bv))
-      (first, objective first) rest
+  | shortlist ->
+    (* Objective evaluations fan out through [map] (e.g. a parallel
+       runner); the winner is then folded in shortlist order, so the
+       result — including tie-breaking towards the better static rank —
+       is identical to the sequential fold. *)
+    let shortlist = List.map snd shortlist in
+    let values = map objective shortlist in
+    (match List.combine shortlist values with
+    | [] -> assert false
+    | (first, first_v) :: rest ->
+      List.fold_left
+        (fun (bc, bv) (config, v) -> if v > bv then (config, v) else (bc, bv))
+        (first, first_v) rest)
 
 let anneal_placement ~prng ~budget ~per_connection_max ?(exclude = default_exclude)
     ?(objective = Analysis.wp1_bound_float) ?schedule () =

@@ -31,12 +31,16 @@ val optimal :
   per_connection_max:int ->
   ?exclude:Wp_soc.Datapath.connection list ->
   ?candidates:int ->
+  ?map:((Config.t -> float) -> Config.t list -> float list) ->
   objective:(Config.t -> float) ->
   unit ->
   Config.t * float
 (** Rank all placements by the static bound, keep the [candidates]
     (default 24) best, evaluate [objective] (e.g. simulated WP2
-    throughput) on those, return the winner. *)
+    throughput) on those, return the winner.  [map] (default [List.map])
+    evaluates the shortlist; pass {!Runner.map} to fan the simulations
+    out across cores — the winner is folded in shortlist order either
+    way, so the result is independent of [map]. *)
 
 val anneal_placement :
   prng:Wp_util.Prng.t ->

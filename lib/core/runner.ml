@@ -1,0 +1,183 @@
+module Datapath = Wp_soc.Datapath
+module Program = Wp_soc.Program
+module Pool = Wp_util.Pool
+
+type section = {
+  section_name : string;
+  wall_seconds : float;
+  section_tasks : int;
+  section_cache_hits : int;
+}
+
+type stats = {
+  jobs : int;
+  tasks_run : int;
+  cache_hits : int;
+  cache_misses : int;
+  sections : section list;
+}
+
+type t = {
+  pool : Pool.t;
+  cache : bool;
+  mutex : Mutex.t;
+  (* Content-addressed result tables.  Both are keyed by
+     (program content digest, machine, config digest, cycle budget);
+     records hold full Experiment.records, objectives hold the optimiser's
+     failure-tolerant WP2 throughput probes. *)
+  records : (string, Experiment.record) Hashtbl.t;
+  objectives : (string, float) Hashtbl.t;
+  mutable tasks_run : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable sections_rev : section list;
+}
+
+let create ?jobs ?(cache = true) () =
+  {
+    pool = Pool.create ?jobs ();
+    cache;
+    mutex = Mutex.create ();
+    records = Hashtbl.create 64;
+    objectives = Hashtbl.create 256;
+    tasks_run = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    sections_rev = [];
+  }
+
+let default_runner = lazy (create ())
+let default () = Lazy.force default_runner
+let jobs t = Pool.jobs t.pool
+let cache_enabled t = t.cache
+let shutdown t = Pool.shutdown t.pool
+
+let map t f xs =
+  Pool.map t.pool
+    (fun x ->
+      let y = f x in
+      Mutex.lock t.mutex;
+      t.tasks_run <- t.tasks_run + 1;
+      Mutex.unlock t.mutex;
+      y)
+    xs
+
+(* One cache transaction.  The simulation runs outside the lock;
+   concurrent misses on the same key may race the computation (pure, so
+   harmless) but the first stored value wins, keeping every caller's view
+   identical. *)
+let lookup t table key compute =
+  if not t.cache then begin
+    Mutex.lock t.mutex;
+    t.cache_misses <- t.cache_misses + 1;
+    Mutex.unlock t.mutex;
+    compute ()
+  end
+  else begin
+    Mutex.lock t.mutex;
+    match Hashtbl.find_opt table key with
+    | Some v ->
+      t.cache_hits <- t.cache_hits + 1;
+      Mutex.unlock t.mutex;
+      v
+    | None ->
+      t.cache_misses <- t.cache_misses + 1;
+      Mutex.unlock t.mutex;
+      let v = compute () in
+      Mutex.lock t.mutex;
+      let winner =
+        match Hashtbl.find_opt table key with
+        | Some first -> first
+        | None ->
+          Hashtbl.replace table key v;
+          v
+      in
+      Mutex.unlock t.mutex;
+      winner
+  end
+
+let key ?max_cycles ~machine ~(program : Program.t) config =
+  Printf.sprintf "%s|%s|%s|%s|%d" program.Program.name
+    (Experiment.program_digest program)
+    (Datapath.machine_name machine) (Config.digest config)
+    (match max_cycles with Some n -> n | None -> -1)
+
+let experiment ?max_cycles t ~machine ~program config =
+  lookup t t.records
+    (key ?max_cycles ~machine ~program config)
+    (fun () -> Experiment.run ?max_cycles ~machine ~program config)
+
+let experiments ?max_cycles t ~machine ~program configs =
+  (* Warm the golden memo once before fanning out, so the first parallel
+     wave does not duplicate the reference run across workers. *)
+  ignore (Experiment.golden ~machine program);
+  map t (experiment ?max_cycles t ~machine ~program) configs
+
+let objective t ~machine ~program config =
+  lookup t t.objectives
+    (key ~machine ~program config)
+    (fun () -> Experiment.wp2_cycles_objective ~machine ~program config)
+
+let timed t name f =
+  let t0 = Unix.gettimeofday () in
+  Mutex.lock t.mutex;
+  let tasks0 = t.tasks_run and hits0 = t.cache_hits in
+  Mutex.unlock t.mutex;
+  let result = f () in
+  let wall = Unix.gettimeofday () -. t0 in
+  Mutex.lock t.mutex;
+  let s =
+    {
+      section_name = name;
+      wall_seconds = wall;
+      section_tasks = t.tasks_run - tasks0;
+      section_cache_hits = t.cache_hits - hits0;
+    }
+  in
+  t.sections_rev <- s :: t.sections_rev;
+  Mutex.unlock t.mutex;
+  (result, s)
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      jobs = Pool.jobs t.pool;
+      tasks_run = t.tasks_run;
+      cache_hits = t.cache_hits;
+      cache_misses = t.cache_misses;
+      sections = List.rev t.sections_rev;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let reset_stats t =
+  Mutex.lock t.mutex;
+  t.tasks_run <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
+  t.sections_rev <- [];
+  Mutex.unlock t.mutex
+
+let clear_cache t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.records;
+  Hashtbl.reset t.objectives;
+  Mutex.unlock t.mutex
+
+let pp_stats ppf s =
+  Format.fprintf ppf "runner: %d job%s, %d task%s run, %d cache hit%s, %d miss%s"
+    s.jobs
+    (if s.jobs = 1 then "" else "s")
+    s.tasks_run
+    (if s.tasks_run = 1 then "" else "s")
+    s.cache_hits
+    (if s.cache_hits = 1 then "" else "s")
+    s.cache_misses
+    (if s.cache_misses = 1 then "" else "es");
+  List.iter
+    (fun sec ->
+      Format.fprintf ppf "@\n  %-36s %8.3f s wall  %4d tasks  %4d cache hits"
+        sec.section_name sec.wall_seconds sec.section_tasks sec.section_cache_hits)
+    s.sections

@@ -1,0 +1,103 @@
+(** Parallel, cache-aware experiment runner.
+
+    Every Table 1 regeneration simulates 13 + 25 (program, configuration)
+    rows under golden, WP1 and WP2; the optimiser's objective adds a
+    shortlist of WP2 sweeps per "Optimal k" row; the randomized
+    equivalence battery adds hundreds more.  All of these are
+    embarrassingly parallel and heavily overlapping, so the runner
+    provides two things on top of {!Wp_util.Pool}:
+
+    - a {b worker pool} ([WIREPIPE_JOBS] or
+      [Domain.recommended_domain_count] workers) with order-preserving
+      fan-out, so parallel output is byte-identical to sequential output;
+    - a {b content-addressed result cache} keyed by
+      [(program content digest, machine, Config.digest, max_cycles)] that
+      memoises {!Experiment.record}s and optimiser objective values across
+      Table 1, the optimiser and the equivalence sweeps.
+
+    Determinism contract: all cached computations are pure, keys cover
+    every input that can change the result, and batch results are
+    reassembled in submission order — so for any [jobs] count (including
+    the [WIREPIPE_JOBS=1] sequential fallback) and any cache state,
+    {!Table1.render}/{!Table1.to_csv} output is byte-identical. *)
+
+type t
+
+type section = {
+  section_name : string;
+  wall_seconds : float;       (** wall-clock time inside {!timed} *)
+  section_tasks : int;        (** tasks executed during the section *)
+  section_cache_hits : int;   (** cache hits during the section *)
+}
+
+type stats = {
+  jobs : int;                 (** pool width *)
+  tasks_run : int;            (** pool tasks actually executed *)
+  cache_hits : int;           (** experiment + objective cache hits *)
+  cache_misses : int;         (** lookups that had to simulate *)
+  sections : section list;    (** chronological *)
+}
+
+val create : ?jobs:int -> ?cache:bool -> unit -> t
+(** [jobs] defaults to {!Wp_util.Pool.default_jobs} (the [WIREPIPE_JOBS]
+    environment variable, else every core); [cache] defaults to [true].
+    With [cache:false] every lookup misses — results are still correct
+    and deterministic, just recomputed. *)
+
+val default : unit -> t
+(** A lazily created process-wide runner with default parameters; used
+    when no explicit runner is passed to {!Table1}. *)
+
+val jobs : t -> int
+val cache_enabled : t -> bool
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map on the runner's pool (counted in
+    {!stats}).  The first task exception is re-raised in the caller. *)
+
+val experiment :
+  ?max_cycles:int ->
+  t ->
+  machine:Wp_soc.Datapath.machine ->
+  program:Wp_soc.Program.t ->
+  Config.t ->
+  Experiment.record
+(** Cached {!Experiment.run}. *)
+
+val experiments :
+  ?max_cycles:int ->
+  t ->
+  machine:Wp_soc.Datapath.machine ->
+  program:Wp_soc.Program.t ->
+  Config.t list ->
+  Experiment.record list
+(** Parallel batch of {!experiment} over one program: the golden
+    reference is pre-warmed once, then configurations fan out across the
+    pool.  Results are in input order. *)
+
+val objective :
+  t ->
+  machine:Wp_soc.Datapath.machine ->
+  program:Wp_soc.Program.t ->
+  Config.t ->
+  float
+(** Cached {!Experiment.wp2_cycles_objective}, sharing the cache with
+    {!experiment} batches (an objective probe for a configuration whose
+    full record is already cached is free, and vice versa). *)
+
+val timed : t -> string -> (unit -> 'a) -> 'a * section
+(** Run a section under the wall clock and record it in {!stats},
+    attributing the tasks and cache hits that occur inside it. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+(** Zero the counters and section log (the cache is kept). *)
+
+val clear_cache : t -> unit
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One line per section plus a totals line — what the bench harness
+    prints after each run. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  The {!default} runner is never shut down. *)

@@ -19,15 +19,22 @@ type row = {
 }
 
 val sort_rows :
-  ?values:int array -> machine:Wp_soc.Datapath.machine -> unit -> row list
+  ?values:int array ->
+  ?runner:Runner.t ->
+  machine:Wp_soc.Datapath.machine ->
+  unit ->
+  row list
 (** The 13 extraction-sort rows.  Default workload: 16 pseudo-random
-    values (seed 1). *)
+    values (seed 1).  Rows are simulated through [runner] (default
+    {!Runner.default}): fan-out across its worker pool, memoised in its
+    result cache, byte-identical output for any job count. *)
 
 val matmul_rows :
-  ?n:int -> machine:Wp_soc.Datapath.machine -> unit -> row list
+  ?n:int -> ?runner:Runner.t -> machine:Wp_soc.Datapath.machine -> unit -> row list
 (** The 25 matrix-multiply rows.  Default: 5x5 matrices (seed 2/3) — large
     enough to show every trend, small enough to simulate 25 configurations
-    quickly; pass [n] to scale up. *)
+    quickly; pass [n] to scale up.  Same [runner] contract as
+    {!sort_rows}. *)
 
 val render : title:string -> row list -> string
 (** Text table in the paper's column layout: RS configuration, WP2 cycles,

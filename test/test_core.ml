@@ -257,6 +257,60 @@ let test_table1_paper_reference () =
   checkf "row 7 wp1" 0.667 wp1;
   checkf "row 7 wp2" 0.99 wp2
 
+(* Any RS configuration (counts 0..2 on all ten connections): the
+   oracle never loses to the plain wrapper, and the measured WP1
+   throughput never beats the static worst-loop bound.  The 0.02
+   slack on the bound absorbs finite-run startup/drain effects; the
+   1e-9 on the oracle side is pure float noise (cycle counts are
+   integers and WP2 <= WP1 exactly). *)
+let prop_throughput_ordering =
+  let gen =
+    QCheck2.Gen.(array_size (return 10) (int_range 0 2))
+  in
+  QCheck2.Test.make ~count:25 ~name:"th_wp2 >= th_wp1 and th_wp1 <= static bound" gen
+    (fun budgets ->
+      let config =
+        Config.of_alist
+          (List.mapi (fun i conn -> (conn, budgets.(i))) Datapath.all_connections)
+      in
+      let r = Experiment.run ~machine:Datapath.Pipelined ~program:small_sort config in
+      r.Experiment.th_wp2 >= r.Experiment.th_wp1 -. 1e-9
+      && r.Experiment.th_wp1 <= r.Experiment.wp1_bound +. 0.02)
+
+(* Regression pin against the paper's own Table 1 numbers.  The
+   reproduction uses a reimplemented ISA, programs and micro-
+   architecture, so cycle-exact agreement is impossible; empirically
+   the largest deviation across both workloads is ~0.11 (sort row 13
+   WP2: 0.69 vs the paper's 0.80), so 0.12 absolute is the documented
+   tolerance (see EXPERIMENTS.md).  A regression that moves any
+   throughput by more than that against the paper trips this test. *)
+let paper_pin_tolerance = 0.12
+
+let check_rows_against_paper ~workload rows =
+  let reference = Table1.paper_reference ~workload in
+  checki "row count matches the paper" (List.length reference) (List.length rows);
+  List.iter2
+    (fun (index, label, p_wp1, p_wp2) row ->
+      checki "index" index row.Table1.index;
+      Alcotest.(check string) "label" label row.Table1.label;
+      let o_wp1 = row.Table1.record.Experiment.th_wp1 in
+      let o_wp2 = row.Table1.record.Experiment.th_wp2 in
+      if abs_float (o_wp1 -. p_wp1) > paper_pin_tolerance then
+        Alcotest.failf "%s WP1: ours %.3f vs paper %.3f (tol %.2f)" label o_wp1 p_wp1
+          paper_pin_tolerance;
+      if abs_float (o_wp2 -. p_wp2) > paper_pin_tolerance then
+        Alcotest.failf "%s WP2: ours %.3f vs paper %.3f (tol %.2f)" label o_wp2 p_wp2
+          paper_pin_tolerance)
+    reference rows
+
+let test_table1_matches_paper_sort () =
+  check_rows_against_paper ~workload:`Sort
+    (Table1.sort_rows ~machine:Datapath.Pipelined ())
+
+let test_table1_matches_paper_matmul () =
+  check_rows_against_paper ~workload:`Matmul
+    (Table1.matmul_rows ~machine:Datapath.Pipelined ())
+
 (* ------------------------------------------------------------------ *)
 (* Area                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -366,7 +420,13 @@ let () =
           Alcotest.test_case "sort structure" `Slow test_table1_sort_structure;
           Alcotest.test_case "paper reference" `Quick test_table1_paper_reference;
           Alcotest.test_case "csv export" `Quick test_table1_csv;
+          Alcotest.test_case "sort matches paper (±0.12)" `Slow
+            test_table1_matches_paper_sort;
+          Alcotest.test_case "matmul matches paper (±0.12)" `Slow
+            test_table1_matches_paper_matmul;
         ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_throughput_ordering ] );
       ( "area",
         [
           Alcotest.test_case "model" `Quick test_area_model;

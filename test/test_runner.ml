@@ -1,0 +1,318 @@
+(* Tests for the parallel experiment runner stack: Wp_util.Pool (worker
+   pool over Domain) and Wp_core.Runner (content-addressed result cache +
+   fan-out).  The headline property is determinism: for ANY job count the
+   row lists, rendered tables and CSV exports are byte-identical to the
+   sequential run. *)
+
+open Wp_core
+module Pool = Wp_util.Pool
+module Datapath = Wp_soc.Datapath
+module Programs = Wp_soc.Programs
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Uneven per-task work so parallel completion order differs from
+   submission order — the result order must not. *)
+let busy_square x =
+  let acc = ref 0 in
+  for _ = 1 to 1000 * (1 + (x mod 7)) do
+    acc := (!acc + x) mod 9973
+  done;
+  (x * x) + (!acc * 0)
+
+let test_pool_map_order () =
+  let xs = List.init 100 (fun i -> i) in
+  let expected = List.map busy_square xs in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          checki "pool width" jobs (Pool.jobs p);
+          Alcotest.(check (list int))
+            (Printf.sprintf "map with %d jobs" jobs)
+            expected (Pool.map p busy_square xs)))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_edge_cases () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map p busy_square []);
+      Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map p busy_square [ 3 ]);
+      (* A pool survives many batches. *)
+      for _ = 1 to 20 do
+        checki "rerun" 55
+          (List.fold_left ( + ) 0 (Pool.map p (fun x -> x) (List.init 11 (fun i -> i))))
+      done)
+
+let test_pool_clamps_jobs () =
+  Pool.with_pool ~jobs:0 (fun p -> checki "jobs >= 1" 1 (Pool.jobs p));
+  Pool.with_pool ~jobs:(-3) (fun p -> checki "negative clamped" 1 (Pool.jobs p))
+
+exception Boom of int
+
+let test_pool_exception_propagation () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          (match
+             Pool.map p
+               (fun x -> if x = 37 then raise (Boom x) else busy_square x)
+               (List.init 60 (fun i -> i))
+           with
+          | _ -> Alcotest.failf "expected Boom to escape (jobs=%d)" jobs
+          | exception Boom 37 -> ());
+          (* The pool stays usable after a failed batch. *)
+          Alcotest.(check (list int)) "usable after failure" [ 1; 4; 9 ]
+            (Pool.map p busy_square [ 1; 2; 3 ])))
+    [ 1; 4 ]
+
+let test_pool_iteri () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let slots = Array.make 50 (-1) in
+      Pool.iteri p (fun i x -> slots.(i) <- x * 2) (List.init 50 (fun i -> i));
+      Alcotest.(check (array int)) "indexed writes land"
+        (Array.init 50 (fun i -> 2 * i))
+        slots)
+
+let test_pool_env_default () =
+  let set v = Unix.putenv "WIREPIPE_JOBS" v in
+  let saved = Sys.getenv_opt "WIREPIPE_JOBS" in
+  Fun.protect
+    ~finally:(fun () -> set (Option.value saved ~default:""))
+    (fun () ->
+      set "1";
+      checki "WIREPIPE_JOBS=1 forces sequential" 1 (Pool.default_jobs ());
+      Pool.with_pool (fun p -> checki "pool honours env" 1 (Pool.jobs p));
+      set "3";
+      checki "WIREPIPE_JOBS=3" 3 (Pool.default_jobs ());
+      set "not-a-number";
+      checkb "garbage falls back to cores" true (Pool.default_jobs () >= 1);
+      set "0";
+      checkb "zero falls back to cores" true (Pool.default_jobs () >= 1))
+
+let prop_pool_matches_list_map =
+  QCheck2.Test.make ~count:50 ~name:"Pool.map == List.map (any jobs)"
+    QCheck2.Gen.(pair (int_range 1 6) (small_list small_int))
+    (fun (jobs, xs) ->
+      Pool.with_pool ~jobs (fun p ->
+          Pool.map p (fun x -> (2 * x) - 5) xs = List.map (fun x -> (2 * x) - 5) xs))
+
+(* ------------------------------------------------------------------ *)
+(* Runner: cache accounting                                           *)
+(* ------------------------------------------------------------------ *)
+
+let small_sort = Programs.extraction_sort ~values:(Programs.sort_values ~seed:41 ~n:8)
+
+let three_configs =
+  [ Config.zero; Config.only Datapath.ALU_CU 1; Config.only Datapath.DC_RF 1 ]
+
+let test_runner_cache_accounting () =
+  let runner = Runner.create ~jobs:2 () in
+  checkb "cache on by default" true (Runner.cache_enabled runner);
+  let first =
+    Runner.experiments runner ~machine:Datapath.Pipelined ~program:small_sort three_configs
+  in
+  let s1 = Runner.stats runner in
+  checki "first pass misses" 3 s1.Runner.cache_misses;
+  checki "first pass no hits" 0 s1.Runner.cache_hits;
+  checki "first pass tasks" 3 s1.Runner.tasks_run;
+  let second =
+    Runner.experiments runner ~machine:Datapath.Pipelined ~program:small_sort three_configs
+  in
+  let s2 = Runner.stats runner in
+  checki "second pass hits" 3 s2.Runner.cache_hits;
+  checki "no new misses" 3 s2.Runner.cache_misses;
+  checkb "hits return the stored records" true (List.for_all2 ( == ) first second);
+  (* The objective table is independent of the record table but shares
+     the accounting. *)
+  let v =
+    Runner.objective runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero
+  in
+  let v' =
+    Runner.objective runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero
+  in
+  Alcotest.(check (float 1e-12)) "objective deterministic" v v';
+  let s3 = Runner.stats runner in
+  checki "objective probe missed once then hit" 4 s3.Runner.cache_hits;
+  Runner.clear_cache runner;
+  ignore
+    (Runner.experiment runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero);
+  checki "clear_cache forgets" 5 (Runner.stats runner).Runner.cache_misses;
+  Runner.shutdown runner
+
+let test_runner_no_cache () =
+  let runner = Runner.create ~jobs:1 ~cache:false () in
+  checkb "cache disabled" false (Runner.cache_enabled runner);
+  ignore
+    (Runner.experiments runner ~machine:Datapath.Pipelined ~program:small_sort three_configs);
+  ignore
+    (Runner.experiments runner ~machine:Datapath.Pipelined ~program:small_sort three_configs);
+  let s = Runner.stats runner in
+  checki "no hits ever" 0 s.Runner.cache_hits;
+  checki "every lookup misses" 6 s.Runner.cache_misses;
+  Runner.shutdown runner
+
+let test_runner_max_cycles_in_key () =
+  (* Different cycle budgets must not alias in the cache even for the
+     same (program, machine, config). *)
+  let runner = Runner.create ~jobs:1 () in
+  ignore
+    (Runner.experiment runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero);
+  ignore
+    (Runner.experiment ~max_cycles:500_000 runner ~machine:Datapath.Pipelined
+       ~program:small_sort Config.zero);
+  checki "distinct keys" 2 (Runner.stats runner).Runner.cache_misses;
+  Runner.shutdown runner
+
+let test_runner_exception_propagation () =
+  let runner = Runner.create ~jobs:4 () in
+  (match Runner.map runner (fun x -> if x = 5 then raise (Boom x) else x) [ 1; 5; 9; 13 ] with
+  | _ -> Alcotest.fail "expected Boom from a worker domain"
+  | exception Boom 5 -> ());
+  (* An impossible experiment (cycle budget 1) must surface its Failure
+     through the worker pool, not hang or get swallowed. *)
+  (match
+     Runner.experiments ~max_cycles:1 runner ~machine:Datapath.Pipelined
+       ~program:small_sort three_configs
+   with
+  | _ -> Alcotest.fail "expected Failure for 1-cycle budget"
+  | exception Failure _ -> ());
+  Runner.shutdown runner
+
+let test_runner_timed_sections () =
+  let runner = Runner.create ~jobs:2 () in
+  let (), section =
+    Runner.timed runner "warm" (fun () ->
+        ignore
+          (Runner.experiments runner ~machine:Datapath.Pipelined ~program:small_sort
+             three_configs))
+  in
+  checks "section name" "warm" section.Runner.section_name;
+  checki "section tasks" 3 section.Runner.section_tasks;
+  checkb "wall clock ticked" true (section.Runner.wall_seconds >= 0.0);
+  let (), reread =
+    Runner.timed runner "cached" (fun () ->
+        ignore
+          (Runner.experiments runner ~machine:Datapath.Pipelined ~program:small_sort
+             three_configs))
+  in
+  checki "cached section hits" 3 reread.Runner.section_cache_hits;
+  let s = Runner.stats runner in
+  Alcotest.(check (list string)) "sections chronological" [ "warm"; "cached" ]
+    (List.map (fun x -> x.Runner.section_name) s.Runner.sections);
+  Runner.reset_stats runner;
+  let s = Runner.stats runner in
+  checki "reset tasks" 0 s.Runner.tasks_run;
+  checki "reset sections" 0 (List.length s.Runner.sections);
+  Runner.shutdown runner
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: parallel Table 1 == sequential Table 1, byte for byte *)
+(* ------------------------------------------------------------------ *)
+
+let values = Programs.sort_values ~seed:1 ~n:8
+
+let test_table1_parallel_determinism () =
+  let rows_with jobs =
+    let runner = Runner.create ~jobs () in
+    let rows = Table1.sort_rows ~values ~runner ~machine:Datapath.Pipelined () in
+    Runner.shutdown runner;
+    rows
+  in
+  let seq = rows_with 1 in
+  let par = rows_with 4 in
+  checki "same row count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Table1.row) (b : Table1.row) ->
+      checks "label" a.Table1.label b.Table1.label;
+      checki "wp2 cycles" a.Table1.record.Experiment.wp2.Wp_soc.Cpu.cycles
+        b.Table1.record.Experiment.wp2.Wp_soc.Cpu.cycles;
+      Alcotest.(check (float 0.0)) "th_wp1" a.Table1.record.Experiment.th_wp1
+        b.Table1.record.Experiment.th_wp1;
+      Alcotest.(check (float 0.0)) "th_wp2" a.Table1.record.Experiment.th_wp2
+        b.Table1.record.Experiment.th_wp2)
+    seq par;
+  checks "render byte-identical"
+    (Table1.render ~title:"t" seq)
+    (Table1.render ~title:"t" par);
+  checks "csv byte-identical" (Table1.to_csv seq) (Table1.to_csv par)
+
+let test_table1_cache_reuse_is_invisible () =
+  (* A warm cache must change timings only, never bytes. *)
+  let runner = Runner.create ~jobs:4 () in
+  let cold = Table1.sort_rows ~values ~runner ~machine:Datapath.Pipelined () in
+  let warm = Table1.sort_rows ~values ~runner ~machine:Datapath.Pipelined () in
+  checks "cold == warm (csv)" (Table1.to_csv cold) (Table1.to_csv warm);
+  checkb "second sweep mostly cache hits" true
+    ((Runner.stats runner).Runner.cache_hits >= 13);
+  Runner.shutdown runner
+
+let test_optimizer_map_independence () =
+  (* Optimizer.optimal must pick the same placement whether the shortlist
+     is evaluated sequentially or through the runner's pool. *)
+  let machine = Datapath.Pipelined and program = small_sort in
+  let seq =
+    Optimizer.optimal ~budget:3 ~per_connection_max:2
+      ~objective:(Experiment.wp2_cycles_objective ~machine ~program)
+      ()
+  in
+  let runner = Runner.create ~jobs:4 () in
+  let par =
+    Optimizer.optimal ~budget:3 ~per_connection_max:2
+      ~map:(Runner.map runner)
+      ~objective:(Runner.objective runner ~machine ~program)
+      ()
+  in
+  Runner.shutdown runner;
+  checkb "same config" true (Config.equal (fst seq) (fst par));
+  Alcotest.(check (float 1e-12)) "same value" (snd seq) (snd par)
+
+let test_runner_env_fallback () =
+  let saved = Sys.getenv_opt "WIREPIPE_JOBS" in
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "WIREPIPE_JOBS" (Option.value saved ~default:""))
+    (fun () ->
+      Unix.putenv "WIREPIPE_JOBS" "1";
+      let runner = Runner.create () in
+      checki "WIREPIPE_JOBS=1 runner is sequential" 1 (Runner.jobs runner);
+      (* Sequential runner produces the same bytes as any other width —
+         the fallback is the reference point of the determinism claim. *)
+      let rows = Table1.sort_rows ~values ~runner ~machine:Datapath.Pipelined () in
+      checki "13 rows" 13 (List.length rows);
+      Runner.shutdown runner)
+
+let () =
+  let props = List.map QCheck_alcotest.to_alcotest [ prop_pool_matches_list_map ] in
+  Alcotest.run "wp_runner"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "edge cases" `Quick test_pool_edge_cases;
+          Alcotest.test_case "clamps jobs" `Quick test_pool_clamps_jobs;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception_propagation;
+          Alcotest.test_case "iteri" `Quick test_pool_iteri;
+          Alcotest.test_case "WIREPIPE_JOBS default" `Quick test_pool_env_default;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "cache accounting" `Quick test_runner_cache_accounting;
+          Alcotest.test_case "cache disabled" `Quick test_runner_no_cache;
+          Alcotest.test_case "max_cycles in key" `Quick test_runner_max_cycles_in_key;
+          Alcotest.test_case "exception propagation" `Quick test_runner_exception_propagation;
+          Alcotest.test_case "timed sections" `Quick test_runner_timed_sections;
+          Alcotest.test_case "WIREPIPE_JOBS=1 fallback" `Quick test_runner_env_fallback;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "table1 parallel == sequential" `Slow
+            test_table1_parallel_determinism;
+          Alcotest.test_case "cache reuse invisible" `Slow test_table1_cache_reuse_is_invisible;
+          Alcotest.test_case "optimizer map independence" `Slow test_optimizer_map_independence;
+        ] );
+      ("properties", props);
+    ]

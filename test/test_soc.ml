@@ -491,6 +491,84 @@ let prop_random_programs_differential =
       r.Cpu.outcome = Cpu.Completed && r.Cpu.result_ok)
 
 (* ------------------------------------------------------------------ *)
+(* Randomized differential battery, run through the parallel runner   *)
+(* ------------------------------------------------------------------ *)
+
+module Runner = Wp_core.Runner
+module Config = Wp_core.Config
+module Equiv_check = Wp_core.Equiv_check
+
+(* Seed policy (documented in EXPERIMENTS.md): program seeds are
+   0 .. battery_seeds-1, and the RS configuration for program seed [s]
+   is drawn from [Wp_util.Prng] seeded with [1000 + s], giving every
+   connection an independent count in 0..2.  Fully deterministic: a
+   failure report names the seed, so any case replays exactly. *)
+let battery_seeds = 50
+
+let battery_config seed =
+  let prng = Wp_util.Prng.create ~seed:(1000 + seed) in
+  Config.of_alist
+    (List.map (fun conn -> (conn, Wp_util.Prng.int prng 3)) Datapath.all_connections)
+
+(* One battery case: a random program under a random RS budget must
+   (a) leave the scratch region exactly as the ISS does, on both timed
+   machines, in both shell modes, and (b) pass the full trace-level
+   equivalence check (every port prefix-compatible with the golden
+   system) in both modes.  Returns human-readable failure strings. *)
+let battery_case seed =
+  let program = Random_program.generate ~seed () in
+  let config = battery_config seed in
+  let rs = Config.to_fun config in
+  let failures = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun mode ->
+          match Cpu.run ~machine ~mode ~rs program with
+          | r ->
+            if r.Cpu.outcome <> Cpu.Completed then
+              note "seed %d: %s/%s did not complete under %s" seed
+                (Datapath.machine_name machine)
+                (match mode with Shell.Plain -> "plain" | Shell.Oracle -> "oracle")
+                (Config.describe config)
+            else if not r.Cpu.result_ok then
+              note "seed %d: %s/%s diverges from the ISS under %s" seed
+                (Datapath.machine_name machine)
+                (match mode with Shell.Plain -> "plain" | Shell.Oracle -> "oracle")
+                (Config.describe config)
+          | exception e ->
+            note "seed %d: %s raised %s" seed
+              (Datapath.machine_name machine) (Printexc.to_string e))
+        modes)
+    [ Datapath.Pipelined; Datapath.Multicycle ];
+  List.iter
+    (fun mode ->
+      let v = Equiv_check.check ~machine:Datapath.Pipelined ~mode ~config program in
+      if not v.Equiv_check.equivalent then
+        note "seed %d: %s equivalence check failed at %s under %s" seed
+          (match mode with Shell.Plain -> "plain" | Shell.Oracle -> "oracle")
+          (Option.value ~default:"?" v.Equiv_check.first_mismatch)
+          (Config.describe config))
+    modes;
+  List.rev !failures
+
+let test_differential_battery () =
+  let seeds = List.init battery_seeds Fun.id in
+  let runner = Runner.create () in
+  let failures =
+    Fun.protect
+      ~finally:(fun () -> Runner.shutdown runner)
+      (fun () -> List.concat (Runner.map runner battery_case seeds))
+  in
+  (match failures with
+  | [] -> ()
+  | fs ->
+    Alcotest.failf "%d battery failure(s):\n%s" (List.length fs)
+      (String.concat "\n" fs));
+  checki "all seeds exercised" battery_seeds (List.length seeds)
+
+(* ------------------------------------------------------------------ *)
 (* Denotational reference on the full processor                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -620,6 +698,12 @@ let () =
         [
           Alcotest.test_case "well-formed" `Quick test_random_program_wellformed;
           Alcotest.test_case "deterministic" `Quick test_random_program_deterministic;
+        ] );
+      ( "battery",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "differential battery (%d seeds)" battery_seeds)
+            `Quick test_differential_battery;
         ] );
       ( "denotational",
         [ Alcotest.test_case "full processor" `Quick test_denotational_cpu ] );
