@@ -12,8 +12,10 @@
      8. Floorplan     — the methodology flow and its objective ablation
      9. Bechamel      — micro-benchmarks, one per table/figure kernel
 
-   Run with: dune exec bench/main.exe
-   (set WIREPIPE_BENCH_FAST=1 to shrink workloads for smoke runs) *)
+   Run with: dune exec bench/main.exe -- [--engine fast|ref] [--gc-stats]
+   (set WIREPIPE_BENCH_FAST=1 to shrink workloads for smoke runs;
+    --engine picks the simulation kernel for every section, default fast;
+    --gc-stats reports minor-heap words per simulated cycle at the end) *)
 
 module Datapath = Wp_soc.Datapath
 module Programs = Wp_soc.Programs
@@ -24,6 +26,33 @@ module Table1 = Wp_core.Table1
 module Runner = Wp_core.Runner
 
 let fast = Sys.getenv_opt "WIREPIPE_BENCH_FAST" <> None
+
+(* --engine {fast,ref} selects the simulation kernel behind every
+   section (also settable via WIREPIPE_ENGINE); --gc-stats adds an
+   allocation report.  Unknown flags abort so typos don't silently run
+   the default configuration. *)
+let engine, gc_stats =
+  let engine = ref Wp_sim.Sim.default_kind in
+  let gc_stats = ref false in
+  let argv = Sys.argv in
+  let i = ref 1 in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+    | "--engine" ->
+      incr i;
+      let v = if !i < Array.length argv then argv.(!i) else "" in
+      (match Wp_sim.Sim.kind_of_string v with
+      | Some k -> engine := k
+      | None ->
+        Printf.eprintf "bench: --engine wants fast|ref, got %S\n" v;
+        exit 2)
+    | "--gc-stats" -> gc_stats := true
+    | a ->
+      Printf.eprintf "bench: unknown argument %S\n" a;
+      exit 2);
+    incr i
+  done;
+  (!engine, !gc_stats)
 
 (* One runner for the whole harness: WIREPIPE_JOBS workers, shared result
    cache.  Later sections (ablation, depth sweep) re-request rows the
@@ -38,9 +67,15 @@ let heading title =
    (The tables themselves are byte-identical for any WIREPIPE_JOBS; only
    these bracketed stats lines vary run to run.) *)
 let timed name f =
+  let g0 = if gc_stats then (Gc.quick_stat ()).Gc.minor_words else 0.0 in
   let result, s = Runner.timed runner name f in
-  Printf.printf "[%s: %.3f s wall, %d tasks, %d cache hits]\n" name
-    s.Runner.wall_seconds s.Runner.section_tasks s.Runner.section_cache_hits;
+  if gc_stats then
+    let dw = (Gc.quick_stat ()).Gc.minor_words -. g0 in
+    Printf.printf "[%s: %.3f s wall, %d tasks, %d cache hits, %.1f M minor words]\n" name
+      s.Runner.wall_seconds s.Runner.section_tasks s.Runner.section_cache_hits (dw /. 1e6)
+  else
+    Printf.printf "[%s: %.3f s wall, %d tasks, %d cache hits]\n" name
+      s.Runner.wall_seconds s.Runner.section_tasks s.Runner.section_cache_hits;
   result
 
 (* ------------------------------------------------------------------ *)
@@ -125,7 +160,7 @@ let table1_sort () =
   let values = Programs.sort_values ~seed:1 ~n:(if fast then 10 else 16) in
   let rows =
     timed "table1-sort" (fun () ->
-        Table1.sort_rows ~values ~runner ~machine:Datapath.Pipelined ())
+        Table1.sort_rows ~engine ~values ~runner ~machine:Datapath.Pipelined ())
   in
   side_by_side ~title:"Extraction Sort (pipelined)" ~workload:`Sort rows
 
@@ -133,7 +168,7 @@ let table1_matmul () =
   heading "Table 1 — Matrix Multiply, pipelined (paper vs this reproduction)";
   let rows =
     timed "table1-matmul" (fun () ->
-        Table1.matmul_rows ~n:(if fast then 3 else 5) ~runner ~machine:Datapath.Pipelined ())
+        Table1.matmul_rows ~engine ~n:(if fast then 3 else 5) ~runner ~machine:Datapath.Pipelined ())
   in
   side_by_side ~title:"Matrix Multiply (pipelined)" ~workload:`Matmul rows
 
@@ -171,7 +206,7 @@ let multicycle () =
   in
   let records =
     timed "multicycle" (fun () ->
-        Runner.experiments runner ~machine:Datapath.Multicycle ~program
+        Runner.experiments ~engine runner ~machine:Datapath.Multicycle ~program
           (List.map snd specs))
   in
   List.iter2
@@ -251,7 +286,7 @@ let equivalence () =
     timed "equivalence" (fun () ->
         Runner.map runner
           (fun (_, machine, mode, config) ->
-            Wp_core.Equiv_check.check ~machine ~mode ~config program)
+            Wp_core.Equiv_check.check ~engine ~machine ~mode ~config program)
           checks)
   in
   List.iter2
@@ -272,7 +307,7 @@ let ablation () =
   in
   (* Utilisation profile measured once on the relay-free oracle system. *)
   let profile =
-    Wp_soc.Cpu.run ~machine:Datapath.Pipelined ~mode:Shell.Oracle
+    Wp_soc.Cpu.run ~engine ~machine:Datapath.Pipelined ~mode:Shell.Oracle
       ~rs:Wp_soc.Cpu.no_relay_stations program
   in
   let utilization = Wp_core.Analysis.utilization_of_report profile.Wp_soc.Cpu.report in
@@ -297,7 +332,7 @@ let ablation () =
   in
   let records =
     timed "ablation" (fun () ->
-        Runner.experiments runner ~machine:Datapath.Pipelined ~program
+        Runner.experiments ~engine runner ~machine:Datapath.Pipelined ~program
           (List.map snd specs))
   in
   List.iter2
@@ -329,7 +364,7 @@ let buffer_sizing () =
   let program =
     Programs.extraction_sort ~values:(Programs.sort_values ~seed:1 ~n:(if fast then 8 else 12))
   in
-  let golden = Experiment.golden ~machine:Datapath.Pipelined program in
+  let golden = Experiment.golden ~engine ~machine:Datapath.Pipelined program in
   let module T = Wp_util.Text_table in
   let t =
     T.create
@@ -347,7 +382,7 @@ let buffer_sizing () =
     (fun (label, config) ->
       let th capacity =
         let r =
-          Wp_soc.Cpu.run ~capacity ~machine:Datapath.Pipelined ~mode:Shell.Plain
+          Wp_soc.Cpu.run ~engine ~capacity ~machine:Datapath.Pipelined ~mode:Shell.Plain
             ~rs:(Config.to_fun config) program
         in
         Printf.sprintf "%.3f" (Wp_soc.Cpu.throughput ~golden r)
@@ -423,7 +458,7 @@ let depth_sweep () =
   in
   let records =
     timed "depth-sweep" (fun () ->
-        Runner.experiments runner ~machine:Datapath.Pipelined ~program configs)
+        Runner.experiments ~engine runner ~machine:Datapath.Pipelined ~program configs)
   in
   let cells =
     List.map
@@ -490,9 +525,9 @@ loop:   addi r1, r1, -1
   let all1 = Config.uniform ~except:[ Datapath.CU_IC ] 1 in
   List.iter
     (fun program ->
-      let g m = (Experiment.golden ~machine:m program).Wp_soc.Cpu.cycles in
+      let g m = (Experiment.golden ~engine ~machine:m program).Wp_soc.Cpu.cycles in
       let wp2 m =
-        (Runner.experiment runner ~machine:m ~program all1).Experiment.wp2
+        (Runner.experiment ~engine runner ~machine:m ~program all1).Experiment.wp2
           .Wp_soc.Cpu.cycles
       in
       let plain = g Datapath.Pipelined and btfn = g Datapath.Pipelined_btfn in
@@ -540,7 +575,7 @@ let bechamel_section () =
   in
   let config = Config.uniform ~except:[ Datapath.CU_IC ] 1 in
   let run_row machine mode program () =
-    ignore (Wp_soc.Cpu.run ~machine ~mode ~rs:(Config.to_fun config) program)
+    ignore (Wp_soc.Cpu.run ~engine ~machine ~mode ~rs:(Config.to_fun config) program)
   in
   let tests =
     [
@@ -563,7 +598,7 @@ let bechamel_section () =
       Test.make ~name:"equivalence-check (sort, All 1)"
         (Staged.stage (fun () ->
              ignore
-               (Wp_core.Equiv_check.check ~machine:Datapath.Pipelined ~mode:Shell.Oracle
+               (Wp_core.Equiv_check.check ~engine ~machine:Datapath.Pipelined ~mode:Shell.Oracle
                   ~config sort_program)));
       Test.make ~name:"area-model (case study)"
         (Staged.stage (fun () -> ignore (Wp_core.Area.case_study_report ~oracle:true)));

@@ -1,0 +1,288 @@
+(* Simulation-kernel benchmark: reference interpreter vs compiled Fast
+   engine on the Table 1 sweep, with allocation accounting.
+
+   Usage: dune exec bench/sim_bench.exe -- [options]
+     --engine fast|ref|both   which kernel(s) to measure (default both)
+     --smoke                  shrink workloads (also WIREPIPE_BENCH_FAST=1)
+     --out FILE               write machine-readable results (default BENCH_sim.json)
+     --min-ratio R            exit non-zero unless fast/ref throughput >= R
+     --gc-stats               print full Gc deltas per measurement
+
+   The workload is the Table 1 configuration sweep (both paper workloads,
+   plain and oracle wrappers, golden + Only-X + All-1 + All-2 rows), run
+   through Cpu.run exactly as the table driver does.  A second,
+   kernel-only measurement steps a deadlocked ring — no process ever
+   fires, so every allocated word is the kernel's own; the compiled
+   engine must score ~0 words/cycle there. *)
+
+module Datapath = Wp_soc.Datapath
+module Programs = Wp_soc.Programs
+module Program = Wp_soc.Program
+module Cpu = Wp_soc.Cpu
+module Shell = Wp_lis.Shell
+module Process = Wp_lis.Process
+module Config = Wp_core.Config
+module Network = Wp_sim.Network
+module Engine = Wp_sim.Engine
+module Fast = Wp_sim.Fast
+module Sim = Wp_sim.Sim
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type options = {
+  engines : Sim.kind list;
+  smoke : bool;
+  out : string;
+  min_ratio : float option;
+  gc_stats : bool;
+}
+
+let parse_args () =
+  let engines = ref [ Sim.Reference; Sim.Fast ] in
+  let smoke = ref (Sys.getenv_opt "WIREPIPE_BENCH_FAST" <> None) in
+  let out = ref "BENCH_sim.json" in
+  let min_ratio = ref None in
+  let gc_stats = ref false in
+  let argv = Sys.argv in
+  let i = ref 1 in
+  let next what =
+    incr i;
+    if !i >= Array.length argv then (Printf.eprintf "sim_bench: %s needs a value\n" what; exit 2);
+    argv.(!i)
+  in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+    | "--engine" -> (
+      match next "--engine" with
+      | "both" -> engines := [ Sim.Reference; Sim.Fast ]
+      | s -> (
+        match Sim.kind_of_string s with
+        | Some k -> engines := [ k ]
+        | None ->
+          Printf.eprintf "sim_bench: unknown engine %S (want fast|ref|both)\n" s;
+          exit 2))
+    | "--smoke" -> smoke := true
+    | "--out" -> out := next "--out"
+    | "--min-ratio" -> min_ratio := Some (float_of_string (next "--min-ratio"))
+    | "--gc-stats" -> gc_stats := true
+    | a ->
+      Printf.eprintf "sim_bench: unknown argument %S\n" a;
+      exit 2);
+    incr i
+  done;
+  { engines = !engines; smoke = !smoke; out = !out; min_ratio = !min_ratio; gc_stats = !gc_stats }
+
+(* ------------------------------------------------------------------ *)
+(* Workload: the Table 1 sweep                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_configs =
+  [ ("All 0", Config.zero) ]
+  @ List.map
+      (fun conn -> (Datapath.connection_name conn, Config.only conn 1))
+      Datapath.all_connections
+  @ [
+      ("All 1 (no CU-IC)", Config.uniform ~except:[ Datapath.CU_IC ] 1);
+      ("All 2 (no CU-IC)", Config.uniform ~except:[ Datapath.CU_IC ] 2);
+    ]
+
+let sweep_programs ~smoke =
+  [
+    ( "sort",
+      Programs.extraction_sort
+        ~values:(Programs.sort_values ~seed:1 ~n:(if smoke then 8 else 16)) );
+    ( "matmul",
+      let n = if smoke then 3 else 5 in
+      Programs.matrix_multiply ~n ~a:(Programs.matrix_values ~seed:2 ~n)
+        ~b:(Programs.matrix_values ~seed:3 ~n) );
+  ]
+
+let sweep_runs ~smoke =
+  List.concat_map
+    (fun (_, program) ->
+      List.concat_map
+        (fun mode -> List.map (fun (_, config) -> (program, mode, config)) sweep_configs)
+        [ Shell.Plain; Shell.Oracle ])
+    (sweep_programs ~smoke)
+
+type measurement = {
+  runs : int;
+  total_cycles : int;
+  seconds : float;
+  minor_words : float;
+}
+
+let cycles_per_sec m =
+  if m.seconds <= 0.0 then 0.0 else float_of_int m.total_cycles /. m.seconds
+
+let words_per_cycle m =
+  if m.total_cycles = 0 then 0.0 else m.minor_words /. float_of_int m.total_cycles
+
+let measure_sweep ~engine ~smoke =
+  let runs = sweep_runs ~smoke in
+  (* Warm-up pass: fault in code paths and steady-state the heap so the
+     measured pass compares kernels, not cold starts. *)
+  let execute () =
+    List.fold_left
+      (fun acc (program, mode, config) ->
+        let r = Cpu.run ~engine ~machine:Datapath.Pipelined ~mode ~rs:(Config.to_fun config) program in
+        if r.Cpu.outcome <> Cpu.Completed then failwith "sim_bench: sweep run did not complete";
+        acc + r.Cpu.cycles)
+      0 runs
+  in
+  ignore (execute ());
+  Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let total_cycles = execute () in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  {
+    runs = List.length runs;
+    total_cycles;
+    seconds;
+    minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-only allocation probe                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A two-node zero-RS ring under capacity-1 FIFOs deadlocks at reset:
+   every step executes all three kernel phases but no process fires, so
+   the measured allocation is purely the kernel's. *)
+let stalled_ring () =
+  let relay name = Process.unary ~name ~input_name:"i" ~output_name:"o" ~reset:0 succ in
+  let net = Network.create () in
+  let a = Network.add net (relay "a") in
+  let b = Network.add net (relay "b") in
+  ignore (Network.connect net ~src:(a, "o") ~dst:(b, "i") ());
+  ignore (Network.connect net ~src:(b, "o") ~dst:(a, "i") ());
+  net
+
+let probe_cycles = 200_000
+
+let measure_kernel_stall ~engine =
+  let net = stalled_ring () in
+  let step =
+    match engine with
+    | Sim.Reference ->
+      let e = Engine.create ~capacity:1 ~mode:Shell.Plain net in
+      fun () -> Engine.step e
+    | Sim.Fast ->
+      let f = Fast.create ~capacity:1 ~mode:Shell.Plain net in
+      fun () -> Fast.step f
+  in
+  for _ = 1 to 1_000 do step () done;
+  Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to probe_cycles do step () done;
+  let seconds = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  {
+    runs = 1;
+    total_cycles = probe_cycles;
+    seconds;
+    minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let engine_name = function Sim.Reference -> "reference" | Sim.Fast -> "fast"
+
+let print_measurement ~gc_stats name m =
+  Printf.printf "%-10s %3d runs  %9d cycles  %7.3f s  %12.0f cyc/s  %8.2f words/cycle\n"
+    name m.runs m.total_cycles m.seconds (cycles_per_sec m) (words_per_cycle m);
+  if gc_stats then
+    Printf.printf "           minor words: %.0f (%.1f per cycle, %.0f per run)\n" m.minor_words
+      (words_per_cycle m)
+      (m.minor_words /. float_of_int (max 1 m.runs))
+
+let json_of_measurement m =
+  Printf.sprintf
+    "{ \"runs\": %d, \"cycles\": %d, \"seconds\": %.6f, \"cycles_per_sec\": %.1f, \
+     \"minor_words_per_cycle\": %.4f }"
+    m.runs m.total_cycles m.seconds (cycles_per_sec m) (words_per_cycle m)
+
+let () =
+  let opts = parse_args () in
+  Printf.printf "Simulation kernel benchmark — Table 1 sweep (%s workloads)\n%!"
+    (if opts.smoke then "smoke" else "full");
+  let sweep =
+    List.map
+      (fun engine ->
+        let m = measure_sweep ~engine ~smoke:opts.smoke in
+        print_measurement ~gc_stats:opts.gc_stats (engine_name engine) m;
+        (engine, m))
+      opts.engines
+  in
+  print_endline "kernel-only stall probe (deadlocked ring, no process firings):";
+  let stall =
+    List.map
+      (fun engine ->
+        let m = measure_kernel_stall ~engine in
+        print_measurement ~gc_stats:opts.gc_stats (engine_name engine) m;
+        (engine, m))
+      opts.engines
+  in
+  let speedup =
+    match (List.assoc_opt Sim.Reference sweep, List.assoc_opt Sim.Fast sweep) with
+    | Some r, Some f when cycles_per_sec r > 0.0 -> Some (cycles_per_sec f /. cycles_per_sec r)
+    | _ -> None
+  in
+  (match speedup with
+  | Some s -> Printf.printf "fast/reference throughput ratio: %.2fx\n" s
+  | None -> ());
+  (* Machine-readable results. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" opts.smoke);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"workloads\": [%s],\n"
+       (String.concat ", "
+          (List.map (fun (n, _) -> Printf.sprintf "%S" n) (sweep_programs ~smoke:opts.smoke))));
+  Buffer.add_string buf "  \"table1_sweep\": {\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (e, m) -> Printf.sprintf "    %S: %s" (engine_name e) (json_of_measurement m))
+          sweep));
+  Buffer.add_string buf "\n  },\n";
+  Buffer.add_string buf "  \"kernel_stall_probe\": {\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (e, m) -> Printf.sprintf "    %S: %s" (engine_name e) (json_of_measurement m))
+          stall));
+  Buffer.add_string buf "\n  },\n";
+  (match speedup with
+  | Some s -> Buffer.add_string buf (Printf.sprintf "  \"speedup\": %.3f,\n" s)
+  | None -> ());
+  (match opts.min_ratio with
+  | Some r -> Buffer.add_string buf (Printf.sprintf "  \"min_ratio\": %.3f,\n" r)
+  | None -> ());
+  let pass =
+    match (opts.min_ratio, speedup) with
+    | Some r, Some s -> s >= r
+    | Some _, None -> false
+    | None, _ -> true
+  in
+  Buffer.add_string buf (Printf.sprintf "  \"pass\": %b\n}\n" pass);
+  let oc = open_out opts.out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" opts.out;
+  if not pass then begin
+    (match (opts.min_ratio, speedup) with
+    | Some r, Some s ->
+      Printf.eprintf "sim_bench: FAIL — fast/reference ratio %.2f below required %.2f\n" s r
+    | Some r, None ->
+      Printf.eprintf "sim_bench: FAIL — ratio check requires both engines (min %.2f)\n" r
+    | None, _ -> ());
+    exit 1
+  end

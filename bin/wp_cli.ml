@@ -86,6 +86,48 @@ let machine_arg =
 let config_arg =
   Arg.(value & opt config_conv Config.zero & info [ "rs" ] ~docv:"CONFIG" ~doc:"Relay stations, e.g. 'CU-AL=1,DC-RF=2' (or 'none').")
 
+(* Simulation-kernel selection and allocation accounting, shared by the
+   simulation-heavy subcommands. *)
+
+let engine_conv =
+  Arg.conv
+    ( (fun s ->
+        match Wp_sim.Sim.kind_of_string s with
+        | Some k -> Ok k
+        | None -> Error (`Msg (Printf.sprintf "engine must be 'fast' or 'ref', got %S" s))),
+      fun ppf k -> Format.pp_print_string ppf (Wp_sim.Sim.kind_to_string k) )
+
+let engine_arg =
+  Arg.(value & opt engine_conv Wp_sim.Sim.default_kind
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Simulation kernel: $(b,fast) (compiled, default) or $(b,ref) \
+                 (reference interpreter).  Both produce byte-identical results; \
+                 the default can also be set via $(b,WIREPIPE_ENGINE).")
+
+let gc_stats_arg =
+  Arg.(value & flag
+       & info [ "gc-stats" ]
+           ~doc:"Print minor-heap allocation for the command's simulations \
+                 (via $(b,Gc.quick_stat) deltas) to stderr.")
+
+let with_gc_stats gc f =
+  if not gc then f ()
+  else begin
+    Gc.full_major ();
+    let g0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let g1 = Gc.quick_stat () in
+    let words = g1.Gc.minor_words -. g0.Gc.minor_words in
+    Printf.eprintf "gc: %.0f minor words (%.1f MB) in %.3f s, %d minor collections\n%!"
+      words
+      (words *. float_of_int (Sys.word_size / 8) /. 1e6)
+      seconds
+      (g1.Gc.minor_collections - g0.Gc.minor_collections);
+    r
+  end
+
 (* Parallel runner controls, shared by the simulation-sweep commands. *)
 
 let jobs_arg =
@@ -125,15 +167,16 @@ let table1_cmd =
   let csv =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the rows as CSV.")
   in
-  let run workload machine size csv jobs no_cache stats =
+  let run workload machine size csv jobs no_cache stats engine gc =
     let runner = make_runner jobs no_cache in
     let rows, _ =
-      Wp_core.Runner.timed runner "table1" (fun () ->
-          match workload with
-          | `Sort ->
-            let values = Programs.sort_values ~seed:1 ~n:(Option.value size ~default:16) in
-            Wp_core.Table1.sort_rows ~values ~runner ~machine ()
-          | `Matmul -> Wp_core.Table1.matmul_rows ?n:size ~runner ~machine ())
+      with_gc_stats gc (fun () ->
+          Wp_core.Runner.timed runner "table1" (fun () ->
+              match workload with
+              | `Sort ->
+                let values = Programs.sort_values ~seed:1 ~n:(Option.value size ~default:16) in
+                Wp_core.Table1.sort_rows ~engine ~values ~runner ~machine ()
+              | `Matmul -> Wp_core.Table1.matmul_rows ~engine ?n:size ~runner ~machine ()))
     in
     let title =
       Printf.sprintf "Table 1 — %s (%s)"
@@ -151,7 +194,8 @@ let table1_cmd =
     report_stats runner stats
   in
   Cmd.v (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1")
-    Term.(const run $ workload $ machine_arg $ size $ csv $ jobs_arg $ no_cache_arg $ stats_arg)
+    Term.(const run $ workload $ machine_arg $ size $ csv $ jobs_arg $ no_cache_arg $ stats_arg
+          $ engine_arg $ gc_stats_arg)
 
 (* --- run ------------------------------------------------------------ *)
 
@@ -161,30 +205,33 @@ let run_cmd =
          & info [ "mode" ] ~docv:"MODE" ~doc:"wp1 (plain wrappers), wp2 (oracle) or both.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-block statistics.") in
-  let run program machine config mode verbose =
-    let golden = Wp_core.Experiment.golden ~machine program in
-    Printf.printf "program %s on the %s machine; golden run: %d cycles\n"
-      program.Wp_soc.Program.name (Datapath.machine_name machine) golden.Wp_soc.Cpu.cycles;
-    Printf.printf "relay stations: %s (static WP1 bound %.3f)\n" (Config.describe config)
-      (Wp_core.Analysis.wp1_bound_float config);
-    let one label shell_mode =
-      let r =
-        Wp_soc.Cpu.run ~machine ~mode:shell_mode ~rs:(Config.to_fun config) program
-      in
-      let th = Wp_soc.Cpu.throughput ~golden r in
-      Printf.printf "%s: %d cycles, throughput %.3f, result %s\n" label r.Wp_soc.Cpu.cycles th
-        (if r.Wp_soc.Cpu.result_ok then "correct" else "WRONG");
-      if verbose then print_string (Wp_sim.Monitor.to_table r.Wp_soc.Cpu.report)
-    in
-    (match mode with
-    | `Wp1 -> one "WP1" Shell.Plain
-    | `Wp2 -> one "WP2" Shell.Oracle
-    | `Both ->
-      one "WP1" Shell.Plain;
-      one "WP2" Shell.Oracle)
+  let run program machine config mode verbose engine gc =
+    with_gc_stats gc (fun () ->
+        let golden = Wp_core.Experiment.golden ~engine ~machine program in
+        Printf.printf "program %s on the %s machine; golden run: %d cycles (%s engine)\n"
+          program.Wp_soc.Program.name (Datapath.machine_name machine) golden.Wp_soc.Cpu.cycles
+          (Wp_sim.Sim.kind_to_string engine);
+        Printf.printf "relay stations: %s (static WP1 bound %.3f)\n" (Config.describe config)
+          (Wp_core.Analysis.wp1_bound_float config);
+        let one label shell_mode =
+          let r =
+            Wp_soc.Cpu.run ~engine ~machine ~mode:shell_mode ~rs:(Config.to_fun config) program
+          in
+          let th = Wp_soc.Cpu.throughput ~golden r in
+          Printf.printf "%s: %d cycles, throughput %.3f, result %s\n" label r.Wp_soc.Cpu.cycles th
+            (if r.Wp_soc.Cpu.result_ok then "correct" else "WRONG");
+          if verbose then print_string (Wp_sim.Monitor.to_table r.Wp_soc.Cpu.report)
+        in
+        match mode with
+        | `Wp1 -> one "WP1" Shell.Plain
+        | `Wp2 -> one "WP2" Shell.Oracle
+        | `Both ->
+          one "WP1" Shell.Plain;
+          one "WP2" Shell.Oracle)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload under one RS configuration")
-    Term.(const run $ program_arg $ machine_arg $ config_arg $ mode $ verbose)
+    Term.(const run $ program_arg $ machine_arg $ config_arg $ mode $ verbose $ engine_arg
+          $ gc_stats_arg)
 
 (* --- loops ----------------------------------------------------------- *)
 
@@ -253,10 +300,10 @@ let graph_cmd =
 (* --- equiv ------------------------------------------------------------ *)
 
 let equiv_cmd =
-  let run program machine config =
+  let run program machine config engine =
     List.iter
       (fun (label, mode) ->
-        let v = Wp_core.Equiv_check.check ~machine ~mode ~config program in
+        let v = Wp_core.Equiv_check.check ~engine ~machine ~mode ~config program in
         Printf.printf "%s: %s (%d ports, %d informative events compared)%s\n" label
           (if v.Wp_core.Equiv_check.equivalent then "equivalent" else "NOT EQUIVALENT")
           v.Wp_core.Equiv_check.ports_checked v.Wp_core.Equiv_check.events_compared
@@ -267,7 +314,7 @@ let equiv_cmd =
   in
   Cmd.v
     (Cmd.info "equiv" ~doc:"Check golden-vs-WP trace equivalence on every channel")
-    Term.(const run $ program_arg $ machine_arg $ config_arg)
+    Term.(const run $ program_arg $ machine_arg $ config_arg $ engine_arg)
 
 (* --- area ------------------------------------------------------------- *)
 
@@ -360,14 +407,15 @@ let exec_cmd =
 let optimal_cmd =
   let budget = Arg.(value & opt int 9 & info [ "budget" ] ~docv:"N" ~doc:"Total relay stations.") in
   let per_max = Arg.(value & opt int 2 & info [ "max" ] ~docv:"K" ~doc:"Max per connection.") in
-  let run budget per_max program machine jobs no_cache stats =
+  let run budget per_max program machine jobs no_cache stats engine gc =
     let runner = make_runner jobs no_cache in
     let (config, value), _ =
-      Wp_core.Runner.timed runner "optimal" (fun () ->
-          Wp_core.Optimizer.optimal ~budget ~per_connection_max:per_max
-            ~map:(Wp_core.Runner.map runner)
-            ~objective:(Wp_core.Runner.objective runner ~machine ~program)
-            ())
+      with_gc_stats gc (fun () ->
+          Wp_core.Runner.timed runner "optimal" (fun () ->
+              Wp_core.Optimizer.optimal ~budget ~per_connection_max:per_max
+                ~map:(Wp_core.Runner.map runner)
+                ~objective:(Wp_core.Runner.objective ~engine runner ~machine ~program)
+                ()))
     in
     Printf.printf "best placement of %d relay stations (max %d per connection):\n" budget per_max;
     Printf.printf "  %s\n  simulated WP2 throughput %.3f (static WP1 bound %.3f)\n"
@@ -376,7 +424,8 @@ let optimal_cmd =
   in
   Cmd.v
     (Cmd.info "optimal" ~doc:"Search for the best relay-station placement under a budget")
-    Term.(const run $ budget $ per_max $ program_arg $ machine_arg $ jobs_arg $ no_cache_arg $ stats_arg)
+    Term.(const run $ budget $ per_max $ program_arg $ machine_arg $ jobs_arg $ no_cache_arg
+          $ stats_arg $ engine_arg $ gc_stats_arg)
 
 (* --- wave -------------------------------------------------------------- *)
 

@@ -1,6 +1,6 @@
 module Datapath = Wp_soc.Datapath
 module Network = Wp_sim.Network
-module Engine = Wp_sim.Engine
+module Sim = Wp_sim.Sim
 module Shell = Wp_lis.Shell
 module Trace = Wp_lis.Trace
 module Process = Wp_lis.Process
@@ -13,25 +13,26 @@ type verdict = {
 }
 
 (* Run one system and collect, per "BLOCK.port", the output trace. *)
-let traced_run ?(max_cycles = 2_000_000) ~machine ~mode ~config program =
+let traced_run ?engine ?(max_cycles = 2_000_000) ~machine ~mode ~config program =
   let dp = Datapath.build ~machine ~rs:(Config.to_fun config) program in
-  let engine = Engine.create ~record_traces:true ~mode dp.Datapath.network in
-  ignore (Engine.run ~max_cycles engine);
+  let sim = Sim.create ?engine ~record_traces:true ~mode dp.Datapath.network in
+  ignore (Sim.run ~max_cycles sim);
   let net = dp.Datapath.network in
   List.concat_map
     (fun node ->
       let proc = Network.node_process net node in
-      let sh = Engine.shell engine node in
       List.init
         (Array.length proc.Process.output_names)
         (fun p ->
           ( proc.Process.name ^ "." ^ proc.Process.output_names.(p),
-            Shell.output_trace sh p )))
+            Sim.output_trace sim node p )))
     (Network.nodes net)
 
-let check ?max_cycles ~machine ~mode ~config program =
-  let golden = traced_run ?max_cycles ~machine ~mode:Shell.Plain ~config:Config.zero program in
-  let wp = traced_run ?max_cycles ~machine ~mode ~config program in
+let check ?engine ?max_cycles ~machine ~mode ~config program =
+  let golden =
+    traced_run ?engine ?max_cycles ~machine ~mode:Shell.Plain ~config:Config.zero program
+  in
+  let wp = traced_run ?engine ?max_cycles ~machine ~mode ~config program in
   let ports_checked = ref 0 and events = ref 0 and mismatch = ref None in
   List.iter
     (fun (port, golden_trace) ->
@@ -54,9 +55,11 @@ let check ?max_cycles ~machine ~mode ~config program =
     first_mismatch = !mismatch;
   }
 
-let check_n_equivalence ?max_cycles ~n ~machine ~mode ~config program =
-  let golden = traced_run ?max_cycles ~machine ~mode:Shell.Plain ~config:Config.zero program in
-  let wp = traced_run ?max_cycles ~machine ~mode ~config program in
+let check_n_equivalence ?engine ?max_cycles ~n ~machine ~mode ~config program =
+  let golden =
+    traced_run ?engine ?max_cycles ~machine ~mode:Shell.Plain ~config:Config.zero program
+  in
+  let wp = traced_run ?engine ?max_cycles ~machine ~mode ~config program in
   List.for_all
     (fun (port, golden_trace) ->
       match List.assoc_opt port wp with

@@ -15,14 +15,18 @@ type verdict = {
 }
 
 val check :
+  ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
   machine:Wp_soc.Datapath.machine ->
   mode:Wp_lis.Shell.mode ->
   config:Config.t ->
   Wp_soc.Program.t ->
   verdict
+(** [engine] selects the simulation kernel for both traced runs
+    (default {!Wp_sim.Sim.default_kind}). *)
 
 val check_n_equivalence :
+  ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
   n:int ->
   machine:Wp_soc.Datapath.machine ->

@@ -36,10 +36,15 @@ let program_digest (program : Program.t) =
 let golden_cache : (string, Cpu.result) Hashtbl.t = Hashtbl.create 16
 let golden_mutex = Mutex.create ()
 
-let golden ~machine (program : Program.t) =
+let golden ?(engine = Wp_sim.Sim.default_kind) ~machine (program : Program.t) =
+  (* The engine is part of the key: the two kernels produce identical
+     results (the differential battery asserts it), but sharing a memo
+     entry across engines would let a reference-run result stand in for
+     a fast-run one and mask a regression in the compiled kernel. *)
   let key =
-    Printf.sprintf "%s/%s/%s" (Datapath.machine_name machine) program.Program.name
+    Printf.sprintf "%s/%s/%s/%s" (Datapath.machine_name machine) program.Program.name
       (program_digest program)
+      (Wp_sim.Sim.kind_to_string engine)
   in
   let cached =
     Mutex.lock golden_mutex;
@@ -50,7 +55,7 @@ let golden ~machine (program : Program.t) =
   match cached with
   | Some r -> r
   | None ->
-    let r = Cpu.run_golden ~machine program in
+    let r = Cpu.run_golden ~engine ~machine program in
     if r.Cpu.outcome <> Cpu.Completed || not r.Cpu.result_ok then
       failwith ("Experiment.golden: reference run failed for " ^ key);
     Mutex.lock golden_mutex;
@@ -64,8 +69,10 @@ let golden ~machine (program : Program.t) =
     Mutex.unlock golden_mutex;
     winner
 
-let checked_run ?max_cycles ~machine ~mode ~config program =
-  let r = Cpu.run ?max_cycles ~machine ~mode ~rs:(Config.to_fun config) program in
+let checked_run ?engine ?max_cycles ?mcr_work ~machine ~mode ~config program =
+  let r =
+    Cpu.run ?engine ?max_cycles ?mcr_work ~machine ~mode ~rs:(Config.to_fun config) program
+  in
   (match r.Cpu.outcome with
   | Cpu.Completed -> ()
   | Cpu.Deadlocked ->
@@ -82,10 +89,18 @@ let checked_run ?max_cycles ~machine ~mode ~config program =
          (Config.describe config));
   r
 
-let run ?max_cycles ~machine ~program config =
-  let g = golden ~machine program in
-  let wp1 = checked_run ?max_cycles ~machine ~mode:Shell.Plain ~config program in
-  let wp2 = checked_run ?max_cycles ~machine ~mode:Shell.Oracle ~config program in
+let run ?engine ?max_cycles ~machine ~program config =
+  let g = golden ?engine ~machine program in
+  (* The golden cycle count is the work the wire-pipelined runs must
+     complete, so it feeds the MCR-guided bound: each run is capped at
+     [ceil (golden / Th) + slack] instead of the blanket 2M budget. *)
+  let mcr_work = g.Cpu.cycles in
+  let wp1 =
+    checked_run ?engine ?max_cycles ~mcr_work ~machine ~mode:Shell.Plain ~config program
+  in
+  let wp2 =
+    checked_run ?engine ?max_cycles ~mcr_work ~machine ~mode:Shell.Oracle ~config program
+  in
   let th_wp1 = Cpu.throughput ~golden:g wp1 in
   let th_wp2 = Cpu.throughput ~golden:g wp2 in
   {
@@ -101,10 +116,11 @@ let run ?max_cycles ~machine ~program config =
     wp1_bound = Analysis.wp1_bound_float config;
   }
 
-let wp2_cycles_objective ~machine ~program config =
-  let g = golden ~machine program in
+let wp2_cycles_objective ?engine ~machine ~program config =
+  let g = golden ?engine ~machine program in
   let wp2 =
-    Cpu.run ~machine ~mode:Shell.Oracle ~rs:(Config.to_fun config) program
+    Cpu.run ?engine ~mcr_work:g.Cpu.cycles ~machine ~mode:Shell.Oracle
+      ~rs:(Config.to_fun config) program
   in
   match wp2.Cpu.outcome with
   | Cpu.Completed when wp2.Cpu.result_ok -> Cpu.throughput ~golden:g wp2

@@ -19,22 +19,33 @@ val program_digest : Wp_soc.Program.t -> string
     memory size) — the program component of cache keys here and in
     {!Runner}. *)
 
-val golden : machine:Wp_soc.Datapath.machine -> Wp_soc.Program.t -> Wp_soc.Cpu.result
-(** Run (and memoise per program content and machine) the reference
-    system.  The memo table is thread-safe: worker domains of the
-    parallel {!Runner} may call this concurrently. *)
+val golden :
+  ?engine:Wp_sim.Sim.kind ->
+  machine:Wp_soc.Datapath.machine ->
+  Wp_soc.Program.t ->
+  Wp_soc.Cpu.result
+(** Run (and memoise per program content, machine and engine kind) the
+    reference system.  The memo table is thread-safe: worker domains of
+    the parallel {!Runner} may call this concurrently. *)
 
 val run :
+  ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
   machine:Wp_soc.Datapath.machine ->
   program:Wp_soc.Program.t ->
   Config.t ->
   record
-(** Simulate WP1 and WP2.  @raise Failure if any run fails to complete or
-    corrupts the architectural result — equivalence is an invariant here,
-    not a statistic. *)
+(** Simulate WP1 and WP2.  Unless [max_cycles] overrides it, each run is
+    capped by the MCR-guided bound derived from the golden cycle count
+    ({!Wp_soc.Cpu.run}'s [mcr_work]).  @raise Failure if any run fails
+    to complete or corrupts the architectural result — equivalence is an
+    invariant here, not a statistic. *)
 
 val wp2_cycles_objective :
-  machine:Wp_soc.Datapath.machine -> program:Wp_soc.Program.t -> Config.t -> float
+  ?engine:Wp_sim.Sim.kind ->
+  machine:Wp_soc.Datapath.machine ->
+  program:Wp_soc.Program.t ->
+  Config.t ->
+  float
 (** Objective for the optimiser: the WP2 throughput of the configuration
     (higher is better). *)

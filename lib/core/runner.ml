@@ -96,27 +96,31 @@ let lookup t table key compute =
       winner
   end
 
-let key ?max_cycles ~machine ~(program : Program.t) config =
-  Printf.sprintf "%s|%s|%s|%s|%d" program.Program.name
+let key ?engine ?max_cycles ~machine ~(program : Program.t) config =
+  (* The engine kind is part of the key: both kernels agree observably,
+     but a cache must never blur which kernel produced a stored record. *)
+  let engine = match engine with Some k -> k | None -> Wp_sim.Sim.default_kind in
+  Printf.sprintf "%s|%s|%s|%s|%d|%s" program.Program.name
     (Experiment.program_digest program)
     (Datapath.machine_name machine) (Config.digest config)
     (match max_cycles with Some n -> n | None -> -1)
+    (Wp_sim.Sim.kind_to_string engine)
 
-let experiment ?max_cycles t ~machine ~program config =
+let experiment ?engine ?max_cycles t ~machine ~program config =
   lookup t t.records
-    (key ?max_cycles ~machine ~program config)
-    (fun () -> Experiment.run ?max_cycles ~machine ~program config)
+    (key ?engine ?max_cycles ~machine ~program config)
+    (fun () -> Experiment.run ?engine ?max_cycles ~machine ~program config)
 
-let experiments ?max_cycles t ~machine ~program configs =
+let experiments ?engine ?max_cycles t ~machine ~program configs =
   (* Warm the golden memo once before fanning out, so the first parallel
      wave does not duplicate the reference run across workers. *)
-  ignore (Experiment.golden ~machine program);
-  map t (experiment ?max_cycles t ~machine ~program) configs
+  ignore (Experiment.golden ?engine ~machine program);
+  map t (experiment ?engine ?max_cycles t ~machine ~program) configs
 
-let objective t ~machine ~program config =
+let objective ?engine t ~machine ~program config =
   lookup t t.objectives
-    (key ~machine ~program config)
-    (fun () -> Experiment.wp2_cycles_objective ~machine ~program config)
+    (key ?engine ~machine ~program config)
+    (fun () -> Experiment.wp2_cycles_objective ?engine ~machine ~program config)
 
 let timed t name f =
   let t0 = Unix.gettimeofday () in

@@ -56,15 +56,19 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     {!stats}).  The first task exception is re-raised in the caller. *)
 
 val experiment :
+  ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
   t ->
   machine:Wp_soc.Datapath.machine ->
   program:Wp_soc.Program.t ->
   Config.t ->
   Experiment.record
-(** Cached {!Experiment.run}. *)
+(** Cached {!Experiment.run}.  The cache key includes the engine kind,
+    [program] content digest, machine, {!Config.digest} and
+    [max_cycles]. *)
 
 val experiments :
+  ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
   t ->
   machine:Wp_soc.Datapath.machine ->
@@ -76,6 +80,7 @@ val experiments :
     pool.  Results are in input order. *)
 
 val objective :
+  ?engine:Wp_sim.Sim.kind ->
   t ->
   machine:Wp_soc.Datapath.machine ->
   program:Wp_soc.Program.t ->

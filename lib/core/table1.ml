@@ -22,19 +22,19 @@ let single_rs_order =
     Datapath.DC_RF;
   ]
 
-let optimal_config ~runner ~machine ~program ~k =
+let optimal_config ?engine ~runner ~machine ~program ~k () =
   let budget = 9 * k in
   let config, _ =
     Optimizer.optimal ~budget ~per_connection_max:(2 * k)
       ~map:(Runner.map runner)
-      ~objective:(Runner.objective runner ~machine ~program)
+      ~objective:(Runner.objective ?engine runner ~machine ~program)
       ()
   in
   config
 
-let run_rows ~runner ~machine ~program specs =
+let run_rows ?engine ~runner ~machine ~program specs =
   let records =
-    Runner.experiments runner ~machine ~program (List.map snd specs)
+    Runner.experiments ?engine runner ~machine ~program (List.map snd specs)
   in
   List.mapi
     (fun i ((label, _config), record) -> { index = i + 1; label; record })
@@ -47,19 +47,19 @@ let common_head =
         (Printf.sprintf "Only %s" (Datapath.connection_name conn), Config.only conn 1))
       single_rs_order
 
-let sort_rows ?(values = Programs.sort_values ~seed:1 ~n:16) ?runner ~machine () =
+let sort_rows ?engine ?(values = Programs.sort_values ~seed:1 ~n:16) ?runner ~machine () =
   let runner = match runner with Some r -> r | None -> Runner.default () in
   let program = Programs.extraction_sort ~values in
   let specs =
     common_head
     @ [
         ("All 1 (no CU-IC)", Config.uniform ~except:[ Datapath.CU_IC ] 1);
-        ("Optimal 1 (no CU-IC)", optimal_config ~runner ~machine ~program ~k:1);
+        ("Optimal 1 (no CU-IC)", optimal_config ?engine ~runner ~machine ~program ~k:1 ());
       ]
   in
-  run_rows ~runner ~machine ~program specs
+  run_rows ?engine ~runner ~machine ~program specs
 
-let matmul_rows ?(n = 5) ?runner ~machine () =
+let matmul_rows ?engine ?(n = 5) ?runner ~machine () =
   let runner = match runner with Some r -> r | None -> Runner.default () in
   let program =
     Programs.matrix_multiply ~n ~a:(Programs.matrix_values ~seed:2 ~n)
@@ -76,13 +76,13 @@ let matmul_rows ?(n = 5) ?runner ~machine () =
     @ [ ("All 1 (no CU-IC)", all1) ]
     @ List.map all1_and_2 single_rs_order
     @ [
-        ("Optimal 2 (no CU-IC)", optimal_config ~runner ~machine ~program ~k:2);
+        ("Optimal 2 (no CU-IC)", optimal_config ?engine ~runner ~machine ~program ~k:2 ());
         ("All 2 (no CU-IC)", Config.uniform ~except:[ Datapath.CU_IC ] 2);
         ( "All 2 and 1 CU-RF",
           Config.set (Config.uniform ~except:[ Datapath.CU_IC ] 2) Datapath.CU_RF 1 );
       ]
   in
-  run_rows ~runner ~machine ~program specs
+  run_rows ?engine ~runner ~machine ~program specs
 
 let render ~title rows =
   let module T = Wp_util.Text_table in

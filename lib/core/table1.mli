@@ -19,18 +19,26 @@ type row = {
 }
 
 val sort_rows :
+  ?engine:Wp_sim.Sim.kind ->
   ?values:int array ->
   ?runner:Runner.t ->
   machine:Wp_soc.Datapath.machine ->
   unit ->
   row list
 (** The 13 extraction-sort rows.  Default workload: 16 pseudo-random
-    values (seed 1).  Rows are simulated through [runner] (default
+    values (seed 1).  [engine] picks the simulation kernel for every row
+    (default {!Wp_sim.Sim.default_kind}); both kernels produce
+    byte-identical tables.  Rows are simulated through [runner] (default
     {!Runner.default}): fan-out across its worker pool, memoised in its
     result cache, byte-identical output for any job count. *)
 
 val matmul_rows :
-  ?n:int -> ?runner:Runner.t -> machine:Wp_soc.Datapath.machine -> unit -> row list
+  ?engine:Wp_sim.Sim.kind ->
+  ?n:int ->
+  ?runner:Runner.t ->
+  machine:Wp_soc.Datapath.machine ->
+  unit ->
+  row list
 (** The 25 matrix-multiply rows.  Default: 5x5 matrices (seed 2/3) — large
     enough to show every trend, small enough to simulate 25 configurations
     quickly; pass [n] to scale up.  Same [runner] contract as

@@ -16,11 +16,8 @@ let is_full t = Ring_fifo.is_full t.buffer
 let stop_out t ~stop_in = stop_in && is_full t
 
 let emit t ~stop_in =
-  if stop_in then Token.Void
-  else
-    match Ring_fifo.pop t.buffer with
-    | Some v -> Token.Valid v
-    | None -> Token.Void
+  if stop_in || Ring_fifo.is_empty t.buffer then Token.Void
+  else Token.Valid (Ring_fifo.pop_exn t.buffer)
 
 let accept t token =
   match token with

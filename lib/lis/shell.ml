@@ -80,16 +80,16 @@ let fire t =
       (fun p need ->
         if need then begin
           t.required_counts.(p) <- t.required_counts.(p) + 1;
-          match Ring_fifo.pop t.fifos.(p) with
-          | Some v -> Some v
-          | None -> assert false
+          Some (Ring_fifo.pop_exn t.fifos.(p))
         end
         else begin
           (* The oracle skips this port: the token of the current tag is
              useless.  Discard it now if buffered, or on arrival. *)
-          (match Ring_fifo.pop t.fifos.(p) with
-          | Some _ -> t.dropped.(p) <- t.dropped.(p) + 1
-          | None -> t.drop_pending.(p) <- t.drop_pending.(p) + 1);
+          if not (Ring_fifo.is_empty t.fifos.(p)) then begin
+            Ring_fifo.drop_exn t.fifos.(p);
+            t.dropped.(p) <- t.dropped.(p) + 1
+          end
+          else t.drop_pending.(p) <- t.drop_pending.(p) + 1;
           None
         end)
       mask

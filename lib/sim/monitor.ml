@@ -24,13 +24,12 @@ type report = {
   channels : channel_report list;
 }
 
-let collect engine =
-  let net = Engine.network engine in
-  let cycles = Engine.cycles engine in
+let collect_sim sim =
+  let net = Sim.network sim in
+  let cycles = Sim.cycles sim in
   let node_report n =
-    let sh = Engine.shell engine n in
     let proc = Network.node_process net n in
-    let stats = Shell.stats sh in
+    let stats = Sim.node_stats sim n in
     let firings = stats.Shell.firings in
     let util p count =
       ( proc.Process.input_names.(p),
@@ -48,7 +47,7 @@ let collect engine =
     }
   in
   let channel_report c =
-    let delivered = Engine.delivered engine c in
+    let delivered = Sim.delivered sim c in
     {
       channel_label = Network.channel_label net c;
       relay_stations = Network.relay_stations net c;
@@ -62,6 +61,8 @@ let collect engine =
     nodes = List.map node_report (Network.nodes net);
     channels = List.map channel_report (Network.channels net);
   }
+
+let collect engine = collect_sim (Sim.of_engine engine)
 
 let node_throughput report name =
   let node = List.find (fun n -> n.node_name = name) report.nodes in

@@ -26,7 +26,11 @@ type report = {
   channels : channel_report list;
 }
 
+val collect_sim : Sim.t -> report
+(** Engine-agnostic collection; works with either kernel. *)
+
 val collect : Engine.t -> report
+(** [collect e] is [collect_sim (Sim.of_engine e)]. *)
 
 val node_throughput : report -> string -> float
 (** Firings per cycle of the named node.  @raise Not_found. *)

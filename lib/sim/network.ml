@@ -17,6 +17,13 @@ type t = {
   mutable n_nodes : int;
   mutable chans : channel_info array;
   mutable n_chans : int;
+  (* O(1) lookup indices, maintained incrementally so building a network
+     with E channels is O(E) instead of the O(E^2) that per-connect
+     linear scans used to cost on large random netlists. *)
+  names : (string, node) Hashtbl.t;
+  labels : (string, channel) Hashtbl.t;
+  mutable in_taken : Bytes.t array; (* per node, one byte per input port *)
+  mutable out_taken : Bytes.t array; (* per node, one byte per output port *)
 }
 
 let dummy_chan =
@@ -28,6 +35,10 @@ let create () =
     n_nodes = 0;
     chans = Array.make 8 dummy_chan;
     n_chans = 0;
+    names = Hashtbl.create 16;
+    labels = Hashtbl.create 16;
+    in_taken = Array.make 8 Bytes.empty;
+    out_taken = Array.make 8 Bytes.empty;
   }
 
 let grow arr used fill =
@@ -46,35 +57,31 @@ let check_channel t c = if c < 0 || c >= t.n_chans then invalid_arg "Network: no
 
 let node_process t n = check_node t n; t.procs.(n)
 
-let node_of_name t name =
-  let rec scan i =
-    if i >= t.n_nodes then None
-    else if t.procs.(i).Process.name = name then Some i
-    else scan (i + 1)
-  in
-  scan 0
+let node_of_name t name = Hashtbl.find_opt t.names name
 
 let add t proc =
   Process.validate proc;
-  (match node_of_name t proc.Process.name with
-  | Some _ -> invalid_arg ("Network.add: duplicate process name " ^ proc.Process.name)
-  | None -> ());
+  if Hashtbl.mem t.names proc.Process.name then
+    invalid_arg ("Network.add: duplicate process name " ^ proc.Process.name);
   t.procs <- grow t.procs t.n_nodes proc;
+  t.in_taken <- grow t.in_taken t.n_nodes Bytes.empty;
+  t.out_taken <- grow t.out_taken t.n_nodes Bytes.empty;
   let n = t.n_nodes in
   t.procs.(n) <- proc;
+  t.in_taken.(n) <- Bytes.make (Process.n_inputs proc) '\000';
+  t.out_taken.(n) <- Bytes.make (Process.n_outputs proc) '\000';
   t.n_nodes <- n + 1;
+  Hashtbl.replace t.names proc.Process.name n;
   n
 
 let port_taken t ~output node port =
-  let taken = ref false in
-  for c = 0 to t.n_chans - 1 do
-    let info = t.chans.(c) in
-    if output then begin
-      if info.src_node = node && info.src_port = port then taken := true
-    end
-    else if info.dst_node = node && info.dst_port = port then taken := true
-  done;
-  !taken
+  check_node t node;
+  let bits = if output then t.out_taken.(node) else t.in_taken.(node) in
+  port >= 0 && port < Bytes.length bits && Bytes.get bits port <> '\000'
+
+let mark_port t ~output node port =
+  let bits = if output then t.out_taken.(node) else t.in_taken.(node) in
+  Bytes.set bits port '\001'
 
 let connect t ~src:(src_node, src_port_name) ~dst:(dst_node, dst_port_name)
     ?(relay_stations = 0) ?label () =
@@ -115,6 +122,10 @@ let connect t ~src:(src_node, src_port_name) ~dst:(dst_node, dst_port_name)
   let c = t.n_chans in
   t.chans.(c) <- { src_node; src_port; dst_node; dst_port; rs_count = relay_stations; label };
   t.n_chans <- c + 1;
+  mark_port t ~output:true src_node src_port;
+  mark_port t ~output:false dst_node dst_port;
+  (* First channel wins a shared label, matching the old scan order. *)
+  if not (Hashtbl.mem t.labels label) then Hashtbl.replace t.labels label c;
   c
 
 let set_relay_stations t c n =
@@ -141,13 +152,7 @@ let validate t =
     done
   done
 
-let channel_of_label t label =
-  let rec scan c =
-    if c >= t.n_chans then None
-    else if t.chans.(c).label = label then Some c
-    else scan (c + 1)
-  in
-  scan 0
+let channel_of_label t label = Hashtbl.find_opt t.labels label
 
 let channel_label t c = check_channel t c; t.chans.(c).label
 let channel_src t c = check_channel t c; (t.chans.(c).src_node, t.chans.(c).src_port)

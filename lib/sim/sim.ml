@@ -1,0 +1,67 @@
+module Shell = Wp_lis.Shell
+module Token = Wp_lis.Token
+
+type kind =
+  | Reference
+  | Fast
+
+let kind_to_string = function Reference -> "ref" | Fast -> "fast"
+
+let kind_of_string = function
+  | "ref" | "reference" -> Some Reference
+  | "fast" -> Some Fast
+  | _ -> None
+
+let default_kind =
+  match Sys.getenv_opt "WIREPIPE_ENGINE" with
+  | Some s -> (match kind_of_string (String.lowercase_ascii s) with Some k -> k | None -> Fast)
+  | None -> Fast
+
+type t =
+  | Ref of Engine.t
+  | Fst of Fast.t
+
+let kind = function Ref _ -> Reference | Fst _ -> Fast
+let of_engine e = Ref e
+let of_fast f = Fst f
+
+let create ?(engine = default_kind) ?capacity ?record_traces ~mode net =
+  match engine with
+  | Reference -> Ref (Engine.create ?capacity ?record_traces ~mode net)
+  | Fast -> Fst (Fast.create ?capacity ?record_traces ~mode net)
+
+let step = function Ref e -> Engine.step e | Fst f -> Fast.step f
+
+let run ?max_cycles = function
+  | Ref e -> Engine.run ?max_cycles e
+  | Fst f -> Fast.run ?max_cycles f
+
+let cycles = function Ref e -> Engine.cycles e | Fst f -> Fast.cycles f
+let mode = function Ref e -> Engine.mode e | Fst f -> Fast.mode f
+let network = function Ref e -> Engine.network e | Fst f -> Fast.network f
+
+let delivered t c =
+  match t with Ref e -> Engine.delivered e c | Fst f -> Fast.delivered f c
+
+let fired_last_cycle = function
+  | Ref e -> Engine.fired_last_cycle e
+  | Fst f -> Fast.fired_last_cycle f
+
+let quiescence_window = function
+  | Ref e -> Engine.quiescence_window e
+  | Fst f -> Fast.quiescence_window f
+
+let node_stats t n =
+  match t with
+  | Ref e -> Shell.stats (Engine.shell e n)
+  | Fst f -> Fast.node_stats f n
+
+let output_trace t n p =
+  match t with
+  | Ref e -> Shell.output_trace (Engine.shell e n) p
+  | Fst f -> Fast.output_trace f n p
+
+let buffered t n p =
+  match t with
+  | Ref e -> Shell.buffered (Engine.shell e n) p
+  | Fst f -> Fast.buffered f n p

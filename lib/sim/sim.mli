@@ -1,0 +1,52 @@
+(** Engine-agnostic simulation facade.
+
+    Every experiment can run on either the readable reference
+    interpreter ({!Engine}) or the compiled allocation-free kernel
+    ({!Fast}); the two are byte-identical in observable behaviour
+    (outcomes, cycle counts, delivered tokens, shell statistics,
+    traces) and the differential test battery asserts it.  This module
+    hides the choice behind one type so callers thread a single
+    [?engine] argument instead of duplicating code paths. *)
+
+type kind =
+  | Reference  (** {!Engine}: boxed tokens, per-cycle allocation, easy to read *)
+  | Fast       (** {!Fast}: compiled int arrays, zero steady-state allocation *)
+
+val kind_to_string : kind -> string
+(** ["ref"] / ["fast"] — stable strings for CLI flags and cache keys. *)
+
+val kind_of_string : string -> kind option
+(** Accepts ["ref"], ["reference"] and ["fast"]. *)
+
+val default_kind : kind
+(** [Fast], unless the [WIREPIPE_ENGINE] environment variable names a
+    valid kind. *)
+
+type t
+
+val create :
+  ?engine:kind ->
+  ?capacity:int ->
+  ?record_traces:bool ->
+  mode:Wp_lis.Shell.mode ->
+  Network.t ->
+  t
+(** [engine] defaults to {!default_kind}; the remaining arguments are
+    forwarded to {!Engine.create} / {!Fast.create} unchanged. *)
+
+val of_engine : Engine.t -> t
+val of_fast : Fast.t -> t
+val kind : t -> kind
+
+val step : t -> unit
+val run : ?max_cycles:int -> t -> Engine.outcome
+val cycles : t -> int
+val mode : t -> Wp_lis.Shell.mode
+val network : t -> Network.t
+val delivered : t -> Network.channel -> int
+val fired_last_cycle : t -> bool
+val quiescence_window : t -> int
+
+val node_stats : t -> Network.node -> Wp_lis.Shell.stats
+val output_trace : t -> Network.node -> int -> int Wp_lis.Token.t list
+val buffered : t -> Network.node -> int -> int

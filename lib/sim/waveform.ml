@@ -1,21 +1,22 @@
 module Token = Wp_lis.Token
-module Shell = Wp_lis.Shell
 
 type channel_trace = {
   wave_label : string;
   tokens : int Token.t list;
 }
 
-let capture engine =
-  let net = Engine.network engine in
+let capture_sim sim =
+  let net = Sim.network sim in
   List.map
     (fun c ->
       let src_node, src_port = Network.channel_src net c in
       {
         wave_label = Network.channel_label net c;
-        tokens = Shell.output_trace (Engine.shell engine src_node) src_port;
+        tokens = Sim.output_trace sim src_node src_port;
       })
     (Network.channels net)
+
+let capture engine = capture_sim (Sim.of_engine engine)
 
 let rec take n = function
   | [] -> []

@@ -15,9 +15,13 @@ type channel_trace = {
   tokens : int Wp_lis.Token.t list;  (** oldest first, one per cycle *)
 }
 
-val capture : Engine.t -> channel_trace list
+val capture_sim : Sim.t -> channel_trace list
 (** One trace per channel, read from the producing shell's recorded
-    output port (i.e. what entered the wire, before relay stations). *)
+    output port (i.e. what entered the wire, before relay stations).
+    Works with either simulation kernel. *)
+
+val capture : Engine.t -> channel_trace list
+(** [capture e] is [capture_sim (Sim.of_engine e)]. *)
 
 val ascii :
   ?from_cycle:int ->

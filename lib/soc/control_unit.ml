@@ -54,8 +54,15 @@ let process ?(predict_taken_backward = false) ~text_length () =
           | Pending { resolve_tag; _ } -> resolve_tag = !firing
           | No_branch -> false
         in
+        (* One mask buffer per instance, refreshed in place: required()
+           sits on the per-cycle hot path of both engines, so it must
+           not allocate. *)
+        let req_mask = [| true; false |] in
         {
-          Process.required = (fun () -> [| true; flags_due () |]);
+          Process.required =
+            (fun () ->
+              req_mask.(1) <- flags_due ();
+              req_mask);
           fire =
             (fun inputs ->
               let k = !firing in

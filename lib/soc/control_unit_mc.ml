@@ -21,6 +21,8 @@ let process ~text_length =
         (* (resolve firing, target, fallthrough) of the branch in flight *)
         let flags_due = ref None in
         let state = ref Running in
+        (* Reused in place: required() must not allocate on the hot path. *)
+        let req_mask = [| false; false |] in
         {
           Process.required =
             (fun () ->
@@ -28,7 +30,9 @@ let process ~text_length =
               let flags_needed =
                 match !flags_due with Some (at, _, _) -> at = k | None -> false
               in
-              [| !instr_due = k; flags_needed |]);
+              req_mask.(0) <- !instr_due = k;
+              req_mask.(1) <- flags_needed;
+              req_mask);
           fire =
             (fun inputs ->
               let k = !firing in

@@ -1,4 +1,6 @@
 module Engine = Wp_sim.Engine
+module Sim = Wp_sim.Sim
+module Fast = Wp_sim.Fast
 module Monitor = Wp_sim.Monitor
 
 type outcome =
@@ -17,34 +19,57 @@ type result = {
 
 let no_relay_stations (_ : Datapath.connection) = 0
 
-let run ?(capacity = 2) ?(max_cycles = 2_000_000) ~machine ~mode ~rs (program : Program.t) =
-  let dp = Datapath.build ~machine ~rs program in
-  let engine = Engine.create ~capacity ~mode dp.Datapath.network in
-  let outcome, cycles =
-    match Engine.run ~max_cycles engine with
-    | Engine.Halted c -> (Completed, c)
-    | Engine.Deadlocked c -> (Deadlocked, c)
-    | Engine.Exhausted c -> (Out_of_cycles, c)
-  in
-  let memory =
-    match !(dp.Datapath.memory_tap) with Some get -> get () | None -> [||]
-  in
-  let registers =
-    match !(dp.Datapath.register_tap) with Some get -> get () | None -> [||]
-  in
-  let result_ok =
-    outcome = Completed
-    &&
-    let base, len = program.Program.result_region in
-    let expected = Program.expected_result program in
-    len = 0
-    || (Array.length memory >= base + len
-       && Array.for_all2 ( = ) expected (Array.sub memory base len))
-  in
-  { cycles; outcome; memory; registers; result_ok; report = Monitor.collect engine }
+let default_max_cycles = 2_000_000
 
-let run_golden ~machine program =
-  run ~machine ~mode:Wp_lis.Shell.Plain ~rs:no_relay_stations program
+let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ~machine ~mode ~rs
+    (program : Program.t) =
+  (* [mcr_work] enables the MCR-guided cycle budget: instead of stepping
+     up to the full default budget, bound the run at
+     [Fast.cycle_bound ~work_cycles:mcr_work net] — provable from the
+     marked-graph throughput, plus engineering slack.  If the bounded
+     run exhausts (the bound was too tight, which the slack makes
+     rare), fall back to the full budget so observable outcomes stay
+     identical to the unbounded configuration. *)
+  let attempt max_cycles =
+    let dp = Datapath.build ~machine ~rs program in
+    let sim = Sim.create ?engine ~capacity ~mode dp.Datapath.network in
+    let outcome, cycles =
+      match Sim.run ~max_cycles sim with
+      | Engine.Halted c -> (Completed, c)
+      | Engine.Deadlocked c -> (Deadlocked, c)
+      | Engine.Exhausted c -> (Out_of_cycles, c)
+    in
+    let memory =
+      match !(dp.Datapath.memory_tap) with Some get -> get () | None -> [||]
+    in
+    let registers =
+      match !(dp.Datapath.register_tap) with Some get -> get () | None -> [||]
+    in
+    let result_ok =
+      outcome = Completed
+      &&
+      let base, len = program.Program.result_region in
+      let expected = Program.expected_result program in
+      len = 0
+      || (Array.length memory >= base + len
+         && Array.for_all2 ( = ) expected (Array.sub memory base len))
+    in
+    { cycles; outcome; memory; registers; result_ok; report = Monitor.collect_sim sim }
+  in
+  match max_cycles, mcr_work with
+  | Some m, _ -> attempt m
+  | None, None -> attempt default_max_cycles
+  | None, Some work ->
+    let dp = Datapath.build ~machine ~rs program in
+    let bound = Fast.cycle_bound ~work_cycles:work dp.Datapath.network in
+    let bound = min bound default_max_cycles in
+    let result = attempt bound in
+    if result.outcome = Out_of_cycles && bound < default_max_cycles then
+      attempt default_max_cycles
+    else result
+
+let run_golden ?engine ~machine program =
+  run ?engine ~machine ~mode:Wp_lis.Shell.Plain ~rs:no_relay_stations program
 
 let throughput ~golden result =
   if result.cycles = 0 then 0.0

@@ -19,17 +19,25 @@ type result = {
 }
 
 val run :
+  ?engine:Wp_sim.Sim.kind ->
   ?capacity:int ->
   ?max_cycles:int ->
+  ?mcr_work:int ->
   machine:Datapath.machine ->
   mode:Wp_lis.Shell.mode ->
   rs:(Datapath.connection -> int) ->
   Program.t ->
   result
-(** [capacity] is the shell FIFO bound (default 2); [max_cycles] defaults
-    to 2_000_000. *)
+(** [engine] selects the simulation kernel (default
+    {!Wp_sim.Sim.default_kind}, i.e. the compiled [Fast] engine);
+    [capacity] is the shell FIFO bound (default 2); [max_cycles]
+    defaults to 2_000_000.  When [max_cycles] is absent and [mcr_work]
+    is given (typically the golden run's cycle count), the run is first
+    bounded at [Wp_sim.Fast.cycle_bound ~work_cycles:mcr_work], the
+    marked-graph MCR budget; an [Out_of_cycles] at that bound falls
+    back to the full budget, so results never depend on the bound. *)
 
-val run_golden : machine:Datapath.machine -> Program.t -> result
+val run_golden : ?engine:Wp_sim.Sim.kind -> machine:Datapath.machine -> Program.t -> result
 (** Zero relay stations everywhere, plain wrappers: the reference system
     whose cycle count defines throughput 1.0. *)
 

@@ -27,11 +27,15 @@ let process ?(tap = ref None) ~mem_size ~mem_init () =
         let value_sched = Array.make ring_size 0 in
         let firing = ref 0 in
         let slot offset = (!firing + offset) mod ring_size in
+        (* Reused in place: required() must not allocate on the hot path. *)
+        let req_mask = [| true; false; false |] in
         {
           Process.required =
             (fun () ->
               let here = !firing mod ring_size in
-              [| true; exec_sched.(here) <> None; data_sched.(here) |]);
+              req_mask.(1) <- exec_sched.(here) <> None;
+              req_mask.(2) <- data_sched.(here);
+              req_mask);
           fire =
             (fun inputs ->
               let here = !firing mod ring_size in

@@ -18,11 +18,15 @@ let process ?(tap = ref None) () =
         let firing = ref 0 in
         tap := Some (fun () -> Array.copy regs);
         let slot offset = (!firing + offset) mod ring_size in
+        (* Reused in place: required() must not allocate on the hot path. *)
+        let req_mask = [| true; false; false |] in
         {
           Process.required =
             (fun () ->
               let here = !firing mod ring_size in
-              [| true; wb1_sched.(here) <> None; wb2_sched.(here) <> None |]);
+              req_mask.(1) <- wb1_sched.(here) <> None;
+              req_mask.(2) <- wb2_sched.(here) <> None;
+              req_mask);
           fire =
             (fun inputs ->
               let here = !firing mod ring_size in

@@ -59,7 +59,33 @@ let pop t =
     x
   end
 
+(* Hot-path accessor: returns the element directly, so the caller avoids
+   both the option scrutinee and the closure/option plumbing of [pop].
+   The queue never stores [None] below [len], so the inner match cannot
+   fail. *)
+let pop_exn t =
+  if t.len = 0 then invalid_arg "Ring_fifo.pop_exn: empty"
+  else begin
+    let slot = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1;
+    match slot with Some x -> x | None -> assert false
+  end
+
+let drop_exn t =
+  if t.len = 0 then invalid_arg "Ring_fifo.drop_exn: empty"
+  else begin
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1
+  end
+
 let peek t = if t.len = 0 then None else t.buf.(t.head)
+
+let peek_exn t =
+  if t.len = 0 then invalid_arg "Ring_fifo.peek_exn: empty"
+  else match t.buf.(t.head) with Some x -> x | None -> assert false
 
 let clear t =
   Array.fill t.buf 0 (Array.length t.buf) None;

@@ -30,7 +30,21 @@ val push_exn : 'a t -> 'a -> unit
 val pop : 'a t -> 'a option
 (** Dequeue from the head. *)
 
+val pop_exn : 'a t -> 'a
+(** Dequeue from the head without boxing the result in an option — the
+    simulation hot path ([Shell.fire], [Relay_station.emit]) checks
+    emptiness separately and wants the raw element.
+    @raise Invalid_argument when empty. *)
+
+val drop_exn : 'a t -> unit
+(** Discard the head element (the oracle drop rule needs no value).
+    @raise Invalid_argument when empty. *)
+
 val peek : 'a t -> 'a option
+
+val peek_exn : 'a t -> 'a
+(** Head element without the option box.  @raise Invalid_argument when
+    empty. *)
 
 val clear : 'a t -> unit
 

@@ -497,6 +497,50 @@ let prop_random_programs_differential =
 module Runner = Wp_core.Runner
 module Config = Wp_core.Config
 module Equiv_check = Wp_core.Equiv_check
+module Sim = Wp_sim.Sim
+module Process = Wp_lis.Process
+
+let mode_name = function Shell.Plain -> "plain" | Shell.Oracle -> "oracle"
+
+(* Engine differential: the compiled kernel must be byte-identical to
+   the reference interpreter — same outcome and cycle count, same
+   per-channel delivered totals, same per-shell statistics and same
+   recorded token streams on every output port. *)
+let engine_differential ~(note : string -> unit) ~seed ~machine ~mode ~rs program =
+  let note fmt = Printf.ksprintf note fmt in
+  let exec kind =
+    let dp = Datapath.build ~machine ~rs program in
+    let sim = Sim.create ~engine:kind ~record_traces:true ~mode dp.Datapath.network in
+    let outcome = Sim.run ~max_cycles:2_000_000 sim in
+    (dp.Datapath.network, sim, outcome)
+  in
+  let ctx = Printf.sprintf "%s/%s" (Datapath.machine_name machine) (mode_name mode) in
+  match (exec Sim.Reference, exec Sim.Fast) with
+  | (net, ref_sim, ref_out), (_, fast_sim, fast_out) ->
+    if ref_out <> fast_out then
+      note "seed %d: %s engines disagree on outcome" seed ctx;
+    if Sim.cycles ref_sim <> Sim.cycles fast_sim then
+      note "seed %d: %s engines disagree on cycle count (%d vs %d)" seed ctx
+        (Sim.cycles ref_sim) (Sim.cycles fast_sim);
+    List.iter
+      (fun c ->
+        if Sim.delivered ref_sim c <> Sim.delivered fast_sim c then
+          note "seed %d: %s engines disagree on delivered(%s)" seed ctx
+            (Wp_sim.Network.channel_label net c))
+      (Wp_sim.Network.channels net);
+    List.iter
+      (fun n ->
+        let proc = Wp_sim.Network.node_process net n in
+        if Sim.node_stats ref_sim n <> Sim.node_stats fast_sim n then
+          note "seed %d: %s engines disagree on stats(%s)" seed ctx proc.Process.name;
+        Array.iteri
+          (fun p _ ->
+            if Sim.output_trace ref_sim n p <> Sim.output_trace fast_sim n p then
+              note "seed %d: %s engines disagree on trace %s.%s" seed ctx
+                proc.Process.name proc.Process.output_names.(p))
+          proc.Process.output_names)
+      (Wp_sim.Network.nodes net)
+  | exception e -> note "seed %d: engine differential raised %s" seed (Printexc.to_string e)
 
 (* Seed policy (documented in EXPERIMENTS.md): program seeds are
    0 .. battery_seeds-1, and the RS configuration for program seed [s]
@@ -525,31 +569,41 @@ let battery_case seed =
     (fun machine ->
       List.iter
         (fun mode ->
-          match Cpu.run ~machine ~mode ~rs program with
-          | r ->
-            if r.Cpu.outcome <> Cpu.Completed then
-              note "seed %d: %s/%s did not complete under %s" seed
-                (Datapath.machine_name machine)
-                (match mode with Shell.Plain -> "plain" | Shell.Oracle -> "oracle")
-                (Config.describe config)
-            else if not r.Cpu.result_ok then
-              note "seed %d: %s/%s diverges from the ISS under %s" seed
-                (Datapath.machine_name machine)
-                (match mode with Shell.Plain -> "plain" | Shell.Oracle -> "oracle")
-                (Config.describe config)
-          | exception e ->
-            note "seed %d: %s raised %s" seed
-              (Datapath.machine_name machine) (Printexc.to_string e))
+          List.iter
+            (fun engine ->
+              match Cpu.run ~engine ~machine ~mode ~rs program with
+              | r ->
+                if r.Cpu.outcome <> Cpu.Completed then
+                  note "seed %d: %s/%s/%s did not complete under %s" seed
+                    (Datapath.machine_name machine) (mode_name mode)
+                    (Sim.kind_to_string engine) (Config.describe config)
+                else if not r.Cpu.result_ok then
+                  note "seed %d: %s/%s/%s diverges from the ISS under %s" seed
+                    (Datapath.machine_name machine) (mode_name mode)
+                    (Sim.kind_to_string engine) (Config.describe config)
+              | exception e ->
+                note "seed %d: %s/%s raised %s" seed
+                  (Datapath.machine_name machine) (Sim.kind_to_string engine)
+                  (Printexc.to_string e))
+            [ Sim.Reference; Sim.Fast ];
+          engine_differential
+            ~note:(fun s -> failures := s :: !failures)
+            ~seed ~machine ~mode ~rs program)
         modes)
     [ Datapath.Pipelined; Datapath.Multicycle ];
   List.iter
     (fun mode ->
-      let v = Equiv_check.check ~machine:Datapath.Pipelined ~mode ~config program in
-      if not v.Equiv_check.equivalent then
-        note "seed %d: %s equivalence check failed at %s under %s" seed
-          (match mode with Shell.Plain -> "plain" | Shell.Oracle -> "oracle")
-          (Option.value ~default:"?" v.Equiv_check.first_mismatch)
-          (Config.describe config))
+      List.iter
+        (fun engine ->
+          let v =
+            Equiv_check.check ~engine ~machine:Datapath.Pipelined ~mode ~config program
+          in
+          if not v.Equiv_check.equivalent then
+            note "seed %d: %s/%s equivalence check failed at %s under %s" seed
+              (mode_name mode) (Sim.kind_to_string engine)
+              (Option.value ~default:"?" v.Equiv_check.first_mismatch)
+              (Config.describe config))
+        [ Sim.Reference; Sim.Fast ])
     modes;
   List.rev !failures
 
