@@ -10,14 +10,42 @@ module Config = Wp_core.Config
 
 (* --- shared argument parsing --------------------------------------- *)
 
+(* "asm:PATH" loads and assembles a source file — this is how shrunk
+   counterexamples written by the fault batteries are replayed. *)
+let assembly_program path =
+  if not (Sys.file_exists path) then
+    Error (`Msg (Printf.sprintf "assembly file %S not found" path))
+  else begin
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let source = really_input_string ic n in
+    close_in ic;
+    match Wp_soc.Asm.assemble source with
+    | Error e -> Error (`Msg (Format.asprintf "%s: %a" path Wp_soc.Asm.pp_error e))
+    | Ok text ->
+      Ok
+        {
+          Wp_soc.Program.name = Filename.remove_extension (Filename.basename path);
+          source;
+          text;
+          mem_size = 4096;
+          mem_init = [];
+          result_region = (0, 0);
+        }
+  end
+
 let program_of_string s =
-  let name, param =
+  let name, raw_param =
     match String.index_opt s ':' with
     | None -> (s, None)
-    | Some i ->
-      ( String.sub s 0 i,
-        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+    | Some i -> (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
   in
+  if name = "asm" then
+    match raw_param with
+    | Some path -> assembly_program path
+    | None -> Error (`Msg "asm needs a file: asm:PATH")
+  else
+  let param = Option.bind raw_param int_of_string_opt in
   let size default = Option.value param ~default in
   match name with
   | "sort" -> Ok (Programs.extraction_sort ~values:(Programs.sort_values ~seed:1 ~n:(size 16)))
@@ -37,7 +65,7 @@ let program_of_string s =
     Error
       (`Msg
         (Printf.sprintf
-           "unknown program %S (try sort, matmul, fib, dot, memcpy, bubble, random)" s))
+           "unknown program %S (try sort, matmul, fib, dot, memcpy, bubble, random, asm:FILE)" s))
 
 let program_conv =
   Arg.conv
@@ -78,7 +106,7 @@ let config_conv =
   Arg.conv ((fun s -> config_of_string s), fun ppf c -> Config.pp ppf c)
 
 let program_arg =
-  Arg.(value & opt program_conv (Result.get_ok (program_of_string "sort")) & info [ "p"; "program" ] ~docv:"PROG" ~doc:"Workload: sort[:n], matmul[:n], fib[:n], dot[:n], memcpy[:n], bubble[:n], random[:seed].")
+  Arg.(value & opt program_conv (Result.get_ok (program_of_string "sort")) & info [ "p"; "program" ] ~docv:"PROG" ~doc:"Workload: sort[:n], matmul[:n], fib[:n], dot[:n], memcpy[:n], bubble[:n], random[:seed], asm:FILE.")
 
 let machine_arg =
   Arg.(value & opt machine_conv Datapath.Pipelined & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"CPU fashion: pipelined or multicycle.")
@@ -103,6 +131,36 @@ let engine_arg =
            ~doc:"Simulation kernel: $(b,fast) (compiled, default) or $(b,ref) \
                  (reference interpreter).  Both produce byte-identical results; \
                  the default can also be set via $(b,WIREPIPE_ENGINE).")
+
+(* Fault injection, shared by run and equiv. *)
+
+let fault_conv =
+  Arg.conv
+    ( (fun s ->
+        match Wp_sim.Fault.of_string ~seed:0 s with
+        | spec -> Ok spec
+        | exception Invalid_argument msg -> Error (`Msg msg)),
+      fun ppf spec -> Format.pp_print_string ppf (Wp_sim.Fault.to_string spec) )
+
+let fault_arg =
+  Arg.(value & opt fault_conv Wp_sim.Fault.none
+       & info [ "fault" ] ~docv:"SPEC"
+           ~doc:"Fault-injection spec, comma-separated clauses: \
+                 $(b,jitter:PCT[@H]) (random per-channel stalls), \
+                 $(b,storm:P/B[@H]) (backpressure storm, B of every P cycles), \
+                 $(b,stall:CHAN@c1+c2) (explicit stall schedule), \
+                 $(b,drop:CHAN:N) / $(b,dup:CHAN:N) / $(b,corrupt:CHAN:N) / \
+                 $(b,spurious:CHAN:N) (destructive token faults on the Nth \
+                 token), or $(b,none).  Stall-only specs must preserve \
+                 equivalence; destructive ones must be caught.")
+
+let fault_seed_arg =
+  Arg.(value & opt int 0
+       & info [ "fault-seed" ] ~docv:"SEED"
+           ~doc:"Seed for randomized fault clauses (jitter). The same seed \
+                 reproduces the same schedule on both engines.")
+
+let fault_of_args spec seed = { spec with Wp_sim.Fault.seed = seed }
 
 let gc_stats_arg =
   Arg.(value & flag
@@ -205,7 +263,8 @@ let run_cmd =
          & info [ "mode" ] ~docv:"MODE" ~doc:"wp1 (plain wrappers), wp2 (oracle) or both.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-block statistics.") in
-  let run program machine config mode verbose engine gc =
+  let run program machine config mode verbose engine fault_spec fault_seed gc =
+    let fault = fault_of_args fault_spec fault_seed in
     with_gc_stats gc (fun () ->
         let golden = Wp_core.Experiment.golden ~engine ~machine program in
         Printf.printf "program %s on the %s machine; golden run: %d cycles (%s engine)\n"
@@ -213,13 +272,21 @@ let run_cmd =
           (Wp_sim.Sim.kind_to_string engine);
         Printf.printf "relay stations: %s (static WP1 bound %.3f)\n" (Config.describe config)
           (Wp_core.Analysis.wp1_bound_float config);
+        if not (Wp_sim.Fault.is_none fault) then
+          Printf.printf "injecting %s\n" (Wp_sim.Fault.describe fault);
         let one label shell_mode =
           let r =
-            Wp_soc.Cpu.run ~engine ~machine ~mode:shell_mode ~rs:(Config.to_fun config) program
+            Wp_soc.Cpu.run ~engine ~fault ~machine ~mode:shell_mode ~rs:(Config.to_fun config)
+              program
           in
           let th = Wp_soc.Cpu.throughput ~golden r in
-          Printf.printf "%s: %d cycles, throughput %.3f, result %s\n" label r.Wp_soc.Cpu.cycles th
-            (if r.Wp_soc.Cpu.result_ok then "correct" else "WRONG");
+          Printf.printf "%s: %d cycles, throughput %.3f, result %s%s\n" label r.Wp_soc.Cpu.cycles
+            th
+            (if r.Wp_soc.Cpu.result_ok then "correct" else "WRONG")
+            (match r.Wp_soc.Cpu.outcome with
+            | Wp_soc.Cpu.Completed -> ""
+            | Wp_soc.Cpu.Deadlocked -> " (deadlocked)"
+            | Wp_soc.Cpu.Out_of_cycles -> " (out of cycles)");
           if verbose then print_string (Wp_sim.Monitor.to_table r.Wp_soc.Cpu.report)
         in
         match mode with
@@ -231,7 +298,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload under one RS configuration")
     Term.(const run $ program_arg $ machine_arg $ config_arg $ mode $ verbose $ engine_arg
-          $ gc_stats_arg)
+          $ fault_arg $ fault_seed_arg $ gc_stats_arg)
 
 (* --- loops ----------------------------------------------------------- *)
 
@@ -300,21 +367,55 @@ let graph_cmd =
 (* --- equiv ------------------------------------------------------------ *)
 
 let equiv_cmd =
-  let run program machine config engine =
-    List.iter
-      (fun (label, mode) ->
-        let v = Wp_core.Equiv_check.check ~engine ~machine ~mode ~config program in
-        Printf.printf "%s: %s (%d ports, %d informative events compared)%s\n" label
+  let mode =
+    Arg.(value & opt (enum [ ("wp1", `Wp1); ("wp2", `Wp2); ("both", `Both) ]) `Both
+         & info [ "mode" ] ~docv:"MODE" ~doc:"wp1 (plain wrappers), wp2 (oracle) or both.")
+  in
+  let run program machine config mode engine fault_spec fault_seed =
+    let fault = fault_of_args fault_spec fault_seed in
+    if not (Wp_sim.Fault.is_none fault) then
+      Printf.printf "injecting %s\n" (Wp_sim.Fault.describe fault);
+    let outcome_tag = function
+      | Wp_sim.Engine.Halted _ -> ""
+      | Wp_sim.Engine.Deadlocked _ -> " deadlocked"
+      | Wp_sim.Engine.Exhausted _ -> " out of cycles"
+    in
+    let any_bad = ref false in
+    let one label shell_mode =
+      match
+        Wp_core.Equiv_check.check ~engine ~fault ~machine ~mode:shell_mode ~config program
+      with
+      | v ->
+        if not v.Wp_core.Equiv_check.equivalent then any_bad := true;
+        Printf.printf "%s: %s (%d ports, %d informative events compared)%s%s\n" label
           (if v.Wp_core.Equiv_check.equivalent then "equivalent" else "NOT EQUIVALENT")
           v.Wp_core.Equiv_check.ports_checked v.Wp_core.Equiv_check.events_compared
           (match v.Wp_core.Equiv_check.first_mismatch with
           | Some port -> " first mismatch at " ^ port
-          | None -> ""))
-      [ ("WP1", Shell.Plain); ("WP2", Shell.Oracle) ]
+          | None -> "")
+          (match outcome_tag v.Wp_core.Equiv_check.wp_outcome with
+          | "" -> ""
+          | tag -> " (wp run" ^ tag ^ ")")
+      | exception e when not (Wp_sim.Fault.is_none fault) ->
+        (* An injected fault that crashes a process outright (e.g. a
+           corrupted instruction encoding) is a detection, just a louder
+           one than a trace mismatch. *)
+        any_bad := true;
+        Printf.printf "%s: NOT EQUIVALENT (wp run crashed: %s)\n" label
+          (Printexc.to_string e)
+    in
+    (match mode with
+    | `Wp1 -> one "WP1" Shell.Plain
+    | `Wp2 -> one "WP2" Shell.Oracle
+    | `Both ->
+      one "WP1" Shell.Plain;
+      one "WP2" Shell.Oracle);
+    if !any_bad then exit 1
   in
   Cmd.v
     (Cmd.info "equiv" ~doc:"Check golden-vs-WP trace equivalence on every channel")
-    Term.(const run $ program_arg $ machine_arg $ config_arg $ engine_arg)
+    Term.(const run $ program_arg $ machine_arg $ config_arg $ mode $ engine_arg $ fault_arg
+          $ fault_seed_arg)
 
 (* --- area ------------------------------------------------------------- *)
 

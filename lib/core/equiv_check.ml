@@ -1,6 +1,8 @@
 module Datapath = Wp_soc.Datapath
 module Network = Wp_sim.Network
 module Sim = Wp_sim.Sim
+module Engine = Wp_sim.Engine
+module Fault = Wp_sim.Fault
 module Shell = Wp_lis.Shell
 module Trace = Wp_lis.Trace
 module Process = Wp_lis.Process
@@ -10,56 +12,98 @@ type verdict = {
   ports_checked : int;
   events_compared : int;
   first_mismatch : string option;
+  golden_outcome : Engine.outcome;
+  wp_outcome : Engine.outcome;
 }
 
 (* Run one system and collect, per "BLOCK.port", the output trace. *)
-let traced_run ?engine ?(max_cycles = 2_000_000) ~machine ~mode ~config program =
+let traced_run ?engine ?(max_cycles = 2_000_000) ?fault ~machine ~mode ~config
+    program =
   let dp = Datapath.build ~machine ~rs:(Config.to_fun config) program in
-  let sim = Sim.create ?engine ~record_traces:true ~mode dp.Datapath.network in
-  ignore (Sim.run ~max_cycles sim);
+  let sim = Sim.create ?engine ~record_traces:true ?fault ~mode dp.Datapath.network in
+  let outcome = Sim.run ~max_cycles sim in
   let net = dp.Datapath.network in
-  List.concat_map
-    (fun node ->
-      let proc = Network.node_process net node in
-      List.init
-        (Array.length proc.Process.output_names)
-        (fun p ->
-          ( proc.Process.name ^ "." ^ proc.Process.output_names.(p),
-            Sim.output_trace sim node p )))
-    (Network.nodes net)
-
-let check ?engine ?max_cycles ~machine ~mode ~config program =
-  let golden =
-    traced_run ?engine ?max_cycles ~machine ~mode:Shell.Plain ~config:Config.zero program
+  let ports =
+    List.concat_map
+      (fun node ->
+        let proc = Network.node_process net node in
+        List.init
+          (Array.length proc.Process.output_names)
+          (fun p ->
+            ( proc.Process.name ^ "." ^ proc.Process.output_names.(p),
+              Sim.output_trace sim node p )))
+      (Network.nodes net)
   in
-  let wp = traced_run ?engine ?max_cycles ~machine ~mode ~config program in
-  let ports_checked = ref 0 and events = ref 0 and mismatch = ref None in
+  (outcome, ports)
+
+let halted = function Engine.Halted _ -> true | _ -> false
+
+let check ?engine ?max_cycles ?fault ~machine ~mode ~config program =
+  let golden_outcome, golden =
+    traced_run ?engine ?max_cycles ~machine ~mode:Shell.Plain
+      ~config:Config.zero program
+  in
+  let wp_outcome, wp =
+    traced_run ?engine ?max_cycles ?fault ~machine ~mode ~config program
+  in
+  let ports_checked = ref 0 and events = ref 0 in
+  (* A value mismatch is pinned to the port whose tau-filtered streams
+     diverge at the {e earliest} informative index — under fault
+     injection that names the consumer of the faulted channel rather
+     than whichever port happens to come first in node order. *)
+  let best_port = ref None and best_index = ref max_int in
+  (* If no value diverges but the WP run stops short (deadlock after a
+     clean prefix — e.g. a dropped token starves a loop), blame the
+     port with the largest informative-event shortfall. *)
+  let short_port = ref None and short_by = ref 0 in
   List.iter
     (fun (port, golden_trace) ->
       match List.assoc_opt port wp with
-      | None -> if !mismatch = None then mismatch := Some port
+      | None -> if !best_port = None then (best_port := Some port; best_index := -1)
       | Some wp_trace ->
         incr ports_checked;
         let a = Trace.tau_filter golden_trace and b = Trace.tau_filter wp_trace in
-        let shorter = min (List.length a) (List.length b) in
+        let na = List.length a and nb = List.length b in
+        let shorter = min na nb in
         events := !events + shorter;
-        if
-          Trace.equivalent_prefix ~eq:( = ) golden_trace wp_trace < shorter
-          && !mismatch = None
-        then mismatch := Some port)
+        let agree = Trace.equivalent_prefix ~eq:( = ) golden_trace wp_trace in
+        if agree < shorter && agree < !best_index then begin
+          best_index := agree;
+          best_port := Some port
+        end;
+        if na - nb > !short_by then begin
+          short_by := na - nb;
+          short_port := Some port
+        end)
     golden;
+  let mismatch =
+    match !best_port with
+    | Some _ as m -> m
+    | None ->
+      (* Clean prefixes everywhere; still inequivalent if the golden
+         system halts but the WP system deadlocks or runs forever. *)
+      if halted golden_outcome && not (halted wp_outcome) then
+        match !short_port with Some _ as p -> p | None -> Some "<no progress>"
+      else None
+  in
   {
-    equivalent = !mismatch = None;
+    equivalent = mismatch = None;
     ports_checked = !ports_checked;
     events_compared = !events;
-    first_mismatch = !mismatch;
+    first_mismatch = mismatch;
+    golden_outcome;
+    wp_outcome;
   }
 
-let check_n_equivalence ?engine ?max_cycles ~n ~machine ~mode ~config program =
-  let golden =
-    traced_run ?engine ?max_cycles ~machine ~mode:Shell.Plain ~config:Config.zero program
+let check_n_equivalence ?engine ?max_cycles ?fault ~n ~machine ~mode ~config
+    program =
+  let _, golden =
+    traced_run ?engine ?max_cycles ~machine ~mode:Shell.Plain
+      ~config:Config.zero program
   in
-  let wp = traced_run ?engine ?max_cycles ~machine ~mode ~config program in
+  let _, wp =
+    traced_run ?engine ?max_cycles ?fault ~machine ~mode ~config program
+  in
   List.for_all
     (fun (port, golden_trace) ->
       match List.assoc_opt port wp with

@@ -5,29 +5,58 @@
     every output port, the tau-filtered token stream of the WP system must
     be prefix-compatible with the golden stream (the shorter is a prefix
     of the longer).  This is exactly N-equivalence for N = the shorter
-    stream's length, on {e all} signals at once. *)
+    stream's length, on {e all} signals at once.
+
+    Fault injection sharpens the claim into a theorem with a converse:
+    a benign fault spec (stalls only — see {!Wp_sim.Fault.benign}) must
+    leave the verdict equivalent, while destructive faults (token drop,
+    duplication, corruption, spurious injection) must flip it.  To catch
+    drops that leave a clean prefix and then wedge the machine, the
+    verdict also demands that the WP system halts whenever the golden
+    system does. *)
 
 type verdict = {
   equivalent : bool;
   ports_checked : int;
   events_compared : int;  (** total informative events on the shorter sides *)
-  first_mismatch : string option;  (** "BLOCK.port" of the first failure *)
+  first_mismatch : string option;
+      (** "BLOCK.port" whose tau-filtered streams diverge at the earliest
+          informative index; for a clean-prefix deadlock, the port with
+          the largest informative-event shortfall. *)
+  golden_outcome : Wp_sim.Engine.outcome;
+  wp_outcome : Wp_sim.Engine.outcome;
 }
+
+val traced_run :
+  ?engine:Wp_sim.Sim.kind ->
+  ?max_cycles:int ->
+  ?fault:Wp_sim.Fault.spec ->
+  machine:Wp_soc.Datapath.machine ->
+  mode:Wp_lis.Shell.mode ->
+  config:Config.t ->
+  Wp_soc.Program.t ->
+  Wp_sim.Engine.outcome * (string * int Wp_lis.Token.t list) list
+(** Run one system with trace recording and return the outcome plus the
+    raw (unfiltered) output trace per ["BLOCK.port"].  [max_cycles]
+    defaults to 2_000_000. *)
 
 val check :
   ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
+  ?fault:Wp_sim.Fault.spec ->
   machine:Wp_soc.Datapath.machine ->
   mode:Wp_lis.Shell.mode ->
   config:Config.t ->
   Wp_soc.Program.t ->
   verdict
 (** [engine] selects the simulation kernel for both traced runs
-    (default {!Wp_sim.Sim.default_kind}). *)
+    (default {!Wp_sim.Sim.default_kind}).  [fault] is injected into the
+    WP run only; the golden run is always clean. *)
 
 val check_n_equivalence :
   ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
+  ?fault:Wp_sim.Fault.spec ->
   n:int ->
   machine:Wp_soc.Datapath.machine ->
   mode:Wp_lis.Shell.mode ->

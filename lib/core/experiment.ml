@@ -69,9 +69,10 @@ let golden ?(engine = Wp_sim.Sim.default_kind) ~machine (program : Program.t) =
     Mutex.unlock golden_mutex;
     winner
 
-let checked_run ?engine ?max_cycles ?mcr_work ~machine ~mode ~config program =
+let checked_run ?engine ?max_cycles ?mcr_work ?fault ~machine ~mode ~config program =
   let r =
-    Cpu.run ?engine ?max_cycles ?mcr_work ~machine ~mode ~rs:(Config.to_fun config) program
+    Cpu.run ?engine ?max_cycles ?mcr_work ?fault ~machine ~mode
+      ~rs:(Config.to_fun config) program
   in
   (match r.Cpu.outcome with
   | Cpu.Completed -> ()
@@ -89,17 +90,21 @@ let checked_run ?engine ?max_cycles ?mcr_work ~machine ~mode ~config program =
          (Config.describe config));
   r
 
-let run ?engine ?max_cycles ~machine ~program config =
+let run ?engine ?max_cycles ?fault ~machine ~program config =
+  (* The golden run is always clean: faults perturb the wire-pipelined
+     systems under test, never the reference they are judged against. *)
   let g = golden ?engine ~machine program in
   (* The golden cycle count is the work the wire-pipelined runs must
      complete, so it feeds the MCR-guided bound: each run is capped at
      [ceil (golden / Th) + slack] instead of the blanket 2M budget. *)
   let mcr_work = g.Cpu.cycles in
   let wp1 =
-    checked_run ?engine ?max_cycles ~mcr_work ~machine ~mode:Shell.Plain ~config program
+    checked_run ?engine ?max_cycles ~mcr_work ?fault ~machine ~mode:Shell.Plain
+      ~config program
   in
   let wp2 =
-    checked_run ?engine ?max_cycles ~mcr_work ~machine ~mode:Shell.Oracle ~config program
+    checked_run ?engine ?max_cycles ~mcr_work ?fault ~machine ~mode:Shell.Oracle
+      ~config program
   in
   let th_wp1 = Cpu.throughput ~golden:g wp1 in
   let th_wp2 = Cpu.throughput ~golden:g wp2 in

@@ -31,13 +31,16 @@ val golden :
 val run :
   ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
+  ?fault:Wp_sim.Fault.spec ->
   machine:Wp_soc.Datapath.machine ->
   program:Wp_soc.Program.t ->
   Config.t ->
   record
 (** Simulate WP1 and WP2.  Unless [max_cycles] overrides it, each run is
     capped by the MCR-guided bound derived from the golden cycle count
-    ({!Wp_soc.Cpu.run}'s [mcr_work]).  @raise Failure if any run fails
+    ({!Wp_soc.Cpu.run}'s [mcr_work]).  [fault] is injected into both WP
+    runs (never the golden reference); a benign spec must leave both
+    runs correct — only slower.  @raise Failure if any run fails
     to complete or corrupts the architectural result — equivalence is an
     invariant here, not a statistic. *)
 

@@ -1,0 +1,148 @@
+(** Exhaustive small-state checking of latency-insensitive correctness.
+
+    The paper claims latency-insensitive shells keep a system N-equivalent
+    to the golden design {e no matter how latency is distributed}.  This
+    module makes the claim executable on three small networks — a relay
+    ring, a fork/join diamond and a two-source oracle join — by
+    enumerating {e every} stall schedule up to a bounded horizon on the
+    designated fault channels (2^(F·H) schedules) and checking that:
+
+    - the faulted run's tau-filtered trace on every output port is a
+      prefix of the clean run's trace (equivalence is preserved);
+    - the faulted run keeps making progress (its informative-event
+      deficit is bounded by the horizon plus slack);
+    - the faulted run never deadlocks.
+
+    The same harness runs {e negative controls}: destructive token
+    faults (drop, duplication, corruption, spurious injection) that the
+    comparison must always detect.  Together: LID absorbs arbitrary
+    latency, and only latency.
+
+    Finally, the module carries the shrinking driver used by the CPU-level
+    differential batteries: a failing (program × config × fault) triple is
+    minimised with {!Wp_util.Shrink} and written to a replayable
+    counterexample file. *)
+
+module Fault = Wp_sim.Fault
+
+type network_kind = Ring | Diamond | Oracle2
+
+val all_networks : network_kind list
+val network_name : network_kind -> string
+
+val build :
+  network_kind ->
+  Wp_sim.Network.t * Wp_lis.Shell.mode * Wp_sim.Network.channel list
+(** The netlist, the wrapper mode it is meant to run under, and the
+    designated fault channels.  Every token stream in these networks is
+    strictly increasing (injective), so any drop/dup/corrupt/spurious
+    fault must produce a visible divergence. *)
+
+(** {1 Exhaustive stall-schedule exploration} *)
+
+type violation = {
+  v_fault : Fault.spec;   (** the schedule that broke the property *)
+  v_port : string;        (** "NODE.port" where it was observed *)
+  v_reason : string;
+}
+
+type report = {
+  rep_network : network_kind;
+  rep_engine : Wp_sim.Sim.kind;
+  rep_horizon : int;
+  rep_fault_channels : int list;
+  rep_schedules : int;        (** 2^(F·H) schedules actually checked *)
+  rep_violations : violation list;  (** empty = the theorem holds *)
+}
+
+val exhaustive :
+  ?engine:Wp_sim.Sim.kind ->
+  ?horizon:int ->
+  ?max_cycles:int ->
+  ?slack:int ->
+  network_kind ->
+  report
+(** Enumerate all 2^(F·H) joint stall schedules ([horizon] defaults to 6,
+    [max_cycles] to 120) and check equivalence-preservation, liveness
+    (per-port informative deficit ≤ horizon + [slack], default 16) and
+    deadlock-freedom against the clean run of the same engine. *)
+
+(** {1 Negative controls} *)
+
+type detection = {
+  det_fault : Fault.spec;
+  det_injected : bool;  (** the destructive event actually happened *)
+  det_detected : bool;  (** the trace comparison flagged it *)
+}
+
+type neg_report = {
+  neg_network : network_kind;
+  neg_engine : Wp_sim.Sim.kind;
+  neg_cases : detection list;
+}
+
+val negative_controls :
+  ?engine:Wp_sim.Sim.kind ->
+  ?max_cycles:int ->
+  network_kind ->
+  neg_report
+(** Inject destructive kinds on every fault channel at several token
+    indices; a case whose fault fired ([det_injected]) must be
+    [det_detected].  Drop and duplication are exercised on {e every}
+    fault channel; corruption and spurious injection only on channels
+    whose every token enters the computation — on [Oracle2]'s
+    conditionally-required channel the oracle's old-tag rule discards
+    stale tokens, so a corrupted-then-discarded value is absorbed by
+    design and makes no detection claim.  (Spurious injection also needs
+    a void slot with FIFO room to fire; cases that never fire are
+    reported with [det_injected = false] and make no claim.) *)
+
+val undetected : neg_report -> detection list
+(** The failing cases: injected but not detected. *)
+
+(** {1 Shrinking counterexample driver (CPU-level)} *)
+
+type repro = {
+  r_seed : int;                     (** battery seed that found it *)
+  r_name : string;
+  r_machine : Wp_soc.Datapath.machine;
+  r_mode : Wp_lis.Shell.mode;
+  r_engine : Wp_sim.Sim.kind;
+  r_config : Config.t;
+  r_fault : Fault.spec;
+  r_text : Wp_soc.Isa.instr array;
+  r_mem_size : int;
+  r_mem_init : (int * int) list;
+}
+
+val repro_of_program :
+  seed:int ->
+  machine:Wp_soc.Datapath.machine ->
+  mode:Wp_lis.Shell.mode ->
+  engine:Wp_sim.Sim.kind ->
+  config:Config.t ->
+  fault:Fault.spec ->
+  Wp_soc.Program.t ->
+  repro
+
+val program_of_repro : repro -> Wp_soc.Program.t
+
+val check_repro : ?max_cycles:int -> repro -> bool
+(** [true] iff the triple still fails {!Equiv_check.check} (i.e. the
+    counterexample reproduces).  Candidates whose program is not a valid
+    terminating ISS workload return [false], so the shrinker skips them;
+    [max_cycles] defaults to 200_000 to keep shrinking fast. *)
+
+val shrink_repro : ?max_cycles:int -> repro -> repro
+(** Greedy {!Wp_util.Shrink.fixpoint} minimisation: remove instruction
+    chunks (fixing up absolute branch targets), zero relay-station
+    counts, drop fault clauses and neutralise instructions to [nop] —
+    keeping only changes under which {!check_repro} still fails. *)
+
+val write_repro : ?dir:string -> repro -> string
+(** Write [NAME.sexp] (full repro: config, fault, memory image, replay
+    command) and a companion [NAME.asm] under [dir] (default
+    {!Wp_util.Shrink.default_repro_dir}); returns the [.sexp] path. *)
+
+val replay_command : ?asm_path:string -> repro -> string
+(** The [wp_cli equiv] invocation that replays the counterexample. *)

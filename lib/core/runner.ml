@@ -96,26 +96,34 @@ let lookup t table key compute =
       winner
   end
 
-let key ?engine ?max_cycles ~machine ~(program : Program.t) config =
+let key ?engine ?max_cycles ?fault ~machine ~(program : Program.t) config =
   (* The engine kind is part of the key: both kernels agree observably,
-     but a cache must never blur which kernel produced a stored record. *)
+     but a cache must never blur which kernel produced a stored record.
+     Likewise the fault digest: a faulted record must never satisfy a
+     clean lookup (or vice versa). *)
   let engine = match engine with Some k -> k | None -> Wp_sim.Sim.default_kind in
-  Printf.sprintf "%s|%s|%s|%s|%d|%s" program.Program.name
+  let fault_digest =
+    match fault with
+    | Some f -> Wp_sim.Fault.digest f
+    | None -> Wp_sim.Fault.digest Wp_sim.Fault.none
+  in
+  Printf.sprintf "%s|%s|%s|%s|%d|%s|%s" program.Program.name
     (Experiment.program_digest program)
     (Datapath.machine_name machine) (Config.digest config)
     (match max_cycles with Some n -> n | None -> -1)
     (Wp_sim.Sim.kind_to_string engine)
+    fault_digest
 
-let experiment ?engine ?max_cycles t ~machine ~program config =
+let experiment ?engine ?max_cycles ?fault t ~machine ~program config =
   lookup t t.records
-    (key ?engine ?max_cycles ~machine ~program config)
-    (fun () -> Experiment.run ?engine ?max_cycles ~machine ~program config)
+    (key ?engine ?max_cycles ?fault ~machine ~program config)
+    (fun () -> Experiment.run ?engine ?max_cycles ?fault ~machine ~program config)
 
-let experiments ?engine ?max_cycles t ~machine ~program configs =
+let experiments ?engine ?max_cycles ?fault t ~machine ~program configs =
   (* Warm the golden memo once before fanning out, so the first parallel
      wave does not duplicate the reference run across workers. *)
   ignore (Experiment.golden ?engine ~machine program);
-  map t (experiment ?engine ?max_cycles t ~machine ~program) configs
+  map t (experiment ?engine ?max_cycles ?fault t ~machine ~program) configs
 
 let objective ?engine t ~machine ~program config =
   lookup t t.objectives

@@ -58,18 +58,21 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val experiment :
   ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
+  ?fault:Wp_sim.Fault.spec ->
   t ->
   machine:Wp_soc.Datapath.machine ->
   program:Wp_soc.Program.t ->
   Config.t ->
   Experiment.record
 (** Cached {!Experiment.run}.  The cache key includes the engine kind,
-    [program] content digest, machine, {!Config.digest} and
-    [max_cycles]. *)
+    [program] content digest, machine, {!Config.digest}, [max_cycles]
+    and the {!Wp_sim.Fault.digest} of [fault] — a faulted record never
+    satisfies a clean lookup and vice versa. *)
 
 val experiments :
   ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
+  ?fault:Wp_sim.Fault.spec ->
   t ->
   machine:Wp_soc.Datapath.machine ->
   program:Wp_soc.Program.t ->

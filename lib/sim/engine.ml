@@ -19,6 +19,7 @@ type t = {
   shells : Shell.t array;
   chains : chain array;
   out_channels : Network.channel list array; (* per node *)
+  fault : Fault.t option;
   mutable clock : int;
   mutable last_fired : bool;
   mutable quiet_cycles : int;
@@ -30,8 +31,14 @@ type outcome =
   | Deadlocked of int
   | Exhausted of int
 
-let create ?(capacity = 2) ?(record_traces = false) ~mode net =
+let create ?(capacity = 2) ?(record_traces = false) ?fault ~mode net =
   Network.validate net;
+  let fault_rt =
+    match fault with
+    | None -> None
+    | Some spec when Fault.is_none spec -> None
+    | Some spec -> Some (Fault.make spec ~n_chans:(Network.channel_count net))
+  in
   let shells =
     Array.init (Network.node_count net) (fun n ->
         Shell.create ~capacity ~record_traces ~mode (Network.node_process net n))
@@ -73,7 +80,10 @@ let create ?(capacity = 2) ?(record_traces = false) ~mode net =
       let src_node, src_port = Network.channel_src net ch.channel in
       let dst_node, dst_port = Network.channel_dst net ch.channel in
       let reset_value = (Network.node_process net src_node).Process.reset_outputs.(src_port) in
-      Shell.accept shells.(dst_node) ~port:dst_port (Token.Valid reset_value))
+      Shell.accept shells.(dst_node) ~port:dst_port (Token.Valid reset_value);
+      match fault_rt with
+      | Some f -> Fault.note_reset f ~chan:ch.channel ~value:reset_value
+      | None -> ())
     chains;
   {
     net;
@@ -81,6 +91,7 @@ let create ?(capacity = 2) ?(record_traces = false) ~mode net =
     shells;
     chains;
     out_channels;
+    fault = fault_rt;
     clock = 0;
     last_fired = false;
     quiet_cycles = 0;
@@ -99,10 +110,18 @@ let delivered t c =
 let fired_last_cycle t = t.last_fired
 let quiescence_window t = t.quiescence
 
+let fault_injections t =
+  match t.fault with Some f -> Fault.injections f | None -> 0
+
 (* Phase 1: propagate stops backwards along one channel. *)
 let compute_stops t chain =
   let dst_node, dst_port = Network.channel_dst t.net chain.channel in
-  chain.consumer_stop <- Shell.input_stop t.shells.(dst_node) dst_port;
+  chain.consumer_stop <-
+    (Shell.input_stop t.shells.(dst_node) dst_port
+    ||
+    match t.fault with
+    | None -> false
+    | Some f -> Fault.stalled f ~cycle:t.clock ~chan:chain.channel);
   let k = Array.length chain.relays in
   let stop = ref chain.consumer_stop in
   for i = k - 1 downto 0 do
@@ -151,8 +170,23 @@ let step t =
           outs.(k - 1)
         end
       in
-      if Token.is_valid to_consumer then chain.delivered <- chain.delivered + 1;
-      Shell.accept t.shells.(dst_node) ~port:dst_port to_consumer)
+      (match t.fault with
+      | None ->
+          if Token.is_valid to_consumer then
+            chain.delivered <- chain.delivered + 1;
+          Shell.accept t.shells.(dst_node) ~port:dst_port to_consumer
+      | Some f ->
+          let sh = t.shells.(dst_node) in
+          let valid, value =
+            match to_consumer with
+            | Token.Valid v -> (true, v)
+            | Token.Void -> (false, 0)
+          in
+          Fault.deliver f ~chan:chain.channel ~valid ~value
+            ~can_accept:(fun () -> not (Shell.input_stop sh dst_port))
+            ~accept:(fun v ->
+              chain.delivered <- chain.delivered + 1;
+              Shell.accept sh ~port:dst_port (Token.Valid v))))
     t.chains;
   t.clock <- t.clock + 1;
   t.last_fired <- !fired_any;

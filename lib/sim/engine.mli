@@ -26,12 +26,15 @@ type outcome =
 val create :
   ?capacity:int ->
   ?record_traces:bool ->
+  ?fault:Fault.spec ->
   mode:Wp_lis.Shell.mode ->
   Network.t ->
   t
 (** Instantiate shells and relay chains.  [capacity] is each shell FIFO's
-    bound (default 2; 0 = unbounded).  @raise Invalid_argument if the
-    network fails {!Network.validate}. *)
+    bound (default 2; 0 = unbounded).  [fault] perturbs delivery and
+    backpressure as described in {!Fault} (default: no faults).
+    @raise Invalid_argument if the network fails {!Network.validate} or
+    the fault spec fails {!Fault.validate}. *)
 
 val step : t -> unit
 (** Advance one clock cycle. *)
@@ -54,3 +57,7 @@ val fired_last_cycle : t -> bool
 
 val quiescence_window : t -> int
 (** Cycles without any firing after which {!run} declares deadlock. *)
+
+val fault_injections : t -> int
+(** Destructive fault events actually performed so far ({!Fault.injections});
+    0 when no fault spec was given. *)

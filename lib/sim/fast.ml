@@ -67,6 +67,7 @@ type t = {
   producer_stop : bool array;
   out_chan_base : int array; (* n_nodes + 1 *)
   out_chan_ids : int array;
+  fault : Fault.t option;
   (* relay stations: 2 register slots each *)
   rs_val : int array; (* 2 * total_rs *)
   rs_head : int array;
@@ -123,11 +124,17 @@ let fifo_pop t ip =
 (* Compile                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(capacity = 2) ?(record_traces = false) ~mode net =
+let create ?(capacity = 2) ?(record_traces = false) ?fault ~mode net =
   if capacity < 0 then invalid_arg "Fast.create: negative capacity";
   Network.validate net;
   let n_nodes = Network.node_count net in
   let n_chans = Network.channel_count net in
+  let fault_rt =
+    match fault with
+    | None -> None
+    | Some spec when Fault.is_none spec -> None
+    | Some spec -> Some (Fault.make spec ~n_chans)
+  in
   let procs = Array.init n_nodes (fun n -> Network.node_process net n) in
   let instances = Array.make n_nodes { Process.required = (fun () -> [||]); fire = (fun _ -> [||]); halted = (fun () -> false) } in
   for n = 0 to n_nodes - 1 do
@@ -211,6 +218,7 @@ let create ?(capacity = 2) ?(record_traces = false) ~mode net =
       producer_stop = Array.make (max 1 n_chans) false;
       out_chan_base;
       out_chan_ids;
+      fault = fault_rt;
       rs_val = Array.make (max 1 (2 * total_rs)) 0;
       rs_head = Array.make (max 1 total_rs) 0;
       rs_len = Array.make (max 1 total_rs) 0;
@@ -228,7 +236,10 @@ let create ?(capacity = 2) ?(record_traces = false) ~mode net =
   for c = 0 to n_chans - 1 do
     let src_node, src_port = Network.channel_src net c in
     let reset_value = procs.(src_node).Process.reset_outputs.(src_port) in
-    ignore (fifo_push t chan_dst_ip.(c) reset_value)
+    ignore (fifo_push t chan_dst_ip.(c) reset_value);
+    match fault_rt with
+    | Some f -> Fault.note_reset f ~chan:c ~value:reset_value
+    | None -> ()
   done;
   t
 
@@ -238,6 +249,9 @@ let network t = t.net
 let delivered t c = t.chan_delivered.(c)
 let fired_last_cycle t = t.last_fired
 let quiescence_window t = t.quiescence
+
+let fault_injections t =
+  match t.fault with Some f -> Fault.injections f | None -> 0
 let buffered t node port = t.fifo_len.(t.in_base.(node) + port)
 
 let node_stats t n =
@@ -261,7 +275,14 @@ let step t =
   (* Phase 1: propagate stops backwards along each relay chain. *)
   for c = 0 to t.n_chans - 1 do
     let ip = t.chan_dst_ip.(c) in
-    let stop = ref (fifo_is_full t ip && t.drop_pending.(ip) = 0) in
+    let stop =
+      ref
+        ((fifo_is_full t ip && t.drop_pending.(ip) = 0)
+        ||
+        match t.fault with
+        | None -> false
+        | Some f -> Fault.stalled f ~cycle:t.clock ~chan:c)
+    in
     let base = t.chan_rs_base.(c) in
     for i = t.chan_rs_base.(c + 1) - 1 - base downto 0 do
       let r = base + i in
@@ -371,16 +392,31 @@ let step t =
         (t.rs_out_valid.(base + k - 1), t.rs_out_val.(base + k - 1))
       end
     in
-    if tc_valid then begin
-      t.chan_delivered.(c) <- t.chan_delivered.(c) + 1;
-      let ip = t.chan_dst_ip.(c) in
-      if t.drop_pending.(ip) > 0 then begin
-        t.drop_pending.(ip) <- t.drop_pending.(ip) - 1;
-        t.dropped.(ip) <- t.dropped.(ip) + 1
-      end
-      else if not (fifo_push t ip tc_val) then
-        failwith "Fast shell: token lost (stop protocol violated)"
-    end
+    (match t.fault with
+    | None ->
+        if tc_valid then begin
+          t.chan_delivered.(c) <- t.chan_delivered.(c) + 1;
+          let ip = t.chan_dst_ip.(c) in
+          if t.drop_pending.(ip) > 0 then begin
+            t.drop_pending.(ip) <- t.drop_pending.(ip) - 1;
+            t.dropped.(ip) <- t.dropped.(ip) + 1
+          end
+          else if not (fifo_push t ip tc_val) then
+            failwith "Fast shell: token lost (stop protocol violated)"
+        end
+    | Some f ->
+        let ip = t.chan_dst_ip.(c) in
+        Fault.deliver f ~chan:c ~valid:tc_valid ~value:tc_val
+          ~can_accept:(fun () ->
+            not (fifo_is_full t ip && t.drop_pending.(ip) = 0))
+          ~accept:(fun v ->
+            t.chan_delivered.(c) <- t.chan_delivered.(c) + 1;
+            if t.drop_pending.(ip) > 0 then begin
+              t.drop_pending.(ip) <- t.drop_pending.(ip) - 1;
+              t.dropped.(ip) <- t.dropped.(ip) + 1
+            end
+            else if not (fifo_push t ip v) then
+              failwith "Fast shell: token lost (stop protocol violated)"))
   done;
   t.clock <- t.clock + 1;
   t.last_fired <- !fired_any;

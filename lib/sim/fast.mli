@@ -16,13 +16,19 @@ type t
 val create :
   ?capacity:int ->
   ?record_traces:bool ->
+  ?fault:Fault.spec ->
   mode:Wp_lis.Shell.mode ->
   Network.t ->
   t
 (** Compile the network.  [capacity] is each shell FIFO's bound
     (default 2; 0 = unbounded).  [record_traces] enables per-output
-    token traces (costs one cons per output per cycle).
-    @raise Invalid_argument if the network fails {!Network.validate}. *)
+    token traces (costs one cons per output per cycle).  [fault]
+    perturbs delivery and backpressure exactly as in {!Engine.create}
+    (the two engines share {!Fault}'s policy code and stay
+    byte-identical under a given spec); when absent the kernel keeps its
+    zero-allocation steady state.
+    @raise Invalid_argument if the network fails {!Network.validate} or
+    the fault spec fails {!Fault.validate}. *)
 
 val step : t -> unit
 (** Advance one clock cycle (three phases: stop propagation, firing,
@@ -44,6 +50,10 @@ val fired_last_cycle : t -> bool
 
 val quiescence_window : t -> int
 (** Cycles without any firing after which {!run} declares deadlock. *)
+
+val fault_injections : t -> int
+(** Destructive fault events actually performed so far ({!Fault.injections});
+    0 when no fault spec was given. *)
 
 val buffered : t -> Network.node -> int -> int
 (** Occupancy of one shell input FIFO. *)

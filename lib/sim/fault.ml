@@ -1,0 +1,319 @@
+type break_kind = Drop | Dup | Corrupt | Spurious
+
+type clause =
+  | Jitter of { pct : int; horizon : int }
+  | Storm of { period : int; burst : int; horizon : int }
+  | Stall of { chan : int; cycles : int list }
+  | Break of { kind : break_kind; chan : int; nth : int }
+
+type spec = { seed : int; clauses : clause list }
+
+let none = { seed = 0; clauses = [] }
+
+let is_none s = s.clauses = []
+
+let benign s =
+  List.for_all (function Break _ -> false | _ -> true) s.clauses
+
+let validate_clauses s =
+  List.iter
+    (fun clause ->
+      match clause with
+      | Jitter { pct; horizon } ->
+          if pct < 0 || pct > 100 then
+            invalid_arg "Fault: jitter pct must be in 0..100";
+          if horizon < 0 then invalid_arg "Fault: jitter horizon must be >= 0"
+      | Storm { period; burst; horizon } ->
+          if period <= 0 then invalid_arg "Fault: storm period must be > 0";
+          if burst <= 0 || burst >= period then
+            invalid_arg "Fault: storm burst must satisfy 0 < burst < period";
+          if horizon < 0 then invalid_arg "Fault: storm horizon must be >= 0"
+      | Stall { chan; cycles } ->
+          if chan < 0 then invalid_arg "Fault: stall channel must be >= 0";
+          List.iter
+            (fun c -> if c < 0 then invalid_arg "Fault: stall cycle must be >= 0")
+            cycles
+      | Break { chan; nth; _ } ->
+          if chan < 0 then invalid_arg "Fault: break channel must be >= 0";
+          if nth < 0 then invalid_arg "Fault: break token index must be >= 0")
+    s.clauses
+
+let validate s ~n_chans =
+  if n_chans <= 0 then invalid_arg "Fault.validate: empty network";
+  validate_clauses s
+
+let break_kind_name = function
+  | Drop -> "drop"
+  | Dup -> "dup"
+  | Corrupt -> "corrupt"
+  | Spurious -> "spurious"
+
+let clause_to_string = function
+  | Jitter { pct; horizon } ->
+      if horizon = 0 then Printf.sprintf "jitter:%d" pct
+      else Printf.sprintf "jitter:%d@%d" pct horizon
+  | Storm { period; burst; horizon } ->
+      if horizon = 0 then Printf.sprintf "storm:%d/%d" period burst
+      else Printf.sprintf "storm:%d/%d@%d" period burst horizon
+  | Stall { chan; cycles } ->
+      Printf.sprintf "stall:%d@%s" chan
+        (String.concat "+" (List.map string_of_int cycles))
+  | Break { kind; chan; nth } ->
+      Printf.sprintf "%s:%d:%d" (break_kind_name kind) chan nth
+
+let to_string s =
+  if is_none s then "none"
+  else String.concat "," (List.map clause_to_string s.clauses)
+
+let parse_error what part =
+  invalid_arg (Printf.sprintf "Fault.of_string: %s in %S" what part)
+
+let int_of_part part name s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> parse_error (Printf.sprintf "bad %s" name) part
+
+let parse_clause part =
+  match String.split_on_char ':' part with
+  | [ "jitter"; rest ] -> (
+      match String.split_on_char '@' rest with
+      | [ pct ] -> Jitter { pct = int_of_part part "pct" pct; horizon = 0 }
+      | [ pct; h ] ->
+          Jitter
+            {
+              pct = int_of_part part "pct" pct;
+              horizon = int_of_part part "horizon" h;
+            }
+      | _ -> parse_error "bad jitter clause" part)
+  | [ "storm"; rest ] -> (
+      let body, horizon =
+        match String.split_on_char '@' rest with
+        | [ body ] -> (body, 0)
+        | [ body; h ] -> (body, int_of_part part "horizon" h)
+        | _ -> parse_error "bad storm clause" part
+      in
+      match String.split_on_char '/' body with
+      | [ p; b ] ->
+          Storm
+            {
+              period = int_of_part part "period" p;
+              burst = int_of_part part "burst" b;
+              horizon;
+            }
+      | _ -> parse_error "bad storm clause (want P/B)" part)
+  | [ "stall"; rest ] -> (
+      match String.split_on_char '@' rest with
+      | [ chan; cycles ] ->
+          let cycles =
+            if cycles = "" then []
+            else
+              List.map
+                (fun c -> int_of_part part "cycle" c)
+                (String.split_on_char '+' cycles)
+          in
+          Stall { chan = int_of_part part "channel" chan; cycles }
+      | _ -> parse_error "bad stall clause (want CHAN@c1+c2)" part)
+  | [ kind_s; chan; nth ] -> (
+      let kind =
+        match kind_s with
+        | "drop" -> Drop
+        | "dup" -> Dup
+        | "corrupt" -> Corrupt
+        | "spurious" -> Spurious
+        | _ -> parse_error "unknown clause kind" part
+      in
+      Break
+        {
+          kind;
+          chan = int_of_part part "channel" chan;
+          nth = int_of_part part "token index" nth;
+        })
+  | _ -> parse_error "unknown clause" part
+
+let of_string ~seed text =
+  let text = String.trim text in
+  if text = "" || text = "none" then { none with seed }
+  else
+    let clauses =
+      String.split_on_char ',' text
+      |> List.map String.trim
+      |> List.filter (fun p -> p <> "")
+      |> List.map parse_clause
+    in
+    let spec = { seed; clauses } in
+    validate_clauses spec;
+    spec
+
+(* splitmix64-style stateless mix of (seed, cycle, chan). *)
+let mix_constant_1 = 0xBF58476D1CE4E5B9L
+let mix_constant_2 = 0x94D049BB133111EBL
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) mix_constant_1
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) mix_constant_2
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash3 seed a b =
+  let z = Int64.of_int seed in
+  let z = mix64 (Int64.add z golden_gamma) in
+  let z = mix64 (Int64.add z (Int64.mul golden_gamma (Int64.of_int (a + 1)))) in
+  let z = mix64 (Int64.add z (Int64.mul golden_gamma (Int64.of_int (b + 1)))) in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
+let digest s =
+  if is_none s then "nofault"
+  else
+    let text = to_string s in
+    let h = ref (Int64.of_int s.seed) in
+    String.iter
+      (fun c ->
+        h := mix64 (Int64.add !h (Int64.mul golden_gamma (Int64.of_int (Char.code c)))))
+      text;
+    Printf.sprintf "f%012Lx" (Int64.logand !h 0xFFFFFFFFFFFFL)
+
+let describe s =
+  if is_none s then "no faults"
+  else Printf.sprintf "faults[seed=%d] %s" s.seed (to_string s)
+
+(* --- runtime ------------------------------------------------------- *)
+
+type chan_state = {
+  mutable valid_seen : int;  (* informative tokens that reached delivery *)
+  mutable void_seen : int;   (* void slots observed at delivery *)
+  mutable last_value : int;  (* most recent value actually delivered *)
+  mutable dup_pending : bool;
+  mutable dup_value : int;
+  mutable spur_armed : bool;
+}
+
+type t = {
+  spec : spec;
+  n_chans : int;
+  (* Per-channel compiled clause views. *)
+  stall_sched : (int, unit) Hashtbl.t array; (* chan -> cycle set *)
+  breaks : (break_kind * int) list array;    (* chan -> (kind, nth) *)
+  jitters : (int * int) list;                (* pct, horizon *)
+  storms : (int * int * int) list;           (* period, burst, horizon *)
+  chans : chan_state array;
+  mutable injections : int;
+}
+
+let make spec ~n_chans =
+  validate spec ~n_chans;
+  let stall_sched = Array.init n_chans (fun _ -> Hashtbl.create 4) in
+  let breaks = Array.make n_chans [] in
+  let jitters = ref [] in
+  let storms = ref [] in
+  List.iter
+    (fun clause ->
+      match clause with
+      | Jitter { pct; horizon } -> jitters := (pct, horizon) :: !jitters
+      | Storm { period; burst; horizon } ->
+          storms := (period, burst, horizon) :: !storms
+      | Stall { chan; cycles } ->
+          let chan = chan mod n_chans in
+          List.iter
+            (fun c -> Hashtbl.replace stall_sched.(chan) c ())
+            cycles
+      | Break { kind; chan; nth } ->
+          let chan = chan mod n_chans in
+          breaks.(chan) <- breaks.(chan) @ [ (kind, nth) ])
+    spec.clauses;
+  {
+    spec;
+    n_chans;
+    stall_sched;
+    breaks;
+    jitters = List.rev !jitters;
+    storms = List.rev !storms;
+    chans =
+      Array.init n_chans (fun _ ->
+          {
+            valid_seen = 0;
+            void_seen = 0;
+            last_value = 0;
+            dup_pending = false;
+            dup_value = 0;
+            spur_armed = false;
+          });
+    injections = 0;
+  }
+
+let spec t = t.spec
+
+let within horizon cycle = horizon = 0 || cycle < horizon
+
+let stalled t ~cycle ~chan =
+  Hashtbl.mem t.stall_sched.(chan) cycle
+  || List.exists
+       (fun (period, burst, horizon) ->
+         within horizon cycle && cycle mod period < burst)
+       t.storms
+  || List.exists
+       (fun (pct, horizon) ->
+         pct > 0
+         && within horizon cycle
+         && hash3 t.spec.seed cycle chan mod 100 < pct)
+       t.jitters
+
+let note_reset t ~chan ~value = t.chans.(chan).last_value <- value
+
+let matching_break t ~chan ~nth =
+  List.find_map
+    (fun (kind, n) -> if n = nth then Some kind else None)
+    t.breaks.(chan)
+
+let deliver t ~chan ~valid ~value ~can_accept ~accept =
+  let cs = t.chans.(chan) in
+  if valid then begin
+    let nth = cs.valid_seen in
+    cs.valid_seen <- cs.valid_seen + 1;
+    (match matching_break t ~chan ~nth with
+    | Some Drop ->
+        t.injections <- t.injections + 1 (* token discarded *)
+    | Some Corrupt ->
+        t.injections <- t.injections + 1;
+        let v = value lxor 1 in
+        accept v;
+        cs.last_value <- v
+    | Some Dup ->
+        accept value;
+        cs.last_value <- value;
+        if can_accept () then begin
+          accept value;
+          t.injections <- t.injections + 1
+        end
+        else begin
+          cs.dup_pending <- true;
+          cs.dup_value <- value
+        end
+    | Some Spurious | None ->
+        (* Spurious keys on void slots; on a valid token it is inert
+           (the schedule names void_seen indices). *)
+        accept value;
+        cs.last_value <- value)
+  end
+  else begin
+    let nth = cs.void_seen in
+    cs.void_seen <- cs.void_seen + 1;
+    (match matching_break t ~chan ~nth with
+    | Some Spurious -> cs.spur_armed <- true
+    | _ -> ());
+    if cs.dup_pending && can_accept () then begin
+      cs.dup_pending <- false;
+      accept cs.dup_value;
+      t.injections <- t.injections + 1
+    end
+    else if cs.spur_armed && can_accept () then begin
+      cs.spur_armed <- false;
+      accept cs.last_value;
+      t.injections <- t.injections + 1
+    end
+  end
+
+let injections t = t.injections

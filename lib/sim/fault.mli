@@ -1,0 +1,123 @@
+(** Seeded fault injection for latency-insensitive networks.
+
+    The paper's central claim is that latency-insensitive shells keep the
+    system N-equivalent to the golden design {e no matter how latency is
+    distributed}.  This module turns that claim into something we can
+    attack: it perturbs a running engine (Reference or Fast — both share
+    the exact same policy code, so they stay byte-identical under a given
+    spec) with two families of faults:
+
+    {2 Benign faults — legal backpressure}
+
+    [Jitter], [Storm] and [Stall] clauses only ever {e stall} channels:
+    they are OR-ed into the consumer-side stop wire during phase 1, which
+    is indistinguishable from a slow consumer.  LID theory says these must
+    preserve N-equivalence; the test suite proves it.
+
+    {2 Destructive faults — negative controls}
+
+    [Break] clauses violate the token stream itself (drop, duplicate,
+    corrupt, or inject a spurious token).  These are {e supposed} to break
+    equivalence; [Wp_core.Lid_check] asserts they are always caught by
+    [Equiv_check].
+
+    Fault decisions are stateless hashes of (seed, cycle, channel), so two
+    engine instances created from the same spec behave identically without
+    sharing mutable state. *)
+
+type break_kind = Drop | Dup | Corrupt | Spurious
+
+type clause =
+  | Jitter of { pct : int; horizon : int }
+      (** Each (cycle, channel) pair independently stalls with probability
+          [pct]/100, for cycles [< horizon] ([horizon = 0] means forever). *)
+  | Storm of { period : int; burst : int; horizon : int }
+      (** Backpressure storm: every channel stalls during the first [burst]
+          cycles of each [period]-cycle window, for cycles [< horizon].
+          Requires [0 < burst < period] so progress is always possible. *)
+  | Stall of { chan : int; cycles : int list }
+      (** Explicit schedule: stall channel [chan] exactly at the listed
+          cycles.  This is the primitive the exhaustive checker drives. *)
+  | Break of { kind : break_kind; chan : int; nth : int }
+      (** Destructive: affect the [nth] (0-based) informative token
+          arriving at the consumer end of channel [chan]. *)
+
+type spec = { seed : int; clauses : clause list }
+
+val none : spec
+(** The empty spec: no seed relevance, no clauses, injects nothing. *)
+
+val is_none : spec -> bool
+
+val benign : spec -> bool
+(** [true] iff the spec contains no [Break] clause (pure backpressure). *)
+
+val validate : spec -> n_chans:int -> unit
+(** Raises [Invalid_argument] for nonsensical clauses ([pct] outside
+    0..100, [burst >= period], negative cycles/nth). *)
+
+val to_string : spec -> string
+(** Render the clause list in the CLI grammar (without the seed):
+    ["jitter:15@200,stall:3@2+5,drop:1:0"]; ["none"] when empty. *)
+
+val of_string : seed:int -> string -> spec
+(** Parse the CLI grammar.  Comma-separated clauses:
+    - [jitter:PCT] or [jitter:PCT\@H]
+    - [storm:P/B] or [storm:P/B\@H]
+    - [stall:CHAN\@c1+c2+...]
+    - [drop:CHAN:N], [dup:CHAN:N], [corrupt:CHAN:N], [spurious:CHAN:N]
+    - [none] (alone) for the empty spec.
+    Raises [Invalid_argument] on syntax errors or nonsensical clauses
+    (the result always passes the clause checks of {!validate}). *)
+
+val digest : spec -> string
+(** Short stable digest for cache keys; ["nofault"] for [none]. *)
+
+val describe : spec -> string
+(** Human-readable one-liner including the seed. *)
+
+(** {1 Runtime}
+
+    One [t] per engine instance.  All observable behaviour is a pure
+    function of (spec, cycle, channel, token-arrival history), so two
+    runtimes built from the same spec driving byte-identical engines make
+    byte-identical decisions. *)
+
+type t
+
+val make : spec -> n_chans:int -> t
+(** Channels named in clauses are taken modulo [n_chans]. *)
+
+val spec : t -> spec
+
+val stalled : t -> cycle:int -> chan:int -> bool
+(** Phase-1 hook: extra consumer-side stop for [chan] at [cycle]. *)
+
+val note_reset : t -> chan:int -> value:int -> unit
+(** Record a reset token pushed directly into the consumer FIFO (it never
+    crosses the channel, but it gives [Spurious] a plausible value). *)
+
+val deliver :
+  t ->
+  chan:int ->
+  valid:bool ->
+  value:int ->
+  can_accept:(unit -> bool) ->
+  accept:(int -> unit) ->
+  unit
+(** Phase-3 hook, replacing the engine's direct "if valid then accept"
+    delivery.  [can_accept] must reflect the {e live} consumer state (it
+    is re-checked before any extra injected token) and [accept] performs
+    the actual push (and delivery accounting).  Policy:
+    - a valid token matching a [Drop] clause is discarded;
+    - a valid token matching [Dup] is accepted and then accepted a second
+      time (immediately if there is room, else re-tried at later void
+      slots);
+    - a valid token matching [Corrupt] is accepted with its value XOR 1;
+    - a void slot matching [Spurious] arms an injection of the most
+      recently delivered value, fired at the first void slot with room.
+    Exactly the engine's normal behaviour when no clause matches. *)
+
+val injections : t -> int
+(** Number of destructive events actually performed so far (drops,
+    duplicate deliveries, corruptions, spurious injections). *)

@@ -25,10 +25,10 @@ let kind = function Ref _ -> Reference | Fst _ -> Fast
 let of_engine e = Ref e
 let of_fast f = Fst f
 
-let create ?(engine = default_kind) ?capacity ?record_traces ~mode net =
+let create ?(engine = default_kind) ?capacity ?record_traces ?fault ~mode net =
   match engine with
-  | Reference -> Ref (Engine.create ?capacity ?record_traces ~mode net)
-  | Fast -> Fst (Fast.create ?capacity ?record_traces ~mode net)
+  | Reference -> Ref (Engine.create ?capacity ?record_traces ?fault ~mode net)
+  | Fast -> Fst (Fast.create ?capacity ?record_traces ?fault ~mode net)
 
 let step = function Ref e -> Engine.step e | Fst f -> Fast.step f
 
@@ -50,6 +50,10 @@ let fired_last_cycle = function
 let quiescence_window = function
   | Ref e -> Engine.quiescence_window e
   | Fst f -> Fast.quiescence_window f
+
+let fault_injections = function
+  | Ref e -> Engine.fault_injections e
+  | Fst f -> Fast.fault_injections f
 
 let node_stats t n =
   match t with

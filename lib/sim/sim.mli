@@ -28,11 +28,15 @@ val create :
   ?engine:kind ->
   ?capacity:int ->
   ?record_traces:bool ->
+  ?fault:Fault.spec ->
   mode:Wp_lis.Shell.mode ->
   Network.t ->
   t
 (** [engine] defaults to {!default_kind}; the remaining arguments are
-    forwarded to {!Engine.create} / {!Fast.create} unchanged. *)
+    forwarded to {!Engine.create} / {!Fast.create} unchanged.  Both
+    engines interpret a [fault] spec through the same {!Fault} policy
+    code, so the differential batteries stay byte-identical even under
+    injected faults. *)
 
 val of_engine : Engine.t -> t
 val of_fast : Fast.t -> t
@@ -46,6 +50,9 @@ val network : t -> Network.t
 val delivered : t -> Network.channel -> int
 val fired_last_cycle : t -> bool
 val quiescence_window : t -> int
+
+val fault_injections : t -> int
+(** Destructive fault events performed so far; 0 without a fault spec. *)
 
 val node_stats : t -> Network.node -> Wp_lis.Shell.stats
 val output_trace : t -> Network.node -> int -> int Wp_lis.Token.t list

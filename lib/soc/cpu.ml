@@ -21,7 +21,7 @@ let no_relay_stations (_ : Datapath.connection) = 0
 
 let default_max_cycles = 2_000_000
 
-let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ~machine ~mode ~rs
+let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ?fault ~machine ~mode ~rs
     (program : Program.t) =
   (* [mcr_work] enables the MCR-guided cycle budget: instead of stepping
      up to the full default budget, bound the run at
@@ -32,7 +32,7 @@ let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ~machine ~mode ~rs
      identical to the unbounded configuration. *)
   let attempt max_cycles =
     let dp = Datapath.build ~machine ~rs program in
-    let sim = Sim.create ?engine ~capacity ~mode dp.Datapath.network in
+    let sim = Sim.create ?engine ~capacity ?fault ~mode dp.Datapath.network in
     let outcome, cycles =
       match Sim.run ~max_cycles sim with
       | Engine.Halted c -> (Completed, c)
@@ -56,9 +56,17 @@ let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ~machine ~mode ~rs
     in
     { cycles; outcome; memory; registers; result_ok; report = Monitor.collect_sim sim }
   in
+  let faulted =
+    match fault with Some f -> not (Wp_sim.Fault.is_none f) | None -> false
+  in
   match max_cycles, mcr_work with
   | Some m, _ -> attempt m
   | None, None -> attempt default_max_cycles
+  | None, Some _ when faulted ->
+    (* Injected stalls push throughput below the marked-graph bound, so
+       the MCR budget would routinely exhaust and force a double run —
+       go straight to the full budget. *)
+    attempt default_max_cycles
   | None, Some work ->
     let dp = Datapath.build ~machine ~rs program in
     let bound = Fast.cycle_bound ~work_cycles:work dp.Datapath.network in

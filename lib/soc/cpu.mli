@@ -23,6 +23,7 @@ val run :
   ?capacity:int ->
   ?max_cycles:int ->
   ?mcr_work:int ->
+  ?fault:Wp_sim.Fault.spec ->
   machine:Datapath.machine ->
   mode:Wp_lis.Shell.mode ->
   rs:(Datapath.connection -> int) ->
@@ -35,7 +36,10 @@ val run :
     is given (typically the golden run's cycle count), the run is first
     bounded at [Wp_sim.Fast.cycle_bound ~work_cycles:mcr_work], the
     marked-graph MCR budget; an [Out_of_cycles] at that bound falls
-    back to the full budget, so results never depend on the bound. *)
+    back to the full budget, so results never depend on the bound.
+    [fault] injects the given {!Wp_sim.Fault} spec into the WP run;
+    since injected stalls invalidate the MCR bound, a non-empty fault
+    disables the [mcr_work] fast path and uses the full budget. *)
 
 val run_golden : ?engine:Wp_sim.Sim.kind -> machine:Datapath.machine -> Program.t -> result
 (** Zero relay stations everywhere, plain wrappers: the reference system

@@ -1,0 +1,117 @@
+let fixpoint ?(max_rounds = 1000) ~candidates ~still_fails x0 =
+  let rec loop x rounds =
+    if rounds >= max_rounds then x
+    else
+      let next =
+        Seq.find_map
+          (fun c -> if still_fails c then Some c else None)
+          (candidates x)
+      in
+      match next with None -> x | Some x' -> loop x' (rounds + 1)
+  in
+  loop x0 0
+
+let halvings n =
+  let rec next size () =
+    if size < 1 then Seq.Nil else Seq.Cons (size, next (size / 2))
+  in
+  next (n / 2)
+
+let remove_chunk a ~pos ~len =
+  let n = Array.length a in
+  let pos = max 0 (min pos n) in
+  let len = max 0 (min len (n - pos)) in
+  Array.append (Array.sub a 0 pos) (Array.sub a (pos + len) (n - pos - len))
+
+let chunk_removals a =
+  let n = Array.length a in
+  let sizes = if n <= 1 then Seq.return (min 1 n) else halvings (2 * n) in
+  Seq.concat_map
+    (fun size ->
+      if size < 1 || size > n then Seq.empty
+      else
+        let rec offsets pos () =
+          if pos >= n then Seq.Nil
+          else
+            let len = min size (n - pos) in
+            Seq.Cons ((remove_chunk a ~pos ~len, pos, len), offsets (pos + size))
+        in
+        offsets 0)
+    sizes
+
+module Sexp = struct
+  type t = Atom of string | List of t list
+
+  let atom s = Atom s
+  let int i = Atom (string_of_int i)
+  let field k v = List [ Atom k; v ]
+
+  let needs_quotes s =
+    s = ""
+    || String.exists
+         (fun c ->
+           match c with
+           | ' ' | '\t' | '\n' | '(' | ')' | '"' | ';' -> true
+           | _ -> false)
+         s
+
+  let quote s =
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+  let rec render buf indent t =
+    match t with
+    | Atom s -> Buffer.add_string buf (if needs_quotes s then quote s else s)
+    | List items ->
+        Buffer.add_char buf '(';
+        List.iteri
+          (fun i item ->
+            if i > 0 then begin
+              match item with
+              | List _ ->
+                  Buffer.add_char buf '\n';
+                  Buffer.add_string buf (String.make (indent + 1) ' ')
+              | Atom _ -> Buffer.add_char buf ' '
+            end;
+            render buf (indent + 1) item)
+          items;
+        Buffer.add_char buf ')'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    render buf 0 t;
+    Buffer.contents buf
+end
+
+let default_repro_dir () =
+  match Sys.getenv_opt "WIREPIPE_REPRO_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> "repro"
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let write_repro ?dir ~name fields =
+  let dir = match dir with Some d -> d | None -> default_repro_dir () in
+  mkdir_p dir;
+  let path = Filename.concat dir (name ^ ".sexp") in
+  let sexp = Sexp.List (List.map (fun (k, v) -> Sexp.field k v) fields) in
+  let oc = open_out path in
+  output_string oc (Sexp.to_string sexp);
+  output_char oc '\n';
+  close_out oc;
+  path

@@ -1,0 +1,57 @@
+(** Greedy fixpoint shrinking for failing test cases.
+
+    The batteries in the test suite generate random (program, config,
+    fault-schedule) triples.  When one of them fails we want a {e minimal}
+    reproduction, not a 24-instruction haystack.  [fixpoint] repeatedly asks
+    a candidate generator for simplifications of the current failing value
+    and greedily commits the first candidate that still fails, until no
+    candidate fails any more (or [max_rounds] is hit).
+
+    The module also carries a tiny S-expression printer and a repro-file
+    writer shared by the differential batteries and [Wp_core.Lid_check]. *)
+
+val fixpoint :
+  ?max_rounds:int ->
+  candidates:('a -> 'a Seq.t) ->
+  still_fails:('a -> bool) ->
+  'a ->
+  'a
+(** [fixpoint ~candidates ~still_fails x] requires [still_fails x = true]
+    on entry (it does not re-check) and returns a value [x'] such that
+    [still_fails x'] held the last time it was evaluated, and no candidate
+    produced from [x'] fails.  [max_rounds] (default [1000]) bounds the
+    number of committed shrink steps. *)
+
+val halvings : int -> int Seq.t
+(** [halvings n] is the ddmin chunk-size schedule [n/2; n/4; ...; 1]
+    (empty for [n <= 1]). *)
+
+val remove_chunk : 'a array -> pos:int -> len:int -> 'a array
+(** Copy of the array with [len] elements removed starting at [pos]. *)
+
+val chunk_removals : 'a array -> ('a array * int * int) Seq.t
+(** All ddmin-style chunk removals of an array, largest chunks first.
+    Each element is [(shrunk, pos, len)] so callers can patch up
+    position-dependent data (e.g. branch targets). *)
+
+(** Minimal S-expressions: just enough to write readable repro files. *)
+module Sexp : sig
+  type t = Atom of string | List of t list
+
+  val atom : string -> t
+  val int : int -> t
+  val field : string -> t -> t
+  (** [field k v] is [List [Atom k; v]]. *)
+
+  val to_string : t -> string
+  (** Multi-line rendering; atoms are quoted when needed. *)
+end
+
+val default_repro_dir : unit -> string
+(** [$WIREPIPE_REPRO_DIR] if set, else ["repro"] (relative to the cwd,
+    which under [dune runtest] is the test's build directory). *)
+
+val write_repro :
+  ?dir:string -> name:string -> (string * Sexp.t) list -> string
+(** Write [(key value)] pairs as one S-expression list to
+    [dir/name.sexp], creating [dir] if needed.  Returns the path. *)

@@ -1,0 +1,45 @@
+(* Golden-output generator for the Table 1 renderer.
+
+   Prints the complete Table 1 text — both workloads, both timed
+   machines, every RS configuration row — with a pinned engine and
+   pinned workload sizes, so the committed expectation
+   [table1.expected] freezes the cycle counts, throughputs, ranks and
+   the exact text layout.  Any change to the simulator, the analysis,
+   the optimiser or the renderer that shifts a single character shows
+   up as a readable diff in `dune runtest`; intentional changes are
+   accepted with `dune promote`.
+
+   Keep this program deterministic: fixed seeds, explicit engine,
+   explicit sizes, no wall-clock or environment dependence. *)
+
+module Table1 = Wp_core.Table1
+module Runner = Wp_core.Runner
+module Datapath = Wp_soc.Datapath
+module Programs = Wp_soc.Programs
+
+let () =
+  let engine = Wp_sim.Sim.Fast in
+  let runner = Runner.create () in
+  Fun.protect
+    ~finally:(fun () -> Runner.shutdown runner)
+    (fun () ->
+      List.iter
+        (fun machine ->
+          let mname = Datapath.machine_name machine in
+          let sort_rows =
+            Table1.sort_rows ~engine
+              ~values:(Programs.sort_values ~seed:1 ~n:10)
+              ~runner ~machine ()
+          in
+          print_string
+            (Table1.render
+               ~title:(Printf.sprintf "Table 1 — Extraction Sort (%s)" mname)
+               sort_rows);
+          print_newline ();
+          let matmul_rows = Table1.matmul_rows ~engine ~n:3 ~runner ~machine () in
+          print_string
+            (Table1.render
+               ~title:(Printf.sprintf "Table 1 — Matrix Multiply (%s)" mname)
+               matmul_rows);
+          print_newline ())
+        [ Datapath.Pipelined; Datapath.Multicycle ])

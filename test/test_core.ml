@@ -384,6 +384,128 @@ let test_n_equivalence () =
     (Equiv_check.check_n_equivalence ~n:100 ~machine:Datapath.Pipelined ~mode:Shell.Oracle
        ~config small_sort)
 
+(* ------------------------------------------------------------------ *)
+(* Equiv_check negative paths: destructive faults must flip the        *)
+(* verdict and blame a concrete BLOCK.port                             *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = Wp_sim.Fault
+module Network = Wp_sim.Network
+
+(* The network channel carrying ALU writeback values into RF — a data
+   channel whose every token matters, so breaking it is maximally
+   visible. *)
+let alu_rf_channel () =
+  let dp =
+    Datapath.build ~machine:Datapath.Pipelined ~rs:(fun _ -> 0) small_sort
+  in
+  let net = dp.Datapath.network in
+  let name_of n = (Network.node_process net n).Wp_lis.Process.name in
+  List.find
+    (fun c ->
+      name_of (fst (Network.channel_src net c)) = "ALU"
+      && name_of (fst (Network.channel_dst net c)) = "RF")
+    (Network.channels net)
+
+let break_fault kind nth =
+  { Fault.seed = 0; clauses = [ Fault.Break { kind; chan = alu_rf_channel (); nth } ] }
+
+let neg_config = Config.only Datapath.DC_RF 1
+
+let neg_check fault =
+  Equiv_check.check ~fault ~machine:Datapath.Pipelined ~mode:Shell.Plain ~config:neg_config
+    small_sort
+
+let blamed v =
+  match v.Equiv_check.first_mismatch with
+  | Some port -> port
+  | None -> Alcotest.fail "no mismatch port named"
+
+let test_negative_corrupt_blames_consumer () =
+  (* Writeback #4 is the first architecturally {e live} one in this
+     workload (earlier results are overwritten before being read, so
+     corrupting them is invisible — checked below).  The corrupted value
+     surfaces as a wrong token on a register-file output: the
+     earliest-divergence rule must blame an RF port, not some unrelated
+     block. *)
+  let v = neg_check (break_fault Fault.Corrupt 4) in
+  checkb "corrupt detected" false v.Equiv_check.equivalent;
+  let port = blamed v in
+  checkb (Printf.sprintf "blames RF (got %s)" port) true
+    (String.length port > 3 && String.sub port 0 3 = "RF.")
+
+let test_negative_corrupt_dead_value_invisible () =
+  (* The converse sanity check: corrupting a result that is overwritten
+     before any instruction reads it changes nothing observable, and the
+     checker must NOT cry wolf. *)
+  let v = neg_check (break_fault Fault.Corrupt 0) in
+  checkb "dead-value corruption is absorbed" true v.Equiv_check.equivalent
+
+let test_negative_drop_detected () =
+  let v = neg_check (break_fault Fault.Drop 0) in
+  checkb "drop detected" false v.Equiv_check.equivalent;
+  ignore (blamed v)
+
+let test_negative_dup_detected () =
+  let v = neg_check (break_fault Fault.Dup 0) in
+  checkb "dup detected" false v.Equiv_check.equivalent;
+  ignore (blamed v)
+
+let test_negative_detected_on_both_engines () =
+  List.iter
+    (fun engine ->
+      let v =
+        Equiv_check.check ~engine ~fault:(break_fault Fault.Corrupt 4)
+          ~machine:Datapath.Pipelined ~mode:Shell.Plain ~config:neg_config small_sort
+      in
+      checkb
+        (Wp_sim.Sim.kind_to_string engine ^ " detects corruption")
+        false v.Equiv_check.equivalent)
+    [ Wp_sim.Sim.Reference; Wp_sim.Sim.Fast ]
+
+(* ------------------------------------------------------------------ *)
+(* MCR solver agreement on the Table 1 networks                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Three independent minimum-cycle-ratio solvers (Howard's policy
+   iteration, the Lawler parametric search and brute-force enumeration
+   over elementary cycles) must agree exactly on every Table 1 netlist,
+   and the Fast kernel's throughput bound must be that same number. *)
+let test_mcr_solvers_agree_on_table1 () =
+  let configs =
+    (Config.zero :: List.map (fun conn -> Config.only conn 1) Datapath.all_connections)
+    @ [ Config.uniform ~except:[ Datapath.CU_IC ] 1; Config.uniform 2 ]
+  in
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun config ->
+          let dp = Datapath.build ~machine ~rs:(Config.to_fun config) small_sort in
+          let net = dp.Datapath.network in
+          let g, edge_chan = Network.to_digraph net in
+          let cost _ = 1 in
+          let time e = 1 + Network.relay_stations net (edge_chan e) in
+          let ctx =
+            Printf.sprintf "%s / %s" (Datapath.machine_name machine)
+              (Config.describe config)
+          in
+          match
+            ( Wp_graph.Howard.minimum_cycle_ratio g ~cost ~time,
+              Wp_graph.Cycle_ratio.minimum g ~cost ~time,
+              Wp_graph.Cycle_ratio.minimum_by_enumeration g ~cost ~time )
+          with
+          | Some (r1, _), Some (r2, _), Some (r3, _) ->
+            checkb (ctx ^ ": howard = lawler") true
+              (Wp_graph.Cycle_ratio.ratio_compare r1 r2 = 0);
+            checkb (ctx ^ ": howard = enumeration") true
+              (Wp_graph.Cycle_ratio.ratio_compare r1 r3 = 0);
+            let tb = Wp_sim.Fast.throughput_bound net in
+            checkb (ctx ^ ": fast throughput bound matches") true
+              (Float.abs (tb -. Wp_graph.Cycle_ratio.ratio_to_float r1) < 1e-12)
+          | _ -> Alcotest.fail (ctx ^ ": datapath should be cyclic"))
+        configs)
+    [ Datapath.Pipelined; Datapath.Multicycle ]
+
 let () =
   Alcotest.run "wp_core"
     [
@@ -437,5 +559,15 @@ let () =
           Alcotest.test_case "pipelined" `Quick test_equiv_check_pipelined;
           Alcotest.test_case "multicycle" `Quick test_equiv_check_multicycle;
           Alcotest.test_case "n-equivalence" `Quick test_n_equivalence;
+          Alcotest.test_case "corrupt blames consumer" `Quick
+            test_negative_corrupt_blames_consumer;
+          Alcotest.test_case "dead-value corruption invisible" `Quick
+            test_negative_corrupt_dead_value_invisible;
+          Alcotest.test_case "drop detected" `Quick test_negative_drop_detected;
+          Alcotest.test_case "dup detected" `Quick test_negative_dup_detected;
+          Alcotest.test_case "negative on both engines" `Quick
+            test_negative_detected_on_both_engines;
+          Alcotest.test_case "mcr solvers agree on table1" `Quick
+            test_mcr_solvers_agree_on_table1;
         ] );
     ]

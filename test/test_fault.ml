@@ -1,0 +1,387 @@
+(* Tests for the fault-injection layer (Wp_sim.Fault), the exhaustive
+   small-state LID checker (Wp_core.Lid_check) and the shrinking
+   counterexample driver.
+
+   The structure mirrors the paper's claim and its converse:
+   - benign faults (stalls, jitter, storms) are legal backpressure and
+     must preserve N-equivalence on every port — we check this both
+     exhaustively on small networks (every stall schedule up to a
+     horizon) and statistically on random CPU workloads;
+   - destructive faults (drop / dup / corrupt / spurious) must always be
+     caught by the trace comparison — negative controls;
+   - both engines must stay byte-identical under any given fault spec;
+   - a failing case shrinks to a small replayable counterexample. *)
+
+open Wp_core
+module Fault = Wp_sim.Fault
+module Sim = Wp_sim.Sim
+module Network = Wp_sim.Network
+module Shell = Wp_lis.Shell
+module Datapath = Wp_soc.Datapath
+module Programs = Wp_soc.Programs
+module Random_program = Wp_soc.Random_program
+module Program = Wp_soc.Program
+module Cpu = Wp_soc.Cpu
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Spec grammar, digest, validation                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_roundtrip () =
+  let cases =
+    [
+      "none";
+      "jitter:15";
+      "jitter:15@200";
+      "storm:7/2";
+      "storm:7/2@64";
+      "stall:3@2+5+9";
+      "drop:1:0";
+      "dup:0:3";
+      "corrupt:2:7";
+      "spurious:1:2";
+      "jitter:5@100,stall:0@1+2,drop:1:0";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let spec = Fault.of_string ~seed:42 s in
+      checks (Printf.sprintf "roundtrip %s" s) s (Fault.to_string spec);
+      (* parse(print(parse x)) = parse x *)
+      let spec' = Fault.of_string ~seed:42 (Fault.to_string spec) in
+      checks (Printf.sprintf "idempotent %s" s) (Fault.to_string spec)
+        (Fault.to_string spec'))
+    cases
+
+let test_spec_errors () =
+  let bad = [ "jitter"; "jitter:abc"; "storm:2"; "storm:0/0"; "stall:1"; "drop:1"; "wibble:3" ] in
+  List.iter
+    (fun s ->
+      checkb
+        (Printf.sprintf "reject %s" s)
+        true
+        (match Fault.of_string ~seed:0 s with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    bad
+
+let test_spec_validate () =
+  let reject clauses =
+    match Fault.validate { Fault.seed = 0; clauses } ~n_chans:4 with
+    | exception Invalid_argument _ -> true
+    | () -> false
+  in
+  checkb "pct > 100" true (reject [ Fault.Jitter { pct = 101; horizon = 0 } ]);
+  checkb "burst >= period" true (reject [ Fault.Storm { period = 3; burst = 3; horizon = 0 } ]);
+  checkb "negative stall cycle" true (reject [ Fault.Stall { chan = 0; cycles = [ -1 ] } ]);
+  checkb "negative nth" true
+    (reject [ Fault.Break { kind = Fault.Drop; chan = 0; nth = -1 } ]);
+  checkb "good spec accepted" false
+    (reject [ Fault.Jitter { pct = 20; horizon = 100 }; Fault.Stall { chan = 1; cycles = [ 3 ] } ])
+
+let test_spec_digest () =
+  checks "none digests to nofault" "nofault" (Fault.digest Fault.none);
+  let a = Fault.of_string ~seed:1 "jitter:10" in
+  let b = Fault.of_string ~seed:2 "jitter:10" in
+  let c = Fault.of_string ~seed:1 "jitter:11" in
+  checkb "seed changes digest" true (Fault.digest a <> Fault.digest b);
+  checkb "clause changes digest" true (Fault.digest a <> Fault.digest c);
+  checks "digest deterministic" (Fault.digest a) (Fault.digest (Fault.of_string ~seed:1 "jitter:10"))
+
+let test_spec_benign () =
+  checkb "none benign" true (Fault.benign Fault.none);
+  checkb "jitter benign" true (Fault.benign (Fault.of_string ~seed:0 "jitter:30,storm:5/1,stall:0@2"));
+  checkb "drop not benign" false (Fault.benign (Fault.of_string ~seed:0 "jitter:30,drop:0:1"))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-engine byte-identity under fault                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Run one Lid_check network under [fault] on [engine] and collect every
+   observable: outcome, cycles, per-channel delivered counts, per-node
+   stats, per-port traces, injection count. *)
+let observe ~engine ~fault kind =
+  let net, mode, _chans = Lid_check.build kind in
+  let sim = Sim.create ~engine ~record_traces:true ~fault ~mode net in
+  let outcome = Sim.run ~max_cycles:400 sim in
+  let delivered = List.map (fun c -> Sim.delivered sim c) (Network.channels net) in
+  let stats = List.map (fun n -> Sim.node_stats sim n) (Network.nodes net) in
+  let traces =
+    List.concat_map
+      (fun n ->
+        let p = Network.node_process net n in
+        List.init (Wp_lis.Process.n_outputs p) (fun i -> Sim.output_trace sim n i))
+      (Network.nodes net)
+  in
+  (outcome, Sim.cycles sim, delivered, stats, traces, Sim.fault_injections sim)
+
+let engines_identical ~fault kind =
+  let a = observe ~engine:Sim.Reference ~fault kind in
+  let b = observe ~engine:Sim.Fast ~fault kind in
+  let name = Lid_check.network_name kind in
+  let (oa, ca, da, sa, ta, ia) = a and (ob, cb, db, sb, tb, ib) = b in
+  checkb (name ^ ": same outcome") true (oa = ob);
+  checki (name ^ ": same cycles") ca cb;
+  checkb (name ^ ": same delivered") true (da = db);
+  checkb (name ^ ": same stats") true (sa = sb);
+  checkb (name ^ ": same traces") true (ta = tb);
+  checki (name ^ ": same injections") ia ib;
+  ia
+
+let test_engines_identical_benign () =
+  let fault = Fault.of_string ~seed:7 "jitter:25@120,storm:11/3@60" in
+  List.iter
+    (fun kind ->
+      let inj = engines_identical ~fault kind in
+      checki (Lid_check.network_name kind ^ ": benign injects nothing") 0 inj)
+    Lid_check.all_networks
+
+let test_engines_identical_destructive () =
+  (* dup on channel 0 must fire on every network (channel 0 always
+     carries an infinite stream) and both engines must agree exactly. *)
+  let fault = Fault.of_string ~seed:7 "dup:0:2" in
+  List.iter
+    (fun kind ->
+      let inj = engines_identical ~fault kind in
+      checkb (Lid_check.network_name kind ^ ": dup fired") true (inj > 0))
+    Lid_check.all_networks
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive stall-schedule exploration                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_exhaustive_all_schedules () =
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun kind ->
+          let rep = Lid_check.exhaustive ~engine ~horizon:6 kind in
+          let name =
+            Printf.sprintf "%s/%s" (Lid_check.network_name kind) (Sim.kind_to_string engine)
+          in
+          checki (name ^ ": schedules checked")
+            (1 lsl (List.length rep.Lid_check.rep_fault_channels * 6))
+            rep.Lid_check.rep_schedules;
+          (match rep.Lid_check.rep_violations with
+          | [] -> ()
+          | v :: _ ->
+            Alcotest.failf "%s: %d violation(s), first: %s at %s (%s)" name
+              (List.length rep.Lid_check.rep_violations)
+              (Fault.to_string v.Lid_check.v_fault)
+              v.Lid_check.v_port v.Lid_check.v_reason))
+        Lid_check.all_networks)
+    [ Sim.Reference; Sim.Fast ]
+
+let test_negative_controls () =
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun kind ->
+          let rep = Lid_check.negative_controls ~engine kind in
+          let name =
+            Printf.sprintf "%s/%s" (Lid_check.network_name kind) (Sim.kind_to_string engine)
+          in
+          let injected =
+            List.filter (fun d -> d.Lid_check.det_injected) rep.Lid_check.neg_cases
+          in
+          checkb (name ^ ": some faults actually fired") true (List.length injected > 0);
+          (* 100% of injected drop/dup (indeed, of all injected
+             destructive faults) must be detected. *)
+          (match Lid_check.undetected rep with
+          | [] -> ()
+          | d :: _ ->
+            Alcotest.failf "%s: %d undetected destructive fault(s), first: %s" name
+              (List.length (Lid_check.undetected rep))
+              (Fault.to_string d.Lid_check.det_fault));
+          (* drop and dup specifically must both have fired somewhere. *)
+          let fired k =
+            List.exists
+              (fun d ->
+                d.Lid_check.det_injected
+                && List.exists
+                     (function Fault.Break b -> b.kind = k | _ -> false)
+                     d.Lid_check.det_fault.Fault.clauses)
+              rep.Lid_check.neg_cases
+          in
+          checkb (name ^ ": drop fired") true (fired Fault.Drop);
+          checkb (name ^ ": dup fired") true (fired Fault.Dup))
+        Lid_check.all_networks)
+    [ Sim.Reference; Sim.Fast ]
+
+(* ------------------------------------------------------------------ *)
+(* CPU-level: benign faults preserve equivalence                      *)
+(* ------------------------------------------------------------------ *)
+
+let modes = [ Shell.Plain; Shell.Oracle ]
+let mode_name = function Shell.Plain -> "wp1" | Shell.Oracle -> "wp2"
+
+let benign_fault_of_seed seed =
+  let prng = Wp_util.Prng.create ~seed:(9000 + seed) in
+  let pct = 3 + Wp_util.Prng.int prng 25 in
+  let period = 5 + Wp_util.Prng.int prng 12 in
+  let burst = 1 + Wp_util.Prng.int prng (min 3 (period - 1)) in
+  { Fault.seed; clauses = [ Fault.Jitter { pct; horizon = 0 };
+                            Fault.Storm { period; burst; horizon = 400 } ] }
+
+let battery_config seed =
+  let prng = Wp_util.Prng.create ~seed:(7000 + seed) in
+  List.fold_left
+    (fun c conn -> Config.set c conn (Wp_util.Prng.int prng 3))
+    Config.zero Datapath.all_connections
+
+let test_faulted_differential_battery () =
+  let failures = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  for seed = 0 to 24 do
+    let program = Random_program.generate ~seed () in
+    let config = battery_config seed in
+    let fault = benign_fault_of_seed seed in
+    List.iter
+      (fun mode ->
+        (* both engines must reach the same verdict, and the verdict must
+           be "equivalent" because the fault is benign. *)
+        let run engine =
+          Equiv_check.check ~engine ~fault ~machine:Datapath.Pipelined ~mode ~config program
+        in
+        let vr = run Sim.Reference and vf = run Sim.Fast in
+        if not vr.Equiv_check.equivalent then
+          note "seed %d %s/ref: benign fault broke equivalence at %s" seed (mode_name mode)
+            (Option.value ~default:"?" vr.Equiv_check.first_mismatch);
+        if not vf.Equiv_check.equivalent then
+          note "seed %d %s/fast: benign fault broke equivalence at %s" seed (mode_name mode)
+            (Option.value ~default:"?" vf.Equiv_check.first_mismatch);
+        if vr.Equiv_check.wp_outcome <> vf.Equiv_check.wp_outcome then
+          note "seed %d %s: engines disagree on faulted outcome" seed (mode_name mode);
+        (* engines byte-identical on the faulted run's cycle count. *)
+        let cycles engine =
+          (Cpu.run ~engine ~fault ~machine:Datapath.Pipelined ~mode
+             ~rs:(Config.to_fun config) program)
+            .Cpu.cycles
+        in
+        let cr = cycles Sim.Reference and cf = cycles Sim.Fast in
+        if cr <> cf then
+          note "seed %d %s: engines disagree on faulted cycles (%d vs %d)" seed
+            (mode_name mode) cr cf)
+      modes
+  done;
+  match List.rev !failures with
+  | [] -> ()
+  | fs -> Alcotest.failf "%d faulted-battery failure(s):\n%s" (List.length fs) (String.concat "\n" fs)
+
+(* ------------------------------------------------------------------ *)
+(* Broken shell -> caught, shrunk, replayable                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A corrupt fault models a broken wrapper that mangles a token in
+   flight.  The checker must flag it, and the shrinking driver must
+   reduce the failing triple to a tiny replayable counterexample. *)
+let find_broken_repro () =
+  let program = Programs.fibonacci ~n:6 in
+  let config = Config.only Datapath.ALU_CU 1 in
+  let rec try_chan chan =
+    if chan > 8 then Alcotest.fail "no corrupt fault produced a detectable failure"
+    else
+      let fault =
+        { Fault.seed = 3; clauses = [ Fault.Break { kind = Fault.Corrupt; chan; nth = 0 } ] }
+      in
+      let repro =
+        Lid_check.repro_of_program ~seed:3 ~machine:Datapath.Pipelined ~mode:Shell.Plain
+          ~engine:Sim.Fast ~config ~fault program
+      in
+      if Lid_check.check_repro repro then repro else try_chan (chan + 1)
+  in
+  try_chan 0
+
+let test_broken_shell_shrinks () =
+  let repro = find_broken_repro () in
+  let shrunk = Lid_check.shrink_repro repro in
+  checkb "shrunk still fails" true (Lid_check.check_repro shrunk);
+  let n = Array.length shrunk.Lid_check.r_text in
+  if n > 8 then
+    Alcotest.failf "shrunk counterexample has %d instructions (want <= 8)" n;
+  (* the counterexample is replayable: file written, command printable. *)
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "wp_repro_test" in
+  let path = Lid_check.write_repro ~dir shrunk in
+  checkb "repro file exists" true (Sys.file_exists path);
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  checkb "repro names the fault" true
+    (let needle = "corrupt" in
+     let rec search i =
+       i + String.length needle <= String.length body
+       && (String.sub body i (String.length needle) = needle || search (i + 1))
+     in
+     search 0);
+  let cmd = Lid_check.replay_command shrunk in
+  checkb "replay command mentions equiv" true
+    (String.length cmd > 0
+    && (let needle = "equiv" in
+        let rec search i =
+          i + String.length needle <= String.length body
+          && (String.sub cmd i (String.length needle) = needle || search (i + 1))
+        in
+        search 0))
+
+(* The same corrupt fault through the CLI-facing checker: the verdict
+   names a concrete BLOCK.port. *)
+let test_broken_shell_names_port () =
+  let repro = find_broken_repro () in
+  match
+    Equiv_check.check ~engine:repro.Lid_check.r_engine ~fault:repro.Lid_check.r_fault
+      ~machine:repro.Lid_check.r_machine ~mode:repro.Lid_check.r_mode
+      ~config:repro.Lid_check.r_config
+      (Lid_check.program_of_repro repro)
+  with
+  | v ->
+    checkb "not equivalent" false v.Equiv_check.equivalent;
+    checkb "mismatch port named" true
+      (match v.Equiv_check.first_mismatch with
+      | Some p -> String.contains p '.' || p = "<no progress>"
+      | None -> false)
+  | exception _ ->
+    (* a corrupted token may crash a process closure outright; that is
+       also a detection, just a louder one. *)
+    ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "wp_fault"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "errors" `Quick test_spec_errors;
+          Alcotest.test_case "validate" `Quick test_spec_validate;
+          Alcotest.test_case "digest" `Quick test_spec_digest;
+          Alcotest.test_case "benign" `Quick test_spec_benign;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "identical under benign fault" `Quick test_engines_identical_benign;
+          Alcotest.test_case "identical under destructive fault" `Quick
+            test_engines_identical_destructive;
+        ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "all stall schedules hold" `Slow test_exhaustive_all_schedules;
+          Alcotest.test_case "negative controls all detected" `Quick test_negative_controls;
+        ] );
+      ( "battery",
+        [
+          Alcotest.test_case "25-seed faulted differential" `Slow
+            test_faulted_differential_battery;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "broken shell shrinks to <= 8 instrs" `Slow
+            test_broken_shell_shrinks;
+          Alcotest.test_case "broken shell names a port" `Quick test_broken_shell_names_port;
+        ] );
+    ]

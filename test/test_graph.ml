@@ -346,6 +346,50 @@ let prop_howard_matches_lawler =
         Cycle_ratio.ratio_compare r1 r2 = 0 && Cycles.is_elementary_cycle g c1
       | None, Some _ | Some _, None -> false)
 
+(* Howard vs Karp on guaranteed-cyclic inputs: superimposing a
+   Hamiltonian ring on random extra edges makes every generated digraph
+   strongly connected, so both solvers must return Some and, with unit
+   times, the minimum cycle ratio degenerates to Karp's minimum cycle
+   mean.  Two entirely independent dynamic programs agreeing exactly on 200
+   random instances is strong evidence both are right. *)
+let gen_sc_graph =
+  QCheck2.Gen.(
+    let* n = int_range 2 7 in
+    let* m = int_range 0 14 in
+    let* extra = list_size (return m) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
+    let ring = List.init n (fun i -> (i, (i + 1) mod n)) in
+    return (n, ring @ extra))
+
+let prop_howard_matches_karp_sc =
+  QCheck2.Test.make ~count:200 ~name:"howard = karp min cycle mean on strongly connected digraphs"
+    gen_sc_graph
+    (fun (n, edges) ->
+      let g = graph_of n edges in
+      let cost = edge_weight in
+      match
+        ( Wp_graph.Howard.minimum_cycle_ratio g ~cost ~time:(fun _ -> 1),
+          Karp.minimum_cycle_mean g ~weight:(fun e -> float_of_int (cost e)) )
+      with
+      | Some (r, cycle), Some mean ->
+        Cycles.is_elementary_cycle g cycle
+        && Float.abs (Cycle_ratio.ratio_to_float r -. mean) < 1e-9
+      | _ -> false (* strongly connected => at least one cycle on both sides *))
+
+let prop_howard_matches_karp_max_sc =
+  QCheck2.Test.make ~count:200 ~name:"lawler max = karp max cycle mean on strongly connected digraphs"
+    gen_sc_graph
+    (fun (n, edges) ->
+      let g = graph_of n edges in
+      let cost = edge_weight in
+      match
+        ( Cycle_ratio.maximum g ~cost ~time:(fun _ -> 1),
+          Karp.maximum_cycle_mean g ~weight:(fun e -> float_of_int (cost e)) )
+      with
+      | Some (r, cycle), Some mean ->
+        Cycles.is_elementary_cycle g cycle
+        && Float.abs (Cycle_ratio.ratio_to_float r -. mean) < 1e-9
+      | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Shortest_path                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -468,6 +512,8 @@ let () =
         prop_karp_matches_enumeration;
         prop_ratio_matches_enumeration;
         prop_howard_matches_lawler;
+        prop_howard_matches_karp_sc;
+        prop_howard_matches_karp_max_sc;
         prop_ratio_max_min_duality;
         prop_bf_agrees_with_dijkstra;
         prop_bf_detects_negative_cycles;

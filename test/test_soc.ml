@@ -497,6 +497,7 @@ let prop_random_programs_differential =
 module Runner = Wp_core.Runner
 module Config = Wp_core.Config
 module Equiv_check = Wp_core.Equiv_check
+module Lid_check = Wp_core.Lid_check
 module Sim = Wp_sim.Sim
 module Process = Wp_lis.Process
 
@@ -598,11 +599,29 @@ let battery_case seed =
           let v =
             Equiv_check.check ~engine ~machine:Datapath.Pipelined ~mode ~config program
           in
-          if not v.Equiv_check.equivalent then
-            note "seed %d: %s/%s equivalence check failed at %s under %s" seed
+          if not v.Equiv_check.equivalent then begin
+            (* Shrink the failing triple and write a replayable
+               counterexample file so the failure is actionable without
+               re-running the battery. *)
+            let repro_info =
+              try
+                let repro =
+                  Lid_check.repro_of_program ~seed ~machine:Datapath.Pipelined ~mode
+                    ~engine ~config ~fault:Wp_sim.Fault.none program
+                in
+                let repro =
+                  try Lid_check.shrink_repro repro with _ -> repro
+                in
+                let path = Lid_check.write_repro repro in
+                Printf.sprintf "repro %s; replay: %s" path
+                  (Lid_check.replay_command repro)
+              with e -> "repro emission failed: " ^ Printexc.to_string e
+            in
+            note "seed %d: %s/%s equivalence check failed at %s under %s (%s)" seed
               (mode_name mode) (Sim.kind_to_string engine)
               (Option.value ~default:"?" v.Equiv_check.first_mismatch)
-              (Config.describe config))
+              (Config.describe config) repro_info
+          end)
         [ Sim.Reference; Sim.Fast ])
     modes;
   List.rev !failures

@@ -4,6 +4,7 @@ module Prng = Wp_util.Prng
 module Ring_fifo = Wp_util.Ring_fifo
 module Stats = Wp_util.Stats
 module Text_table = Wp_util.Text_table
+module Shrink = Wp_util.Shrink
 
 let check = Alcotest.check
 let checki = Alcotest.(check int)
@@ -241,6 +242,51 @@ let test_table_arity () =
   Alcotest.check_raises "arity enforced" (Invalid_argument "Text_table.add_row: wrong arity")
     (fun () -> Text_table.add_row t [ "x"; "y" ])
 
+(* ------------------------------------------------------------------ *)
+(* Shrink                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_shrink_halvings () =
+  Alcotest.(check (list int)) "halvings 8" [ 4; 2; 1 ] (List.of_seq (Shrink.halvings 8));
+  Alcotest.(check (list int)) "halvings 1" [] (List.of_seq (Shrink.halvings 1))
+
+let test_shrink_remove_chunk () =
+  let a = [| 0; 1; 2; 3; 4 |] in
+  Alcotest.(check (array int)) "middle" [| 0; 3; 4 |] (Shrink.remove_chunk a ~pos:1 ~len:2);
+  Alcotest.(check (array int)) "prefix" [| 2; 3; 4 |] (Shrink.remove_chunk a ~pos:0 ~len:2);
+  Alcotest.(check (array int)) "suffix" [| 0; 1; 2; 3 |] (Shrink.remove_chunk a ~pos:4 ~len:1)
+
+let test_shrink_chunk_removals () =
+  let a = Array.init 8 Fun.id in
+  Seq.iter
+    (fun (shrunk, pos, len) ->
+      checkb "strictly smaller" true (Array.length shrunk < Array.length a);
+      checkb "consistent" true (Array.length shrunk = Array.length a - len);
+      checkb "in range" true (pos >= 0 && pos + len <= Array.length a))
+    (Shrink.chunk_removals a);
+  checkb "some candidate" true (Seq.uncons (Shrink.chunk_removals a) <> None)
+
+let test_shrink_fixpoint () =
+  (* Minimise an int list that "fails" iff it contains both 3 and 7:
+     greedy chunk removal must land on exactly those two elements. *)
+  let still_fails l = List.mem 3 l && List.mem 7 l in
+  let candidates l =
+    let a = Array.of_list l in
+    Seq.map (fun (s, _, _) -> Array.to_list s) (Shrink.chunk_removals a)
+  in
+  let start = List.init 20 Fun.id in
+  let min = Shrink.fixpoint ~candidates ~still_fails start in
+  checkb "still fails" true (still_fails min);
+  Alcotest.(check (list int)) "minimal" [ 3; 7 ] (List.sort compare min)
+
+let test_shrink_sexp () =
+  let open Shrink.Sexp in
+  let s = to_string (field "pair" (List [ int 1; atom "two words" ])) in
+  checkb "quotes atoms with spaces" true
+    (let n = String.length s in
+     let rec scan i = i + 11 <= n && (String.sub s i 11 = "\"two words\"" || scan (i + 1)) in
+     scan 0)
+
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_fifo_model; prop_fifo_bounded_never_overflows ] in
   Alcotest.run "wp_util"
@@ -280,6 +326,14 @@ let () =
         [
           Alcotest.test_case "renders" `Quick test_table_renders;
           Alcotest.test_case "arity" `Quick test_table_arity;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "halvings" `Quick test_shrink_halvings;
+          Alcotest.test_case "remove_chunk" `Quick test_shrink_remove_chunk;
+          Alcotest.test_case "chunk_removals" `Quick test_shrink_chunk_removals;
+          Alcotest.test_case "fixpoint minimises" `Quick test_shrink_fixpoint;
+          Alcotest.test_case "sexp quoting" `Quick test_shrink_sexp;
         ] );
       ("properties", qsuite);
     ]
