@@ -22,6 +22,7 @@ module Cpu = Wp_soc.Cpu
 module Shell = Wp_lis.Shell
 module Process = Wp_lis.Process
 module Config = Wp_core.Config
+module Protect = Wp_core.Protect
 module Network = Wp_sim.Network
 module Engine = Wp_sim.Engine
 module Fast = Wp_sim.Fast
@@ -120,14 +121,16 @@ let cycles_per_sec m =
 let words_per_cycle m =
   if m.total_cycles = 0 then 0.0 else m.minor_words /. float_of_int m.total_cycles
 
-let measure_sweep ~engine ~smoke =
-  let runs = sweep_runs ~smoke in
+let measure_runs ~engine ?protect runs =
   (* Warm-up pass: fault in code paths and steady-state the heap so the
      measured pass compares kernels, not cold starts. *)
   let execute () =
     List.fold_left
       (fun acc (program, mode, config) ->
-        let r = Cpu.run ~engine ~machine:Datapath.Pipelined ~mode ~rs:(Config.to_fun config) program in
+        let r =
+          Cpu.run ~engine ?protect ~machine:Datapath.Pipelined ~mode
+            ~rs:(Config.to_fun config) program
+        in
         if r.Cpu.outcome <> Cpu.Completed then failwith "sim_bench: sweep run did not complete";
         acc + r.Cpu.cycles)
       0 runs
@@ -145,6 +148,34 @@ let measure_sweep ~engine ~smoke =
     seconds;
     minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
   }
+
+let measure_sweep ~engine ~smoke = measure_runs ~engine (sweep_runs ~smoke)
+
+(* ------------------------------------------------------------------ *)
+(* Link-protection overhead probe                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Same workloads, plain wrappers, a representative pair of configs; run
+   once with every connection link-protected and once bare.  Clean
+   protected runs are cycle-neutral (the link's forward latency matches
+   the relay stations it subsumes and the credit window covers the round
+   trip), so the steady-state overhead is the throughput ratio in
+   simulated cycles per second, alongside the kernel's words/cycle in
+   each regime — the Fast engine must not allocate more per cycle with
+   the link layer engaged. *)
+let link_runs ~smoke =
+  let configs = [ Config.zero; Config.uniform ~except:[ Datapath.CU_IC ] 1 ] in
+  List.concat_map
+    (fun (_, program) ->
+      List.map (fun config -> (program, Shell.Plain, config)) configs)
+    (sweep_programs ~smoke)
+
+let protect_all = Protect.to_fun (Protect.all ())
+
+let measure_link ~engine ~smoke ~protected_ =
+  measure_runs ~engine
+    ?protect:(if protected_ then Some protect_all else None)
+    (link_runs ~smoke)
 
 (* ------------------------------------------------------------------ *)
 (* Kernel-only allocation probe                                       *)
@@ -230,6 +261,22 @@ let () =
         (engine, m))
       opts.engines
   in
+  print_endline "link-protection overhead (plain wrappers, all connections protected):";
+  let link =
+    List.map
+      (fun engine ->
+        let bare = measure_link ~engine ~smoke:opts.smoke ~protected_:false in
+        let prot = measure_link ~engine ~smoke:opts.smoke ~protected_:true in
+        print_measurement ~gc_stats:opts.gc_stats (engine_name engine ^ "/bare") bare;
+        print_measurement ~gc_stats:opts.gc_stats (engine_name engine ^ "/link") prot;
+        let slowdown =
+          if cycles_per_sec prot > 0.0 then cycles_per_sec bare /. cycles_per_sec prot else 0.0
+        in
+        Printf.printf "%-10s protected slowdown %.2fx (%.2f -> %.2f words/cycle)\n"
+          (engine_name engine) slowdown (words_per_cycle bare) (words_per_cycle prot);
+        (engine, (bare, prot, slowdown)))
+      opts.engines
+  in
   let speedup =
     match (List.assoc_opt Sim.Reference sweep, List.assoc_opt Sim.Fast sweep) with
     | Some r, Some f when cycles_per_sec r > 0.0 -> Some (cycles_per_sec f /. cycles_per_sec r)
@@ -259,6 +306,17 @@ let () =
        (List.map
           (fun (e, m) -> Printf.sprintf "    %S: %s" (engine_name e) (json_of_measurement m))
           stall));
+  Buffer.add_string buf "\n  },\n";
+  Buffer.add_string buf "  \"link_overhead\": {\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (e, (bare, prot, slowdown)) ->
+            Printf.sprintf
+              "    %S: { \"unprotected\": %s,\n           \"protected\": %s,\n           \
+               \"slowdown\": %.3f }"
+              (engine_name e) (json_of_measurement bare) (json_of_measurement prot) slowdown)
+          link));
   Buffer.add_string buf "\n  },\n";
   (match speedup with
   | Some s -> Buffer.add_string buf (Printf.sprintf "  \"speedup\": %.3f,\n" s)

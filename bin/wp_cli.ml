@@ -11,28 +11,40 @@ module Config = Wp_core.Config
 (* --- shared argument parsing --------------------------------------- *)
 
 (* "asm:PATH" loads and assembles a source file — this is how shrunk
-   counterexamples written by the fault batteries are replayed. *)
+   counterexamples written by the fault batteries are replayed.  Every
+   failure mode (missing file, unreadable file, parse error, assembler
+   exception) comes back as a one-line [`Msg] so the driver exits
+   nonzero with a summary instead of dumping a backtrace. *)
 let assembly_program path =
   if not (Sys.file_exists path) then
     Error (`Msg (Printf.sprintf "assembly file %S not found" path))
-  else begin
-    let ic = open_in path in
-    let n = in_channel_length ic in
-    let source = really_input_string ic n in
-    close_in ic;
-    match Wp_soc.Asm.assemble source with
-    | Error e -> Error (`Msg (Format.asprintf "%s: %a" path Wp_soc.Asm.pp_error e))
-    | Ok text ->
-      Ok
-        {
-          Wp_soc.Program.name = Filename.remove_extension (Filename.basename path);
-          source;
-          text;
-          mem_size = 4096;
-          mem_init = [];
-          result_region = (0, 0);
-        }
-  end
+  else
+    match
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg ->
+      Error (`Msg (Printf.sprintf "cannot read %S: %s" path msg))
+    | exception e ->
+      Error (`Msg (Printf.sprintf "cannot read %S: %s" path (Printexc.to_string e)))
+    | source -> (
+      match Wp_soc.Asm.assemble source with
+      | Error e -> Error (`Msg (Format.asprintf "%s: %a" path Wp_soc.Asm.pp_error e))
+      | exception e ->
+        Error
+          (`Msg (Printf.sprintf "%s: assembler error: %s" path (Printexc.to_string e)))
+      | Ok text ->
+        Ok
+          {
+            Wp_soc.Program.name = Filename.remove_extension (Filename.basename path);
+            source;
+            text;
+            mem_size = 4096;
+            mem_init = [];
+            result_region = (0, 0);
+          })
 
 let program_of_string s =
   let name, raw_param =
@@ -162,6 +174,40 @@ let fault_seed_arg =
 
 let fault_of_args spec seed = { spec with Wp_sim.Fault.seed = seed }
 
+(* Link protection, shared by run and equiv. *)
+
+let protect_str_arg =
+  Arg.(value & opt string "none"
+       & info [ "protect" ] ~docv:"POLICY"
+           ~doc:"Link-protection policy: $(b,none), $(b,all), or a \
+                 comma-separated list of connection names (e.g. \
+                 $(b,CU-AL,DC-RF)), each optionally annotated \
+                 $(b,:w=W:t=T) to override window/timeout per \
+                 connection.  Protected connections get \
+                 sequence-numbered, CRC-tagged, go-back-N retransmitting \
+                 channels with credit flow control — bounded \
+                 drop/dup/corrupt faults on them are absorbed instead of \
+                 diverging.")
+
+let link_window_arg =
+  Arg.(value & opt int 0
+       & info [ "link-window" ] ~docv:"W"
+           ~doc:"Sender replay-window size for protected channels \
+                 (0 = auto-size from the relay-station count).")
+
+let link_timeout_arg =
+  Arg.(value & opt int 0
+       & info [ "link-timeout" ] ~docv:"T"
+           ~doc:"Retransmission timeout in cycles for protected channels \
+                 (0 = auto).")
+
+let protect_of_args s window timeout =
+  match Wp_core.Protect.of_string ~window ~timeout s with
+  | p -> p
+  | exception Invalid_argument msg ->
+    Printf.eprintf "wirepipe: %s\n%!" msg;
+    exit 2
+
 let gc_stats_arg =
   Arg.(value & flag
        & info [ "gc-stats" ]
@@ -263,8 +309,14 @@ let run_cmd =
          & info [ "mode" ] ~docv:"MODE" ~doc:"wp1 (plain wrappers), wp2 (oracle) or both.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-block statistics.") in
-  let run program machine config mode verbose engine fault_spec fault_seed gc =
+  let run program machine config mode verbose engine fault_spec fault_seed
+      protect_str link_window link_timeout gc =
     let fault = fault_of_args fault_spec fault_seed in
+    let protect = protect_of_args protect_str link_window link_timeout in
+    let protect_fun =
+      if Wp_core.Protect.is_none protect then None
+      else Some (Wp_core.Protect.to_fun protect)
+    in
     with_gc_stats gc (fun () ->
         let golden = Wp_core.Experiment.golden ~engine ~machine program in
         Printf.printf "program %s on the %s machine; golden run: %d cycles (%s engine)\n"
@@ -274,10 +326,12 @@ let run_cmd =
           (Wp_core.Analysis.wp1_bound_float config);
         if not (Wp_sim.Fault.is_none fault) then
           Printf.printf "injecting %s\n" (Wp_sim.Fault.describe fault);
+        if not (Wp_core.Protect.is_none protect) then
+          Printf.printf "link protection: %s\n" (Wp_core.Protect.describe protect);
         let one label shell_mode =
           let r =
-            Wp_soc.Cpu.run ~engine ~fault ~machine ~mode:shell_mode ~rs:(Config.to_fun config)
-              program
+            Wp_soc.Cpu.run ~engine ~fault ?protect:protect_fun ~machine
+              ~mode:shell_mode ~rs:(Config.to_fun config) program
           in
           let th = Wp_soc.Cpu.throughput ~golden r in
           Printf.printf "%s: %d cycles, throughput %.3f, result %s%s\n" label r.Wp_soc.Cpu.cycles
@@ -298,7 +352,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload under one RS configuration")
     Term.(const run $ program_arg $ machine_arg $ config_arg $ mode $ verbose $ engine_arg
-          $ fault_arg $ fault_seed_arg $ gc_stats_arg)
+          $ fault_arg $ fault_seed_arg $ protect_str_arg $ link_window_arg
+          $ link_timeout_arg $ gc_stats_arg)
 
 (* --- loops ----------------------------------------------------------- *)
 
@@ -371,10 +426,14 @@ let equiv_cmd =
     Arg.(value & opt (enum [ ("wp1", `Wp1); ("wp2", `Wp2); ("both", `Both) ]) `Both
          & info [ "mode" ] ~docv:"MODE" ~doc:"wp1 (plain wrappers), wp2 (oracle) or both.")
   in
-  let run program machine config mode engine fault_spec fault_seed =
+  let run program machine config mode engine fault_spec fault_seed protect_str
+      link_window link_timeout =
     let fault = fault_of_args fault_spec fault_seed in
+    let protect = protect_of_args protect_str link_window link_timeout in
     if not (Wp_sim.Fault.is_none fault) then
       Printf.printf "injecting %s\n" (Wp_sim.Fault.describe fault);
+    if not (Wp_core.Protect.is_none protect) then
+      Printf.printf "link protection: %s\n" (Wp_core.Protect.describe protect);
     let outcome_tag = function
       | Wp_sim.Engine.Halted _ -> ""
       | Wp_sim.Engine.Deadlocked _ -> " deadlocked"
@@ -383,7 +442,8 @@ let equiv_cmd =
     let any_bad = ref false in
     let one label shell_mode =
       match
-        Wp_core.Equiv_check.check ~engine ~fault ~machine ~mode:shell_mode ~config program
+        Wp_core.Equiv_check.check ~engine ~fault ~protect ~machine
+          ~mode:shell_mode ~config program
       with
       | v ->
         if not v.Wp_core.Equiv_check.equivalent then any_bad := true;
@@ -395,7 +455,20 @@ let equiv_cmd =
           | None -> "")
           (match outcome_tag v.Wp_core.Equiv_check.wp_outcome with
           | "" -> ""
-          | tag -> " (wp run" ^ tag ^ ")")
+          | tag -> " (wp run" ^ tag ^ ")");
+        (match v.Wp_core.Equiv_check.recovery with
+        | None -> ()
+        | Some s ->
+          Printf.printf
+            "  link: %d protected channel%s, %d frames, %d retransmissions \
+             (%d timeouts, %d NAKs), %d CRC detections, %d dedups, %d \
+             recoveries, max recovery latency %d cycles\n"
+            s.Wp_sim.Link.protected_channels
+            (if s.Wp_sim.Link.protected_channels = 1 then "" else "s")
+            s.Wp_sim.Link.frames_sent s.Wp_sim.Link.retransmissions
+            s.Wp_sim.Link.timeouts s.Wp_sim.Link.naks s.Wp_sim.Link.crc_detected
+            s.Wp_sim.Link.dedup_drops s.Wp_sim.Link.recoveries
+            s.Wp_sim.Link.max_recovery_latency)
       | exception e when not (Wp_sim.Fault.is_none fault) ->
         (* An injected fault that crashes a process outright (e.g. a
            corrupted instruction encoding) is a detection, just a louder
@@ -415,7 +488,7 @@ let equiv_cmd =
   Cmd.v
     (Cmd.info "equiv" ~doc:"Check golden-vs-WP trace equivalence on every channel")
     Term.(const run $ program_arg $ machine_arg $ config_arg $ mode $ engine_arg $ fault_arg
-          $ fault_seed_arg)
+          $ fault_seed_arg $ protect_str_arg $ link_window_arg $ link_timeout_arg)
 
 (* --- area ------------------------------------------------------------- *)
 

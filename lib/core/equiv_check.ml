@@ -7,6 +7,8 @@ module Shell = Wp_lis.Shell
 module Trace = Wp_lis.Trace
 module Process = Wp_lis.Process
 
+module Link = Wp_sim.Link
+
 type verdict = {
   equivalent : bool;
   ports_checked : int;
@@ -14,12 +16,20 @@ type verdict = {
   first_mismatch : string option;
   golden_outcome : Engine.outcome;
   wp_outcome : Engine.outcome;
+  recovery : Link.summary option;
 }
 
-(* Run one system and collect, per "BLOCK.port", the output trace. *)
-let traced_run ?engine ?(max_cycles = 2_000_000) ?fault ~machine ~mode ~config
-    program =
-  let dp = Datapath.build ~machine ~rs:(Config.to_fun config) program in
+(* Run one system and collect, per "BLOCK.port", the output trace (plus
+   the link-layer summary when a protection policy is active). *)
+let traced_run_full ?engine ?(max_cycles = 2_000_000) ?fault ?protect ~machine
+    ~mode ~config program =
+  let protect =
+    match protect with
+    | None -> None
+    | Some p when Protect.is_none p -> None
+    | Some p -> Some (Protect.to_fun p)
+  in
+  let dp = Datapath.build ?protect ~machine ~rs:(Config.to_fun config) program in
   let sim = Sim.create ?engine ~record_traces:true ?fault ~mode dp.Datapath.network in
   let outcome = Sim.run ~max_cycles sim in
   let net = dp.Datapath.network in
@@ -34,17 +44,24 @@ let traced_run ?engine ?(max_cycles = 2_000_000) ?fault ~machine ~mode ~config
               Sim.output_trace sim node p )))
       (Network.nodes net)
   in
+  (outcome, ports, Sim.link_summary sim)
+
+let traced_run ?engine ?max_cycles ?fault ~machine ~mode ~config program =
+  let outcome, ports, _ =
+    traced_run_full ?engine ?max_cycles ?fault ~machine ~mode ~config program
+  in
   (outcome, ports)
 
 let halted = function Engine.Halted _ -> true | _ -> false
 
-let check ?engine ?max_cycles ?fault ~machine ~mode ~config program =
-  let golden_outcome, golden =
-    traced_run ?engine ?max_cycles ~machine ~mode:Shell.Plain
+let check ?engine ?max_cycles ?fault ?protect ~machine ~mode ~config program =
+  let golden_outcome, golden, _ =
+    traced_run_full ?engine ?max_cycles ~machine ~mode:Shell.Plain
       ~config:Config.zero program
   in
-  let wp_outcome, wp =
-    traced_run ?engine ?max_cycles ?fault ~machine ~mode ~config program
+  let wp_outcome, wp, recovery =
+    traced_run_full ?engine ?max_cycles ?fault ?protect ~machine ~mode ~config
+      program
   in
   let ports_checked = ref 0 and events = ref 0 in
   (* A value mismatch is pinned to the port whose tau-filtered streams
@@ -93,16 +110,18 @@ let check ?engine ?max_cycles ?fault ~machine ~mode ~config program =
     first_mismatch = mismatch;
     golden_outcome;
     wp_outcome;
+    recovery;
   }
 
-let check_n_equivalence ?engine ?max_cycles ?fault ~n ~machine ~mode ~config
-    program =
-  let _, golden =
-    traced_run ?engine ?max_cycles ~machine ~mode:Shell.Plain
+let check_n_equivalence ?engine ?max_cycles ?fault ?protect ~n ~machine ~mode
+    ~config program =
+  let _, golden, _ =
+    traced_run_full ?engine ?max_cycles ~machine ~mode:Shell.Plain
       ~config:Config.zero program
   in
-  let _, wp =
-    traced_run ?engine ?max_cycles ?fault ~machine ~mode ~config program
+  let _, wp, _ =
+    traced_run_full ?engine ?max_cycles ?fault ?protect ~machine ~mode ~config
+      program
   in
   List.for_all
     (fun (port, golden_trace) ->

@@ -25,6 +25,12 @@ type verdict = {
           the largest informative-event shortfall. *)
   golden_outcome : Wp_sim.Engine.outcome;
   wp_outcome : Wp_sim.Engine.outcome;
+  recovery : Wp_sim.Link.summary option;
+      (** link-layer recovery statistics of the WP run (retransmissions,
+          CRC detections, recovery latency); [None] when no channel is
+          protected.  The {e recovery verdict} of a protected faulted run
+          is [equivalent = true] together with a summary showing the
+          faults were absorbed ([retransmissions]/[recoveries] > 0). *)
 }
 
 val traced_run :
@@ -44,6 +50,7 @@ val check :
   ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
   ?fault:Wp_sim.Fault.spec ->
+  ?protect:Protect.t ->
   machine:Wp_soc.Datapath.machine ->
   mode:Wp_lis.Shell.mode ->
   config:Config.t ->
@@ -51,12 +58,17 @@ val check :
   verdict
 (** [engine] selects the simulation kernel for both traced runs
     (default {!Wp_sim.Sim.default_kind}).  [fault] is injected into the
-    WP run only; the golden run is always clean. *)
+    WP run only; the golden run is always clean.  [protect] applies a
+    link-protection policy to the WP run only (the golden reference is
+    the raw system): with protection, bounded drop/dup/corrupt faults on
+    protected connections must leave the verdict equivalent, and the
+    [recovery] field reports how the link layer absorbed them. *)
 
 val check_n_equivalence :
   ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
   ?fault:Wp_sim.Fault.spec ->
+  ?protect:Protect.t ->
   n:int ->
   machine:Wp_soc.Datapath.machine ->
   mode:Wp_lis.Shell.mode ->

@@ -69,9 +69,16 @@ let golden ?(engine = Wp_sim.Sim.default_kind) ~machine (program : Program.t) =
     Mutex.unlock golden_mutex;
     winner
 
-let checked_run ?engine ?max_cycles ?mcr_work ?fault ~machine ~mode ~config program =
+let checked_run ?engine ?max_cycles ?mcr_work ?fault ?protect ~machine ~mode
+    ~config program =
+  let protect =
+    match protect with
+    | None -> None
+    | Some p when Protect.is_none p -> None
+    | Some p -> Some (Protect.to_fun p)
+  in
   let r =
-    Cpu.run ?engine ?max_cycles ?mcr_work ?fault ~machine ~mode
+    Cpu.run ?engine ?max_cycles ?mcr_work ?fault ?protect ~machine ~mode
       ~rs:(Config.to_fun config) program
   in
   (match r.Cpu.outcome with
@@ -90,21 +97,23 @@ let checked_run ?engine ?max_cycles ?mcr_work ?fault ~machine ~mode ~config prog
          (Config.describe config));
   r
 
-let run ?engine ?max_cycles ?fault ~machine ~program config =
-  (* The golden run is always clean: faults perturb the wire-pipelined
-     systems under test, never the reference they are judged against. *)
+let run ?engine ?max_cycles ?fault ?protect ~machine ~program config =
+  (* The golden run is always clean and unprotected: faults perturb the
+     wire-pipelined systems under test, never the reference they are
+     judged against — and the link layer exists to make the protected
+     runs equivalent to that untouched reference. *)
   let g = golden ?engine ~machine program in
   (* The golden cycle count is the work the wire-pipelined runs must
      complete, so it feeds the MCR-guided bound: each run is capped at
      [ceil (golden / Th) + slack] instead of the blanket 2M budget. *)
   let mcr_work = g.Cpu.cycles in
   let wp1 =
-    checked_run ?engine ?max_cycles ~mcr_work ?fault ~machine ~mode:Shell.Plain
-      ~config program
+    checked_run ?engine ?max_cycles ~mcr_work ?fault ?protect ~machine
+      ~mode:Shell.Plain ~config program
   in
   let wp2 =
-    checked_run ?engine ?max_cycles ~mcr_work ?fault ~machine ~mode:Shell.Oracle
-      ~config program
+    checked_run ?engine ?max_cycles ~mcr_work ?fault ?protect ~machine
+      ~mode:Shell.Oracle ~config program
   in
   let th_wp1 = Cpu.throughput ~golden:g wp1 in
   let th_wp2 = Cpu.throughput ~golden:g wp2 in

@@ -32,6 +32,7 @@ val run :
   ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
   ?fault:Wp_sim.Fault.spec ->
+  ?protect:Protect.t ->
   machine:Wp_soc.Datapath.machine ->
   program:Wp_soc.Program.t ->
   Config.t ->
@@ -40,7 +41,11 @@ val run :
     capped by the MCR-guided bound derived from the golden cycle count
     ({!Wp_soc.Cpu.run}'s [mcr_work]).  [fault] is injected into both WP
     runs (never the golden reference); a benign spec must leave both
-    runs correct — only slower.  @raise Failure if any run fails
+    runs correct — only slower.  [protect] applies a {!Protect} policy
+    to both WP runs (never the golden reference): protected connections
+    get the self-healing {!Wp_sim.Link} layer, which must keep even
+    destructive fault specs architecturally invisible.
+    @raise Failure if any run fails
     to complete or corrupts the architectural result — equivalence is an
     invariant here, not a statistic. *)
 

@@ -179,10 +179,17 @@ type run_result = {
   outcome : Engine.outcome;
   injected : int;
   ports : (string * int list) list; (* tau-filtered, per "NODE.port" *)
+  link : Wp_sim.Link.summary option; (* Some iff a channel was protected *)
 }
 
-let run_network ?engine ~max_cycles ~fault kind =
-  let net, mode, _ = build kind in
+let run_network ?engine ?(protect_first = false) ~max_cycles ~fault kind =
+  let net, mode, fault_channels = build kind in
+  if protect_first then (
+    match fault_channels with
+    | c :: _ ->
+        Network.set_protection net c
+          (Some { Network.window = 0; timeout = 0 })
+    | [] -> ());
   let sim = Sim.create ?engine ~record_traces:true ~fault ~mode net in
   let outcome = Sim.run ~max_cycles sim in
   let ports =
@@ -196,7 +203,12 @@ let run_network ?engine ~max_cycles ~fault kind =
               Trace.tau_filter (Sim.output_trace sim node p) )))
       (Network.nodes net)
   in
-  { outcome; injected = Sim.fault_injections sim; ports }
+  {
+    outcome;
+    injected = Sim.fault_injections sim;
+    ports;
+    link = Sim.link_summary sim;
+  }
 
 (* Compare a faulted run against the clean run of the same engine:
    prefix-compatibility on every port, bounded informative deficit,
@@ -352,6 +364,129 @@ let negative_controls ?engine ?(max_cycles = 120) kind =
 
 let undetected r =
   List.filter (fun d -> d.det_injected && not d.det_detected) r.neg_cases
+
+(* ------------------------------------------------------------------ *)
+(* Recovery sweep: the link layer's exhaustive counterpart.
+
+   Same philosophy as [exhaustive], applied to the defender instead of
+   the shells: on the ring with its first fault channel protected by
+   [Wp_sim.Link], enumerate EVERY 1-fault and 2-fault drop/corrupt
+   placement over the first token indices and demand that the protected
+   run stays prefix-compatible with the clean run (bounded deficit, no
+   deadlock) — zero informative-token loss.  Each spec is then replayed
+   on the UNPROTECTED ring as its own negative control: the same faults
+   must still be detected there, proving the protection (not a blind
+   checker) is what absorbed them. *)
+(* ------------------------------------------------------------------ *)
+
+module Link = Wp_sim.Link
+
+type recovery_case = {
+  rc_fault : Fault.spec;
+  rc_injected : int;
+  rc_retransmissions : int;
+  rc_recoveries : int;
+  rc_max_latency : int;
+}
+
+type recovery_report = {
+  recov_engine : Sim.kind;
+  recov_window : int;
+  recov_timeout : int;
+  recov_cases : recovery_case list;
+  recov_violations : violation list;
+  recov_undetected : Fault.spec list;
+}
+
+let recovery_placements ~kinds ~nths =
+  let singles =
+    List.concat_map (fun k -> List.map (fun n -> [ (k, n) ]) nths) kinds
+  in
+  let pairs =
+    List.concat_map
+      (fun k1 ->
+        List.concat_map
+          (fun k2 ->
+            List.concat_map
+              (fun n1 ->
+                List.filter_map
+                  (fun n2 ->
+                    if n1 < n2 then Some [ (k1, n1); (k2, n2) ] else None)
+                  nths)
+              nths)
+          kinds)
+      kinds
+  in
+  singles @ pairs
+
+let recovery_sweep ?engine ?(max_cycles = 600) ?(slack = 64) () =
+  let engine = match engine with Some e -> e | None -> Sim.default_kind in
+  let kind = Ring in
+  (* The ring's protected channel has 1 relay station; a 2-fault episode
+     costs at most two full recovery rounds (timeout + round trips), so
+     4x the auto timeout plus slack bounds the transient deficit. *)
+  let timeout = Link.auto_timeout ~rs:1 in
+  let window = Link.auto_window ~rs:1 in
+  let deficit_bound = (4 * timeout) + slack in
+  let clean = run_network ~engine ~max_cycles ~fault:Fault.none kind in
+  let _, _, fault_channels = build kind in
+  let chan = List.hd fault_channels in
+  let placements =
+    recovery_placements
+      ~kinds:[ Fault.Drop; Fault.Corrupt ]
+      ~nths:[ 0; 1; 2; 3; 4 ]
+  in
+  let cases = ref [] and violations = ref [] and undetected = ref [] in
+  List.iter
+    (fun placement ->
+      let spec =
+        {
+          Fault.seed = 0;
+          clauses =
+            List.map
+              (fun (k, nth) -> Fault.Break { kind = k; chan; nth })
+              placement;
+        }
+      in
+      let prot =
+        run_network ~engine ~protect_first:true ~max_cycles ~fault:spec kind
+      in
+      (match compare_runs ~clean ~faulted:prot ~deficit_bound with
+      | None -> ()
+      | Some (port, reason) ->
+          violations :=
+            { v_fault = spec; v_port = port; v_reason = reason }
+            :: !violations);
+      let s =
+        match prot.link with
+        | Some s -> s
+        | None -> failwith "Lid_check.recovery_sweep: protection not applied"
+      in
+      cases :=
+        {
+          rc_fault = spec;
+          rc_injected = prot.injected;
+          rc_retransmissions = s.Link.retransmissions;
+          rc_recoveries = s.Link.recoveries;
+          rc_max_latency = s.Link.max_recovery_latency;
+        }
+        :: !cases;
+      (* Negative control: the same spec on the raw ring must be caught
+         (compare_runs already counts a deadlock as a violation). *)
+      let raw = run_network ~engine ~max_cycles ~fault:spec kind in
+      if
+        raw.injected > 0
+        && compare_runs ~clean ~faulted:raw ~deficit_bound:16 = None
+      then undetected := spec :: !undetected)
+    placements;
+  {
+    recov_engine = engine;
+    recov_window = window;
+    recov_timeout = timeout;
+    recov_cases = List.rev !cases;
+    recov_violations = List.rev !violations;
+    recov_undetected = List.rev !undetected;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking counterexample driver                                    *)

@@ -100,6 +100,41 @@ val negative_controls :
 val undetected : neg_report -> detection list
 (** The failing cases: injected but not detected. *)
 
+(** {1 Recovery sweep (link-layer counterpart of {!exhaustive})} *)
+
+type recovery_case = {
+  rc_fault : Fault.spec;
+  rc_injected : int;        (** destructive events actually performed *)
+  rc_retransmissions : int;
+  rc_recoveries : int;
+  rc_max_latency : int;     (** worst recovery latency, in cycles *)
+}
+
+type recovery_report = {
+  recov_engine : Wp_sim.Sim.kind;
+  recov_window : int;       (** resolved auto window of the protected chan *)
+  recov_timeout : int;      (** resolved auto timeout *)
+  recov_cases : recovery_case list;  (** one per placement, in order *)
+  recov_violations : violation list; (** protected runs that diverged *)
+  recov_undetected : Fault.spec list;
+      (** negative-control failures: specs whose unprotected replay went
+          undetected *)
+}
+
+val recovery_sweep :
+  ?engine:Wp_sim.Sim.kind -> ?max_cycles:int -> ?slack:int -> unit ->
+  recovery_report
+(** On the [Ring] with its first fault channel protected
+    ([window]/[timeout] auto), run every 1-fault and 2-fault
+    drop/corrupt placement over token indices 0..4 (50 specs) and check
+    the protected run stays prefix-compatible with the clean run with a
+    deficit bounded by [4 * timeout + slack] ([slack] defaults to 64)
+    and never deadlocks — zero informative-token loss.  Every spec is
+    replayed unprotected as its own negative control.  The theorem
+    holds iff [recov_violations] and [recov_undetected] are both empty;
+    [recov_cases] carries the measured retransmission and
+    recovery-latency statistics, byte-identical across engines. *)
+
 (** {1 Shrinking counterexample driver (CPU-level)} *)
 
 type repro = {

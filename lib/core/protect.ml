@@ -1,0 +1,167 @@
+module Datapath = Wp_soc.Datapath
+module Network = Wp_sim.Network
+
+(* Keyed by position in [Datapath.all_connections], mirroring [Config]. *)
+type t = Network.protection option array
+
+let connection_count = List.length Datapath.all_connections
+
+let index conn =
+  let rec scan i = function
+    | [] -> assert false
+    | c :: rest -> if c = conn then i else scan (i + 1) rest
+  in
+  scan 0 Datapath.all_connections
+
+let none : t = Array.make connection_count None
+
+let set t conn p =
+  (match p with
+  | Some { Network.window; timeout } when window < 0 || timeout < 0 ->
+      invalid_arg "Protect.set: negative window or timeout"
+  | _ -> ());
+  let fresh = Array.copy t in
+  fresh.(index conn) <- p;
+  fresh
+
+let get t conn = t.(index conn)
+
+let of_connections ?(window = 0) ?(timeout = 0) conns =
+  List.fold_left
+    (fun acc conn -> set acc conn (Some { Network.window; timeout }))
+    none conns
+
+let all ?window ?timeout () = of_connections ?window ?timeout Datapath.all_connections
+
+let to_fun t conn = get t conn
+
+let is_none t = Array.for_all Option.is_none t
+
+let equal = ( = )
+
+let digest t =
+  (* Same contract as [Config.digest]: stable across processes,
+     injective on the slot vector, cheap.  The distinguished "noprot"
+     digest keeps unprotected cache keys human-greppable. *)
+  if is_none t then "noprot"
+  else begin
+    let buf = Buffer.create 64 in
+    Array.iter
+      (fun slot ->
+        (match slot with
+        | None -> Buffer.add_char buf '-'
+        | Some { Network.window; timeout } ->
+            Buffer.add_string buf (string_of_int window);
+            Buffer.add_char buf ':';
+            Buffer.add_string buf (string_of_int timeout));
+        Buffer.add_char buf ',')
+      t;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  end
+
+let annotate name { Network.window; timeout } =
+  let b = Buffer.create 16 in
+  Buffer.add_string b name;
+  if window <> 0 then Buffer.add_string b (Printf.sprintf ":w=%d" window);
+  if timeout <> 0 then Buffer.add_string b (Printf.sprintf ":t=%d" timeout);
+  Buffer.contents b
+
+let to_string t =
+  if is_none t then "none"
+  else begin
+    let slots =
+      List.filter_map
+        (fun conn ->
+          match get t conn with
+          | None -> None
+          | Some p -> Some (conn, p))
+        Datapath.all_connections
+    in
+    let uniform =
+      match slots with
+      | [] -> None
+      | (_, p0) :: rest ->
+          if List.length slots = connection_count
+             && List.for_all (fun (_, p) -> p = p0) rest
+          then Some p0
+          else None
+    in
+    match uniform with
+    | Some p -> annotate "all" p
+    | None ->
+        String.concat ","
+          (List.map
+             (fun (conn, p) -> annotate (Datapath.connection_name conn) p)
+             slots)
+  end
+
+(* Parse one [NAME[:w=W][:t=T]] item into (name, window, timeout) over
+   the ambient defaults. *)
+let parse_item ~window ~timeout item =
+  match String.split_on_char ':' item with
+  | [] -> invalid_arg "Protect.of_string: empty item"
+  | name :: annots ->
+      let window = ref window and timeout = ref timeout in
+      List.iter
+        (fun a ->
+          let bad () =
+            invalid_arg
+              (Printf.sprintf
+                 "Protect.of_string: bad annotation %S (expected w=N or t=N)" a)
+          in
+          match String.index_opt a '=' with
+          | None -> bad ()
+          | Some eq -> (
+              let key = String.sub a 0 eq in
+              let v =
+                match int_of_string_opt (String.sub a (eq + 1) (String.length a - eq - 1)) with
+                | Some v when v >= 0 -> v
+                | _ -> bad ()
+              in
+              match key with
+              | "w" -> window := v
+              | "t" -> timeout := v
+              | _ -> bad ()))
+        annots;
+      (name, !window, !timeout)
+
+let of_string ?(window = 0) ?(timeout = 0) s =
+  let s = String.trim s in
+  match String.lowercase_ascii s with
+  | "" | "none" -> none
+  | _ ->
+      let items =
+        List.filter (fun x -> x <> "")
+          (List.map String.trim (String.split_on_char ',' s))
+      in
+      List.fold_left
+        (fun acc item ->
+          let name, window, timeout = parse_item ~window ~timeout item in
+          let p = Some { Network.window; timeout } in
+          if String.lowercase_ascii name = "all" then
+            List.fold_left (fun acc conn -> set acc conn p) acc
+              Datapath.all_connections
+          else
+            match Datapath.connection_of_name name with
+            | Some conn -> set acc conn p
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Protect.of_string: unknown connection %S"
+                     name))
+        none items
+
+let describe t =
+  if is_none t then "none"
+  else begin
+    let part (conn, { Network.window; timeout }) =
+      let name = Datapath.connection_name conn in
+      if window = 0 && timeout = 0 then name
+      else Printf.sprintf "%s(w=%d,t=%d)" name window timeout
+    in
+    let slots =
+      List.filter_map
+        (fun conn -> Option.map (fun p -> (conn, p)) (get t conn))
+        Datapath.all_connections
+    in
+    Printf.sprintf "protected: %s" (String.concat " " (List.map part slots))
+  end

@@ -1,0 +1,52 @@
+(** Per-connection link-protection policy for the case-study SoC.
+
+    Mirrors {!Config} (the relay-station budget): one slot per
+    {!Wp_soc.Datapath.connection}, holding an optional
+    {!Wp_sim.Network.protection}.  Protected connections get
+    sequence-numbered, CRC-tagged, go-back-N retransmitting channels
+    with credit flow control (see {!Wp_sim.Link}); unprotected
+    connections keep the raw stop-wire relay chains.  The policy is
+    immutable, participates in the experiment-cache digest, and has a
+    CLI grammar. *)
+
+type t
+
+val none : t
+(** No connection protected — bit-for-bit the pre-link behaviour. *)
+
+val all : ?window:int -> ?timeout:int -> unit -> t
+(** Protect every connection.  [window]/[timeout] default to [0]
+    ("auto": sized per channel from its relay-station count by
+    {!Wp_sim.Link}). *)
+
+val of_connections :
+  ?window:int -> ?timeout:int -> Wp_soc.Datapath.connection list -> t
+
+val set :
+  t -> Wp_soc.Datapath.connection -> Wp_sim.Network.protection option -> t
+(** Functional update. *)
+
+val get : t -> Wp_soc.Datapath.connection -> Wp_sim.Network.protection option
+
+val to_fun : t -> Wp_soc.Datapath.connection -> Wp_sim.Network.protection option
+(** The shape {!Wp_soc.Datapath.build} and {!Wp_soc.Cpu.run} take. *)
+
+val is_none : t -> bool
+
+val equal : t -> t -> bool
+
+val digest : t -> string
+(** Stable content digest for cache keys; ["noprot"] for {!none}. *)
+
+val to_string : t -> string
+(** CLI grammar round-trip: ["none"], ["all"], or comma-separated
+    connection names (["CU-AL,DC-RF"]), each optionally annotated
+    [:w=W:t=T] when the window/timeout differ from auto. *)
+
+val of_string : ?window:int -> ?timeout:int -> string -> t
+(** Parse the CLI grammar.  [window]/[timeout] apply to every named
+    connection (per-connection [:w=W:t=T] annotations override).
+    @raise Invalid_argument on an unknown connection name. *)
+
+val describe : t -> string
+(** Human-readable one-liner. *)

@@ -14,35 +14,53 @@ type stats = {
   tasks_run : int;
   cache_hits : int;
   cache_misses : int;
+  cache_corrupt : int;
+  quarantined : int;
   sections : section list;
 }
 
 type t = {
   pool : Pool.t;
   cache : bool;
+  cache_dir : string option;
   mutex : Mutex.t;
   (* Content-addressed result tables.  Both are keyed by
-     (program content digest, machine, config digest, cycle budget);
-     records hold full Experiment.records, objectives hold the optimiser's
-     failure-tolerant WP2 throughput probes. *)
+     (program content digest, machine, config digest, cycle budget,
+     engine, fault digest, protection digest); records hold full
+     Experiment.records, objectives hold the optimiser's
+     failure-tolerant WP2 throughput probes.  When [cache_dir] is set,
+     entries are additionally persisted as digest-guarded files and
+     survive the process. *)
   records : (string, Experiment.record) Hashtbl.t;
   objectives : (string, float) Hashtbl.t;
   mutable tasks_run : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable cache_corrupt : int;
+  mutable quarantined : int;
   mutable sections_rev : section list;
 }
 
-let create ?jobs ?(cache = true) () =
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?jobs ?(cache = true) ?cache_dir () =
+  (match cache_dir with Some dir -> mkdir_p dir | None -> ());
   {
     pool = Pool.create ?jobs ();
     cache;
+    cache_dir = (if cache then cache_dir else None);
     mutex = Mutex.create ();
     records = Hashtbl.create 64;
     objectives = Hashtbl.create 256;
     tasks_run = 0;
     cache_hits = 0;
     cache_misses = 0;
+    cache_corrupt = 0;
+    quarantined = 0;
     sections_rev = [];
   }
 
@@ -62,11 +80,97 @@ let map t f xs =
       y)
     xs
 
+(* ------------------------------------------------------------------ *)
+(* Persistent cache entries.
+
+   On-disk format: a fixed magic, the 16-byte [Digest] of the marshalled
+   payload, then the payload.  The digest is validated on every read, so
+   a truncated, bit-flipped or partially written entry is detected
+   BEFORE [Marshal.from_string] ever sees it and is treated as a cache
+   miss (logged, counted, and overwritten by the recomputed value) —
+   never an exception.  Writes go through a temporary file and a rename,
+   so concurrent writers and crashes leave either the old entry or the
+   new one, not a torn file. *)
+(* ------------------------------------------------------------------ *)
+
+let disk_magic = "WPCACHE1"
+
+let entry_path dir ~ns cache_key =
+  Filename.concat dir (Digest.to_hex (Digest.string cache_key) ^ "." ^ ns)
+
+let note_corrupt t path why =
+  Printf.eprintf "runner: corrupt cache entry %s (%s): treated as miss\n%!" path
+    why;
+  Mutex.lock t.mutex;
+  t.cache_corrupt <- t.cache_corrupt + 1;
+  Mutex.unlock t.mutex
+
+let disk_read t ~ns cache_key =
+  match t.cache_dir with
+  | None -> None
+  | Some dir ->
+    let path = entry_path dir ~ns cache_key in
+    if not (Sys.file_exists path) then None
+    else begin
+      let corrupt why =
+        note_corrupt t path why;
+        None
+      in
+      match
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | exception Sys_error e -> corrupt e
+      | exception End_of_file -> corrupt "truncated while reading"
+      | raw ->
+        let mlen = String.length disk_magic in
+        let hdr = mlen + 16 in
+        if String.length raw < hdr then corrupt "truncated header"
+        else if String.sub raw 0 mlen <> disk_magic then corrupt "bad magic"
+        else begin
+          let stored = String.sub raw mlen 16 in
+          let payload = String.sub raw hdr (String.length raw - hdr) in
+          if not (Digest.equal (Digest.string payload) stored) then
+            corrupt "digest mismatch"
+          else
+            (* The digest already vouches for the payload bytes; the
+               catch-all is belt and braces against entries written by an
+               incompatible compiler version. *)
+            match Marshal.from_string payload 0 with
+            | v -> Some v
+            | exception _ -> corrupt "unreadable payload"
+        end
+    end
+
+let disk_write t ~ns cache_key v =
+  match t.cache_dir with
+  | None -> ()
+  | Some dir -> (
+    try
+      let payload = Marshal.to_string v [] in
+      let path = entry_path dir ~ns cache_key in
+      let tmp =
+        Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+          (Domain.self () :> int)
+      in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc disk_magic;
+          output_string oc (Digest.string payload);
+          output_string oc payload);
+      Sys.rename tmp path
+    with Sys_error _ | Unix.Unix_error _ -> ())
+
 (* One cache transaction.  The simulation runs outside the lock;
    concurrent misses on the same key may race the computation (pure, so
    harmless) but the first stored value wins, keeping every caller's view
-   identical. *)
-let lookup t table key compute =
+   identical.  [ns] namespaces the disk entry ("rec" / "obj") so the two
+   tables cannot alias on disk. *)
+let lookup t table ~ns key compute =
   if not t.cache then begin
     Mutex.lock t.mutex;
     t.cache_misses <- t.cache_misses + 1;
@@ -74,16 +178,7 @@ let lookup t table key compute =
     compute ()
   end
   else begin
-    Mutex.lock t.mutex;
-    match Hashtbl.find_opt table key with
-    | Some v ->
-      t.cache_hits <- t.cache_hits + 1;
-      Mutex.unlock t.mutex;
-      v
-    | None ->
-      t.cache_misses <- t.cache_misses + 1;
-      Mutex.unlock t.mutex;
-      let v = compute () in
+    let store_winner ~persist v =
       Mutex.lock t.mutex;
       let winner =
         match Hashtbl.find_opt table key with
@@ -93,42 +188,164 @@ let lookup t table key compute =
           v
       in
       Mutex.unlock t.mutex;
+      if persist && winner == v then disk_write t ~ns key v;
       winner
+    in
+    Mutex.lock t.mutex;
+    match Hashtbl.find_opt table key with
+    | Some v ->
+      t.cache_hits <- t.cache_hits + 1;
+      Mutex.unlock t.mutex;
+      v
+    | None -> (
+      Mutex.unlock t.mutex;
+      match disk_read t ~ns key with
+      | Some v ->
+        Mutex.lock t.mutex;
+        t.cache_hits <- t.cache_hits + 1;
+        Mutex.unlock t.mutex;
+        store_winner ~persist:false v
+      | None ->
+        Mutex.lock t.mutex;
+        t.cache_misses <- t.cache_misses + 1;
+        Mutex.unlock t.mutex;
+        let v = compute () in
+        store_winner ~persist:true v)
   end
 
-let key ?engine ?max_cycles ?fault ~machine ~(program : Program.t) config =
+let key ?engine ?max_cycles ?fault ?protect ~machine ~(program : Program.t)
+    config =
   (* The engine kind is part of the key: both kernels agree observably,
      but a cache must never blur which kernel produced a stored record.
-     Likewise the fault digest: a faulted record must never satisfy a
-     clean lookup (or vice versa). *)
+     Likewise the fault digest (a faulted record must never satisfy a
+     clean lookup, or vice versa) and the protection digest (a link-layer
+     run has different latencies and statistics than a raw one). *)
   let engine = match engine with Some k -> k | None -> Wp_sim.Sim.default_kind in
   let fault_digest =
     match fault with
     | Some f -> Wp_sim.Fault.digest f
     | None -> Wp_sim.Fault.digest Wp_sim.Fault.none
   in
-  Printf.sprintf "%s|%s|%s|%s|%d|%s|%s" program.Program.name
+  let protect_digest =
+    match protect with Some p -> Protect.digest p | None -> Protect.digest Protect.none
+  in
+  Printf.sprintf "%s|%s|%s|%s|%d|%s|%s|%s" program.Program.name
     (Experiment.program_digest program)
     (Datapath.machine_name machine) (Config.digest config)
     (match max_cycles with Some n -> n | None -> -1)
     (Wp_sim.Sim.kind_to_string engine)
-    fault_digest
+    fault_digest protect_digest
 
-let experiment ?engine ?max_cycles ?fault t ~machine ~program config =
-  lookup t t.records
-    (key ?engine ?max_cycles ?fault ~machine ~program config)
-    (fun () -> Experiment.run ?engine ?max_cycles ?fault ~machine ~program config)
+let experiment ?engine ?max_cycles ?fault ?protect t ~machine ~program config =
+  lookup t t.records ~ns:"rec"
+    (key ?engine ?max_cycles ?fault ?protect ~machine ~program config)
+    (fun () ->
+      Experiment.run ?engine ?max_cycles ?fault ?protect ~machine ~program
+        config)
 
-let experiments ?engine ?max_cycles ?fault t ~machine ~program configs =
+let experiments ?engine ?max_cycles ?fault ?protect t ~machine ~program configs
+    =
   (* Warm the golden memo once before fanning out, so the first parallel
      wave does not duplicate the reference run across workers. *)
   ignore (Experiment.golden ?engine ~machine program);
-  map t (experiment ?engine ?max_cycles ?fault t ~machine ~program) configs
+  map t (experiment ?engine ?max_cycles ?fault ?protect t ~machine ~program)
+    configs
 
 let objective ?engine t ~machine ~program config =
-  lookup t t.objectives
+  lookup t t.objectives ~ns:"obj"
     (key ?engine ~machine ~program config)
     (fun () -> Experiment.wp2_cycles_objective ?engine ~machine ~program config)
+
+(* ------------------------------------------------------------------ *)
+(* Guarded experiments: quarantine + seeded-backoff retry.
+
+   A sweep of hundreds of configurations must not die because ONE
+   experiment deadlocks, exhausts its budget or trips an internal
+   invariant.  [experiment_guarded] runs each attempt through the normal
+   cached path; an exception is retried up to [attempts] times with a
+   deterministic, seeded exponential backoff (and, when the caller gave
+   an explicit [max_cycles] budget, an exponentially escalated budget —
+   the per-experiment "timeout" is a cycle budget, so escalation is the
+   retry that can actually help).  A task that still fails is returned
+   as [Failed] with a one-line repro, and the rest of the sweep
+   proceeds. *)
+(* ------------------------------------------------------------------ *)
+
+type failure = {
+  failed_key : string;
+  attempts_made : int;
+  last_error : string;
+  repro : string;
+}
+
+type outcome =
+  | Completed of Experiment.record
+  | Failed of failure
+
+let repro_line ?engine ?max_cycles ?fault ?protect ~machine
+    ~(program : Program.t) config =
+  Printf.sprintf
+    "machine=%s program=%s rs=%S engine=%s fault=%S protect=%S max_cycles=%s"
+    (Datapath.machine_name machine)
+    program.Program.name (Config.describe config)
+    (Wp_sim.Sim.kind_to_string
+       (match engine with Some k -> k | None -> Wp_sim.Sim.default_kind))
+    (match fault with Some f -> Wp_sim.Fault.to_string f | None -> "none")
+    (match protect with Some p -> Protect.to_string p | None -> "none")
+    (match max_cycles with Some n -> string_of_int n | None -> "default")
+
+let experiment_guarded ?engine ?max_cycles ?fault ?protect ?(attempts = 3)
+    ?(retry_seed = 0) t ~machine ~program config =
+  let attempts = max 1 attempts in
+  let k = key ?engine ?max_cycles ?fault ?protect ~machine ~program config in
+  let rng = Random.State.make [| retry_seed; Hashtbl.hash k |] in
+  let budget_for i =
+    (* Attempt i gets 2^(i-1) times the caller's budget: a run killed by
+       a too-tight timeout converges instead of failing identically. *)
+    match max_cycles with Some m -> Some (m * (1 lsl (i - 1))) | None -> None
+  in
+  let rec go i last_error =
+    if i > attempts then begin
+      Mutex.lock t.mutex;
+      t.quarantined <- t.quarantined + 1;
+      Mutex.unlock t.mutex;
+      Failed
+        {
+          failed_key = k;
+          attempts_made = attempts;
+          last_error;
+          repro =
+            repro_line ?engine ?max_cycles ?fault ?protect ~machine ~program
+              config;
+        }
+    end
+    else begin
+      if i > 1 then begin
+        (* Seeded exponential backoff: deterministic for a given
+           [retry_seed], bounded (the last gap is ~2^attempts ms). *)
+        let base = 0.001 *. float_of_int (1 lsl (i - 2)) in
+        let jitter = Random.State.float rng base in
+        try Unix.sleepf (base +. jitter) with Unix.Unix_error _ -> ()
+      end;
+      match
+        experiment ?engine ?max_cycles:(budget_for i) ?fault ?protect t
+          ~machine ~program config
+      with
+      | r -> Completed r
+      | exception e -> go (i + 1) (Printexc.to_string e)
+    end
+  in
+  go 1 "not attempted"
+
+let experiments_guarded ?engine ?max_cycles ?fault ?protect ?attempts
+    ?retry_seed t ~machine ~program configs =
+  (* Warm the golden memo, but through the quarantine: a failing
+     reference run surfaces as per-task [Failed]s, not a dead sweep. *)
+  (try ignore (Experiment.golden ?engine ~machine program) with _ -> ());
+  map t
+    (experiment_guarded ?engine ?max_cycles ?fault ?protect ?attempts
+       ?retry_seed t ~machine ~program)
+    configs
 
 let timed t name f =
   let t0 = Unix.gettimeofday () in
@@ -158,6 +375,8 @@ let stats t =
       tasks_run = t.tasks_run;
       cache_hits = t.cache_hits;
       cache_misses = t.cache_misses;
+      cache_corrupt = t.cache_corrupt;
+      quarantined = t.quarantined;
       sections = List.rev t.sections_rev;
     }
   in
@@ -169,6 +388,8 @@ let reset_stats t =
   t.tasks_run <- 0;
   t.cache_hits <- 0;
   t.cache_misses <- 0;
+  t.cache_corrupt <- 0;
+  t.quarantined <- 0;
   t.sections_rev <- [];
   Mutex.unlock t.mutex
 
@@ -188,6 +409,12 @@ let pp_stats ppf s =
     (if s.cache_hits = 1 then "" else "s")
     s.cache_misses
     (if s.cache_misses = 1 then "" else "es");
+  if s.cache_corrupt > 0 then
+    Format.fprintf ppf ", %d corrupt entr%s recovered" s.cache_corrupt
+      (if s.cache_corrupt = 1 then "y" else "ies");
+  if s.quarantined > 0 then
+    Format.fprintf ppf ", %d task%s quarantined" s.quarantined
+      (if s.quarantined = 1 then "" else "s");
   List.iter
     (fun sec ->
       Format.fprintf ppf "@\n  %-36s %8.3f s wall  %4d tasks  %4d cache hits"

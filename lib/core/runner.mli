@@ -35,14 +35,24 @@ type stats = {
   tasks_run : int;            (** pool tasks actually executed *)
   cache_hits : int;           (** experiment + objective cache hits *)
   cache_misses : int;         (** lookups that had to simulate *)
+  cache_corrupt : int;        (** disk entries rejected by digest check *)
+  quarantined : int;          (** guarded tasks that exhausted retries *)
   sections : section list;    (** chronological *)
 }
 
-val create : ?jobs:int -> ?cache:bool -> unit -> t
+val create : ?jobs:int -> ?cache:bool -> ?cache_dir:string -> unit -> t
 (** [jobs] defaults to {!Wp_util.Pool.default_jobs} (the [WIREPIPE_JOBS]
     environment variable, else every core); [cache] defaults to [true].
     With [cache:false] every lookup misses — results are still correct
-    and deterministic, just recomputed. *)
+    and deterministic, just recomputed.
+
+    [cache_dir] adds a persistent layer under the in-memory cache: each
+    entry is stored as a digest-guarded file (magic + MD5 of the
+    marshalled payload + payload, written atomically via rename).  The
+    digest is validated on every read; a truncated or bit-flipped entry
+    is logged, counted in [cache_corrupt], treated as a miss and
+    overwritten by the recomputed value — corruption can cost time,
+    never correctness, and never raises. *)
 
 val default : unit -> t
 (** A lazily created process-wide runner with default parameters; used
@@ -59,20 +69,23 @@ val experiment :
   ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
   ?fault:Wp_sim.Fault.spec ->
+  ?protect:Protect.t ->
   t ->
   machine:Wp_soc.Datapath.machine ->
   program:Wp_soc.Program.t ->
   Config.t ->
   Experiment.record
 (** Cached {!Experiment.run}.  The cache key includes the engine kind,
-    [program] content digest, machine, {!Config.digest}, [max_cycles]
-    and the {!Wp_sim.Fault.digest} of [fault] — a faulted record never
-    satisfies a clean lookup and vice versa. *)
+    [program] content digest, machine, {!Config.digest}, [max_cycles],
+    the {!Wp_sim.Fault.digest} of [fault] and the {!Protect.digest} of
+    [protect] — a faulted or link-protected record never satisfies a
+    clean lookup and vice versa. *)
 
 val experiments :
   ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
   ?fault:Wp_sim.Fault.spec ->
+  ?protect:Protect.t ->
   t ->
   machine:Wp_soc.Datapath.machine ->
   program:Wp_soc.Program.t ->
@@ -80,7 +93,56 @@ val experiments :
   Experiment.record list
 (** Parallel batch of {!experiment} over one program: the golden
     reference is pre-warmed once, then configurations fan out across the
-    pool.  Results are in input order. *)
+    pool.  Results are in input order.  The first task exception kills
+    the batch (see {!experiments_guarded} for the quarantining
+    variant). *)
+
+type failure = {
+  failed_key : string;     (** the full cache key of the failed task *)
+  attempts_made : int;
+  last_error : string;     (** [Printexc.to_string] of the final attempt *)
+  repro : string;          (** one-line parameter dump to rerun it *)
+}
+
+type outcome =
+  | Completed of Experiment.record
+  | Failed of failure
+
+val experiment_guarded :
+  ?engine:Wp_sim.Sim.kind ->
+  ?max_cycles:int ->
+  ?fault:Wp_sim.Fault.spec ->
+  ?protect:Protect.t ->
+  ?attempts:int ->
+  ?retry_seed:int ->
+  t ->
+  machine:Wp_soc.Datapath.machine ->
+  program:Wp_soc.Program.t ->
+  Config.t ->
+  outcome
+(** {!experiment} behind a quarantine: an exception (deadlock, exhausted
+    budget, violated invariant) is retried up to [attempts] times
+    (default 3) with a deterministic seeded exponential backoff; when an
+    explicit [max_cycles] budget is given, attempt [i] runs with
+    [max_cycles * 2^(i-1)], so a too-tight per-experiment timeout
+    escalates instead of failing identically.  A task that still fails
+    returns [Failed] with its repro line — it never raises. *)
+
+val experiments_guarded :
+  ?engine:Wp_sim.Sim.kind ->
+  ?max_cycles:int ->
+  ?fault:Wp_sim.Fault.spec ->
+  ?protect:Protect.t ->
+  ?attempts:int ->
+  ?retry_seed:int ->
+  t ->
+  machine:Wp_soc.Datapath.machine ->
+  program:Wp_soc.Program.t ->
+  Config.t list ->
+  outcome list
+(** Parallel batch of {!experiment_guarded}: one poisoned experiment no
+    longer kills the sweep — it comes back as [Failed] in its input
+    position while every other configuration completes. *)
 
 val objective :
   ?engine:Wp_sim.Sim.kind ->
@@ -102,6 +164,9 @@ val reset_stats : t -> unit
 (** Zero the counters and section log (the cache is kept). *)
 
 val clear_cache : t -> unit
+(** Forget the in-memory tables.  Disk entries (if [cache_dir] was
+    given) are kept: they revalidate through the digest check on the
+    next lookup. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 (** One line per section plus a totals line — what the bench harness

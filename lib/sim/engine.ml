@@ -11,6 +11,9 @@ type chain = {
   mutable producer_stop : bool;
   mutable consumer_stop : bool;
   stage_stops : bool array; (* stop_in seen by each relay this cycle *)
+  protected_ : bool; (* wire owned by the Link layer, relays bypassed *)
+  link_can_accept : unit -> bool; (* preallocated consumer-side hooks *)
+  mutable link_accept : int -> unit; (* tied after construction *)
 }
 
 type t = {
@@ -20,6 +23,7 @@ type t = {
   chains : chain array;
   out_channels : Network.channel list array; (* per node *)
   fault : Fault.t option;
+  link : Link.t option;
   mutable clock : int;
   mutable last_fired : bool;
   mutable quiet_cycles : int;
@@ -43,22 +47,42 @@ let create ?(capacity = 2) ?(record_traces = false) ?fault ~mode net =
     Array.init (Network.node_count net) (fun n ->
         Shell.create ~capacity ~record_traces ~mode (Network.node_process net n))
   in
+  let link = Link.make ?fault:fault_rt net in
   let chains =
     Array.of_list
       (List.map
          (fun c ->
            let rs = Network.relay_stations net c in
            let label = Network.channel_label net c in
-           {
-             channel = c;
-             relays =
-               Array.init rs (fun i ->
-                   Relay_station.create ~name:(Printf.sprintf "%s/rs%d" label i) ());
-             delivered = 0;
-             producer_stop = false;
-             consumer_stop = false;
-             stage_stops = Array.make rs false;
-           })
+           let dst_node, dst_port = Network.channel_dst net c in
+           let sh = shells.(dst_node) in
+           let protected_ =
+             match link with
+             | Some l -> Link.is_protected l ~chan:c
+             | None -> false
+           in
+           let chain =
+             {
+               channel = c;
+               relays =
+                 Array.init rs (fun i ->
+                     Relay_station.create ~name:(Printf.sprintf "%s/rs%d" label i) ());
+               delivered = 0;
+               producer_stop = false;
+               consumer_stop = false;
+               stage_stops = Array.make rs false;
+               protected_;
+               link_can_accept = (fun () -> not (Shell.input_stop sh dst_port));
+               link_accept = ignore;
+             }
+           in
+           (* [link_accept] needs [chain] itself for the delivered count,
+              so it is tied after construction. *)
+           chain.link_accept <-
+             (fun v ->
+               chain.delivered <- chain.delivered + 1;
+               Shell.accept sh ~port:dst_port (Token.Valid v));
+           chain)
          (Network.channels net))
   in
   let out_channels = Array.make (Network.node_count net) [] in
@@ -71,7 +95,9 @@ let create ?(capacity = 2) ?(record_traces = false) ?fault ~mode net =
     List.fold_left (fun acc c -> acc + Network.relay_stations net c) 0 (Network.channels net)
   in
   let quiescence =
-    16 + (4 * (Network.node_count net + Network.channel_count net + total_rs))
+    16
+    + (4 * (Network.node_count net + Network.channel_count net + total_rs))
+    + (match link with Some l -> Link.quiescence_bonus l | None -> 0)
   in
   (* Reset: one initial token per channel = the reset value of the
      producer's output register, latched in the consumer FIFO. *)
@@ -92,6 +118,7 @@ let create ?(capacity = 2) ?(record_traces = false) ?fault ~mode net =
     chains;
     out_channels;
     fault = fault_rt;
+    link;
     clock = 0;
     last_fired = false;
     quiet_cycles = 0;
@@ -113,8 +140,24 @@ let quiescence_window t = t.quiescence
 let fault_injections t =
   match t.fault with Some f -> Fault.injections f | None -> 0
 
+let link_stats t = match t.link with Some l -> Link.stats l | None -> []
+
+let link_summary t = Option.map Link.summary t.link
+
 (* Phase 1: propagate stops backwards along one channel. *)
 let compute_stops t chain =
+  if chain.protected_ then begin
+    (* The Link layer owns the wire: the producer stalls on replay
+       window exhaustion or missing credits, never on a propagated stop
+       (benign fault stalls freeze the link wire inside [channel_step]
+       instead). *)
+    chain.consumer_stop <- false;
+    chain.producer_stop <-
+      (match t.link with
+      | Some l -> Link.producer_stop l ~chan:chain.channel
+      | None -> false)
+  end
+  else begin
   let dst_node, dst_port = Network.channel_dst t.net chain.channel in
   chain.consumer_stop <-
     (Shell.input_stop t.shells.(dst_node) dst_port
@@ -129,6 +172,7 @@ let compute_stops t chain =
     stop := Relay_station.stop_out chain.relays.(i) ~stop_in:!stop
   done;
   chain.producer_stop <- !stop
+  end
 
 let step t =
   Array.iter (fun chain -> compute_stops t chain) t.chains;
@@ -154,6 +198,18 @@ let step t =
       let src_node, src_port = Network.channel_src t.net chain.channel in
       let dst_node, dst_port = Network.channel_dst t.net chain.channel in
       let produced = emissions.(src_node).(src_port) in
+      if chain.protected_ then begin
+        let link = match t.link with Some l -> l | None -> assert false in
+        let produced_valid, produced_value =
+          match produced with
+          | Token.Valid v -> (true, v)
+          | Token.Void -> (false, 0)
+        in
+        Link.channel_step link ~chan:chain.channel ~cycle:t.clock
+          ~produced_valid ~produced_value ~can_accept:chain.link_can_accept
+          ~accept:chain.link_accept
+      end
+      else begin
       let k = Array.length chain.relays in
       let to_consumer =
         if k = 0 then produced
@@ -186,7 +242,8 @@ let step t =
             ~can_accept:(fun () -> not (Shell.input_stop sh dst_port))
             ~accept:(fun v ->
               chain.delivered <- chain.delivered + 1;
-              Shell.accept sh ~port:dst_port (Token.Valid v))))
+              Shell.accept sh ~port:dst_port (Token.Valid v)))
+      end)
     t.chains;
   t.clock <- t.clock + 1;
   t.last_fired <- !fired_any;

@@ -61,3 +61,9 @@ val quiescence_window : t -> int
 val fault_injections : t -> int
 (** Destructive fault events actually performed so far ({!Fault.injections});
     0 when no fault spec was given. *)
+
+val link_stats : t -> Link.chan_stats list
+(** Per-protected-channel ARQ statistics; [[]] when nothing is protected. *)
+
+val link_summary : t -> Link.summary option
+(** Aggregate link-layer statistics; [None] when nothing is protected. *)

@@ -68,6 +68,11 @@ type t = {
   out_chan_base : int array; (* n_nodes + 1 *)
   out_chan_ids : int array;
   fault : Fault.t option;
+  (* link layer: protected channels bypass the relay pool entirely *)
+  link : Link.t option;
+  link_protected : bool array;
+  link_can : (unit -> bool) array; (* per channel, tied after construction *)
+  link_acc : (int -> unit) array;
   (* relay stations: 2 register slots each *)
   rs_val : int array; (* 2 * total_rs *)
   rs_head : int array;
@@ -182,7 +187,20 @@ let create ?(capacity = 2) ?(record_traces = false) ?fault ~mode net =
     out_chan_ids.(cursor.(n)) <- c;
     cursor.(n) <- cursor.(n) + 1
   done;
-  let quiescence = 16 + (4 * (n_nodes + n_chans + total_rs)) in
+  let link = Link.make ?fault:fault_rt net in
+  let link_protected = Array.make (max 1 n_chans) false in
+  (match link with
+  | Some l ->
+      for c = 0 to n_chans - 1 do
+        link_protected.(c) <- Link.is_protected l ~chan:c
+      done
+  | None -> ());
+  let quiescence =
+    16
+    + (4 * (n_nodes + n_chans + total_rs))
+    + (match link with Some l -> Link.quiescence_bonus l | None -> 0)
+  in
+  let no_can () = false in
   let t =
     {
       net;
@@ -219,6 +237,10 @@ let create ?(capacity = 2) ?(record_traces = false) ?fault ~mode net =
       out_chan_base;
       out_chan_ids;
       fault = fault_rt;
+      link;
+      link_protected;
+      link_can = Array.make (max 1 n_chans) no_can;
+      link_acc = Array.make (max 1 n_chans) ignore;
       rs_val = Array.make (max 1 (2 * total_rs)) 0;
       rs_head = Array.make (max 1 total_rs) 0;
       rs_len = Array.make (max 1 total_rs) 0;
@@ -231,6 +253,25 @@ let create ?(capacity = 2) ?(record_traces = false) ?fault ~mode net =
       quiescence;
     }
   in
+  (* Tie the per-channel consumer-side hooks for protected channels —
+     they capture [t], so they can only be built now.  They are
+     allocated once here; the per-cycle path reuses them. *)
+  for c = 0 to n_chans - 1 do
+    if link_protected.(c) then begin
+      let ip = chan_dst_ip.(c) in
+      t.link_can.(c) <-
+        (fun () -> not (fifo_is_full t ip && t.drop_pending.(ip) = 0));
+      t.link_acc.(c) <-
+        (fun v ->
+          t.chan_delivered.(c) <- t.chan_delivered.(c) + 1;
+          if t.drop_pending.(ip) > 0 then begin
+            t.drop_pending.(ip) <- t.drop_pending.(ip) - 1;
+            t.dropped.(ip) <- t.dropped.(ip) + 1
+          end
+          else if not (fifo_push t ip v) then
+            failwith "Fast shell: token lost (stop protocol violated)")
+    end
+  done;
   (* Reset: one initial token per channel — the reset value of the
      producer's output register, latched in the consumer FIFO. *)
   for c = 0 to n_chans - 1 do
@@ -252,6 +293,9 @@ let quiescence_window t = t.quiescence
 
 let fault_injections t =
   match t.fault with Some f -> Fault.injections f | None -> 0
+
+let link_stats t = match t.link with Some l -> Link.stats l | None -> []
+let link_summary t = Option.map Link.summary t.link
 let buffered t node port = t.fifo_len.(t.in_base.(node) + port)
 
 let node_stats t n =
@@ -274,6 +318,14 @@ let output_trace t node port = List.rev t.traces.(t.out_base.(node) + port)
 let step t =
   (* Phase 1: propagate stops backwards along each relay chain. *)
   for c = 0 to t.n_chans - 1 do
+    if t.link_protected.(c) then
+      (* Link-owned wire: producer stalls on window/credit exhaustion,
+         never on a propagated stop. *)
+      t.producer_stop.(c) <-
+        (match t.link with
+        | Some l -> Link.producer_stop l ~chan:c
+        | None -> false)
+    else begin
     let ip = t.chan_dst_ip.(c) in
     let stop =
       ref
@@ -291,6 +343,7 @@ let step t =
       stop := !stop && t.rs_len.(r) >= 2
     done;
     t.producer_stop.(c) <- !stop
+    end
   done;
   (* Phase 2: firing decisions, emissions into the flat scratch. *)
   let fired_any = ref false in
@@ -361,6 +414,14 @@ let step t =
   (* Phase 3: simultaneous shift — all relay emissions are computed from
      the pre-shift state before any acceptance. *)
   for c = 0 to t.n_chans - 1 do
+    if t.link_protected.(c) then begin
+      let op = t.chan_src_op.(c) in
+      let link = match t.link with Some l -> l | None -> assert false in
+      Link.channel_step link ~chan:c ~cycle:t.clock
+        ~produced_valid:t.emit_valid.(op) ~produced_value:t.emit_val.(op)
+        ~can_accept:t.link_can.(c) ~accept:t.link_acc.(c)
+    end
+    else begin
     let op = t.chan_src_op.(c) in
     let base = t.chan_rs_base.(c) in
     let k = t.chan_rs_base.(c + 1) - base in
@@ -417,6 +478,7 @@ let step t =
             end
             else if not (fifo_push t ip v) then
               failwith "Fast shell: token lost (stop protocol violated)"))
+    end
   done;
   t.clock <- t.clock + 1;
   t.last_fired <- !fired_any;

@@ -317,3 +317,19 @@ let deliver t ~chan ~valid ~value ~can_accept ~accept =
   end
 
 let injections t = t.injections
+
+let record_injection t = t.injections <- t.injections + 1
+
+let break_at_arrival t ~chan =
+  let cs = t.chans.(chan) in
+  let nth = cs.valid_seen in
+  cs.valid_seen <- cs.valid_seen + 1;
+  matching_break t ~chan ~nth
+
+let spurious_at_void t ~chan =
+  let cs = t.chans.(chan) in
+  let nth = cs.void_seen in
+  cs.void_seen <- cs.void_seen + 1;
+  match matching_break t ~chan ~nth with
+  | Some Spurious -> true
+  | _ -> false

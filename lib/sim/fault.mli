@@ -121,3 +121,25 @@ val deliver :
 val injections : t -> int
 (** Number of destructive events actually performed so far (drops,
     duplicate deliveries, corruptions, spurious injections). *)
+
+(** {1 Frame-level hooks for the link layer}
+
+    {!Wp_sim.Link} owns the wire on protected channels, so {!deliver}'s
+    token-level policy does not apply there: faults hit {e frames} in
+    flight instead.  The link layer consumes arrival slots through these
+    two hooks — keyed on the same [nth] counters as {!deliver}, so a
+    given spec names the same logical positions whether or not the
+    channel is protected — and performs the actual mutation (drop /
+    duplicate / payload-corrupt / replay) itself, calling
+    {!record_injection} for each event it realises. *)
+
+val break_at_arrival : t -> chan:int -> break_kind option
+(** Consume one informative-arrival slot on [chan] and return the break
+    clause armed for it, if any.  The caller applies the mutation. *)
+
+val spurious_at_void : t -> chan:int -> bool
+(** Consume one void slot on [chan]; [true] iff a [Spurious] clause is
+    keyed on it (the caller replays its most recent frame). *)
+
+val record_injection : t -> unit
+(** Count one realised destructive event (link-layer callers only). *)

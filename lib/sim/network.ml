@@ -3,12 +3,15 @@ module Process = Wp_lis.Process
 type node = int
 type channel = int
 
+type protection = { window : int; timeout : int }
+
 type channel_info = {
   src_node : node;
   src_port : int;
   dst_node : node;
   dst_port : int;
   mutable rs_count : int;
+  mutable protect : protection option;
   label : string;
 }
 
@@ -27,7 +30,8 @@ type t = {
 }
 
 let dummy_chan =
-  { src_node = -1; src_port = -1; dst_node = -1; dst_port = -1; rs_count = 0; label = "" }
+  { src_node = -1; src_port = -1; dst_node = -1; dst_port = -1; rs_count = 0;
+    protect = None; label = "" }
 
 let create () =
   {
@@ -120,7 +124,9 @@ let connect t ~src:(src_node, src_port_name) ~dst:(dst_node, dst_port_name)
   in
   t.chans <- grow t.chans t.n_chans dummy_chan;
   let c = t.n_chans in
-  t.chans.(c) <- { src_node; src_port; dst_node; dst_port; rs_count = relay_stations; label };
+  t.chans.(c) <-
+    { src_node; src_port; dst_node; dst_port; rs_count = relay_stations;
+      protect = None; label };
   t.n_chans <- c + 1;
   mark_port t ~output:true src_node src_port;
   mark_port t ~output:false dst_node dst_port;
@@ -134,6 +140,17 @@ let set_relay_stations t c n =
   t.chans.(c).rs_count <- n
 
 let relay_stations t c = check_channel t c; t.chans.(c).rs_count
+
+let set_protection t c p =
+  check_channel t c;
+  (match p with
+  | Some { window; timeout } ->
+    if window < 0 then invalid_arg "Network.set_protection: negative window";
+    if timeout < 0 then invalid_arg "Network.set_protection: negative timeout"
+  | None -> ());
+  t.chans.(c).protect <- p
+
+let protection t c = check_channel t c; t.chans.(c).protect
 
 let validate t =
   for n = 0 to t.n_nodes - 1 do

@@ -11,6 +11,13 @@ type t
 type node = int
 type channel = int
 
+type protection = { window : int; timeout : int }
+(** Link-layer protection policy for one channel.  [window] is the
+    go-back-N replay window (and credit pool) in frames; [timeout] is the
+    sender's retransmission timeout in cycles.  Either may be [0], meaning
+    "auto": the {!Link} layer sizes it from the channel's relay-station
+    count at build time. *)
+
 val create : unit -> t
 
 val add : t -> Wp_lis.Process.t -> node
@@ -36,6 +43,15 @@ val set_relay_stations : t -> channel -> int -> unit
     rebuilding the netlist). @raise Invalid_argument if negative. *)
 
 val relay_stations : t -> channel -> int
+
+val set_protection : t -> channel -> protection option -> unit
+(** Arm (or disarm, with [None]) link-layer protection on one channel.
+    Protected channels are wrapped by {!Link} at engine-build time:
+    sequence-numbered frames, CRC tagging, go-back-N retransmission and
+    credit-based flow control replace the raw stop-wire.
+    @raise Invalid_argument on a negative window or timeout. *)
+
+val protection : t -> channel -> protection option
 
 val validate : t -> unit
 (** @raise Invalid_argument listing any unconnected port. *)

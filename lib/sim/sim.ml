@@ -55,6 +55,14 @@ let fault_injections = function
   | Ref e -> Engine.fault_injections e
   | Fst f -> Fast.fault_injections f
 
+let link_stats = function
+  | Ref e -> Engine.link_stats e
+  | Fst f -> Fast.link_stats f
+
+let link_summary = function
+  | Ref e -> Engine.link_summary e
+  | Fst f -> Fast.link_summary f
+
 let node_stats t n =
   match t with
   | Ref e -> Shell.stats (Engine.shell e n)

@@ -54,6 +54,12 @@ val quiescence_window : t -> int
 val fault_injections : t -> int
 (** Destructive fault events performed so far; 0 without a fault spec. *)
 
+val link_stats : t -> Link.chan_stats list
+(** Per-protected-channel ARQ statistics; [[]] when nothing is protected. *)
+
+val link_summary : t -> Link.summary option
+(** Aggregate link-layer statistics; [None] when nothing is protected. *)
+
 val node_stats : t -> Network.node -> Wp_lis.Shell.stats
 val output_trace : t -> Network.node -> int -> int Wp_lis.Token.t list
 val buffered : t -> Network.node -> int -> int

@@ -21,8 +21,8 @@ let no_relay_stations (_ : Datapath.connection) = 0
 
 let default_max_cycles = 2_000_000
 
-let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ?fault ~machine ~mode ~rs
-    (program : Program.t) =
+let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ?fault ?protect ~machine
+    ~mode ~rs (program : Program.t) =
   (* [mcr_work] enables the MCR-guided cycle budget: instead of stepping
      up to the full default budget, bound the run at
      [Fast.cycle_bound ~work_cycles:mcr_work net] — provable from the
@@ -31,7 +31,7 @@ let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ?fault ~machine ~mode ~rs
      rare), fall back to the full budget so observable outcomes stay
      identical to the unbounded configuration. *)
   let attempt max_cycles =
-    let dp = Datapath.build ~machine ~rs program in
+    let dp = Datapath.build ?protect ~machine ~rs program in
     let sim = Sim.create ?engine ~capacity ?fault ~mode dp.Datapath.network in
     let outcome, cycles =
       match Sim.run ~max_cycles sim with
@@ -59,11 +59,13 @@ let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ?fault ~machine ~mode ~rs
   let faulted =
     match fault with Some f -> not (Wp_sim.Fault.is_none f) | None -> false
   in
+  let protected_ = match protect with Some _ -> true | None -> false in
   match max_cycles, mcr_work with
   | Some m, _ -> attempt m
   | None, None -> attempt default_max_cycles
-  | None, Some _ when faulted ->
-    (* Injected stalls push throughput below the marked-graph bound, so
+  | None, Some _ when faulted || protected_ ->
+    (* Injected stalls (and ARQ recovery episodes / credit stalls on
+       protected links) push throughput below the marked-graph bound, so
        the MCR budget would routinely exhaust and force a double run —
        go straight to the full budget. *)
     attempt default_max_cycles

@@ -24,6 +24,7 @@ val run :
   ?max_cycles:int ->
   ?mcr_work:int ->
   ?fault:Wp_sim.Fault.spec ->
+  ?protect:(Datapath.connection -> Wp_sim.Network.protection option) ->
   machine:Datapath.machine ->
   mode:Wp_lis.Shell.mode ->
   rs:(Datapath.connection -> int) ->
@@ -39,7 +40,11 @@ val run :
     back to the full budget, so results never depend on the bound.
     [fault] injects the given {!Wp_sim.Fault} spec into the WP run;
     since injected stalls invalidate the MCR bound, a non-empty fault
-    disables the [mcr_work] fast path and uses the full budget. *)
+    disables the [mcr_work] fast path and uses the full budget.
+    [protect] enables the self-healing {!Wp_sim.Link} layer on the
+    channels of the connections it names (see {!Datapath.build}); link
+    latency and credit stalls also invalidate the MCR bound, so a
+    protection policy likewise disables the [mcr_work] fast path. *)
 
 val run_golden : ?engine:Wp_sim.Sim.kind -> machine:Datapath.machine -> Program.t -> result
 (** Zero relay stations everywhere, plain wrappers: the reference system

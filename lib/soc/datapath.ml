@@ -66,7 +66,7 @@ let wires =
     (DC_RF, ("DC", "load"), ("RF", "load"));
   ]
 
-let build ~machine ~rs (program : Program.t) =
+let build ?(protect = fun _ -> None) ~machine ~rs (program : Program.t) =
   let net = Network.create () in
   let memory_tap = ref None and register_tap = ref None in
   let text_length = Array.length program.Program.text in
@@ -104,6 +104,12 @@ let build ~machine ~rs (program : Program.t) =
       wires
   in
   Network.validate net;
+  List.iter
+    (fun (conn, channel) ->
+      match protect conn with
+      | None -> ()
+      | Some _ as p -> Network.set_protection net channel p)
+    table;
   let channels_of conn = List.filter_map (fun (c, ch) -> if c = conn then Some ch else None) table in
   { network = net; channels_of; memory_tap; register_tap }
 

@@ -42,8 +42,15 @@ type t = {
   register_tap : (unit -> int array) option ref;
 }
 
-val build : machine:machine -> rs:(connection -> int) -> Program.t -> t
-(** Fresh network with the given relay-station budget per connection. *)
+val build :
+  ?protect:(connection -> Wp_sim.Network.protection option) ->
+  machine:machine ->
+  rs:(connection -> int) ->
+  Program.t ->
+  t
+(** Fresh network with the given relay-station budget per connection.
+    [protect] (default: nobody) marks connections whose channels get the
+    self-healing {!Wp_sim.Link} layer instead of raw stop wires. *)
 
 val topology : (connection * (string * string) * (string * string)) list
 (** The static wire list: (connection, (producer block, output port),

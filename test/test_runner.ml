@@ -210,6 +210,163 @@ let test_runner_timed_sections () =
   checki "reset sections" 0 (List.length s.Runner.sections);
   Runner.shutdown runner
 
+let test_runner_protect_in_key () =
+  (* A protected record must never satisfy an unprotected lookup. *)
+  let runner = Runner.create ~jobs:1 () in
+  ignore
+    (Runner.experiment runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero);
+  ignore
+    (Runner.experiment ~protect:(Protect.of_connections [ Datapath.CU_AL ]) runner
+       ~machine:Datapath.Pipelined ~program:small_sort Config.zero);
+  checki "distinct keys" 2 (Runner.stats runner).Runner.cache_misses;
+  (* ... but Protect.none digests like an absent policy, so it aliases. *)
+  ignore
+    (Runner.experiment ~protect:Protect.none runner ~machine:Datapath.Pipelined
+       ~program:small_sort Config.zero);
+  checki "none aliases absent" 1 (Runner.stats runner).Runner.cache_hits;
+  Runner.shutdown runner
+
+(* ------------------------------------------------------------------ *)
+(* Disk cache: persistence, corruption tolerance                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_cache_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wp_cache_test_%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let one_experiment ~dir () =
+  let runner = Runner.create ~jobs:1 ~cache_dir:dir () in
+  let r =
+    Runner.experiment runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero
+  in
+  let s = Runner.stats runner in
+  Runner.shutdown runner;
+  (r, s)
+
+let cache_entry_file dir =
+  match
+    List.filter
+      (fun f -> Filename.check_suffix f ".rec")
+      (Array.to_list (Sys.readdir dir))
+  with
+  | [ f ] -> Filename.concat dir f
+  | files -> Alcotest.failf "expected exactly one .rec entry, got %d" (List.length files)
+
+let rewrite_bytes path f =
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let raw = f (Bytes.of_string raw) in
+  let oc = open_out_bin path in
+  output_bytes oc raw;
+  close_out oc
+
+let test_runner_disk_cache_roundtrip () =
+  with_cache_dir (fun dir ->
+      let r1, s1 = one_experiment ~dir () in
+      checki "cold run misses" 1 s1.Runner.cache_misses;
+      checki "entry written" 1 (List.length (List.filter (fun f -> Filename.check_suffix f ".rec") (Array.to_list (Sys.readdir dir))));
+      (* A fresh runner (fresh in-memory tables) hits the disk layer. *)
+      let r2, s2 = one_experiment ~dir () in
+      checki "warm run hits" 1 s2.Runner.cache_hits;
+      checki "warm run no misses" 0 s2.Runner.cache_misses;
+      checki "warm run no corruption" 0 s2.Runner.cache_corrupt;
+      checki "same wp2 cycles through the disk"
+        r1.Experiment.wp2.Wp_soc.Cpu.cycles r2.Experiment.wp2.Wp_soc.Cpu.cycles;
+      Alcotest.(check (float 0.0)) "same throughput" r1.Experiment.th_wp2
+        r2.Experiment.th_wp2)
+
+let test_runner_disk_cache_bit_flip () =
+  with_cache_dir (fun dir ->
+      let r1, _ = one_experiment ~dir () in
+      let path = cache_entry_file dir in
+      (* Flip one bit deep inside the marshalled payload. *)
+      rewrite_bytes path (fun b ->
+          let i = Bytes.length b - 7 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+          b);
+      let r2, s2 = one_experiment ~dir () in
+      checki "bit-flip detected" 1 s2.Runner.cache_corrupt;
+      checki "treated as a miss" 1 s2.Runner.cache_misses;
+      checki "no hit from the corrupt entry" 0 s2.Runner.cache_hits;
+      checki "recomputed identically" r1.Experiment.wp2.Wp_soc.Cpu.cycles
+        r2.Experiment.wp2.Wp_soc.Cpu.cycles;
+      (* The recomputation overwrote the bad entry: clean hit again. *)
+      let _, s3 = one_experiment ~dir () in
+      checki "overwritten entry hits" 1 s3.Runner.cache_hits;
+      checki "no further corruption" 0 s3.Runner.cache_corrupt)
+
+let test_runner_disk_cache_truncation () =
+  with_cache_dir (fun dir ->
+      let _ = one_experiment ~dir () in
+      let path = cache_entry_file dir in
+      rewrite_bytes path (fun b -> Bytes.sub b 0 (min 4 (Bytes.length b)));
+      (* Truncated entry: miss + recompute, never an exception. *)
+      let _, s = one_experiment ~dir () in
+      checki "truncation detected" 1 s.Runner.cache_corrupt;
+      checki "treated as a miss" 1 s.Runner.cache_misses;
+      let _, s2 = one_experiment ~dir () in
+      checki "entry healed" 1 s2.Runner.cache_hits)
+
+(* ------------------------------------------------------------------ *)
+(* Guarded experiments: quarantine + budget escalation                *)
+(* ------------------------------------------------------------------ *)
+
+let test_runner_guarded_quarantine () =
+  let runner = Runner.create ~jobs:2 () in
+  (* An impossible 1-cycle budget (even escalated to 2 and 4 cycles)
+     must come back as Failed in every slot — the sweep survives. *)
+  let outcomes =
+    Runner.experiments_guarded ~max_cycles:1 ~attempts:3 runner
+      ~machine:Datapath.Pipelined ~program:small_sort three_configs
+  in
+  checki "every slot reported" 3 (List.length outcomes);
+  List.iter
+    (function
+      | Runner.Completed _ -> Alcotest.fail "1-cycle budget cannot complete"
+      | Runner.Failed f ->
+        checki "all attempts made" 3 f.Runner.attempts_made;
+        checkb "error captured" true (String.length f.Runner.last_error > 0);
+        checkb "repro names the program" true
+          (let prog = small_sort.Wp_soc.Program.name in
+           let hay = f.Runner.repro in
+           let n = String.length prog and m = String.length hay in
+           let rec scan i =
+             i + n <= m && (String.sub hay i n = prog || scan (i + 1))
+           in
+           n > 0 && scan 0))
+    outcomes;
+  checki "quarantined counted" 3 (Runner.stats runner).Runner.quarantined;
+  Runner.shutdown runner
+
+let test_runner_guarded_escalation () =
+  (* 400 cycles is too tight for the 720-cycle sort, but attempt 2 runs
+     with an 800-cycle budget and completes. *)
+  let runner = Runner.create ~jobs:1 () in
+  (match
+     Runner.experiment_guarded ~max_cycles:400 runner ~machine:Datapath.Pipelined
+       ~program:small_sort Config.zero
+   with
+  | Runner.Failed f -> Alcotest.failf "escalation did not converge: %s" f.Runner.last_error
+  | Runner.Completed r ->
+    checkb "completed under the escalated budget" true
+      (r.Experiment.wp1.Wp_soc.Cpu.outcome = Wp_soc.Cpu.Completed));
+  checki "nothing quarantined" 0 (Runner.stats runner).Runner.quarantined;
+  Runner.shutdown runner
+
 (* ------------------------------------------------------------------ *)
 (* Determinism: parallel Table 1 == sequential Table 1, byte for byte *)
 (* ------------------------------------------------------------------ *)
@@ -306,6 +463,15 @@ let () =
           Alcotest.test_case "exception propagation" `Quick test_runner_exception_propagation;
           Alcotest.test_case "timed sections" `Quick test_runner_timed_sections;
           Alcotest.test_case "WIREPIPE_JOBS=1 fallback" `Quick test_runner_env_fallback;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "protect in cache key" `Quick test_runner_protect_in_key;
+          Alcotest.test_case "disk cache roundtrip" `Quick test_runner_disk_cache_roundtrip;
+          Alcotest.test_case "disk cache bit flip" `Quick test_runner_disk_cache_bit_flip;
+          Alcotest.test_case "disk cache truncation" `Quick test_runner_disk_cache_truncation;
+          Alcotest.test_case "guarded quarantine" `Quick test_runner_guarded_quarantine;
+          Alcotest.test_case "guarded escalation" `Quick test_runner_guarded_escalation;
         ] );
       ( "determinism",
         [
