@@ -121,14 +121,14 @@ let cycles_per_sec m =
 let words_per_cycle m =
   if m.total_cycles = 0 then 0.0 else m.minor_words /. float_of_int m.total_cycles
 
-let measure_runs ~engine ?protect runs =
+let measure_runs ~engine ?protect ?telemetry runs =
   (* Warm-up pass: fault in code paths and steady-state the heap so the
      measured pass compares kernels, not cold starts. *)
   let execute () =
     List.fold_left
       (fun acc (program, mode, config) ->
         let r =
-          Cpu.run ~engine ?protect ~machine:Datapath.Pipelined ~mode
+          Cpu.run ~engine ?protect ?telemetry ~machine:Datapath.Pipelined ~mode
             ~rs:(Config.to_fun config) program
         in
         if r.Cpu.outcome <> Cpu.Completed then failwith "sim_bench: sweep run did not complete";
@@ -176,6 +176,22 @@ let measure_link ~engine ~smoke ~protected_ =
   measure_runs ~engine
     ?protect:(if protected_ then Some protect_all else None)
     (link_runs ~smoke)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead probe                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The full Table 1 sweep, counters-only telemetry vs telemetry off.
+   The counters path is a few dozen array updates per cycle (one class
+   write per node, occupancy/stop/gap bookkeeping per channel), so the
+   compiled kernel should stay within a few percent of its bare
+   throughput (target < 3%; see EXPERIMENTS.md for what we actually
+   measure), and the telemetry-off path must stay allocation-free. *)
+let measure_telemetry ~engine ~smoke ~telemetry_on =
+  measure_runs ~engine
+    ?telemetry:
+      (if telemetry_on then Some Wp_sim.Telemetry.counters else None)
+    (sweep_runs ~smoke)
 
 (* ------------------------------------------------------------------ *)
 (* Kernel-only allocation probe                                       *)
@@ -277,6 +293,22 @@ let () =
         (engine, (bare, prot, slowdown)))
       opts.engines
   in
+  print_endline "telemetry overhead (counters on vs off, plain wrappers):";
+  let telemetry =
+    List.map
+      (fun engine ->
+        let off = measure_telemetry ~engine ~smoke:opts.smoke ~telemetry_on:false in
+        let on = measure_telemetry ~engine ~smoke:opts.smoke ~telemetry_on:true in
+        print_measurement ~gc_stats:opts.gc_stats (engine_name engine ^ "/off") off;
+        print_measurement ~gc_stats:opts.gc_stats (engine_name engine ^ "/tel") on;
+        let slowdown =
+          if cycles_per_sec on > 0.0 then cycles_per_sec off /. cycles_per_sec on else 0.0
+        in
+        Printf.printf "%-10s telemetry slowdown %.3fx (%.2f -> %.2f words/cycle)\n"
+          (engine_name engine) slowdown (words_per_cycle off) (words_per_cycle on);
+        (engine, (off, on, slowdown)))
+      opts.engines
+  in
   let speedup =
     match (List.assoc_opt Sim.Reference sweep, List.assoc_opt Sim.Fast sweep) with
     | Some r, Some f when cycles_per_sec r > 0.0 -> Some (cycles_per_sec f /. cycles_per_sec r)
@@ -317,6 +349,17 @@ let () =
                \"slowdown\": %.3f }"
               (engine_name e) (json_of_measurement bare) (json_of_measurement prot) slowdown)
           link));
+  Buffer.add_string buf "\n  },\n";
+  Buffer.add_string buf "  \"telemetry_overhead\": {\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (e, (off, on, slowdown)) ->
+            Printf.sprintf
+              "    %S: { \"off\": %s,\n           \"on\": %s,\n           \
+               \"slowdown\": %.3f }"
+              (engine_name e) (json_of_measurement off) (json_of_measurement on) slowdown)
+          telemetry));
   Buffer.add_string buf "\n  },\n";
   (match speedup with
   | Some s -> Buffer.add_string buf (Printf.sprintf "  \"speedup\": %.3f,\n" s)

@@ -126,36 +126,34 @@ let machine_arg =
 let config_arg =
   Arg.(value & opt config_conv Config.zero & info [ "rs" ] ~docv:"CONFIG" ~doc:"Relay stations, e.g. 'CU-AL=1,DC-RF=2' (or 'none').")
 
-(* Simulation-kernel selection and allocation accounting, shared by the
-   simulation-heavy subcommands. *)
+(* --- the shared run-spec flags --------------------------------------
 
-let engine_conv =
-  Arg.conv
-    ( (fun s ->
-        match Wp_sim.Sim.kind_of_string s with
-        | Some k -> Ok k
-        | None -> Error (`Msg (Printf.sprintf "engine must be 'fast' or 'ref', got %S" s))),
-      fun ppf k -> Format.pp_print_string ppf (Wp_sim.Sim.kind_to_string k) )
+   Every simulation-driving subcommand (run, equiv, table1, optimal)
+   parses the same flags into one [Wp_core.Run_spec.t] through the same
+   [Run_spec.of_args] — each flag is declared and documented exactly
+   once, and a syntax error in any of them surfaces as a normal cmdliner
+   error. *)
 
-let engine_arg =
-  Arg.(value & opt engine_conv Wp_sim.Sim.default_kind
+let engine_str_arg =
+  Arg.(value & opt (some string) None
        & info [ "engine" ] ~docv:"ENGINE"
            ~doc:"Simulation kernel: $(b,fast) (compiled, default) or $(b,ref) \
                  (reference interpreter).  Both produce byte-identical results; \
                  the default can also be set via $(b,WIREPIPE_ENGINE).")
 
-(* Fault injection, shared by run and equiv. *)
+let capacity_arg =
+  Arg.(value & opt int 2
+       & info [ "capacity" ] ~docv:"N" ~doc:"Shell input-FIFO capacity (default 2).")
 
-let fault_conv =
-  Arg.conv
-    ( (fun s ->
-        match Wp_sim.Fault.of_string ~seed:0 s with
-        | spec -> Ok spec
-        | exception Invalid_argument msg -> Error (`Msg msg)),
-      fun ppf spec -> Format.pp_print_string ppf (Wp_sim.Fault.to_string spec) )
+let max_cycles_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-cycles" ] ~docv:"N"
+           ~doc:"Explicit simulation cycle budget (default: the MCR-guided \
+                 bound derived from the golden run, with a full-budget \
+                 fallback).")
 
-let fault_arg =
-  Arg.(value & opt fault_conv Wp_sim.Fault.none
+let fault_str_arg =
+  Arg.(value & opt (some string) None
        & info [ "fault" ] ~docv:"SPEC"
            ~doc:"Fault-injection spec, comma-separated clauses: \
                  $(b,jitter:PCT[@H]) (random per-channel stalls), \
@@ -172,12 +170,8 @@ let fault_seed_arg =
            ~doc:"Seed for randomized fault clauses (jitter). The same seed \
                  reproduces the same schedule on both engines.")
 
-let fault_of_args spec seed = { spec with Wp_sim.Fault.seed = seed }
-
-(* Link protection, shared by run and equiv. *)
-
 let protect_str_arg =
-  Arg.(value & opt string "none"
+  Arg.(value & opt (some string) None
        & info [ "protect" ] ~docv:"POLICY"
            ~doc:"Link-protection policy: $(b,none), $(b,all), or a \
                  comma-separated list of connection names (e.g. \
@@ -201,12 +195,87 @@ let link_timeout_arg =
            ~doc:"Retransmission timeout in cycles for protected channels \
                  (0 = auto).")
 
-let protect_of_args s window timeout =
-  match Wp_core.Protect.of_string ~window ~timeout s with
-  | p -> p
-  | exception Invalid_argument msg ->
-    Printf.eprintf "wirepipe: %s\n%!" msg;
-    exit 2
+let stall_report_arg =
+  Arg.(value & flag
+       & info [ "stall-report" ]
+           ~doc:"Collect cycle-accurate telemetry (per-block stall \
+                 attribution, per-channel occupancy/duty histograms, link \
+                 recoveries) and print the report.")
+
+let trace_depth_arg =
+  Arg.(value & opt int 0
+       & info [ "trace-depth" ] ~docv:"N"
+           ~doc:"Cycles retained by the bounded event-trace ring buffer \
+                 (0 = no trace; $(b,--trace)/$(b,--trace-json) imply a \
+                 default depth).")
+
+let spec_term =
+  let build engine capacity max_cycles fault fault_seed protect link_window
+      link_timeout stall_report trace_depth =
+    match
+      Wp_core.Run_spec.of_args ?engine ~capacity ?max_cycles ?fault ~fault_seed
+        ?protect ~link_window ~link_timeout ~stall_report ~trace_depth ()
+    with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  Term.term_result
+    Term.(const build $ engine_str_arg $ capacity_arg $ max_cycles_arg
+          $ fault_str_arg $ fault_seed_arg $ protect_str_arg $ link_window_arg
+          $ link_timeout_arg $ stall_report_arg $ trace_depth_arg)
+
+(* Trace exporters (run and table1). *)
+
+let trace_vcd_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the retained event-trace window as a VCD waveform \
+                 (valid/stop per channel, fire per block).  Implies a trace \
+                 buffer.")
+
+let trace_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-json" ] ~docv:"FILE"
+           ~doc:"Write the retained event-trace window as Chrome trace_event \
+                 JSON (load in chrome://tracing or Perfetto; one track per \
+                 block, stall spans colored by reason).  Implies a trace \
+                 buffer.")
+
+(* --trace / --trace-json without --trace-depth get a default-depth ring. *)
+let ensure_trace ~depth ~vcd ~json spec =
+  if vcd = None && json = None then spec
+  else if spec.Wp_core.Run_spec.telemetry.Wp_sim.Telemetry.trace_depth > 0 then
+    spec
+  else
+    { spec with Wp_core.Run_spec.telemetry = Wp_sim.Telemetry.with_trace ~depth () }
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Export one run's retained trace.  [suffix] (e.g. "wp1") is inserted
+   before the extension when one invocation produces several traces. *)
+let export_trace ~vcd ~json ~suffix (rep : Wp_sim.Telemetry.report option) =
+  match Option.bind rep (fun r -> r.Wp_sim.Telemetry.event_trace) with
+  | None -> ()
+  | Some tr ->
+    let with_suffix path =
+      if suffix = "" then path
+      else Filename.remove_extension path ^ "." ^ suffix ^ Filename.extension path
+    in
+    (match vcd with
+    | None -> ()
+    | Some p ->
+      let p = with_suffix p in
+      write_file p (Wp_sim.Telemetry.vcd_of_trace tr);
+      Printf.printf "VCD trace written to %s\n" p);
+    (match json with
+    | None -> ()
+    | Some p ->
+      let p = with_suffix p in
+      write_file p (Wp_sim.Telemetry.chrome_of_trace tr);
+      Printf.printf "Chrome trace written to %s\n" p)
 
 let gc_stats_arg =
   Arg.(value & flag
@@ -271,7 +340,17 @@ let table1_cmd =
   let csv =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the rows as CSV.")
   in
-  let run workload machine size csv jobs no_cache stats engine gc =
+  let trace_row =
+    Arg.(value & opt int 12
+         & info [ "trace-row" ] ~docv:"ROW"
+             ~doc:"Which row's WP1 trace $(b,--trace)/$(b,--trace-json) \
+                   export (default 12, the 'All 1' row).")
+  in
+  let run workload machine size csv jobs no_cache stats spec trace_vcd
+      trace_json trace_row gc =
+    (* Table 1 instruments up to 2 x 38 runs, so the implied trace ring
+       is kept small; pass --trace-depth to override. *)
+    let spec = ensure_trace ~depth:8192 ~vcd:trace_vcd ~json:trace_json spec in
     let runner = make_runner jobs no_cache in
     let rows, _ =
       with_gc_stats gc (fun () ->
@@ -279,8 +358,8 @@ let table1_cmd =
               match workload with
               | `Sort ->
                 let values = Programs.sort_values ~seed:1 ~n:(Option.value size ~default:16) in
-                Wp_core.Table1.sort_rows ~engine ~values ~runner ~machine ()
-              | `Matmul -> Wp_core.Table1.matmul_rows ~engine ?n:size ~runner ~machine ()))
+                Wp_core.Table1.sort_rows ~spec ~values ~runner ~machine ()
+              | `Matmul -> Wp_core.Table1.matmul_rows ~spec ?n:size ~runner ~machine ()))
     in
     let title =
       Printf.sprintf "Table 1 — %s (%s)"
@@ -291,15 +370,48 @@ let table1_cmd =
     (match csv with
     | None -> ()
     | Some path ->
-      let oc = open_out path in
-      output_string oc (Wp_core.Table1.to_csv rows);
-      close_out oc;
+      write_file path (Wp_core.Table1.to_csv rows);
       Printf.printf "CSV written to %s\n" path);
+    if spec.Wp_core.Run_spec.telemetry.Wp_sim.Telemetry.counters then begin
+      print_newline ();
+      print_string
+        (Wp_core.Table1.render_stall_report ~title:(title ^ " — stall attribution")
+           rows);
+      (* An unexplained row means the oracle-skip accounting failed the
+         paper's cross-check — make the driver fail loudly so CI gates
+         on it. *)
+      match Wp_core.Table1.attribute rows with
+      | None -> ()
+      | Some atts ->
+        let bad =
+          List.filter (fun a -> not a.Wp_core.Table1.explained) atts
+        in
+        if bad <> [] then begin
+          List.iter
+            (fun a ->
+              Printf.eprintf
+                "wirepipe: row %d (%s): WP1-vs-WP2 delta not explained by \
+                 the oracle-skip stall class\n"
+                a.Wp_core.Table1.att_index a.Wp_core.Table1.att_label)
+            bad;
+          exit 1
+        end
+    end;
+    (match
+       List.find_opt (fun r -> r.Wp_core.Table1.index = trace_row) rows
+     with
+    | Some row ->
+      export_trace ~vcd:trace_vcd ~json:trace_json ~suffix:""
+        row.Wp_core.Table1.record.Wp_core.Experiment.wp1.Wp_soc.Cpu.telemetry
+    | None ->
+      if trace_vcd <> None || trace_json <> None then
+        Printf.eprintf "wirepipe: --trace-row %d is not a row of this table\n%!"
+          trace_row);
     report_stats runner stats
   in
   Cmd.v (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1")
     Term.(const run $ workload $ machine_arg $ size $ csv $ jobs_arg $ no_cache_arg $ stats_arg
-          $ engine_arg $ gc_stats_arg)
+          $ spec_term $ trace_vcd_arg $ trace_json_arg $ trace_row $ gc_stats_arg)
 
 (* --- run ------------------------------------------------------------ *)
 
@@ -309,14 +421,9 @@ let run_cmd =
          & info [ "mode" ] ~docv:"MODE" ~doc:"wp1 (plain wrappers), wp2 (oracle) or both.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-block statistics.") in
-  let run program machine config mode verbose engine fault_spec fault_seed
-      protect_str link_window link_timeout gc =
-    let fault = fault_of_args fault_spec fault_seed in
-    let protect = protect_of_args protect_str link_window link_timeout in
-    let protect_fun =
-      if Wp_core.Protect.is_none protect then None
-      else Some (Wp_core.Protect.to_fun protect)
-    in
+  let run program machine config mode verbose spec trace_vcd trace_json gc =
+    let spec = ensure_trace ~depth:65536 ~vcd:trace_vcd ~json:trace_json spec in
+    let engine = spec.Wp_core.Run_spec.engine in
     with_gc_stats gc (fun () ->
         let golden = Wp_core.Experiment.golden ~engine ~machine program in
         Printf.printf "program %s on the %s machine; golden run: %d cycles (%s engine)\n"
@@ -324,14 +431,17 @@ let run_cmd =
           (Wp_sim.Sim.kind_to_string engine);
         Printf.printf "relay stations: %s (static WP1 bound %.3f)\n" (Config.describe config)
           (Wp_core.Analysis.wp1_bound_float config);
-        if not (Wp_sim.Fault.is_none fault) then
-          Printf.printf "injecting %s\n" (Wp_sim.Fault.describe fault);
-        if not (Wp_core.Protect.is_none protect) then
-          Printf.printf "link protection: %s\n" (Wp_core.Protect.describe protect);
+        if not (Wp_sim.Fault.is_none spec.Wp_core.Run_spec.fault) then
+          Printf.printf "injecting %s\n"
+            (Wp_sim.Fault.describe spec.Wp_core.Run_spec.fault);
+        if not (Wp_core.Protect.is_none spec.Wp_core.Run_spec.protect) then
+          Printf.printf "link protection: %s\n"
+            (Wp_core.Protect.describe spec.Wp_core.Run_spec.protect);
+        let both = mode = `Both in
         let one label shell_mode =
           let r =
-            Wp_soc.Cpu.run ~engine ~fault ?protect:protect_fun ~machine
-              ~mode:shell_mode ~rs:(Config.to_fun config) program
+            Wp_core.Run_spec.run_cpu ~mcr_work:golden.Wp_soc.Cpu.cycles ~spec
+              ~machine ~mode:shell_mode ~rs:(Config.to_fun config) program
           in
           let th = Wp_soc.Cpu.throughput ~golden r in
           Printf.printf "%s: %d cycles, throughput %.3f, result %s%s\n" label r.Wp_soc.Cpu.cycles
@@ -341,7 +451,15 @@ let run_cmd =
             | Wp_soc.Cpu.Completed -> ""
             | Wp_soc.Cpu.Deadlocked -> " (deadlocked)"
             | Wp_soc.Cpu.Out_of_cycles -> " (out of cycles)");
-          if verbose then print_string (Wp_sim.Monitor.to_table r.Wp_soc.Cpu.report)
+          if verbose then print_string (Wp_sim.Monitor.to_table r.Wp_soc.Cpu.report);
+          (match r.Wp_soc.Cpu.telemetry with
+          | Some rep when spec.Wp_core.Run_spec.telemetry.Wp_sim.Telemetry.counters ->
+            Printf.printf "%s stall report:\n" label;
+            print_string (Wp_sim.Telemetry.to_table rep.Wp_sim.Telemetry.summary)
+          | Some _ | None -> ());
+          export_trace ~vcd:trace_vcd ~json:trace_json
+            ~suffix:(if both then String.lowercase_ascii label else "")
+            r.Wp_soc.Cpu.telemetry
         in
         match mode with
         | `Wp1 -> one "WP1" Shell.Plain
@@ -351,9 +469,8 @@ let run_cmd =
           one "WP2" Shell.Oracle)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload under one RS configuration")
-    Term.(const run $ program_arg $ machine_arg $ config_arg $ mode $ verbose $ engine_arg
-          $ fault_arg $ fault_seed_arg $ protect_str_arg $ link_window_arg
-          $ link_timeout_arg $ gc_stats_arg)
+    Term.(const run $ program_arg $ machine_arg $ config_arg $ mode $ verbose $ spec_term
+          $ trace_vcd_arg $ trace_json_arg $ gc_stats_arg)
 
 (* --- loops ----------------------------------------------------------- *)
 
@@ -426,14 +543,13 @@ let equiv_cmd =
     Arg.(value & opt (enum [ ("wp1", `Wp1); ("wp2", `Wp2); ("both", `Both) ]) `Both
          & info [ "mode" ] ~docv:"MODE" ~doc:"wp1 (plain wrappers), wp2 (oracle) or both.")
   in
-  let run program machine config mode engine fault_spec fault_seed protect_str
-      link_window link_timeout =
-    let fault = fault_of_args fault_spec fault_seed in
-    let protect = protect_of_args protect_str link_window link_timeout in
+  let run program machine config mode spec =
+    let fault = spec.Wp_core.Run_spec.fault in
     if not (Wp_sim.Fault.is_none fault) then
       Printf.printf "injecting %s\n" (Wp_sim.Fault.describe fault);
-    if not (Wp_core.Protect.is_none protect) then
-      Printf.printf "link protection: %s\n" (Wp_core.Protect.describe protect);
+    if not (Wp_core.Protect.is_none spec.Wp_core.Run_spec.protect) then
+      Printf.printf "link protection: %s\n"
+        (Wp_core.Protect.describe spec.Wp_core.Run_spec.protect);
     let outcome_tag = function
       | Wp_sim.Engine.Halted _ -> ""
       | Wp_sim.Engine.Deadlocked _ -> " deadlocked"
@@ -442,8 +558,8 @@ let equiv_cmd =
     let any_bad = ref false in
     let one label shell_mode =
       match
-        Wp_core.Equiv_check.check ~engine ~fault ~protect ~machine
-          ~mode:shell_mode ~config program
+        Wp_core.Equiv_check.check_spec ~spec ~machine ~mode:shell_mode ~config
+          program
       with
       | v ->
         if not v.Wp_core.Equiv_check.equivalent then any_bad := true;
@@ -487,8 +603,7 @@ let equiv_cmd =
   in
   Cmd.v
     (Cmd.info "equiv" ~doc:"Check golden-vs-WP trace equivalence on every channel")
-    Term.(const run $ program_arg $ machine_arg $ config_arg $ mode $ engine_arg $ fault_arg
-          $ fault_seed_arg $ protect_str_arg $ link_window_arg $ link_timeout_arg)
+    Term.(const run $ program_arg $ machine_arg $ config_arg $ mode $ spec_term)
 
 (* --- area ------------------------------------------------------------- *)
 
@@ -581,14 +696,14 @@ let exec_cmd =
 let optimal_cmd =
   let budget = Arg.(value & opt int 9 & info [ "budget" ] ~docv:"N" ~doc:"Total relay stations.") in
   let per_max = Arg.(value & opt int 2 & info [ "max" ] ~docv:"K" ~doc:"Max per connection.") in
-  let run budget per_max program machine jobs no_cache stats engine gc =
+  let run budget per_max program machine jobs no_cache stats spec gc =
     let runner = make_runner jobs no_cache in
     let (config, value), _ =
       with_gc_stats gc (fun () ->
           Wp_core.Runner.timed runner "optimal" (fun () ->
               Wp_core.Optimizer.optimal ~budget ~per_connection_max:per_max
                 ~map:(Wp_core.Runner.map runner)
-                ~objective:(Wp_core.Runner.objective ~engine runner ~machine ~program)
+                ~objective:(Wp_core.Runner.objective_spec ~spec runner ~machine ~program)
                 ()))
     in
     Printf.printf "best placement of %d relay stations (max %d per connection):\n" budget per_max;
@@ -599,7 +714,7 @@ let optimal_cmd =
   Cmd.v
     (Cmd.info "optimal" ~doc:"Search for the best relay-station placement under a budget")
     Term.(const run $ budget $ per_max $ program_arg $ machine_arg $ jobs_arg $ no_cache_arg
-          $ stats_arg $ engine_arg $ gc_stats_arg)
+          $ stats_arg $ spec_term $ gc_stats_arg)
 
 (* --- wave -------------------------------------------------------------- *)
 

@@ -20,17 +20,22 @@ type verdict = {
 }
 
 (* Run one system and collect, per "BLOCK.port", the output trace (plus
-   the link-layer summary when a protection policy is active). *)
-let traced_run_full ?engine ?(max_cycles = 2_000_000) ?fault ?protect ~machine
-    ~mode ~config program =
+   the link-layer summary when a protection policy is active).  All run
+   parameters come in through one [Run_spec.t]. *)
+let traced_run_spec ~spec ~machine ~mode ~config program =
   let protect =
-    match protect with
-    | None -> None
-    | Some p when Protect.is_none p -> None
-    | Some p -> Some (Protect.to_fun p)
+    if Protect.is_none spec.Run_spec.protect then None
+    else Some (Protect.to_fun spec.Run_spec.protect)
+  in
+  let max_cycles =
+    match spec.Run_spec.max_cycles with Some n -> n | None -> 2_000_000
   in
   let dp = Datapath.build ?protect ~machine ~rs:(Config.to_fun config) program in
-  let sim = Sim.create ?engine ~record_traces:true ?fault ~mode dp.Datapath.network in
+  let sim =
+    Sim.create ~engine:spec.Run_spec.engine ~capacity:spec.Run_spec.capacity
+      ~record_traces:true ~fault:spec.Run_spec.fault
+      ~telemetry:spec.Run_spec.telemetry ~mode dp.Datapath.network
+  in
   let outcome = Sim.run ~max_cycles sim in
   let net = dp.Datapath.network in
   let ports =
@@ -48,20 +53,31 @@ let traced_run_full ?engine ?(max_cycles = 2_000_000) ?fault ?protect ~machine
 
 let traced_run ?engine ?max_cycles ?fault ~machine ~mode ~config program =
   let outcome, ports, _ =
-    traced_run_full ?engine ?max_cycles ?fault ~machine ~mode ~config program
+    traced_run_spec
+      ~spec:(Run_spec.v ?engine ?max_cycles ?fault ())
+      ~machine ~mode ~config program
   in
   (outcome, ports)
 
 let halted = function Engine.Halted _ -> true | _ -> false
 
-let check ?engine ?max_cycles ?fault ?protect ~machine ~mode ~config program =
+let check_spec ~spec ~machine ~mode ~config program =
   let golden_outcome, golden, _ =
-    traced_run_full ?engine ?max_cycles ~machine ~mode:Shell.Plain
-      ~config:Config.zero program
+    (* The reference run is always clean and unprotected: strip the
+       perturbing fields but keep the engine/budget/capacity so the two
+       runs remain comparable. *)
+    traced_run_spec
+      ~spec:
+        {
+          spec with
+          Run_spec.fault = Fault.none;
+          protect = Protect.none;
+          telemetry = Wp_sim.Telemetry.off;
+        }
+      ~machine ~mode:Shell.Plain ~config:Config.zero program
   in
   let wp_outcome, wp, recovery =
-    traced_run_full ?engine ?max_cycles ?fault ?protect ~machine ~mode ~config
-      program
+    traced_run_spec ~spec ~machine ~mode ~config program
   in
   let ports_checked = ref 0 and events = ref 0 in
   (* A value mismatch is pinned to the port whose tau-filtered streams
@@ -113,16 +129,25 @@ let check ?engine ?max_cycles ?fault ?protect ~machine ~mode ~config program =
     recovery;
   }
 
-let check_n_equivalence ?engine ?max_cycles ?fault ?protect ~n ~machine ~mode
-    ~config program =
+(* Deprecated wrapper: prefer [check_spec]. *)
+let check ?engine ?max_cycles ?fault ?protect ~machine ~mode ~config program =
+  check_spec
+    ~spec:(Run_spec.v ?engine ?max_cycles ?fault ?protect ())
+    ~machine ~mode ~config program
+
+let check_n_equivalence_spec ~spec ~n ~machine ~mode ~config program =
   let _, golden, _ =
-    traced_run_full ?engine ?max_cycles ~machine ~mode:Shell.Plain
-      ~config:Config.zero program
+    traced_run_spec
+      ~spec:
+        {
+          spec with
+          Run_spec.fault = Fault.none;
+          protect = Protect.none;
+          telemetry = Wp_sim.Telemetry.off;
+        }
+      ~machine ~mode:Shell.Plain ~config:Config.zero program
   in
-  let _, wp, _ =
-    traced_run_full ?engine ?max_cycles ?fault ?protect ~machine ~mode ~config
-      program
-  in
+  let _, wp, _ = traced_run_spec ~spec ~machine ~mode ~config program in
   List.for_all
     (fun (port, golden_trace) ->
       match List.assoc_opt port wp with
@@ -133,3 +158,10 @@ let check_n_equivalence ?engine ?max_cycles ?fault ?protect ~n ~machine ~mode
           Trace.n_equivalent ~eq:( = ) ~n golden_trace wp_trace
         else true)
     golden
+
+(* Deprecated wrapper: prefer [check_n_equivalence_spec]. *)
+let check_n_equivalence ?engine ?max_cycles ?fault ?protect ~n ~machine ~mode
+    ~config program =
+  check_n_equivalence_spec
+    ~spec:(Run_spec.v ?engine ?max_cycles ?fault ?protect ())
+    ~n ~machine ~mode ~config program

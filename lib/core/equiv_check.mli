@@ -46,6 +46,21 @@ val traced_run :
     raw (unfiltered) output trace per ["BLOCK.port"].  [max_cycles]
     defaults to 2_000_000. *)
 
+val check_spec :
+  spec:Run_spec.t ->
+  machine:Wp_soc.Datapath.machine ->
+  mode:Wp_lis.Shell.mode ->
+  config:Config.t ->
+  Wp_soc.Program.t ->
+  verdict
+(** Check one WP run, described by [spec], against the golden reference.
+    The spec's engine, capacity and cycle budget apply to {e both}
+    traced runs; its fault, protection and telemetry fields apply to the
+    WP run only (the golden reference is always the clean raw system).
+    With protection, bounded drop/dup/corrupt faults on protected
+    connections must leave the verdict equivalent, and the [recovery]
+    field reports how the link layer absorbed them. *)
+
 val check :
   ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
@@ -56,13 +71,20 @@ val check :
   config:Config.t ->
   Wp_soc.Program.t ->
   verdict
-(** [engine] selects the simulation kernel for both traced runs
-    (default {!Wp_sim.Sim.default_kind}).  [fault] is injected into the
-    WP run only; the golden run is always clean.  [protect] applies a
-    link-protection policy to the WP run only (the golden reference is
-    the raw system): with protection, bounded drop/dup/corrupt faults on
-    protected connections must leave the verdict equivalent, and the
-    [recovery] field reports how the link layer absorbed them. *)
+(** Deprecated thin wrapper over {!check_spec} (via {!Run_spec.v}). *)
+
+val check_n_equivalence_spec :
+  spec:Run_spec.t ->
+  n:int ->
+  machine:Wp_soc.Datapath.machine ->
+  mode:Wp_lis.Shell.mode ->
+  config:Config.t ->
+  Wp_soc.Program.t ->
+  bool
+(** The paper's N-equivalence on every port: both runs must produce at
+    least [n] informative events per port and agree on the first [n].
+    Ports that never carry [n] events in either run are skipped.  Spec
+    fields split between the runs as in {!check_spec}. *)
 
 val check_n_equivalence :
   ?engine:Wp_sim.Sim.kind ->
@@ -75,6 +97,4 @@ val check_n_equivalence :
   config:Config.t ->
   Wp_soc.Program.t ->
   bool
-(** The paper's N-equivalence on every port: both runs must produce at
-    least [n] informative events per port and agree on the first [n].
-    Ports that never carry [n] events in either run are skipped. *)
+(** Deprecated thin wrapper over {!check_n_equivalence_spec}. *)

@@ -69,17 +69,10 @@ let golden ?(engine = Wp_sim.Sim.default_kind) ~machine (program : Program.t) =
     Mutex.unlock golden_mutex;
     winner
 
-let checked_run ?engine ?max_cycles ?mcr_work ?fault ?protect ~machine ~mode
-    ~config program =
-  let protect =
-    match protect with
-    | None -> None
-    | Some p when Protect.is_none p -> None
-    | Some p -> Some (Protect.to_fun p)
-  in
+let checked_run ?mcr_work ~spec ~machine ~mode ~config program =
   let r =
-    Cpu.run ?engine ?max_cycles ?mcr_work ?fault ?protect ~machine ~mode
-      ~rs:(Config.to_fun config) program
+    Run_spec.run_cpu ?mcr_work ~spec ~machine ~mode ~rs:(Config.to_fun config)
+      program
   in
   (match r.Cpu.outcome with
   | Cpu.Completed -> ()
@@ -97,24 +90,18 @@ let checked_run ?engine ?max_cycles ?mcr_work ?fault ?protect ~machine ~mode
          (Config.describe config));
   r
 
-let run ?engine ?max_cycles ?fault ?protect ~machine ~program config =
+let run_spec ~spec ~machine ~program config =
   (* The golden run is always clean and unprotected: faults perturb the
      wire-pipelined systems under test, never the reference they are
      judged against — and the link layer exists to make the protected
      runs equivalent to that untouched reference. *)
-  let g = golden ?engine ~machine program in
+  let g = golden ~engine:spec.Run_spec.engine ~machine program in
   (* The golden cycle count is the work the wire-pipelined runs must
      complete, so it feeds the MCR-guided bound: each run is capped at
      [ceil (golden / Th) + slack] instead of the blanket 2M budget. *)
   let mcr_work = g.Cpu.cycles in
-  let wp1 =
-    checked_run ?engine ?max_cycles ~mcr_work ?fault ?protect ~machine
-      ~mode:Shell.Plain ~config program
-  in
-  let wp2 =
-    checked_run ?engine ?max_cycles ~mcr_work ?fault ?protect ~machine
-      ~mode:Shell.Oracle ~config program
-  in
+  let wp1 = checked_run ~mcr_work ~spec ~machine ~mode:Shell.Plain ~config program in
+  let wp2 = checked_run ~mcr_work ~spec ~machine ~mode:Shell.Oracle ~config program in
   let th_wp1 = Cpu.throughput ~golden:g wp1 in
   let th_wp2 = Cpu.throughput ~golden:g wp2 in
   {
@@ -130,12 +117,23 @@ let run ?engine ?max_cycles ?fault ?protect ~machine ~program config =
     wp1_bound = Analysis.wp1_bound_float config;
   }
 
-let wp2_cycles_objective ?engine ~machine ~program config =
-  let g = golden ?engine ~machine program in
+(* Deprecated wrapper: prefer [run_spec]. *)
+let run ?engine ?max_cycles ?fault ?protect ~machine ~program config =
+  run_spec
+    ~spec:(Run_spec.v ?engine ?max_cycles ?fault ?protect ())
+    ~machine ~program config
+
+let wp2_cycles_objective_spec ~spec ~machine ~program config =
+  let g = golden ~engine:spec.Run_spec.engine ~machine program in
   let wp2 =
-    Cpu.run ?engine ~mcr_work:g.Cpu.cycles ~machine ~mode:Shell.Oracle
+    Run_spec.run_cpu ~mcr_work:g.Cpu.cycles ~spec ~machine ~mode:Shell.Oracle
       ~rs:(Config.to_fun config) program
   in
   match wp2.Cpu.outcome with
   | Cpu.Completed when wp2.Cpu.result_ok -> Cpu.throughput ~golden:g wp2
   | Cpu.Completed | Cpu.Deadlocked | Cpu.Out_of_cycles -> 0.0
+
+(* Deprecated wrapper: prefer [wp2_cycles_objective_spec]. *)
+let wp2_cycles_objective ?engine ~machine ~program config =
+  wp2_cycles_objective_spec ~spec:(Run_spec.v ?engine ()) ~machine ~program
+    config

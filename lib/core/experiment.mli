@@ -28,6 +28,27 @@ val golden :
     reference system.  The memo table is thread-safe: worker domains of
     the parallel {!Runner} may call this concurrently. *)
 
+val run_spec :
+  spec:Run_spec.t ->
+  machine:Wp_soc.Datapath.machine ->
+  program:Wp_soc.Program.t ->
+  Config.t ->
+  record
+(** Simulate WP1 and WP2 under one {!Run_spec.t}.  Unless
+    [spec.max_cycles] overrides it, each run is capped by the MCR-guided
+    bound derived from the golden cycle count ({!Wp_soc.Cpu.run}'s
+    [mcr_work]).  [spec.fault] is injected into both WP runs (never the
+    golden reference); a benign spec must leave both runs correct — only
+    slower.  [spec.protect] applies a {!Protect} policy to both WP runs
+    (never the golden reference): protected connections get the
+    self-healing {!Wp_sim.Link} layer, which must keep even destructive
+    fault specs architecturally invisible.  [spec.telemetry] turns on
+    stall attribution for both WP runs; the reports land in
+    [wp1.telemetry] / [wp2.telemetry].
+    @raise Failure if any run fails to complete or corrupts the
+    architectural result — equivalence is an invariant here, not a
+    statistic. *)
+
 val run :
   ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
@@ -37,17 +58,18 @@ val run :
   program:Wp_soc.Program.t ->
   Config.t ->
   record
-(** Simulate WP1 and WP2.  Unless [max_cycles] overrides it, each run is
-    capped by the MCR-guided bound derived from the golden cycle count
-    ({!Wp_soc.Cpu.run}'s [mcr_work]).  [fault] is injected into both WP
-    runs (never the golden reference); a benign spec must leave both
-    runs correct — only slower.  [protect] applies a {!Protect} policy
-    to both WP runs (never the golden reference): protected connections
-    get the self-healing {!Wp_sim.Link} layer, which must keep even
-    destructive fault specs architecturally invisible.
-    @raise Failure if any run fails
-    to complete or corrupts the architectural result — equivalence is an
-    invariant here, not a statistic. *)
+(** Deprecated thin wrapper over {!run_spec} (via {!Run_spec.v}); kept
+    so pre-[Run_spec] callers keep compiling.  New code should build a
+    spec. *)
+
+val wp2_cycles_objective_spec :
+  spec:Run_spec.t ->
+  machine:Wp_soc.Datapath.machine ->
+  program:Wp_soc.Program.t ->
+  Config.t ->
+  float
+(** Objective for the optimiser: the WP2 throughput of the configuration
+    (higher is better). *)
 
 val wp2_cycles_objective :
   ?engine:Wp_sim.Sim.kind ->
@@ -55,5 +77,4 @@ val wp2_cycles_objective :
   program:Wp_soc.Program.t ->
   Config.t ->
   float
-(** Objective for the optimiser: the WP2 throughput of the configuration
-    (higher is better). *)
+(** Deprecated thin wrapper over {!wp2_cycles_objective_spec}. *)

@@ -1,0 +1,115 @@
+module Sim = Wp_sim.Sim
+module Fault = Wp_sim.Fault
+module Telemetry = Wp_sim.Telemetry
+module Cpu = Wp_soc.Cpu
+
+type t = {
+  engine : Sim.kind;
+  capacity : int;
+  max_cycles : int option;
+  fault : Fault.spec;
+  protect : Protect.t;
+  telemetry : Telemetry.spec;
+}
+
+let default =
+  {
+    engine = Sim.default_kind;
+    capacity = 2;
+    max_cycles = None;
+    fault = Fault.none;
+    protect = Protect.none;
+    telemetry = Telemetry.off;
+  }
+
+let v ?(engine = Sim.default_kind) ?(capacity = 2) ?max_cycles
+    ?(fault = Fault.none) ?(protect = Protect.none)
+    ?(telemetry = Telemetry.off) () =
+  { engine; capacity; max_cycles; fault; protect; telemetry }
+
+let digest t =
+  (* Every field is covered; Runner cache keys embed this verbatim, so a
+     field added to the record automatically becomes part of every key
+     (the very drift this module exists to prevent). *)
+  String.concat "|"
+    [
+      Sim.kind_to_string t.engine;
+      "cap" ^ string_of_int t.capacity;
+      (match t.max_cycles with Some n -> string_of_int n | None -> "mcr");
+      Fault.digest t.fault;
+      Protect.digest t.protect;
+      Telemetry.spec_digest t.telemetry;
+    ]
+
+let equal a b = digest a = digest b
+
+let describe t =
+  let parts = ref [] in
+  let add s = parts := s :: !parts in
+  if not (Telemetry.is_off t.telemetry) then
+    add ("telemetry=" ^ Telemetry.spec_digest t.telemetry);
+  if not (Protect.is_none t.protect) then
+    add ("protect=" ^ Protect.to_string t.protect);
+  if not (Fault.is_none t.fault) then add ("fault=" ^ Fault.to_string t.fault);
+  (match t.max_cycles with
+  | Some n -> add ("max_cycles=" ^ string_of_int n)
+  | None -> ());
+  if t.capacity <> 2 then add ("capacity=" ^ string_of_int t.capacity);
+  add ("engine=" ^ Sim.kind_to_string t.engine);
+  String.concat " " !parts
+
+let of_args ?engine ?(capacity = 2) ?max_cycles ?fault ?(fault_seed = 0)
+    ?protect ?(link_window = 0) ?(link_timeout = 0) ?(stall_report = false)
+    ?(trace_depth = 0) () =
+  let ( let* ) = Result.bind in
+  let* engine =
+    match engine with
+    | None -> Ok Sim.default_kind
+    | Some s -> (
+        match Sim.kind_of_string s with
+        | Some k -> Ok k
+        | None ->
+            Error (Printf.sprintf "engine must be 'fast' or 'ref', got %S" s))
+  in
+  let* () =
+    if capacity < 0 then Error "capacity must be >= 0" else Ok ()
+  in
+  let* () =
+    match max_cycles with
+    | Some n when n <= 0 -> Error "max-cycles must be > 0"
+    | _ -> Ok ()
+  in
+  let* fault =
+    match fault with
+    | None -> Ok Fault.none
+    | Some s -> (
+        match Fault.of_string ~seed:fault_seed s with
+        | spec -> Ok spec
+        | exception Invalid_argument msg -> Error msg)
+  in
+  let* protect =
+    match protect with
+    | None -> Ok Protect.none
+    | Some s -> (
+        match Protect.of_string ~window:link_window ~timeout:link_timeout s with
+        | p -> Ok p
+        | exception Invalid_argument msg -> Error msg)
+  in
+  let* () =
+    if trace_depth < 0 then Error "trace-depth must be >= 0" else Ok ()
+  in
+  let telemetry =
+    if trace_depth > 0 then Telemetry.with_trace ~depth:trace_depth ()
+    else if stall_report then Telemetry.counters
+    else Telemetry.off
+  in
+  Ok { engine; capacity; max_cycles; fault; protect; telemetry }
+
+let run_cpu ?mcr_work ~spec ~machine ~mode ~rs program =
+  let protect =
+    if Protect.is_none spec.protect then None
+    else Some (Protect.to_fun spec.protect)
+  in
+  Cpu.run ~engine:spec.engine ~capacity:spec.capacity
+    ?max_cycles:spec.max_cycles ?mcr_work ~fault:spec.fault ?protect
+    ~telemetry:spec.telemetry ~machine ~mode ~rs program

@@ -1,12 +1,15 @@
 module Datapath = Wp_soc.Datapath
 module Program = Wp_soc.Program
+module Cpu = Wp_soc.Cpu
 module Pool = Wp_util.Pool
+module Telemetry = Wp_sim.Telemetry
 
 type section = {
   section_name : string;
   wall_seconds : float;
   section_tasks : int;
   section_cache_hits : int;
+  section_telemetry : Telemetry.summary option;
 }
 
 type stats = {
@@ -16,6 +19,7 @@ type stats = {
   cache_misses : int;
   cache_corrupt : int;
   quarantined : int;
+  telemetry : Telemetry.summary option;
   sections : section list;
 }
 
@@ -39,6 +43,11 @@ type t = {
   mutable cache_corrupt : int;
   mutable quarantined : int;
   mutable sections_rev : section list;
+  (* Monotone accumulator of every telemetry summary that flowed through
+     [experiment_spec] (cache hits included: the aggregate describes the
+     records the sweep consumed, not the simulations it ran).  Sections
+     report deltas of this accumulator via {!Telemetry.diff}. *)
+  mutable telemetry_acc : Telemetry.summary option;
 }
 
 let rec mkdir_p dir =
@@ -62,6 +71,7 @@ let create ?jobs ?(cache = true) ?cache_dir () =
     cache_corrupt = 0;
     quarantined = 0;
     sections_rev = [];
+    telemetry_acc = None;
   }
 
 let default_runner = lazy (create ())
@@ -93,7 +103,10 @@ let map t f xs =
    new one, not a torn file. *)
 (* ------------------------------------------------------------------ *)
 
-let disk_magic = "WPCACHE1"
+(* Bumped whenever the marshalled payload shape changes ("WPCACHE1"
+   predates the telemetry field in [Cpu.result]); old entries fail the
+   magic check and are treated as misses, never mis-decoded. *)
+let disk_magic = "WPCACHE2"
 
 let entry_path dir ~ns cache_key =
   Filename.concat dir (Digest.to_hex (Digest.string cache_key) ^ "." ^ ns)
@@ -213,48 +226,77 @@ let lookup t table ~ns key compute =
         store_winner ~persist:true v)
   end
 
-let key ?engine ?max_cycles ?fault ?protect ~machine ~(program : Program.t)
-    config =
-  (* The engine kind is part of the key: both kernels agree observably,
-     but a cache must never blur which kernel produced a stored record.
-     Likewise the fault digest (a faulted record must never satisfy a
-     clean lookup, or vice versa) and the protection digest (a link-layer
-     run has different latencies and statistics than a raw one). *)
-  let engine = match engine with Some k -> k | None -> Wp_sim.Sim.default_kind in
-  let fault_digest =
-    match fault with
-    | Some f -> Wp_sim.Fault.digest f
-    | None -> Wp_sim.Fault.digest Wp_sim.Fault.none
-  in
-  let protect_digest =
-    match protect with Some p -> Protect.digest p | None -> Protect.digest Protect.none
-  in
-  Printf.sprintf "%s|%s|%s|%s|%d|%s|%s|%s" program.Program.name
+let key ~spec ~machine ~(program : Program.t) config =
+  (* The run parameters enter the key solely through [Run_spec.digest]:
+     engine kind (both kernels agree observably, but a cache must never
+     blur which kernel produced a stored record), fault digest (a
+     faulted record must never satisfy a clean lookup, or vice versa),
+     protection digest (a link-layer run has different latencies and
+     statistics than a raw one), telemetry digest (an instrumented
+     record carries extra payload a plain lookup should not see), cycle
+     budget and FIFO capacity.  A field added to [Run_spec.t] is
+     automatically keyed here — no hand-assembled concatenation to
+     drift. *)
+  Printf.sprintf "%s|%s|%s|%s|%s" program.Program.name
     (Experiment.program_digest program)
     (Datapath.machine_name machine) (Config.digest config)
-    (match max_cycles with Some n -> n | None -> -1)
-    (Wp_sim.Sim.kind_to_string engine)
-    fault_digest protect_digest
+    (Run_spec.digest spec)
+
+(* Fold a finished record's telemetry into the monotone accumulator.
+   Mixed-topology sweeps degrade gracefully: [merge_opt] keeps the
+   accumulator unchanged on a topology mismatch. *)
+let note_telemetry t (r : Experiment.record) =
+  let summary_of (res : Cpu.result) =
+    Option.map (fun rep -> rep.Telemetry.summary) res.Cpu.telemetry
+  in
+  match (summary_of r.Experiment.wp1, summary_of r.Experiment.wp2) with
+  | None, None -> ()
+  | s1, s2 ->
+    Mutex.lock t.mutex;
+    (match s1 with
+    | Some s -> t.telemetry_acc <- Telemetry.merge_opt t.telemetry_acc s
+    | None -> ());
+    (match s2 with
+    | Some s -> t.telemetry_acc <- Telemetry.merge_opt t.telemetry_acc s
+    | None -> ());
+    Mutex.unlock t.mutex
+
+let experiment_spec ~spec t ~machine ~program config =
+  let r =
+    lookup t t.records ~ns:"rec"
+      (key ~spec ~machine ~program config)
+      (fun () -> Experiment.run_spec ~spec ~machine ~program config)
+  in
+  note_telemetry t r;
+  r
+
+let experiments_spec ~spec t ~machine ~program configs =
+  (* Warm the golden memo once before fanning out, so the first parallel
+     wave does not duplicate the reference run across workers. *)
+  ignore (Experiment.golden ~engine:spec.Run_spec.engine ~machine program);
+  map t (experiment_spec ~spec t ~machine ~program) configs
+
+let objective_spec ~spec t ~machine ~program config =
+  lookup t t.objectives ~ns:"obj"
+    (key ~spec ~machine ~program config)
+    (fun () ->
+      Experiment.wp2_cycles_objective_spec ~spec ~machine ~program config)
+
+(* Deprecated optional-argument wrappers over the spec API. *)
 
 let experiment ?engine ?max_cycles ?fault ?protect t ~machine ~program config =
-  lookup t t.records ~ns:"rec"
-    (key ?engine ?max_cycles ?fault ?protect ~machine ~program config)
-    (fun () ->
-      Experiment.run ?engine ?max_cycles ?fault ?protect ~machine ~program
-        config)
+  experiment_spec
+    ~spec:(Run_spec.v ?engine ?max_cycles ?fault ?protect ())
+    t ~machine ~program config
 
 let experiments ?engine ?max_cycles ?fault ?protect t ~machine ~program configs
     =
-  (* Warm the golden memo once before fanning out, so the first parallel
-     wave does not duplicate the reference run across workers. *)
-  ignore (Experiment.golden ?engine ~machine program);
-  map t (experiment ?engine ?max_cycles ?fault ?protect t ~machine ~program)
-    configs
+  experiments_spec
+    ~spec:(Run_spec.v ?engine ?max_cycles ?fault ?protect ())
+    t ~machine ~program configs
 
 let objective ?engine t ~machine ~program config =
-  lookup t t.objectives ~ns:"obj"
-    (key ?engine ~machine ~program config)
-    (fun () -> Experiment.wp2_cycles_objective ?engine ~machine ~program config)
+  objective_spec ~spec:(Run_spec.v ?engine ()) t ~machine ~program config
 
 (* ------------------------------------------------------------------ *)
 (* Guarded experiments: quarantine + seeded-backoff retry.
@@ -282,27 +324,29 @@ type outcome =
   | Completed of Experiment.record
   | Failed of failure
 
-let repro_line ?engine ?max_cycles ?fault ?protect ~machine
-    ~(program : Program.t) config =
+let repro_line ~spec ~machine ~(program : Program.t) config =
   Printf.sprintf
     "machine=%s program=%s rs=%S engine=%s fault=%S protect=%S max_cycles=%s"
     (Datapath.machine_name machine)
     program.Program.name (Config.describe config)
-    (Wp_sim.Sim.kind_to_string
-       (match engine with Some k -> k | None -> Wp_sim.Sim.default_kind))
-    (match fault with Some f -> Wp_sim.Fault.to_string f | None -> "none")
-    (match protect with Some p -> Protect.to_string p | None -> "none")
-    (match max_cycles with Some n -> string_of_int n | None -> "default")
+    (Wp_sim.Sim.kind_to_string spec.Run_spec.engine)
+    (Wp_sim.Fault.to_string spec.Run_spec.fault)
+    (Protect.to_string spec.Run_spec.protect)
+    (match spec.Run_spec.max_cycles with
+    | Some n -> string_of_int n
+    | None -> "default")
 
-let experiment_guarded ?engine ?max_cycles ?fault ?protect ?(attempts = 3)
-    ?(retry_seed = 0) t ~machine ~program config =
+let experiment_guarded_spec ~spec ?(attempts = 3) ?(retry_seed = 0) t ~machine
+    ~program config =
   let attempts = max 1 attempts in
-  let k = key ?engine ?max_cycles ?fault ?protect ~machine ~program config in
+  let k = key ~spec ~machine ~program config in
   let rng = Random.State.make [| retry_seed; Hashtbl.hash k |] in
-  let budget_for i =
+  let spec_for i =
     (* Attempt i gets 2^(i-1) times the caller's budget: a run killed by
        a too-tight timeout converges instead of failing identically. *)
-    match max_cycles with Some m -> Some (m * (1 lsl (i - 1))) | None -> None
+    match spec.Run_spec.max_cycles with
+    | Some m -> { spec with Run_spec.max_cycles = Some (m * (1 lsl (i - 1))) }
+    | None -> spec
   in
   let rec go i last_error =
     if i > attempts then begin
@@ -314,9 +358,7 @@ let experiment_guarded ?engine ?max_cycles ?fault ?protect ?(attempts = 3)
           failed_key = k;
           attempts_made = attempts;
           last_error;
-          repro =
-            repro_line ?engine ?max_cycles ?fault ?protect ~machine ~program
-              config;
+          repro = repro_line ~spec ~machine ~program config;
         }
     end
     else begin
@@ -327,40 +369,64 @@ let experiment_guarded ?engine ?max_cycles ?fault ?protect ?(attempts = 3)
         let jitter = Random.State.float rng base in
         try Unix.sleepf (base +. jitter) with Unix.Unix_error _ -> ()
       end;
-      match
-        experiment ?engine ?max_cycles:(budget_for i) ?fault ?protect t
-          ~machine ~program config
-      with
+      match experiment_spec ~spec:(spec_for i) t ~machine ~program config with
       | r -> Completed r
       | exception e -> go (i + 1) (Printexc.to_string e)
     end
   in
   go 1 "not attempted"
 
-let experiments_guarded ?engine ?max_cycles ?fault ?protect ?attempts
-    ?retry_seed t ~machine ~program configs =
+let experiments_guarded_spec ~spec ?attempts ?retry_seed t ~machine ~program
+    configs =
   (* Warm the golden memo, but through the quarantine: a failing
      reference run surfaces as per-task [Failed]s, not a dead sweep. *)
-  (try ignore (Experiment.golden ?engine ~machine program) with _ -> ());
+  (try ignore (Experiment.golden ~engine:spec.Run_spec.engine ~machine program)
+   with _ -> ());
   map t
-    (experiment_guarded ?engine ?max_cycles ?fault ?protect ?attempts
-       ?retry_seed t ~machine ~program)
+    (experiment_guarded_spec ~spec ?attempts ?retry_seed t ~machine ~program)
     configs
+
+(* Deprecated optional-argument wrappers over the guarded spec API. *)
+
+let experiment_guarded ?engine ?max_cycles ?fault ?protect ?attempts
+    ?retry_seed t ~machine ~program config =
+  experiment_guarded_spec
+    ~spec:(Run_spec.v ?engine ?max_cycles ?fault ?protect ())
+    ?attempts ?retry_seed t ~machine ~program config
+
+let experiments_guarded ?engine ?max_cycles ?fault ?protect ?attempts
+    ?retry_seed t ~machine ~program configs =
+  experiments_guarded_spec
+    ~spec:(Run_spec.v ?engine ?max_cycles ?fault ?protect ())
+    ?attempts ?retry_seed t ~machine ~program configs
 
 let timed t name f =
   let t0 = Unix.gettimeofday () in
   Mutex.lock t.mutex;
   let tasks0 = t.tasks_run and hits0 = t.cache_hits in
+  let tel0 = t.telemetry_acc in
   Mutex.unlock t.mutex;
   let result = f () in
   let wall = Unix.gettimeofday () -. t0 in
   Mutex.lock t.mutex;
+  let section_telemetry =
+    (* Delta of the monotone accumulator over the section; a mid-sweep
+       topology change falls back to the end-of-section total. *)
+    match (tel0, t.telemetry_acc) with
+    | None, acc -> acc
+    | Some _, None -> None
+    | Some before, Some now -> (
+        match Telemetry.diff now before with
+        | d -> Some d
+        | exception Invalid_argument _ -> Some now)
+  in
   let s =
     {
       section_name = name;
       wall_seconds = wall;
       section_tasks = t.tasks_run - tasks0;
       section_cache_hits = t.cache_hits - hits0;
+      section_telemetry;
     }
   in
   t.sections_rev <- s :: t.sections_rev;
@@ -377,6 +443,7 @@ let stats t =
       cache_misses = t.cache_misses;
       cache_corrupt = t.cache_corrupt;
       quarantined = t.quarantined;
+      telemetry = t.telemetry_acc;
       sections = List.rev t.sections_rev;
     }
   in
@@ -391,6 +458,7 @@ let reset_stats t =
   t.cache_corrupt <- 0;
   t.quarantined <- 0;
   t.sections_rev <- [];
+  t.telemetry_acc <- None;
   Mutex.unlock t.mutex
 
 let clear_cache t =
@@ -415,8 +483,15 @@ let pp_stats ppf s =
   if s.quarantined > 0 then
     Format.fprintf ppf ", %d task%s quarantined" s.quarantined
       (if s.quarantined = 1 then "" else "s");
+  (match s.telemetry with
+  | None -> ()
+  | Some tel ->
+    Format.fprintf ppf ", telemetry over %d cycles" tel.Telemetry.cycles);
   List.iter
     (fun sec ->
       Format.fprintf ppf "@\n  %-36s %8.3f s wall  %4d tasks  %4d cache hits"
-        sec.section_name sec.wall_seconds sec.section_tasks sec.section_cache_hits)
+        sec.section_name sec.wall_seconds sec.section_tasks sec.section_cache_hits;
+      match sec.section_telemetry with
+      | None -> ()
+      | Some tel -> Format.fprintf ppf "  %9d telemetry cycles" tel.Telemetry.cycles)
     s.sections

@@ -28,6 +28,10 @@ type section = {
   wall_seconds : float;       (** wall-clock time inside {!timed} *)
   section_tasks : int;        (** tasks executed during the section *)
   section_cache_hits : int;   (** cache hits during the section *)
+  section_telemetry : Wp_sim.Telemetry.summary option;
+      (** merged stall/channel telemetry of the records consumed during
+          the section (counters and histograms summed pointwise);
+          [None] when the section's specs had telemetry off *)
 }
 
 type stats = {
@@ -37,6 +41,10 @@ type stats = {
   cache_misses : int;         (** lookups that had to simulate *)
   cache_corrupt : int;        (** disk entries rejected by digest check *)
   quarantined : int;          (** guarded tasks that exhausted retries *)
+  telemetry : Wp_sim.Telemetry.summary option;
+      (** running merge of every record's WP1+WP2 telemetry since the
+          last {!reset_stats}; mixed-topology sweeps keep the first
+          topology seen *)
   sections : section list;    (** chronological *)
 }
 
@@ -65,6 +73,35 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map on the runner's pool (counted in
     {!stats}).  The first task exception is re-raised in the caller. *)
 
+val experiment_spec :
+  spec:Run_spec.t ->
+  t ->
+  machine:Wp_soc.Datapath.machine ->
+  program:Wp_soc.Program.t ->
+  Config.t ->
+  Experiment.record
+(** Cached {!Experiment.run_spec}.  The cache key is
+    [(program content digest, machine, Config.digest, Run_spec.digest)]
+    — every run parameter (engine kind, cycle budget, FIFO capacity,
+    fault, protection, telemetry) enters through {!Run_spec.digest}, so
+    a faulted, link-protected or instrumented record never satisfies a
+    lookup for a different spec and vice versa.  The record's WP1/WP2
+    telemetry summaries (if any) are folded into the runner's running
+    aggregate ({!stats}), cache hits included. *)
+
+val experiments_spec :
+  spec:Run_spec.t ->
+  t ->
+  machine:Wp_soc.Datapath.machine ->
+  program:Wp_soc.Program.t ->
+  Config.t list ->
+  Experiment.record list
+(** Parallel batch of {!experiment_spec} over one program: the golden
+    reference is pre-warmed once, then configurations fan out across the
+    pool.  Results are in input order.  The first task exception kills
+    the batch (see {!experiments_guarded_spec} for the quarantining
+    variant). *)
+
 val experiment :
   ?engine:Wp_sim.Sim.kind ->
   ?max_cycles:int ->
@@ -75,11 +112,8 @@ val experiment :
   program:Wp_soc.Program.t ->
   Config.t ->
   Experiment.record
-(** Cached {!Experiment.run}.  The cache key includes the engine kind,
-    [program] content digest, machine, {!Config.digest}, [max_cycles],
-    the {!Wp_sim.Fault.digest} of [fault] and the {!Protect.digest} of
-    [protect] — a faulted or link-protected record never satisfies a
-    clean lookup and vice versa. *)
+(** Deprecated thin wrapper over {!experiment_spec} (via
+    {!Run_spec.v}); kept so pre-[Run_spec] callers keep compiling. *)
 
 val experiments :
   ?engine:Wp_sim.Sim.kind ->
@@ -91,11 +125,7 @@ val experiments :
   program:Wp_soc.Program.t ->
   Config.t list ->
   Experiment.record list
-(** Parallel batch of {!experiment} over one program: the golden
-    reference is pre-warmed once, then configurations fan out across the
-    pool.  Results are in input order.  The first task exception kills
-    the batch (see {!experiments_guarded} for the quarantining
-    variant). *)
+(** Deprecated thin wrapper over {!experiments_spec}. *)
 
 type failure = {
   failed_key : string;     (** the full cache key of the failed task *)
@@ -107,6 +137,38 @@ type failure = {
 type outcome =
   | Completed of Experiment.record
   | Failed of failure
+
+val experiment_guarded_spec :
+  spec:Run_spec.t ->
+  ?attempts:int ->
+  ?retry_seed:int ->
+  t ->
+  machine:Wp_soc.Datapath.machine ->
+  program:Wp_soc.Program.t ->
+  Config.t ->
+  outcome
+(** {!experiment_spec} behind a quarantine: an exception (deadlock,
+    exhausted budget, violated invariant) is retried up to [attempts]
+    times (default 3) with a deterministic seeded exponential backoff;
+    when the spec carries an explicit [max_cycles] budget, attempt [i]
+    runs with [max_cycles * 2^(i-1)], so a too-tight per-experiment
+    timeout escalates instead of failing identically (each escalated
+    budget is its own cache key, via the spec digest).  A task that
+    still fails returns [Failed] with its repro line — it never
+    raises. *)
+
+val experiments_guarded_spec :
+  spec:Run_spec.t ->
+  ?attempts:int ->
+  ?retry_seed:int ->
+  t ->
+  machine:Wp_soc.Datapath.machine ->
+  program:Wp_soc.Program.t ->
+  Config.t list ->
+  outcome list
+(** Parallel batch of {!experiment_guarded_spec}: one poisoned
+    experiment no longer kills the sweep — it comes back as [Failed] in
+    its input position while every other configuration completes. *)
 
 val experiment_guarded :
   ?engine:Wp_sim.Sim.kind ->
@@ -120,13 +182,7 @@ val experiment_guarded :
   program:Wp_soc.Program.t ->
   Config.t ->
   outcome
-(** {!experiment} behind a quarantine: an exception (deadlock, exhausted
-    budget, violated invariant) is retried up to [attempts] times
-    (default 3) with a deterministic seeded exponential backoff; when an
-    explicit [max_cycles] budget is given, attempt [i] runs with
-    [max_cycles * 2^(i-1)], so a too-tight per-experiment timeout
-    escalates instead of failing identically.  A task that still fails
-    returns [Failed] with its repro line — it never raises. *)
+(** Deprecated thin wrapper over {!experiment_guarded_spec}. *)
 
 val experiments_guarded :
   ?engine:Wp_sim.Sim.kind ->
@@ -140,9 +196,19 @@ val experiments_guarded :
   program:Wp_soc.Program.t ->
   Config.t list ->
   outcome list
-(** Parallel batch of {!experiment_guarded}: one poisoned experiment no
-    longer kills the sweep — it comes back as [Failed] in its input
-    position while every other configuration completes. *)
+(** Deprecated thin wrapper over {!experiments_guarded_spec}. *)
+
+val objective_spec :
+  spec:Run_spec.t ->
+  t ->
+  machine:Wp_soc.Datapath.machine ->
+  program:Wp_soc.Program.t ->
+  Config.t ->
+  float
+(** Cached {!Experiment.wp2_cycles_objective_spec}, sharing the cache
+    with {!experiment_spec} batches (an objective probe for a
+    configuration whose full record is already cached is free, and vice
+    versa). *)
 
 val objective :
   ?engine:Wp_sim.Sim.kind ->
@@ -151,9 +217,7 @@ val objective :
   program:Wp_soc.Program.t ->
   Config.t ->
   float
-(** Cached {!Experiment.wp2_cycles_objective}, sharing the cache with
-    {!experiment} batches (an objective probe for a configuration whose
-    full record is already cached is free, and vice versa). *)
+(** Deprecated thin wrapper over {!objective_spec}. *)
 
 val timed : t -> string -> (unit -> 'a) -> 'a * section
 (** Run a section under the wall clock and record it in {!stats},

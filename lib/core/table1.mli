@@ -19,6 +19,7 @@ type row = {
 }
 
 val sort_rows :
+  ?spec:Run_spec.t ->
   ?engine:Wp_sim.Sim.kind ->
   ?values:int array ->
   ?runner:Runner.t ->
@@ -26,13 +27,18 @@ val sort_rows :
   unit ->
   row list
 (** The 13 extraction-sort rows.  Default workload: 16 pseudo-random
-    values (seed 1).  [engine] picks the simulation kernel for every row
-    (default {!Wp_sim.Sim.default_kind}); both kernels produce
-    byte-identical tables.  Rows are simulated through [runner] (default
-    {!Runner.default}): fan-out across its worker pool, memoised in its
-    result cache, byte-identical output for any job count. *)
+    values (seed 1).  [spec] carries every run parameter (engine,
+    telemetry, fault, protection, …; default {!Run_spec.default}) and is
+    the preferred knob; [engine] is the deprecated shorthand for
+    [~spec:(Run_spec.v ~engine ())] and is ignored when [spec] is given.
+    Both kernels produce byte-identical tables.  Rows are simulated
+    through [runner] (default {!Runner.default}): fan-out across its
+    worker pool, memoised in its result cache, byte-identical output for
+    any job count.  The optimiser's objective probes always run with
+    telemetry off — only the 13/25 table rows are instrumented. *)
 
 val matmul_rows :
+  ?spec:Run_spec.t ->
   ?engine:Wp_sim.Sim.kind ->
   ?n:int ->
   ?runner:Runner.t ->
@@ -41,7 +47,7 @@ val matmul_rows :
   row list
 (** The 25 matrix-multiply rows.  Default: 5x5 matrices (seed 2/3) — large
     enough to show every trend, small enough to simulate 25 configurations
-    quickly; pass [n] to scale up.  Same [runner] contract as
+    quickly; pass [n] to scale up.  Same [spec]/[runner] contract as
     {!sort_rows}. *)
 
 val render : title:string -> row list -> string
@@ -56,3 +62,55 @@ val to_csv : row list -> string
 val paper_reference : workload:[ `Sort | `Matmul ] -> (int * string * float * float) list
 (** The published numbers: (row index, label, Th WP1, Th WP2) from the
     paper's Table 1 (pipelined case), for side-by-side reporting. *)
+
+(** {1 Stall attribution}
+
+    The telemetry cross-check of Table 1.  Per block,
+    [cycles = fired + stalls] and the firing counts are
+    program-determined — identical under WP1 and WP2 — so each row's
+    WP1-vs-WP2 cycle delta must satisfy three invariants:
+
+    - {b conservation}: the delta equals the CU block's stall-cycle
+      difference between the two runs;
+    - {b full recovery}: the WP2 (oracle) run records zero oracle-skip
+      anywhere — the oracle eliminates the class by construction;
+    - {b skip pool bound}: the delta never exceeds the largest
+      per-block WP1 oracle-skip total (the oracle only changes
+      behaviour in skip-classified cycles, so every recovered cycle is
+      drawn from that pool; loop-bound configurations recover only part
+      of it). *)
+
+type attribution = {
+  att_index : int;
+  att_label : string;
+  wp1_cycles : int;
+  wp2_cycles : int;
+  delta_cycles : int;       (** [wp1_cycles - wp2_cycles] *)
+  cu_stall_delta : int;     (** CU stall cycles, WP1 minus WP2 *)
+  skip_pool : int;          (** largest per-block WP1 oracle-skip total *)
+  wp2_skip : int;           (** largest per-block WP2 oracle-skip (must be 0) *)
+  att_tolerance : int;      (** cycles of slack granted to this row *)
+  explained : bool;
+      (** [|delta - cu_stall_delta| <= tol && delta <= skip_pool + tol
+          && wp2_skip = 0] *)
+}
+
+val attribute :
+  ?tolerance_percent:float ->
+  ?tolerance_floor:int ->
+  row list ->
+  attribution list option
+(** Per-row attribution for rows that carry WP1+WP2 telemetry; [None]
+    when no row does (telemetry was off).  The tolerance is
+    [max floor (percent/100 * max |delta| skip_pool)] — default 5% with
+    an 8-cycle floor, so zero-delta rows tolerate the few start-up/drain
+    cycles attributed before steady state. *)
+
+val merged_summary : row list -> Wp_sim.Telemetry.summary option
+(** Pointwise-merged WP1+WP2 telemetry over all rows ([None] when
+    telemetry was off). *)
+
+val render_stall_report : title:string -> row list -> string
+(** The [--stall-report] rendering: the attribution table (when
+    available) followed by the merged {!Wp_sim.Telemetry.to_table}
+    stall/channel report; a one-line hint when telemetry was off. *)

@@ -62,6 +62,14 @@ let required_mask t =
   | Plain -> Array.make (Array.length t.fifos) true
   | Oracle -> t.instance.Process.required ()
 
+let oracle_ready t =
+  let mask = t.instance.Process.required () in
+  let ok = ref true in
+  Array.iteri
+    (fun p need -> if need && Ring_fifo.is_empty t.fifos.(p) then ok := false)
+    mask;
+  !ok
+
 let ready t =
   let mask = required_mask t in
   let ok = ref true in

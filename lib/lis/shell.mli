@@ -49,6 +49,13 @@ val input_stop : t -> int -> bool
 val ready : t -> bool
 (** All tokens needed for the next firing are buffered. *)
 
+val oracle_ready : t -> bool
+(** Whether an {e Oracle}-mode shell in the same state would be ready:
+    every port named by the process oracle for the next firing holds a
+    token.  Pure (the oracle query does not advance process state), so
+    it is safe to consult on a Plain shell — telemetry uses it to
+    attribute a WP1 stall to the oracle-skip class. *)
+
 val fire : t -> int Token.t array
 (** Consume inputs per the mode, run the process, return the valid output
     tokens.  Must only be called when [ready] and when the engine has

@@ -24,6 +24,7 @@ type t = {
   out_channels : Network.channel list array; (* per node *)
   fault : Fault.t option;
   link : Link.t option;
+  telemetry : Telemetry.t option;
   mutable clock : int;
   mutable last_fired : bool;
   mutable quiet_cycles : int;
@@ -35,7 +36,8 @@ type outcome =
   | Deadlocked of int
   | Exhausted of int
 
-let create ?(capacity = 2) ?(record_traces = false) ?fault ~mode net =
+let create ?(capacity = 2) ?(record_traces = false) ?fault
+    ?(telemetry = Telemetry.off) ~mode net =
   Network.validate net;
   let fault_rt =
     match fault with
@@ -119,6 +121,7 @@ let create ?(capacity = 2) ?(record_traces = false) ?fault ~mode net =
     out_channels;
     fault = fault_rt;
     link;
+    telemetry = Telemetry.make telemetry net;
     clock = 0;
     last_fired = false;
     quiet_cycles = 0;
@@ -143,6 +146,11 @@ let fault_injections t =
 let link_stats t = match t.link with Some l -> Link.stats l | None -> []
 
 let link_summary t = Option.map Link.summary t.link
+
+let telemetry_report t =
+  Option.map
+    (fun tl -> Telemetry.report_of tl ~link:(link_summary t))
+    t.telemetry
 
 (* Phase 1: propagate stops backwards along one channel. *)
 let compute_stops t chain =
@@ -176,6 +184,18 @@ let compute_stops t chain =
 
 let step t =
   Array.iter (fun chain -> compute_stops t chain) t.chains;
+  (match t.telemetry with
+  | None -> ()
+  | Some tl ->
+      (* Start-of-cycle observables: consumer-FIFO depth and the
+         producer-visible stop, per channel. *)
+      Array.iter
+        (fun chain ->
+          let dst_node, dst_port = Network.channel_dst t.net chain.channel in
+          Telemetry.sample_channel tl ~chan:chain.channel
+            ~occupancy:(Shell.buffered t.shells.(dst_node) dst_port)
+            ~stop:chain.producer_stop)
+        t.chains);
   (* Phase 2: firing decisions; collect every node's output tokens. *)
   let fired_any = ref false in
   let emissions =
@@ -184,11 +204,36 @@ let step t =
         let outputs_clear =
           List.for_all (fun c -> not t.chains.(c).producer_stop) t.out_channels.(n)
         in
-        if Shell.ready sh && outputs_clear then begin
+        let ready = Shell.ready sh in
+        let fired = ready && outputs_clear in
+        (match t.telemetry with
+        | None -> ()
+        | Some tl ->
+            let oracle_ready =
+              (not ready) && outputs_clear && Shell.oracle_ready sh
+            in
+            let link_blocked =
+              ready && (not outputs_clear)
+              &&
+              (* first refusing output channel, in channel order — the
+                 same scan order the Fast kernel's CSR rows use *)
+              match
+                List.find_opt
+                  (fun c -> t.chains.(c).producer_stop)
+                  t.out_channels.(n)
+              with
+              | Some c -> t.chains.(c).protected_
+              | None -> false
+            in
+            Telemetry.note_node tl ~node:n
+              ~cls:
+                (Telemetry.classify ~fired ~ready ~outputs_clear ~oracle_ready
+                   ~link_blocked));
+        if fired then begin
           fired_any := true;
           Shell.fire sh
         end
-        else Shell.stall sh ~reason:(if Shell.ready sh then `Output else `Input))
+        else Shell.stall sh ~reason:(if ready then `Output else `Input))
       t.shells
   in
   (* Phase 3: move tokens.  All relay emissions are computed before any
@@ -245,6 +290,15 @@ let step t =
               Shell.accept sh ~port:dst_port (Token.Valid v)))
       end)
     t.chains;
+  (match t.telemetry with
+  | None -> ()
+  | Some tl ->
+      Array.iter
+        (fun chain ->
+          Telemetry.commit_channel tl ~chan:chain.channel
+            ~delivered:chain.delivered)
+        t.chains;
+      Telemetry.end_cycle tl);
   t.clock <- t.clock + 1;
   t.last_fired <- !fired_any;
   if !fired_any then t.quiet_cycles <- 0 else t.quiet_cycles <- t.quiet_cycles + 1

@@ -27,12 +27,16 @@ val create :
   ?capacity:int ->
   ?record_traces:bool ->
   ?fault:Fault.spec ->
+  ?telemetry:Telemetry.spec ->
   mode:Wp_lis.Shell.mode ->
   Network.t ->
   t
 (** Instantiate shells and relay chains.  [capacity] is each shell FIFO's
     bound (default 2; 0 = unbounded).  [fault] perturbs delivery and
     backpressure as described in {!Fault} (default: no faults).
+    [telemetry] (default {!Telemetry.off}) enables cycle-accurate stall
+    attribution and channel telemetry; when off, no runtime is allocated
+    and stepping costs one branch per phase.
     @raise Invalid_argument if the network fails {!Network.validate} or
     the fault spec fails {!Fault.validate}. *)
 
@@ -67,3 +71,8 @@ val link_stats : t -> Link.chan_stats list
 
 val link_summary : t -> Link.summary option
 (** Aggregate link-layer statistics; [None] when nothing is protected. *)
+
+val telemetry_report : t -> Telemetry.report option
+(** Stall-attribution summary and event trace collected so far; [None]
+    when the engine was created with {!Telemetry.off}.  Link recovery
+    counters are folded into the summary when channels are protected. *)

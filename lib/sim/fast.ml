@@ -68,6 +68,7 @@ type t = {
   out_chan_base : int array; (* n_nodes + 1 *)
   out_chan_ids : int array;
   fault : Fault.t option;
+  telemetry : Telemetry.t option;
   (* link layer: protected channels bypass the relay pool entirely *)
   link : Link.t option;
   link_protected : bool array;
@@ -129,7 +130,8 @@ let fifo_pop t ip =
 (* Compile                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(capacity = 2) ?(record_traces = false) ?fault ~mode net =
+let create ?(capacity = 2) ?(record_traces = false) ?fault
+    ?(telemetry = Telemetry.off) ~mode net =
   if capacity < 0 then invalid_arg "Fast.create: negative capacity";
   Network.validate net;
   let n_nodes = Network.node_count net in
@@ -237,6 +239,7 @@ let create ?(capacity = 2) ?(record_traces = false) ?fault ~mode net =
       out_chan_base;
       out_chan_ids;
       fault = fault_rt;
+      telemetry = Telemetry.make telemetry net;
       link;
       link_protected;
       link_can = Array.make (max 1 n_chans) no_can;
@@ -296,6 +299,11 @@ let fault_injections t =
 
 let link_stats t = match t.link with Some l -> Link.stats l | None -> []
 let link_summary t = Option.map Link.summary t.link
+
+let telemetry_report t =
+  Option.map
+    (fun tl -> Telemetry.report_of tl ~link:(link_summary t))
+    t.telemetry
 let buffered t node port = t.fifo_len.(t.in_base.(node) + port)
 
 let node_stats t n =
@@ -345,7 +353,25 @@ let step t =
     t.producer_stop.(c) <- !stop
     end
   done;
+  (match t.telemetry with
+  | None -> ()
+  | Some tl ->
+      (* Start-of-cycle observables, in the same channel order as the
+         reference engine — written straight into the runtime's scratch
+         (the bulk protocol; one cross-module call per phase, not per
+         element). *)
+      let occ = Telemetry.occ_scratch tl
+      and stop = Telemetry.stop_scratch tl in
+      for c = 0 to t.n_chans - 1 do
+        occ.(c) <- t.fifo_len.(t.chan_dst_ip.(c));
+        stop.(c) <- t.producer_stop.(c)
+      done);
   (* Phase 2: firing decisions, emissions into the flat scratch. *)
+  let tel_cls =
+    match t.telemetry with
+    | None -> None
+    | Some tl -> Some (Telemetry.cls_scratch tl)
+  in
   let fired_any = ref false in
   for n = 0 to t.n_nodes - 1 do
     let outputs_clear =
@@ -367,6 +393,42 @@ let step t =
     done;
     let op0 = t.out_base.(n) in
     let n_out = t.out_base.(n + 1) - op0 in
+    (match tel_cls with
+    | None -> ()
+    | Some cls ->
+        (* Class codes written directly into the telemetry scratch; the
+           decision tree mirrors Telemetry.classify / cls_code exactly
+           (the cross-engine differential tests pin the agreement), with
+           each predicate evaluated only on the branch that needs it. *)
+        let code =
+          if !ready && outputs_clear then 0 (* fired *)
+          else if !ready then begin
+            (* first refusing output channel in CSR (increasing channel)
+               order — matches the reference engine's list scan *)
+            let first = ref (-1) in
+            let j = ref t.out_chan_base.(n) in
+            while !first < 0 && !j < t.out_chan_base.(n + 1) do
+              let c = t.out_chan_ids.(!j) in
+              if t.producer_stop.(c) then first := c;
+              incr j
+            done;
+            if !first >= 0 && t.link_protected.(!first) then 4 (* link-credit *)
+            else 3 (* output-backpressure *)
+          end
+          else if
+            outputs_clear
+            &&
+            let omask = (t.instances.(n)).Process.required () in
+            let ok = ref true in
+            for p = 0 to n_in - 1 do
+              if omask.(p) && fifo_is_empty t (t.in_base.(n) + p) then
+                ok := false
+            done;
+            !ok
+          then 1 (* oracle-skip *)
+          else 2 (* missing-input *)
+        in
+        cls.(n) <- code);
     if !ready && outputs_clear then begin
       fired_any := true;
       let inputs = t.inputs_scratch.(n) in
@@ -480,6 +542,9 @@ let step t =
               failwith "Fast shell: token lost (stop protocol violated)"))
     end
   done;
+  (match t.telemetry with
+  | None -> ()
+  | Some tl -> Telemetry.commit_cycle tl ~delivered:t.chan_delivered);
   t.clock <- t.clock + 1;
   t.last_fired <- !fired_any;
   if !fired_any then t.quiet_cycles <- 0 else t.quiet_cycles <- t.quiet_cycles + 1

@@ -17,6 +17,7 @@ val create :
   ?capacity:int ->
   ?record_traces:bool ->
   ?fault:Fault.spec ->
+  ?telemetry:Telemetry.spec ->
   mode:Wp_lis.Shell.mode ->
   Network.t ->
   t
@@ -26,7 +27,11 @@ val create :
     perturbs delivery and backpressure exactly as in {!Engine.create}
     (the two engines share {!Fault}'s policy code and stay
     byte-identical under a given spec); when absent the kernel keeps its
-    zero-allocation steady state.
+    zero-allocation steady state.  [telemetry] (default
+    {!Telemetry.off}) enables stall attribution and channel telemetry —
+    the counters are flat preallocated arrays, but the oracle-readiness
+    probe allocates inside the process closure, so the zero-words
+    guarantee only holds with telemetry off.
     @raise Invalid_argument if the network fails {!Network.validate} or
     the fault spec fails {!Fault.validate}. *)
 
@@ -60,6 +65,12 @@ val link_stats : t -> Link.chan_stats list
 
 val link_summary : t -> Link.summary option
 (** Aggregate link-layer statistics; [None] when nothing is protected. *)
+
+val telemetry_report : t -> Telemetry.report option
+(** Stall-attribution summary and event trace collected so far; [None]
+    when the kernel was compiled with {!Telemetry.off}.  Byte-identical
+    to the reference engine's {!Engine.telemetry_report} on the same
+    run. *)
 
 val buffered : t -> Network.node -> int -> int
 (** Occupancy of one shell input FIFO. *)

@@ -25,10 +25,13 @@ let kind = function Ref _ -> Reference | Fst _ -> Fast
 let of_engine e = Ref e
 let of_fast f = Fst f
 
-let create ?(engine = default_kind) ?capacity ?record_traces ?fault ~mode net =
+let create ?(engine = default_kind) ?capacity ?record_traces ?fault ?telemetry
+    ~mode net =
   match engine with
-  | Reference -> Ref (Engine.create ?capacity ?record_traces ?fault ~mode net)
-  | Fast -> Fst (Fast.create ?capacity ?record_traces ?fault ~mode net)
+  | Reference ->
+      Ref (Engine.create ?capacity ?record_traces ?fault ?telemetry ~mode net)
+  | Fast ->
+      Fst (Fast.create ?capacity ?record_traces ?fault ?telemetry ~mode net)
 
 let step = function Ref e -> Engine.step e | Fst f -> Fast.step f
 
@@ -62,6 +65,10 @@ let link_stats = function
 let link_summary = function
   | Ref e -> Engine.link_summary e
   | Fst f -> Fast.link_summary f
+
+let telemetry_report = function
+  | Ref e -> Engine.telemetry_report e
+  | Fst f -> Fast.telemetry_report f
 
 let node_stats t n =
   match t with

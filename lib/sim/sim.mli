@@ -29,6 +29,7 @@ val create :
   ?capacity:int ->
   ?record_traces:bool ->
   ?fault:Fault.spec ->
+  ?telemetry:Telemetry.spec ->
   mode:Wp_lis.Shell.mode ->
   Network.t ->
   t
@@ -59,6 +60,11 @@ val link_stats : t -> Link.chan_stats list
 
 val link_summary : t -> Link.summary option
 (** Aggregate link-layer statistics; [None] when nothing is protected. *)
+
+val telemetry_report : t -> Telemetry.report option
+(** Stall-attribution summary and optional event trace; [None] when the
+    run was created with {!Telemetry.off}.  Byte-identical across both
+    engines on the same run. *)
 
 val node_stats : t -> Network.node -> Wp_lis.Shell.stats
 val output_trace : t -> Network.node -> int -> int Wp_lis.Token.t list

@@ -15,14 +15,15 @@ type result = {
   registers : int array;
   result_ok : bool;
   report : Monitor.report;
+  telemetry : Wp_sim.Telemetry.report option;
 }
 
 let no_relay_stations (_ : Datapath.connection) = 0
 
 let default_max_cycles = 2_000_000
 
-let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ?fault ?protect ~machine
-    ~mode ~rs (program : Program.t) =
+let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ?fault ?protect
+    ?telemetry ~machine ~mode ~rs (program : Program.t) =
   (* [mcr_work] enables the MCR-guided cycle budget: instead of stepping
      up to the full default budget, bound the run at
      [Fast.cycle_bound ~work_cycles:mcr_work net] — provable from the
@@ -32,7 +33,9 @@ let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ?fault ?protect ~machine
      identical to the unbounded configuration. *)
   let attempt max_cycles =
     let dp = Datapath.build ?protect ~machine ~rs program in
-    let sim = Sim.create ?engine ~capacity ?fault ~mode dp.Datapath.network in
+    let sim =
+      Sim.create ?engine ~capacity ?fault ?telemetry ~mode dp.Datapath.network
+    in
     let outcome, cycles =
       match Sim.run ~max_cycles sim with
       | Engine.Halted c -> (Completed, c)
@@ -54,7 +57,15 @@ let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ?fault ?protect ~machine
       || (Array.length memory >= base + len
          && Array.for_all2 ( = ) expected (Array.sub memory base len))
     in
-    { cycles; outcome; memory; registers; result_ok; report = Monitor.collect_sim sim }
+    {
+      cycles;
+      outcome;
+      memory;
+      registers;
+      result_ok;
+      report = Monitor.collect_sim sim;
+      telemetry = Sim.telemetry_report sim;
+    }
   in
   let faulted =
     match fault with Some f -> not (Wp_sim.Fault.is_none f) | None -> false

@@ -16,6 +16,9 @@ type result = {
   registers : int array;     (** final architectural registers *)
   result_ok : bool;          (** result region matches the ISS reference *)
   report : Wp_sim.Monitor.report;
+  telemetry : Wp_sim.Telemetry.report option;
+      (** stall attribution and optional event trace; [None] unless the
+          run was created with a non-{!Wp_sim.Telemetry.off} spec *)
 }
 
 val run :
@@ -25,6 +28,7 @@ val run :
   ?mcr_work:int ->
   ?fault:Wp_sim.Fault.spec ->
   ?protect:(Datapath.connection -> Wp_sim.Network.protection option) ->
+  ?telemetry:Wp_sim.Telemetry.spec ->
   machine:Datapath.machine ->
   mode:Wp_lis.Shell.mode ->
   rs:(Datapath.connection -> int) ->
@@ -44,7 +48,14 @@ val run :
     [protect] enables the self-healing {!Wp_sim.Link} layer on the
     channels of the connections it names (see {!Datapath.build}); link
     latency and credit stalls also invalidate the MCR bound, so a
-    protection policy likewise disables the [mcr_work] fast path. *)
+    protection policy likewise disables the [mcr_work] fast path.
+    [telemetry] (default {!Wp_sim.Telemetry.off}) enables cycle-accurate
+    stall attribution; the report lands in the result's [telemetry]
+    field.
+
+    Callers above the SoC layer should prefer the spec-driven
+    [Wp_core.Run_spec.run_cpu], which carries all of these knobs in one
+    record with a single cache digest. *)
 
 val run_golden : ?engine:Wp_sim.Sim.kind -> machine:Datapath.machine -> Program.t -> result
 (** Zero relay stations everywhere, plain wrappers: the reference system

@@ -1,0 +1,53 @@
+(* Deterministic generator behind telemetry.expected: runs a small fixed
+   ring on the Fast kernel with a bounded event trace and prints the
+   three renderings pinned by the golden test — the stall/channel table,
+   the VCD dump and the Chrome trace_event JSON.  Everything here is
+   seedless and engine-pinned, so the output is reproducible
+   byte-for-byte; intentional format changes are accepted with
+   `dune promote`. *)
+
+module Process = Wp_lis.Process
+module Shell = Wp_lis.Shell
+module Network = Wp_sim.Network
+module Sim = Wp_sim.Sim
+module Telemetry = Wp_sim.Telemetry
+
+let relay name =
+  Process.unary ~name ~input_name:"i" ~output_name:"o" ~reset:0 succ
+
+let ring m ~rs =
+  let net = Network.create () in
+  let nodes =
+    Array.init m (fun i -> Network.add net (relay (Printf.sprintf "p%d" i)))
+  in
+  for i = 0 to m - 1 do
+    ignore
+      (Network.connect net
+         ~src:(nodes.(i), "o")
+         ~dst:(nodes.((i + 1) mod m), "i")
+         ~relay_stations:(if i = m - 1 then rs else 0)
+         ())
+  done;
+  net
+
+let () =
+  let net = ring 3 ~rs:2 in
+  let sim =
+    Sim.create ~engine:Sim.Fast ~capacity:2
+      ~telemetry:(Telemetry.with_trace ~depth:64 ())
+      ~mode:Shell.Plain net
+  in
+  ignore (Sim.run ~max_cycles:48 sim);
+  match Sim.telemetry_report sim with
+  | None -> failwith "telemetry was on; expected a report"
+  | Some rep -> (
+      print_string "== stall/channel table ==\n";
+      print_string (Telemetry.to_table rep.Telemetry.summary);
+      match rep.Telemetry.event_trace with
+      | None -> failwith "trace depth 64; expected an event trace"
+      | Some tr ->
+          print_string "== vcd ==\n";
+          print_string (Telemetry.vcd_of_trace tr);
+          print_string "== chrome ==\n";
+          print_string (Telemetry.chrome_of_trace tr);
+          print_newline ())
