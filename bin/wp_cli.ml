@@ -137,9 +137,14 @@ let config_arg =
 let engine_str_arg =
   Arg.(value & opt (some string) None
        & info [ "engine" ] ~docv:"ENGINE"
-           ~doc:"Simulation kernel: $(b,fast) (compiled, default) or $(b,ref) \
-                 (reference interpreter).  Both produce byte-identical results; \
-                 the default can also be set via $(b,WIREPIPE_ENGINE).")
+           ~doc:"Simulation kernel: $(b,fast) (compiled, default), $(b,ref) \
+                 (reference interpreter) or $(b,static) (precomputed \
+                 balanced-word firing table; plain-mode, fault-free, \
+                 unprotected configurations only — anything else is refused \
+                 as unschedulable, and oracle-mode WP2 runs downgrade \
+                 explicitly to $(b,fast)).  All kernels produce \
+                 byte-identical results where they apply; the default can \
+                 also be set via $(b,WIREPIPE_ENGINE).")
 
 let capacity_arg =
   Arg.(value & opt int 2
@@ -776,8 +781,12 @@ let () =
   let doc = "wire-pipelined SoC design methodology (DATE'05 reproduction)" in
   let info = Cmd.info "wirepipe" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval
-       (Cmd.group info
+    (try
+       (* [~catch:false]: cmdliner's own handler would swallow the
+          Unschedulable exception below as an "internal error" (125)
+          before we can turn it into the documented exit code 2. *)
+       Cmd.eval ~catch:false
+         (Cmd.group info
           [
             table1_cmd;
             run_cmd;
@@ -790,4 +799,18 @@ let () =
             optimal_cmd;
             wave_cmd;
             rtl_cmd;
-          ]))
+          ])
+     with Wp_sim.Static.Unschedulable reason ->
+       (* --engine static on a configuration with no static firing
+          word: refuse loudly rather than fall back silently. *)
+       Printf.eprintf
+         "wirepipe: configuration is not statically schedulable: %s\n\
+          (use --engine fast or --engine ref for this configuration)\n"
+         reason;
+       2
+     | exn ->
+       (* Preserve cmdliner's internal-error convention for anything
+          else now that ~catch:false lets exceptions through. *)
+       Printf.eprintf "wirepipe: internal error, uncaught exception:\n%s\n"
+         (Printexc.to_string exn);
+       125)

@@ -69,6 +69,17 @@ let golden ?(engine = Wp_sim.Sim.default_kind) ~machine (program : Program.t) =
     Mutex.unlock golden_mutex;
     winner
 
+(* Oracle-mode (WP2) runs have no static firing word — the oracle's
+   input masks are data-dependent — so under [--engine static] they
+   downgrade, explicitly, to the differentially-verified Fast kernel.
+   Everything statically schedulable (golden, WP1) still exercises the
+   table kernel; nothing is ever silently mis-simulated because the
+   Static engine itself refuses oracle mode with [Unschedulable]. *)
+let oracle_spec (spec : Run_spec.t) =
+  match spec.Run_spec.engine with
+  | Wp_sim.Sim.Static -> { spec with Run_spec.engine = Wp_sim.Sim.Fast }
+  | _ -> spec
+
 let checked_run ?mcr_work ~spec ~machine ~mode ~config program =
   let r =
     Run_spec.run_cpu ?mcr_work ~spec ~machine ~mode ~rs:(Config.to_fun config)
@@ -101,7 +112,10 @@ let run_spec ~spec ~machine ~program config =
      [ceil (golden / Th) + slack] instead of the blanket 2M budget. *)
   let mcr_work = g.Cpu.cycles in
   let wp1 = checked_run ~mcr_work ~spec ~machine ~mode:Shell.Plain ~config program in
-  let wp2 = checked_run ~mcr_work ~spec ~machine ~mode:Shell.Oracle ~config program in
+  let wp2 =
+    checked_run ~mcr_work ~spec:(oracle_spec spec) ~machine ~mode:Shell.Oracle
+      ~config program
+  in
   let th_wp1 = Cpu.throughput ~golden:g wp1 in
   let th_wp2 = Cpu.throughput ~golden:g wp2 in
   {
@@ -126,8 +140,8 @@ let run ?engine ?max_cycles ?fault ?protect ~machine ~program config =
 let wp2_cycles_objective_spec ~spec ~machine ~program config =
   let g = golden ~engine:spec.Run_spec.engine ~machine program in
   let wp2 =
-    Run_spec.run_cpu ~mcr_work:g.Cpu.cycles ~spec ~machine ~mode:Shell.Oracle
-      ~rs:(Config.to_fun config) program
+    Run_spec.run_cpu ~mcr_work:g.Cpu.cycles ~spec:(oracle_spec spec) ~machine
+      ~mode:Shell.Oracle ~rs:(Config.to_fun config) program
   in
   match wp2.Cpu.outcome with
   | Cpu.Completed when wp2.Cpu.result_ok -> Cpu.throughput ~golden:g wp2

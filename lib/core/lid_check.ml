@@ -298,6 +298,93 @@ let exhaustive ?engine ?(horizon = 6) ?(max_cycles = 120) ?(slack = 16) kind =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Static-schedule conformance                                        *)
+(*                                                                    *)
+(* The exhaustive harness above proves stalls never change WHAT the   *)
+(* network computes; this one bounds HOW FAST.  The balanced firing   *)
+(* word of the capacity-extended marked graph names an exact rational *)
+(* rate; no stall schedule may beat it, and the unperturbed run must  *)
+(* achieve it exactly.  Firing counts come from the raw per-cycle     *)
+(* output traces (Valid = fired), measured over a period-aligned      *)
+(* window in the steady tail, past both the start-up transient and    *)
+(* every injected stall.                                              *)
+(* ------------------------------------------------------------------ *)
+
+type static_report = {
+  st_network : network_kind;
+  st_engine : Sim.kind;
+  st_rate : Wp_graph.Cycle_ratio.ratio;
+  st_schedules : int;
+  st_violations : (Fault.spec * string) list;
+}
+
+let static_conformance ?engine ?(horizon = 6) kind =
+  let engine = match engine with Some e -> e | None -> Sim.default_kind in
+  let net0, mode, fault_channels = build kind in
+  (match mode with
+  | Shell.Plain -> ()
+  | Shell.Oracle ->
+      invalid_arg
+        "Lid_check.static_conformance: oracle networks have no static schedule");
+  (* Default capacity 2 on both sides, matching [Sim.create]. *)
+  let sched = Wp_sim.Static.schedule net0 in
+  let rate = sched.Wp_graph.Schedule.rate in
+  let num = rate.Wp_graph.Cycle_ratio.num
+  and den = rate.Wp_graph.Cycle_ratio.den in
+  let settle = 32 + horizon in
+  let windows = 8 in
+  let window = windows * den in
+  let max_cycles = settle + window in
+  let f = List.length fault_channels in
+  let n_schedules = 1 lsl (f * horizon) in
+  let violations = ref [] in
+  for bits = 0 to n_schedules - 1 do
+    let spec = schedule_spec ~fault_channels ~horizon bits in
+    let note fmt =
+      Printf.ksprintf (fun s -> violations := (spec, s) :: !violations) fmt
+    in
+    let net, _, _ = build kind in
+    let sim = Sim.create ~engine ~record_traces:true ~fault:spec ~mode net in
+    (match Sim.run ~max_cycles sim with
+    | Engine.Exhausted _ -> () (* free-running: the budget IS the window *)
+    | Engine.Halted c | Engine.Deadlocked c ->
+        note "run ended at cycle %d, before the measurement window closed" c);
+    List.iter
+      (fun node ->
+        let proc = Network.node_process net node in
+        if Array.length proc.Process.output_names > 0 then begin
+          let trace = Array.of_list (Sim.output_trace sim node 0) in
+          if Array.length trace < max_cycles then
+            note "node %s: trace covers %d cycles, window needs %d"
+              proc.Process.name (Array.length trace) max_cycles
+          else begin
+            let fired = ref 0 in
+            for i = settle to max_cycles - 1 do
+              match trace.(i) with
+              | Token.Valid _ -> incr fired
+              | Token.Void -> ()
+            done;
+            if !fired > windows * num then
+              note "node %s: %d firings in a %d-cycle window beats rate %d/%d"
+                proc.Process.name !fired window num den
+            else if bits = 0 && !fired <> windows * num then
+              note
+                "node %s: stall-free run made %d firings in a %d-cycle window, \
+                 rate %d/%d demands %d"
+                proc.Process.name !fired window num den (windows * num)
+          end
+        end)
+      (Network.nodes net)
+  done;
+  {
+    st_network = kind;
+    st_engine = engine;
+    st_rate = rate;
+    st_schedules = n_schedules;
+    st_violations = List.rev !violations;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Negative controls                                                  *)
 (* ------------------------------------------------------------------ *)
 

@@ -67,6 +67,28 @@ val exhaustive :
     (per-port informative deficit ≤ horizon + [slack], default 16) and
     deadlock-freedom against the clean run of the same engine. *)
 
+(** {1 Static-schedule conformance} *)
+
+type static_report = {
+  st_network : network_kind;
+  st_engine : Wp_sim.Sim.kind;
+  st_rate : Wp_graph.Cycle_ratio.ratio;  (** the balanced word's rate *)
+  st_schedules : int;
+  st_violations : (Fault.spec * string) list;  (** empty = bound holds *)
+}
+
+val static_conformance :
+  ?engine:Wp_sim.Sim.kind -> ?horizon:int -> network_kind -> static_report
+(** The throughput counterpart of {!exhaustive}: on a plain-mode
+    network ({!Ring} or {!Diamond}), enumerate every stall schedule up
+    to [horizon] (default 6) and check that each node's firing count
+    over a period-aligned window in the steady tail never exceeds the
+    rate of the balanced firing word computed on the capacity-extended
+    marked graph ({!Wp_sim.Static.schedule}) — and that the stall-free
+    schedule achieves it exactly.  Stalls may only delay; they can
+    never beat the static schedule.
+    @raise Invalid_argument on {!Oracle2} (no static schedule). *)
+
 (** {1 Negative controls} *)
 
 type detection = {

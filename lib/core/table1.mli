@@ -18,6 +18,11 @@ type row = {
   record : Experiment.record;
 }
 
+val single_rs_order : Wp_soc.Datapath.connection list
+(** The ten single-RS rows of Table 1, in the paper's order — also the
+    canonical connection enumeration for schedule goldens and the
+    static-rate cross-checks. *)
+
 val sort_rows :
   ?spec:Run_spec.t ->
   ?engine:Wp_sim.Sim.kind ->

@@ -4,12 +4,17 @@ module Token = Wp_lis.Token
 type kind =
   | Reference
   | Fast
+  | Static
 
-let kind_to_string = function Reference -> "ref" | Fast -> "fast"
+let kind_to_string = function
+  | Reference -> "ref"
+  | Fast -> "fast"
+  | Static -> "static"
 
 let kind_of_string = function
   | "ref" | "reference" -> Some Reference
   | "fast" -> Some Fast
+  | "static" -> Some Static
   | _ -> None
 
 let default_kind =
@@ -20,10 +25,12 @@ let default_kind =
 type t =
   | Ref of Engine.t
   | Fst of Fast.t
+  | Sta of Static.t
 
-let kind = function Ref _ -> Reference | Fst _ -> Fast
+let kind = function Ref _ -> Reference | Fst _ -> Fast | Sta _ -> Static
 let of_engine e = Ref e
 let of_fast f = Fst f
+let of_static s = Sta s
 
 let create ?(engine = default_kind) ?capacity ?record_traces ?fault ?telemetry
     ~mode net =
@@ -32,55 +39,84 @@ let create ?(engine = default_kind) ?capacity ?record_traces ?fault ?telemetry
       Ref (Engine.create ?capacity ?record_traces ?fault ?telemetry ~mode net)
   | Fast ->
       Fst (Fast.create ?capacity ?record_traces ?fault ?telemetry ~mode net)
+  | Static ->
+      Sta (Static.create ?capacity ?record_traces ?fault ?telemetry ~mode net)
 
-let step = function Ref e -> Engine.step e | Fst f -> Fast.step f
+let step = function
+  | Ref e -> Engine.step e
+  | Fst f -> Fast.step f
+  | Sta s -> Static.step s
 
 let run ?max_cycles = function
   | Ref e -> Engine.run ?max_cycles e
   | Fst f -> Fast.run ?max_cycles f
+  | Sta s -> Static.run ?max_cycles s
 
-let cycles = function Ref e -> Engine.cycles e | Fst f -> Fast.cycles f
-let mode = function Ref e -> Engine.mode e | Fst f -> Fast.mode f
-let network = function Ref e -> Engine.network e | Fst f -> Fast.network f
+let cycles = function
+  | Ref e -> Engine.cycles e
+  | Fst f -> Fast.cycles f
+  | Sta s -> Static.cycles s
+
+let mode = function
+  | Ref e -> Engine.mode e
+  | Fst f -> Fast.mode f
+  | Sta s -> Static.mode s
+
+let network = function
+  | Ref e -> Engine.network e
+  | Fst f -> Fast.network f
+  | Sta s -> Static.network s
 
 let delivered t c =
-  match t with Ref e -> Engine.delivered e c | Fst f -> Fast.delivered f c
+  match t with
+  | Ref e -> Engine.delivered e c
+  | Fst f -> Fast.delivered f c
+  | Sta s -> Static.delivered s c
 
 let fired_last_cycle = function
   | Ref e -> Engine.fired_last_cycle e
   | Fst f -> Fast.fired_last_cycle f
+  | Sta s -> Static.fired_last_cycle s
 
 let quiescence_window = function
   | Ref e -> Engine.quiescence_window e
   | Fst f -> Fast.quiescence_window f
+  | Sta s -> Static.quiescence_window s
 
 let fault_injections = function
   | Ref e -> Engine.fault_injections e
   | Fst f -> Fast.fault_injections f
+  | Sta s -> Static.fault_injections s
 
 let link_stats = function
   | Ref e -> Engine.link_stats e
   | Fst f -> Fast.link_stats f
+  | Sta s -> Static.link_stats s
 
 let link_summary = function
   | Ref e -> Engine.link_summary e
   | Fst f -> Fast.link_summary f
+  | Sta s -> Static.link_summary s
 
 let telemetry_report = function
   | Ref e -> Engine.telemetry_report e
   | Fst f -> Fast.telemetry_report f
+  | Sta s -> Static.telemetry_report s
 
 let node_stats t n =
   match t with
   | Ref e -> Shell.stats (Engine.shell e n)
   | Fst f -> Fast.node_stats f n
+  | Sta s -> Static.node_stats s n
 
 let output_trace t n p =
   match t with
   | Ref e -> Shell.output_trace (Engine.shell e n) p
   | Fst f -> Fast.output_trace f n p
+  | Sta s -> Static.output_trace s n p
 
 let buffered t n p =
   match t with
   | Ref e -> Shell.buffered (Engine.shell e n) p
   | Fst f -> Fast.buffered f n p
+  | Sta s -> Static.buffered s n p

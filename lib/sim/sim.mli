@@ -1,22 +1,31 @@
 (** Engine-agnostic simulation facade.
 
-    Every experiment can run on either the readable reference
-    interpreter ({!Engine}) or the compiled allocation-free kernel
-    ({!Fast}); the two are byte-identical in observable behaviour
-    (outcomes, cycle counts, delivered tokens, shell statistics,
-    traces) and the differential test battery asserts it.  This module
+    Every experiment can run on the readable reference interpreter
+    ({!Engine}), the compiled allocation-free kernel ({!Fast}), or the
+    table-driven static-schedule kernel ({!Static}); the three are
+    byte-identical in observable behaviour (outcomes, cycle counts,
+    delivered tokens, shell statistics, traces) wherever they all
+    apply, and the differential test battery asserts it.  This module
     hides the choice behind one type so callers thread a single
-    [?engine] argument instead of duplicating code paths. *)
+    [?engine] argument instead of duplicating code paths.
+
+    {!Static} only covers statically schedulable configurations (Plain
+    mode, no faults, no link protection, no telemetry, bounded FIFOs);
+    {!create} with [engine = Static] raises {!Static.Unschedulable}
+    on anything else — an explicit refusal, never a silently wrong
+    simulation. *)
 
 type kind =
   | Reference  (** {!Engine}: boxed tokens, per-cycle allocation, easy to read *)
   | Fast       (** {!Fast}: compiled int arrays, zero steady-state allocation *)
+  | Static     (** {!Static}: precomputed firing table, no per-cycle handshake *)
 
 val kind_to_string : kind -> string
-(** ["ref"] / ["fast"] — stable strings for CLI flags and cache keys. *)
+(** ["ref"] / ["fast"] / ["static"] — stable strings for CLI flags and
+    cache keys. *)
 
 val kind_of_string : string -> kind option
-(** Accepts ["ref"], ["reference"] and ["fast"]. *)
+(** Accepts ["ref"], ["reference"], ["fast"] and ["static"]. *)
 
 val default_kind : kind
 (** [Fast], unless the [WIREPIPE_ENGINE] environment variable names a
@@ -34,13 +43,17 @@ val create :
   Network.t ->
   t
 (** [engine] defaults to {!default_kind}; the remaining arguments are
-    forwarded to {!Engine.create} / {!Fast.create} unchanged.  Both
-    engines interpret a [fault] spec through the same {!Fault} policy
-    code, so the differential batteries stay byte-identical even under
-    injected faults. *)
+    forwarded to {!Engine.create} / {!Fast.create} / {!Static.create}
+    unchanged.  The dynamic engines interpret a [fault] spec through
+    the same {!Fault} policy code, so the differential batteries stay
+    byte-identical even under injected faults.
+    @raise Static.Unschedulable when [engine = Static] and the
+    configuration has no static firing word (oracle mode, faults,
+    protection, telemetry, or unbounded FIFOs). *)
 
 val of_engine : Engine.t -> t
 val of_fast : Fast.t -> t
+val of_static : Static.t -> t
 val kind : t -> kind
 
 val step : t -> unit
@@ -63,7 +76,7 @@ val link_summary : t -> Link.summary option
 
 val telemetry_report : t -> Telemetry.report option
 (** Stall-attribution summary and optional event trace; [None] when the
-    run was created with {!Telemetry.off}.  Byte-identical across both
+    run was created with {!Telemetry.off}.  Byte-identical across the
     engines on the same run. *)
 
 val node_stats : t -> Network.node -> Wp_lis.Shell.stats

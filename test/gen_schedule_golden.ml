@@ -1,0 +1,45 @@
+(* Golden-output generator for the static schedules of the Table 1
+   networks.
+
+   For each timed machine and each canonical Table 1 RS configuration
+   (the ideal system, one RS per connection, All 1 without CU-IC), the
+   datapath's capacity-extended marked graph is scheduled with balanced
+   binary firing words and rendered — rate, period, critical cycle,
+   per-block phase offsets and words.  The committed expectation
+   [schedule.expected] freezes all of it character-for-character: any
+   change to the MCR solver, the offset constraints, the word
+   construction or the renderer shows up as a readable diff in
+   `dune runtest`; intentional changes are accepted with `dune promote`.
+
+   Keep this program deterministic: fixed program, pinned capacity,
+   no wall-clock or environment dependence. *)
+
+module Datapath = Wp_soc.Datapath
+module Programs = Wp_soc.Programs
+module Config = Wp_core.Config
+module Table1 = Wp_core.Table1
+module Static = Wp_sim.Static
+module Schedule = Wp_graph.Schedule
+
+let configs =
+  [ ("All 0 (ideal)", Config.zero) ]
+  @ List.map
+      (fun conn -> ("Only " ^ Datapath.connection_name conn, Config.only conn 1))
+      Table1.single_rs_order
+  @ [ ("All 1 (no CU-IC)", Config.uniform ~except:[ Datapath.CU_IC ] 1) ]
+
+let () =
+  (* The schedule depends only on topology, RS placement and capacity,
+     never on program data; any fixed workload gives the same words. *)
+  let program = Programs.fibonacci ~n:4 in
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun (label, config) ->
+          let dp = Datapath.build ~machine ~rs:(Config.to_fun config) program in
+          let g, tokens, time = Static.capacity_graph dp.Datapath.network in
+          let sched = Schedule.build g ~tokens ~time in
+          Printf.printf "=== %s / %s ===\n%s\n"
+            (Datapath.machine_name machine) label (Schedule.render g sched))
+        configs)
+    [ Datapath.Pipelined; Datapath.Multicycle ]

@@ -176,6 +176,35 @@ let test_exhaustive_all_schedules () =
         Lid_check.all_networks)
     [ Sim.Reference; Sim.Fast ]
 
+(* Static-schedule conformance: on the plain-mode networks, no stall
+   schedule may beat the balanced word's rate, and the stall-free run
+   must hit it exactly — on both dynamic engines. *)
+let test_static_conformance_all_schedules () =
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun kind ->
+          let rep = Lid_check.static_conformance ~engine ~horizon:6 kind in
+          let name =
+            Printf.sprintf "%s/%s" (Lid_check.network_name kind)
+              (Sim.kind_to_string engine)
+          in
+          checki (name ^ ": schedules checked") rep.Lid_check.st_schedules
+            (1 lsl (6 * 2));
+          (match rep.Lid_check.st_violations with
+          | [] -> ()
+          | (spec, reason) :: _ ->
+            Alcotest.failf "%s: %d rate violation(s), first: %s (%s)" name
+              (List.length rep.Lid_check.st_violations)
+              (Fault.to_string spec) reason))
+        [ Lid_check.Ring; Lid_check.Diamond ])
+    [ Sim.Reference; Sim.Fast ];
+  (* The oracle network has no static word and must say so. *)
+  checkb "oracle2 rejected" true
+    (match Lid_check.static_conformance Lid_check.Oracle2 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let test_negative_controls () =
   List.iter
     (fun engine ->
@@ -371,6 +400,8 @@ let () =
       ( "exhaustive",
         [
           Alcotest.test_case "all stall schedules hold" `Slow test_exhaustive_all_schedules;
+          Alcotest.test_case "no stall schedule beats the static rate" `Slow
+            test_static_conformance_all_schedules;
           Alcotest.test_case "negative controls all detected" `Quick test_negative_controls;
         ] );
       ( "battery",

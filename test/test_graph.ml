@@ -391,6 +391,113 @@ let prop_howard_matches_karp_max_sc =
       | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Schedule                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Schedule = Wp_graph.Schedule
+
+(* Deterministic initial markings for schedule properties: keeping
+   tokens in {0,1} and times >= 1 bounds every cycle ratio by 1/1, so
+   the schedule's rate is the unclamped minimum cycle ratio and the
+   exact-rational comparison below is meaningful. *)
+let edge_tokens e = e mod 2
+
+let test_schedule_known_loop () =
+  (* 2-process loop with one relay station on 0->1: rate 2/3. *)
+  let g = graph_of 2 [ (0, 1); (1, 0) ] in
+  let tokens _ = 1 and time e = if e = 0 then 2 else 1 in
+  let t = Schedule.build g ~tokens ~time in
+  checki "num" 2 t.Schedule.rate.Cycle_ratio.num;
+  checki "den" 3 t.Schedule.rate.Cycle_ratio.den;
+  checki "period" 3 t.Schedule.period;
+  Array.iter
+    (fun w ->
+      checki "word length" 3 (Array.length w);
+      checki "ones" 2 (Array.fold_left (fun a b -> if b then a + 1 else a) 0 w))
+    t.Schedule.words;
+  checkb "checker accepts" true (Schedule.check g ~tokens ~time t = Ok ());
+  (* The rendering pins rate and period for humans and goldens alike. *)
+  let r = Schedule.render g t in
+  checkb "render mentions rate" true
+    (String.length r >= 8 && String.sub r 0 8 = "rate 2/3")
+
+let test_schedule_acyclic () =
+  let g = graph_of 3 [ (0, 1); (1, 2) ] in
+  let tokens _ = 1 and time _ = 1 in
+  let t = Schedule.build g ~tokens ~time in
+  checki "rate num" 1 t.Schedule.rate.Cycle_ratio.num;
+  checki "rate den" 1 t.Schedule.rate.Cycle_ratio.den;
+  checki "period" 1 t.Schedule.period;
+  checkb "checker accepts" true (Schedule.check g ~tokens ~time t = Ok ())
+
+let test_schedule_deadlocked_loop () =
+  (* A token-free cycle can never fire: rate 0/1, all-zero words. *)
+  let g = graph_of 2 [ (0, 1); (1, 0) ] in
+  let tokens _ = 0 and time _ = 1 in
+  let t = Schedule.build g ~tokens ~time in
+  checki "rate num" 0 t.Schedule.rate.Cycle_ratio.num;
+  checkb "vertex 0 never fires" false (Schedule.fires_at t 0 7);
+  checki "no firings in 100 cycles" 0 (Schedule.firings_before t 0 100);
+  checkb "checker accepts" true (Schedule.check g ~tokens ~time t = Ok ())
+
+let test_schedule_balanced_examples () =
+  checkb "10110 balanced" true (Schedule.is_balanced [| true; false; true; true; false |]);
+  checkb "1100 unbalanced" false (Schedule.is_balanced [| true; true; false; false |])
+
+let schedule_of (n, edges) =
+  let g = graph_of n edges in
+  (g, Schedule.build g ~tokens:edge_tokens ~time:edge_time)
+
+let prop_schedule_words_balanced =
+  QCheck2.Test.make ~count:300
+    ~name:"schedule words are balanced with exactly rate.num ones" gen_sc_graph
+    (fun (n, edges) ->
+      let _, t = schedule_of (n, edges) in
+      let ones w = Array.fold_left (fun a b -> if b then a + 1 else a) 0 w in
+      Array.length t.Schedule.words = n
+      && Array.for_all
+           (fun w ->
+             Array.length w = t.Schedule.period
+             && ones w = t.Schedule.rate.Cycle_ratio.num
+             && Schedule.is_balanced w)
+           t.Schedule.words)
+
+let prop_schedule_rate_is_mcr =
+  QCheck2.Test.make ~count:300
+    ~name:"schedule rate = minimum cycle ratio, exactly as a rational" gen_sc_graph
+    (fun (n, edges) ->
+      let g, t = schedule_of (n, edges) in
+      match Cycle_ratio.minimum g ~cost:edge_tokens ~time:edge_time with
+      | None -> false (* strongly connected => cyclic *)
+      | Some (mcr, _) ->
+        Cycle_ratio.ratio_compare t.Schedule.rate mcr = 0
+        && List.for_all
+             (fun v -> Schedule.word_rate t v = t.Schedule.rate)
+             (Digraph.vertices g))
+
+let prop_schedule_check_accepts =
+  QCheck2.Test.make ~count:300 ~name:"schedule checker accepts every built schedule"
+    gen_sc_graph
+    (fun (n, edges) ->
+      let g, t = schedule_of (n, edges) in
+      Schedule.check g ~tokens:edge_tokens ~time:edge_time t = Ok ())
+
+let prop_schedule_mutation_rejected =
+  QCheck2.Test.make ~count:300 ~name:"schedule checker rejects any single flipped word bit"
+    gen_sc_graph
+    (fun (n, edges) ->
+      let g, t = schedule_of (n, edges) in
+      (* Flip one bit at a position derived from the instance, so the
+         300 runs between them exercise many vertices and phases. *)
+      let words = Array.map Array.copy t.Schedule.words in
+      let v = List.length edges mod n in
+      let i = (n + List.length edges) mod t.Schedule.period in
+      words.(v).(i) <- not words.(v).(i);
+      match Schedule.check g ~tokens:edge_tokens ~time:edge_time { t with Schedule.words } with
+      | Error _ -> true
+      | Ok () -> false)
+
+(* ------------------------------------------------------------------ *)
 (* Shortest_path                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -515,6 +622,10 @@ let () =
         prop_howard_matches_karp_sc;
         prop_howard_matches_karp_max_sc;
         prop_ratio_max_min_duality;
+        prop_schedule_words_balanced;
+        prop_schedule_rate_is_mcr;
+        prop_schedule_check_accepts;
+        prop_schedule_mutation_rejected;
         prop_bf_agrees_with_dijkstra;
         prop_bf_detects_negative_cycles;
         prop_topo_iff_no_cycles;
@@ -561,6 +672,13 @@ let () =
         [
           Alcotest.test_case "known loop" `Quick test_howard_known;
           Alcotest.test_case "acyclic" `Quick test_howard_acyclic;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "known loop" `Quick test_schedule_known_loop;
+          Alcotest.test_case "acyclic" `Quick test_schedule_acyclic;
+          Alcotest.test_case "deadlocked loop" `Quick test_schedule_deadlocked_loop;
+          Alcotest.test_case "balance examples" `Quick test_schedule_balanced_examples;
         ] );
       ( "shortest_path",
         [

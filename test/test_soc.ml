@@ -503,10 +503,13 @@ module Process = Wp_lis.Process
 
 let mode_name = function Shell.Plain -> "plain" | Shell.Oracle -> "oracle"
 
-(* Engine differential: the compiled kernel must be byte-identical to
-   the reference interpreter — same outcome and cycle count, same
-   per-channel delivered totals, same per-shell statistics and same
-   recorded token streams on every output port. *)
+(* Engine differential: the compiled kernel and the static-schedule
+   replay must both be byte-identical to the reference interpreter —
+   same outcome and cycle count, same per-channel delivered totals,
+   same per-shell statistics and same recorded token streams on every
+   output port.  Oracle mode has no static firing word, so there the
+   static engine must refuse with [Unschedulable] rather than ever
+   produce an answer. *)
 let engine_differential ~(note : string -> unit) ~seed ~machine ~mode ~rs program =
   let note fmt = Printf.ksprintf note fmt in
   let exec kind =
@@ -516,32 +519,52 @@ let engine_differential ~(note : string -> unit) ~seed ~machine ~mode ~rs progra
     (dp.Datapath.network, sim, outcome)
   in
   let ctx = Printf.sprintf "%s/%s" (Datapath.machine_name machine) (mode_name mode) in
-  match (exec Sim.Reference, exec Sim.Fast) with
-  | (net, ref_sim, ref_out), (_, fast_sim, fast_out) ->
-    if ref_out <> fast_out then
-      note "seed %d: %s engines disagree on outcome" seed ctx;
-    if Sim.cycles ref_sim <> Sim.cycles fast_sim then
-      note "seed %d: %s engines disagree on cycle count (%d vs %d)" seed ctx
-        (Sim.cycles ref_sim) (Sim.cycles fast_sim);
-    List.iter
-      (fun c ->
-        if Sim.delivered ref_sim c <> Sim.delivered fast_sim c then
-          note "seed %d: %s engines disagree on delivered(%s)" seed ctx
-            (Wp_sim.Network.channel_label net c))
-      (Wp_sim.Network.channels net);
-    List.iter
-      (fun n ->
-        let proc = Wp_sim.Network.node_process net n in
-        if Sim.node_stats ref_sim n <> Sim.node_stats fast_sim n then
-          note "seed %d: %s engines disagree on stats(%s)" seed ctx proc.Process.name;
-        Array.iteri
-          (fun p _ ->
-            if Sim.output_trace ref_sim n p <> Sim.output_trace fast_sim n p then
-              note "seed %d: %s engines disagree on trace %s.%s" seed ctx
-                proc.Process.name proc.Process.output_names.(p))
-          proc.Process.output_names)
-      (Wp_sim.Network.nodes net)
-  | exception e -> note "seed %d: engine differential raised %s" seed (Printexc.to_string e)
+  match exec Sim.Reference with
+  | exception e -> note "seed %d: reference engine raised %s" seed (Printexc.to_string e)
+  | net, ref_sim, ref_out ->
+    let compare_to kind =
+      match exec kind with
+      | exception e ->
+        note "seed %d: %s %s engine raised %s" seed ctx (Sim.kind_to_string kind)
+          (Printexc.to_string e)
+      | _, sim, out ->
+        let k = Sim.kind_to_string kind in
+        if ref_out <> out then
+          note "seed %d: %s %s engine disagrees on outcome" seed ctx k;
+        if Sim.cycles ref_sim <> Sim.cycles sim then
+          note "seed %d: %s %s engine disagrees on cycle count (%d vs %d)" seed ctx k
+            (Sim.cycles ref_sim) (Sim.cycles sim);
+        List.iter
+          (fun c ->
+            if Sim.delivered ref_sim c <> Sim.delivered sim c then
+              note "seed %d: %s %s engine disagrees on delivered(%s)" seed ctx k
+                (Wp_sim.Network.channel_label net c))
+          (Wp_sim.Network.channels net);
+        List.iter
+          (fun n ->
+            let proc = Wp_sim.Network.node_process net n in
+            if Sim.node_stats ref_sim n <> Sim.node_stats sim n then
+              note "seed %d: %s %s engine disagrees on stats(%s)" seed ctx k
+                proc.Process.name;
+            Array.iteri
+              (fun p _ ->
+                if Sim.output_trace ref_sim n p <> Sim.output_trace sim n p then
+                  note "seed %d: %s %s engine disagrees on trace %s.%s" seed ctx k
+                    proc.Process.name proc.Process.output_names.(p))
+              proc.Process.output_names)
+          (Wp_sim.Network.nodes net)
+    in
+    compare_to Sim.Fast;
+    (match mode with
+    | Shell.Plain -> compare_to Sim.Static
+    | Shell.Oracle -> (
+      (* Never a wrong answer: oracle configurations must be rejected. *)
+      match exec Sim.Static with
+      | _ -> note "seed %d: %s static engine accepted an oracle configuration" seed ctx
+      | exception Wp_sim.Static.Unschedulable _ -> ()
+      | exception e ->
+        note "seed %d: %s static engine raised %s instead of Unschedulable" seed ctx
+          (Printexc.to_string e)))
 
 (* Seed policy (documented in EXPERIMENTS.md): program seeds are
    0 .. battery_seeds-1, and the RS configuration for program seed [s]
@@ -555,11 +578,20 @@ let battery_config seed =
   Config.of_alist
     (List.map (fun conn -> (conn, Wp_util.Prng.int prng 3)) Datapath.all_connections)
 
+(* The engines expected to answer a given shell mode: every engine on
+   plain (statically schedulable) specs, only the dynamic ones under
+   the oracle — there the static engine must refuse, which
+   [engine_differential] asserts. *)
+let engines_for = function
+  | Shell.Plain -> [ Sim.Reference; Sim.Fast; Sim.Static ]
+  | Shell.Oracle -> [ Sim.Reference; Sim.Fast ]
+
 (* One battery case: a random program under a random RS budget must
    (a) leave the scratch region exactly as the ISS does, on both timed
-   machines, in both shell modes, and (b) pass the full trace-level
-   equivalence check (every port prefix-compatible with the golden
-   system) in both modes.  Returns human-readable failure strings. *)
+   machines, in both shell modes, under every engine that admits the
+   spec, and (b) pass the full trace-level equivalence check (every
+   port prefix-compatible with the golden system) in both modes.
+   Returns human-readable failure strings. *)
 let battery_case seed =
   let program = Random_program.generate ~seed () in
   let config = battery_config seed in
@@ -586,7 +618,7 @@ let battery_case seed =
                 note "seed %d: %s/%s raised %s" seed
                   (Datapath.machine_name machine) (Sim.kind_to_string engine)
                   (Printexc.to_string e))
-            [ Sim.Reference; Sim.Fast ];
+            (engines_for mode);
           engine_differential
             ~note:(fun s -> failures := s :: !failures)
             ~seed ~machine ~mode ~rs program)
@@ -622,7 +654,7 @@ let battery_case seed =
               (Option.value ~default:"?" v.Equiv_check.first_mismatch)
               (Config.describe config) repro_info
           end)
-        [ Sim.Reference; Sim.Fast ])
+        (engines_for mode))
     modes;
   List.rev !failures
 
@@ -693,6 +725,70 @@ let test_capacity_sweep_correct_and_monotone () =
   checkb "capacity 3 no slower" true (c3 <= c2);
   checkb "capacity 4 no slower" true (c4 <= c3);
   checkb "unbounded fastest" true (unbounded <= c4)
+
+(* ------------------------------------------------------------------ *)
+(* Static schedule vs measured WP1 throughput                         *)
+(* ------------------------------------------------------------------ *)
+
+module Static = Wp_sim.Static
+module Table1 = Wp_core.Table1
+module Cycle_ratio = Wp_graph.Cycle_ratio
+
+(* Every Table 1 network (both datapaths, the ideal / single-RS /
+   All 1 / All-1-and-2 configurations).  The steady-state firing word
+   the static prepass measures — by replaying the stop/valid handshake
+   on occupancy counts — must sustain exactly the rate of the
+   balanced-word schedule on the capacity-extended marked graph: the
+   same rational, in lowest terms, for every block of the datapath. *)
+let table1_configs =
+  [ ("All 0 (ideal)", Config.zero) ]
+  @ List.map
+      (fun conn -> ("Only " ^ Datapath.connection_name conn, Config.only conn 1))
+      Table1.single_rs_order
+  @ [ ("All 1 (no CU-IC)", Config.uniform ~except:[ Datapath.CU_IC ] 1) ]
+  @ List.map
+      (fun conn ->
+        ( "All 1 and 2 " ^ Datapath.connection_name conn,
+          Config.set (Config.uniform ~except:[ Datapath.CU_IC ] 1) conn 2 ))
+      Table1.single_rs_order
+
+(* Paper rationals worth pinning by hand (pipelined machine): the ideal
+   system runs at speed, CU-AL's 3-cycle loop gives 2/3, the CU-IC
+   fetch bundle halves throughput. *)
+let pinned_rates =
+  [ ("All 0 (ideal)", (1, 1)); ("Only CU-AL", (2, 3)); ("Only CU-IC", (1, 2)) ]
+
+let test_static_rate_matches_schedule () =
+  let program = Programs.fibonacci ~n:4 in
+  let show r = Printf.sprintf "%d/%d" r.Cycle_ratio.num r.Cycle_ratio.den in
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun (label, config) ->
+          let dp = Datapath.build ~machine ~rs:(Config.to_fun config) program in
+          let net = dp.Datapath.network in
+          let st = Static.create ~mode:Shell.Plain net in
+          let sched = Static.schedule net in
+          let rate = sched.Wp_graph.Schedule.rate in
+          (if machine = Datapath.Pipelined then
+             match List.assoc_opt label pinned_rates with
+             | Some (num, den) ->
+               if Cycle_ratio.ratio_compare rate (Cycle_ratio.make_ratio num den) <> 0
+               then
+                 Alcotest.failf "%s: schedule rate %s, paper says %d/%d" label
+                   (show rate) num den
+             | None -> ());
+          List.iter
+            (fun n ->
+              let measured = Static.rate st n in
+              if Cycle_ratio.ratio_compare measured rate <> 0 then
+                Alcotest.failf "%s/%s: block %s fires at %s, schedule says %s"
+                  (Datapath.machine_name machine) label
+                  (Wp_sim.Network.node_process net n).Process.name (show measured)
+                  (show rate))
+            (Wp_sim.Network.nodes net))
+        table1_configs)
+    [ Datapath.Pipelined; Datapath.Multicycle ]
 
 (* The flagship property: any RS budget, any machine, any mode — the
    architectural result always matches the ISS (the paper's equivalence
@@ -782,6 +878,11 @@ let () =
         [ Alcotest.test_case "full processor" `Quick test_denotational_cpu ] );
       ( "capacity",
         [ Alcotest.test_case "sweep correct and monotone" `Quick test_capacity_sweep_correct_and_monotone ] );
+      ( "static_schedule",
+        [
+          Alcotest.test_case "word rate = schedule rate on Table 1 networks" `Quick
+            test_static_rate_matches_schedule;
+        ] );
       ( "datapath",
         [
           Alcotest.test_case "topology" `Quick test_datapath_topology;
