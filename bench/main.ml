@@ -206,7 +206,7 @@ let multicycle () =
   in
   let records =
     timed "multicycle" (fun () ->
-        Runner.experiments ~engine runner ~machine:Datapath.Multicycle ~program
+        Runner.experiments_spec ~spec:(Wp_core.Run_spec.v ~engine ()) runner ~machine:Datapath.Multicycle ~program
           (List.map snd specs))
   in
   List.iter2
@@ -332,7 +332,7 @@ let ablation () =
   in
   let records =
     timed "ablation" (fun () ->
-        Runner.experiments ~engine runner ~machine:Datapath.Pipelined ~program
+        Runner.experiments_spec ~spec:(Wp_core.Run_spec.v ~engine ()) runner ~machine:Datapath.Pipelined ~program
           (List.map snd specs))
   in
   List.iter2
@@ -458,7 +458,7 @@ let depth_sweep () =
   in
   let records =
     timed "depth-sweep" (fun () ->
-        Runner.experiments ~engine runner ~machine:Datapath.Pipelined ~program configs)
+        Runner.experiments_spec ~spec:(Wp_core.Run_spec.v ~engine ()) runner ~machine:Datapath.Pipelined ~program configs)
   in
   let cells =
     List.map
@@ -527,7 +527,7 @@ loop:   addi r1, r1, -1
     (fun program ->
       let g m = (Experiment.golden ~engine ~machine:m program).Wp_soc.Cpu.cycles in
       let wp2 m =
-        (Runner.experiment ~engine runner ~machine:m ~program all1).Experiment.wp2
+        (Runner.experiment_spec ~spec:(Wp_core.Run_spec.v ~engine ()) runner ~machine:m ~program all1).Experiment.wp2
           .Wp_soc.Cpu.cycles
       in
       let plain = g Datapath.Pipelined and btfn = g Datapath.Pipelined_btfn in

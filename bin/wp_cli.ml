@@ -10,115 +10,32 @@ module Config = Wp_core.Config
 
 (* --- shared argument parsing --------------------------------------- *)
 
-(* "asm:PATH" loads and assembles a source file — this is how shrunk
-   counterexamples written by the fault batteries are replayed.  Every
-   failure mode (missing file, unreadable file, parse error, assembler
-   exception) comes back as a one-line [`Msg] so the driver exits
-   nonzero with a summary instead of dumping a backtrace. *)
-let assembly_program path =
-  if not (Sys.file_exists path) then
-    Error (`Msg (Printf.sprintf "assembly file %S not found" path))
-  else
-    match
-      let ic = open_in path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    with
-    | exception Sys_error msg ->
-      Error (`Msg (Printf.sprintf "cannot read %S: %s" path msg))
-    | exception e ->
-      Error (`Msg (Printf.sprintf "cannot read %S: %s" path (Printexc.to_string e)))
-    | source -> (
-      match Wp_soc.Asm.assemble source with
-      | Error e -> Error (`Msg (Format.asprintf "%s: %a" path Wp_soc.Asm.pp_error e))
-      | exception e ->
-        Error
-          (`Msg (Printf.sprintf "%s: assembler error: %s" path (Printexc.to_string e)))
-      | Ok text ->
-        Ok
-          {
-            Wp_soc.Program.name = Filename.remove_extension (Filename.basename path);
-            source;
-            text;
-            mem_size = 4096;
-            mem_init = [];
-            result_region = (0, 0);
-          })
-
-let program_of_string s =
-  let name, raw_param =
-    match String.index_opt s ':' with
-    | None -> (s, None)
-    | Some i -> (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
-  in
-  if name = "asm" then
-    match raw_param with
-    | Some path -> assembly_program path
-    | None -> Error (`Msg "asm needs a file: asm:PATH")
-  else
-  let param = Option.bind raw_param int_of_string_opt in
-  let size default = Option.value param ~default in
-  match name with
-  | "sort" -> Ok (Programs.extraction_sort ~values:(Programs.sort_values ~seed:1 ~n:(size 16)))
-  | "matmul" ->
-    let n = size 5 in
-    Ok
-      (Programs.matrix_multiply ~n ~a:(Programs.matrix_values ~seed:2 ~n)
-         ~b:(Programs.matrix_values ~seed:3 ~n))
-  | "fib" -> Ok (Programs.fibonacci ~n:(size 20))
-  | "dot" ->
-    let n = size 12 in
-    Ok (Programs.dot_product ~x:(Programs.sort_values ~seed:4 ~n) ~y:(Programs.sort_values ~seed:5 ~n))
-  | "memcpy" -> Ok (Programs.memcpy ~values:(Programs.sort_values ~seed:6 ~n:(size 12)))
-  | "bubble" -> Ok (Programs.bubble_sort ~values:(Programs.sort_values ~seed:7 ~n:(size 12)))
-  | "random" -> Ok (Wp_soc.Random_program.generate ~seed:(size 1) ())
-  | _ ->
-    Error
-      (`Msg
-        (Printf.sprintf
-           "unknown program %S (try sort, matmul, fib, dot, memcpy, bubble, random, asm:FILE)" s))
+(* The grammars live next to the types they produce
+   ({!Programs.of_string}, {!Datapath.machine_of_name},
+   {!Config.of_string}) so the serve daemon's wire protocol and this
+   CLI accept exactly the same strings; here they only get wrapped into
+   cmdliner converters. *)
 
 let program_conv =
   Arg.conv
-    ( (fun s -> program_of_string s),
+    ( (fun s -> Programs.of_string s |> Result.map_error (fun m -> `Msg m)),
       fun ppf p -> Format.pp_print_string ppf p.Wp_soc.Program.name )
 
 let machine_conv =
   Arg.conv
     ( (fun s ->
-        match String.lowercase_ascii s with
-        | "pipelined" | "p" -> Ok Datapath.Pipelined
-        | "btfn" | "pipelined+btfn" -> Ok Datapath.Pipelined_btfn
-        | "multicycle" | "mc" | "m" -> Ok Datapath.Multicycle
-        | _ -> Error (`Msg "machine must be 'pipelined', 'btfn' or 'multicycle'")),
+        match Datapath.machine_of_name s with
+        | Some m -> Ok m
+        | None -> Error (`Msg "machine must be 'pipelined', 'btfn' or 'multicycle'")),
       fun ppf m -> Format.pp_print_string ppf (Datapath.machine_name m) )
 
-(* "CU-AL=1,DC-RF=2" *)
-let config_of_string s =
-  if String.trim s = "" || String.lowercase_ascii (String.trim s) = "none" then Ok Config.zero
-  else begin
-    let parts = String.split_on_char ',' s in
-    let parse_part acc part =
-      match acc with
-      | Error _ as e -> e
-      | Ok config ->
-        (match String.split_on_char '=' (String.trim part) with
-        | [ conn_name; count ] ->
-          (match (Datapath.connection_of_name conn_name, int_of_string_opt count) with
-          | Some conn, Some n when n >= 0 -> Ok (Config.set config conn n)
-          | None, _ -> Error (`Msg (Printf.sprintf "unknown connection %S" conn_name))
-          | _, (Some _ | None) -> Error (`Msg (Printf.sprintf "bad count in %S" part)))
-        | _ -> Error (`Msg (Printf.sprintf "expected CONN=N, got %S" part)))
-    in
-    List.fold_left parse_part (Ok Config.zero) parts
-  end
-
 let config_conv =
-  Arg.conv ((fun s -> config_of_string s), fun ppf c -> Config.pp ppf c)
+  Arg.conv
+    ( (fun s -> Config.of_string s |> Result.map_error (fun m -> `Msg m)),
+      fun ppf c -> Config.pp ppf c )
 
 let program_arg =
-  Arg.(value & opt program_conv (Result.get_ok (program_of_string "sort")) & info [ "p"; "program" ] ~docv:"PROG" ~doc:"Workload: sort[:n], matmul[:n], fib[:n], dot[:n], memcpy[:n], bubble[:n], random[:seed], asm:FILE.")
+  Arg.(value & opt program_conv (Result.get_ok (Programs.of_string "sort")) & info [ "p"; "program" ] ~docv:"PROG" ~doc:"Workload: sort[:n], matmul[:n], fib[:n], dot[:n], memcpy[:n], bubble[:n], random[:seed], asm:FILE.")
 
 let machine_arg =
   Arg.(value & opt machine_conv Datapath.Pipelined & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"CPU fashion: pipelined or multicycle.")
@@ -777,6 +694,219 @@ let rtl_cmd =
     (Cmd.info "rtl" ~doc:"Generate the VHDL wrappers, relay station and testbench")
     Term.(const run $ out_dir $ oracle)
 
+(* --- serve / client ---------------------------------------------------- *)
+
+module Service = Wp_core.Service
+module Wire = Wp_core.Wire
+
+let socket_arg =
+  Arg.(value & opt string "/tmp/wirepipe.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path of the experiment daemon.")
+
+let serve_cmd =
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Directory for the on-disk experiment cache (default: \
+                   $(b,WIREPIPE_CACHE) or $(b,.wirepipe-cache)).")
+  in
+  let queue_bound =
+    Arg.(value & opt int 32
+         & info [ "queue-bound" ] ~docv:"N"
+             ~doc:"Per-client pending-request cap; a request arriving on a \
+                   full queue is answered $(b,Busy) immediately instead of \
+                   buffering without bound.")
+  in
+  let shard =
+    Arg.(value & opt int 8
+         & info [ "shard" ] ~docv:"N"
+             ~doc:"Lanes per batch-kernel shard handed to the worker pool.")
+  in
+  let batch_max =
+    Arg.(value & opt int 64
+         & info [ "batch-max" ] ~docv:"N"
+             ~doc:"Requests drained per dispatch round (round robin, at most \
+                   one per client per round).")
+  in
+  let run socket jobs no_cache cache_dir queue_bound shard batch_max =
+    let runner =
+      Wp_core.Runner.create ?jobs ~cache:(not no_cache) ?cache_dir ()
+    in
+    let svc = Service.create ~queue_bound ~shard ~batch_max ~runner socket in
+    Printf.printf "wirepipe serve: listening on %s\n%!" socket;
+    (* Block until SIGINT/SIGTERM; the handler only flips a flag — the
+       actual teardown (joining service threads, unlinking the socket,
+       draining the pool) happens on this thread. *)
+    let stopping = ref false in
+    let handler = Sys.Signal_handle (fun _ -> stopping := true) in
+    Sys.set_signal Sys.sigint handler;
+    Sys.set_signal Sys.sigterm handler;
+    while not !stopping do Thread.delay 0.1 done;
+    Service.stop svc;
+    Wp_core.Runner.shutdown runner;
+    Printf.printf "wirepipe serve: stopped after %d requests\n%!"
+      (Service.served svc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the multi-tenant experiment daemon on a Unix socket")
+    Term.(const run $ socket_arg $ jobs_arg $ no_cache_arg $ cache_dir
+          $ queue_bound $ shard $ batch_max)
+
+let client_cmd =
+  (* The wire protocol carries the *textual* parameter forms (the daemon
+     parses them with the same library grammars the local commands use),
+     so these are plain string options, not the parsed converters. *)
+  let program_str =
+    Arg.(value & opt string "sort"
+         & info [ "p"; "program" ] ~docv:"PROG"
+             ~doc:"Workload, textual form (same grammar as the local \
+                   commands: sort[:n], matmul[:n], random[:seed], ...).")
+  in
+  let machine_str =
+    Arg.(value & opt string "pipelined"
+         & info [ "m"; "machine" ] ~docv:"MACHINE"
+             ~doc:"CPU fashion: pipelined, btfn or multicycle.")
+  in
+  let config_str =
+    Arg.(value & opt string "none"
+         & info [ "rs" ] ~docv:"CONFIG"
+             ~doc:"Relay stations, e.g. 'CU-AL=1,DC-RF=2' (or 'none').")
+  in
+  let repeat =
+    Arg.(value & opt int 1
+         & info [ "n"; "repeat" ] ~docv:"N"
+             ~doc:"Send the request N times (load generation; after the \
+                   first miss the rest are cache hits).")
+  in
+  let window =
+    Arg.(value & opt int 1
+         & info [ "window" ] ~docv:"N"
+             ~doc:"Pipelining window: requests kept in flight at once.")
+  in
+  let max_p99 =
+    Arg.(value & opt float 0.0
+         & info [ "max-p99" ] ~docv:"MS"
+             ~doc:"Exit non-zero if the observed p99 latency exceeds MS \
+                   milliseconds (0 disables the gate).")
+  in
+  let ping =
+    Arg.(value & flag
+         & info [ "ping" ] ~doc:"Round-trip a ping, print the latency, exit.")
+  in
+  let daemon_stats =
+    Arg.(value & flag
+         & info [ "daemon-stats" ]
+             ~doc:"Print the daemon's runner statistics and exit.")
+  in
+  let run socket program machine config engine capacity max_cycles fault
+      fault_seed repeat window max_p99 ping daemon_stats =
+    let conn = Service.Client.connect socket in
+    if ping then begin
+      let t0 = Unix.gettimeofday () in
+      (match Service.Client.call conn ~tag:0 Wire.Ping with
+      | Wire.Pong ->
+        Printf.printf "pong (%.2f ms)\n" ((Unix.gettimeofday () -. t0) *. 1e3)
+      | _ -> failwith "unexpected reply to ping");
+      Service.Client.close conn
+    end
+    else if daemon_stats then begin
+      (match Service.Client.call conn ~tag:0 Wire.Stats with
+      | Wire.Stats_reply
+          { st_jobs; st_tasks_run; st_cache_hits; st_cache_misses;
+            st_quarantined } ->
+        Printf.printf
+          "jobs %d, tasks run %d, cache %d hits / %d misses, %d quarantined\n"
+          st_jobs st_tasks_run st_cache_hits st_cache_misses st_quarantined
+      | _ -> failwith "unexpected reply to stats");
+      Service.Client.close conn
+    end
+    else begin
+      if repeat < 1 then invalid_arg "--repeat must be >= 1";
+      if window < 1 then invalid_arg "--window must be >= 1";
+      let args =
+        { (Wire.run_defaults ~program ~machine ~config) with
+          Wire.rq_engine = engine;
+          rq_capacity = capacity;
+          rq_max_cycles = max_cycles;
+          rq_fault = fault;
+          rq_fault_seed = fault_seed;
+        }
+      in
+      let lat = Array.make repeat 0.0 in
+      let sent_at = Array.make repeat 0.0 in
+      let first = ref None in
+      let busy = ref 0 and errors = ref 0 and hits = ref 0 in
+      let sent = ref 0 and recvd = ref 0 in
+      let t_start = Unix.gettimeofday () in
+      while !recvd < repeat do
+        while !sent < repeat && !sent - !recvd < window do
+          sent_at.(!sent) <- Unix.gettimeofday ();
+          Service.Client.send conn ~tag:!sent (Wire.Run args);
+          incr sent
+        done;
+        match Service.Client.recv conn with
+        | None -> failwith "daemon closed the connection"
+        | Some (tag, Wire.Busy) ->
+          (* Backpressure: resubmit the same tag after a beat.  Latency
+             keeps accumulating from the first send, so a saturated
+             daemon shows up in p99 rather than being hidden. *)
+          incr busy;
+          Thread.delay 0.002;
+          Service.Client.send conn ~tag (Wire.Run args)
+        | Some (tag, reply) ->
+          lat.(tag) <- Unix.gettimeofday () -. sent_at.(tag);
+          incr recvd;
+          (match reply with
+          | Wire.Result s ->
+            if s.Wire.rs_from_cache then incr hits;
+            if !first = None then first := Some s
+          | Wire.Error msg ->
+            incr errors;
+            Printf.eprintf "wirepipe client: daemon error: %s\n" msg
+          | Wire.Quarantined { attempts; last_error; _ } ->
+            incr errors;
+            Printf.eprintf "wirepipe client: quarantined after %d attempts: %s\n"
+              attempts last_error
+          | _ -> ())
+      done;
+      let elapsed = Unix.gettimeofday () -. t_start in
+      Service.Client.close conn;
+      (match !first with
+      | Some s ->
+        Printf.printf
+          "%s on %s, rs=%s: golden %d, WP1 %d cycles (th %.3f), WP2 %d cycles \
+           (th %.3f), gain %.1f%%\n"
+          s.Wire.rs_program s.Wire.rs_machine s.Wire.rs_config
+          s.Wire.rs_golden_cycles s.Wire.rs_wp1_cycles s.Wire.rs_th_wp1
+          s.Wire.rs_wp2_cycles s.Wire.rs_th_wp2 s.Wire.rs_gain_percent
+      | None -> ());
+      Array.sort compare lat;
+      let pct p = lat.(min (repeat - 1) (repeat * p / 100)) *. 1e3 in
+      let p50 = pct 50 and p99 = pct 99 in
+      if repeat > 1 || max_p99 > 0.0 then
+        Printf.printf
+          "%d requests in %.3f s (%.1f specs/sec), p50 %.2f ms, p99 %.2f ms, \
+           %d busy retries, %d cache hits, %d errors\n"
+          repeat elapsed
+          (float_of_int repeat /. elapsed)
+          p50 p99 !busy !hits !errors;
+      if !errors > 0 then exit 1;
+      if max_p99 > 0.0 && p99 > max_p99 then begin
+        Printf.eprintf "wirepipe client: p99 %.2f ms exceeds --max-p99 %.2f ms\n"
+          p99 max_p99;
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send experiment requests to a running daemon and report latency")
+    Term.(const run $ socket_arg $ program_str $ machine_str $ config_str
+          $ engine_str_arg $ capacity_arg $ max_cycles_arg $ fault_str_arg
+          $ fault_seed_arg $ repeat $ window $ max_p99 $ ping $ daemon_stats)
+
 let () =
   let doc = "wire-pipelined SoC design methodology (DATE'05 reproduction)" in
   let info = Cmd.info "wirepipe" ~version:"1.0.0" ~doc in
@@ -799,6 +929,8 @@ let () =
             optimal_cmd;
             wave_cmd;
             rtl_cmd;
+            serve_cmd;
+            client_cmd;
           ])
      with Wp_sim.Static.Unschedulable reason ->
        (* --engine static on a configuration with no static firing

@@ -75,3 +75,24 @@ let describe t =
   | _ -> String.concat " " parts
 
 let pp ppf t = Format.pp_print_string ppf (describe t)
+
+(* The CLI/service grammar: "CU-AL=1,DC-RF=2", or ""/"none" for zero.
+   Shared by [wp_cli] argument parsing and the serve daemon. *)
+let of_string s =
+  if String.trim s = "" || String.lowercase_ascii (String.trim s) = "none" then Ok zero
+  else begin
+    let parts = String.split_on_char ',' s in
+    let parse_part acc part =
+      match acc with
+      | Error _ as e -> e
+      | Ok config ->
+        (match String.split_on_char '=' (String.trim part) with
+        | [ conn_name; count ] ->
+          (match (Datapath.connection_of_name conn_name, int_of_string_opt count) with
+          | Some conn, Some n when n >= 0 -> Ok (set config conn n)
+          | None, _ -> Error (Printf.sprintf "unknown connection %S" conn_name)
+          | _, (Some _ | None) -> Error (Printf.sprintf "bad count in %S" part))
+        | _ -> Error (Printf.sprintf "expected CONN=N, got %S" part))
+    in
+    List.fold_left parse_part (Ok zero) parts
+  end

@@ -45,3 +45,8 @@ val digest : t -> string
 val pp : Format.formatter -> t -> unit
 val describe : t -> string
 (** Compact human description, e.g. ["ALU-RF=1 DC-RF=2"] or ["none"]. *)
+
+val of_string : string -> (t, string) result
+(** Parse ["CU-AL=1,DC-RF=2"] (or [""] / ["none"] for {!zero}); the
+    inverse of {!describe} up to ordering.  One-line [Error] on an
+    unknown connection name or malformed count. *)

@@ -137,6 +137,89 @@ let run ?engine ?max_cycles ?fault ?protect ~machine ~program config =
     ~spec:(Run_spec.v ?engine ?max_cycles ?fault ?protect ())
     ~machine ~program config
 
+(* Batched [run_spec]: every request contributes two lanes (WP1 plain +
+   WP2 oracle) of one structure-of-arrays kernel, so N requests compile
+   the netlist once per lane-set instead of running 2N full simulations.
+   Per-request failures (deadlock, exhausted budget, wrong result) come
+   back as [Error] in place — they must not poison the other lanes —
+   while a kernel-level raise (which only a non-benign fault can cause,
+   and [Runner.batchable] excludes those) propagates to the caller. *)
+let run_batch_spec ~machine
+    (requests : (Run_spec.t * Program.t * Config.t) array) =
+  let n = Array.length requests in
+  if n = 0 then [||]
+  else begin
+    Array.iter
+      (fun ((spec : Run_spec.t), _, _) ->
+        if spec.Run_spec.engine <> Wp_sim.Sim.Fast then
+          invalid_arg "Experiment.run_batch_spec: engine must be Fast")
+      requests;
+    let goldens =
+      Array.map
+        (fun ((spec : Run_spec.t), program, _) ->
+          golden ~engine:spec.Run_spec.engine ~machine program)
+        requests
+    in
+    let items =
+      Array.init (2 * n) (fun k ->
+          let i = k / 2 in
+          let (spec : Run_spec.t), program, config = requests.(i) in
+          {
+            Cpu.b_mode = (if k land 1 = 0 then Shell.Plain else Shell.Oracle);
+            b_rs = Config.to_fun config;
+            b_capacity = spec.Run_spec.capacity;
+            b_max_cycles = spec.Run_spec.max_cycles;
+            b_mcr_work = Some goldens.(i).Cpu.cycles;
+            b_fault = spec.Run_spec.fault;
+            b_program = program;
+          })
+    in
+    let lane_results = Cpu.run_batch ~machine items in
+    let validate (r : Cpu.result) (program : Program.t) config =
+      (* Same checks, same messages as [checked_run] — a quarantined
+         batch request reports exactly what its solo run would. *)
+      match r.Cpu.outcome with
+      | Cpu.Deadlocked ->
+        Error
+          (Printf.sprintf "Experiment: deadlock (%s, %s)" program.Program.name
+             (Config.describe config))
+      | Cpu.Out_of_cycles ->
+        Error
+          (Printf.sprintf "Experiment: cycle budget exhausted (%s, %s)"
+             program.Program.name (Config.describe config))
+      | Cpu.Completed ->
+        if not r.Cpu.result_ok then
+          Error
+            (Printf.sprintf "Experiment: wrong architectural result (%s, %s)"
+               program.Program.name (Config.describe config))
+        else Ok r
+    in
+    Array.init n (fun i ->
+        let _, program, config = requests.(i) in
+        let g = goldens.(i) in
+        match
+          ( validate lane_results.(2 * i) program config,
+            validate lane_results.((2 * i) + 1) program config )
+        with
+        | Error e, _ | _, Error e -> Error e
+        | Ok wp1, Ok wp2 ->
+          let th_wp1 = Cpu.throughput ~golden:g wp1 in
+          let th_wp2 = Cpu.throughput ~golden:g wp2 in
+          Ok
+            {
+              program_name = program.Program.name;
+              machine;
+              config;
+              golden_cycles = g.Cpu.cycles;
+              wp1;
+              wp2;
+              th_wp1;
+              th_wp2;
+              gain_percent = Wp_util.Stats.percent_gain th_wp1 th_wp2;
+              wp1_bound = Analysis.wp1_bound_float config;
+            })
+  end
+
 let wp2_cycles_objective_spec ~spec ~machine ~program config =
   let g = golden ~engine:spec.Run_spec.engine ~machine program in
   let wp2 =

@@ -62,6 +62,20 @@ val run :
     so pre-[Run_spec] callers keep compiling.  New code should build a
     spec. *)
 
+val run_batch_spec :
+  machine:Wp_soc.Datapath.machine ->
+  (Run_spec.t * Wp_soc.Program.t * Config.t) array ->
+  (record, string) result array
+(** Batched {!run_spec}: all requests become lanes (WP1 + WP2 each) of
+    one {!Wp_soc.Cpu.run_batch} kernel sharing a single compiled
+    netlist.  Results are in request order and each record is identical
+    to the corresponding {!run_spec}.  A request whose run deadlocks,
+    exhausts its budget or corrupts the result comes back as [Error]
+    with {!run_spec}'s failure message, without disturbing the other
+    lanes.  Specs must satisfy {!Runner.batchable}-style constraints:
+    @raise Invalid_argument if any spec's engine is not [Fast];
+    @raise Wp_sim.Batch.Unbatchable on capacity 0 or protection. *)
+
 val wp2_cycles_objective_spec :
   spec:Run_spec.t ->
   machine:Wp_soc.Datapath.machine ->

@@ -282,22 +282,6 @@ let objective_spec ~spec t ~machine ~program config =
     (fun () ->
       Experiment.wp2_cycles_objective_spec ~spec ~machine ~program config)
 
-(* Deprecated optional-argument wrappers over the spec API. *)
-
-let experiment ?engine ?max_cycles ?fault ?protect t ~machine ~program config =
-  experiment_spec
-    ~spec:(Run_spec.v ?engine ?max_cycles ?fault ?protect ())
-    t ~machine ~program config
-
-let experiments ?engine ?max_cycles ?fault ?protect t ~machine ~program configs
-    =
-  experiments_spec
-    ~spec:(Run_spec.v ?engine ?max_cycles ?fault ?protect ())
-    t ~machine ~program configs
-
-let objective ?engine t ~machine ~program config =
-  objective_spec ~spec:(Run_spec.v ?engine ()) t ~machine ~program config
-
 (* ------------------------------------------------------------------ *)
 (* Guarded experiments: quarantine + seeded-backoff retry.
 
@@ -386,19 +370,187 @@ let experiments_guarded_spec ~spec ?attempts ?retry_seed t ~machine ~program
     (experiment_guarded_spec ~spec ?attempts ?retry_seed t ~machine ~program)
     configs
 
-(* Deprecated optional-argument wrappers over the guarded spec API. *)
+(* ------------------------------------------------------------------ *)
+(* Batched experiments: SoA kernel sharding + cache + quarantine.
 
-let experiment_guarded ?engine ?max_cycles ?fault ?protect ?attempts
-    ?retry_seed t ~machine ~program config =
-  experiment_guarded_spec
-    ~spec:(Run_spec.v ?engine ?max_cycles ?fault ?protect ())
-    ?attempts ?retry_seed t ~machine ~program config
+   The service-facing entry point.  Requests are heterogeneous (any
+   machine / program / config / spec mix); each is first probed against
+   the cache, the batchable misses are grouped by machine and handed to
+   [Experiment.run_batch_spec] in shards across the pool's domains, and
+   everything the batch path cannot serve (non-batchable specs,
+   per-request batch failures) is routed through the guarded
+   retry/quarantine machinery, so a poisoned request degrades exactly as
+   it would in a sequential sweep. *)
+(* ------------------------------------------------------------------ *)
 
-let experiments_guarded ?engine ?max_cycles ?fault ?protect ?attempts
-    ?retry_seed t ~machine ~program configs =
-  experiments_guarded_spec
-    ~spec:(Run_spec.v ?engine ?max_cycles ?fault ?protect ())
-    ?attempts ?retry_seed t ~machine ~program configs
+type request = {
+  req_spec : Run_spec.t;
+  req_machine : Datapath.machine;
+  req_program : Program.t;
+  req_config : Config.t;
+}
+
+let batchable (spec : Run_spec.t) =
+  (* The batch kernel IS the Fast engine, one lane per run.  Destructive
+     (non-benign) faults are excluded because they may legitimately make
+     a process closure raise — identically to the solo run, but a raise
+     in a fused loop poisons every lane of the batch.  Protection and
+     telemetry carry per-run state the SoA kernel does not model, and a
+     record computed by the batch must be byte-identical to the one the
+     solo path would cache under the same key. *)
+  spec.Run_spec.engine = Wp_sim.Sim.Fast
+  && Wp_sim.Fault.benign spec.Run_spec.fault
+  && spec.Run_spec.capacity >= 1
+  && Protect.is_none spec.Run_spec.protect
+  && Telemetry.is_off spec.Run_spec.telemetry
+
+(* Cache probe without compute: memory table first, then the
+   digest-guarded disk layer (promoted into memory on hit, first stored
+   value winning as in [lookup]).  Does not touch the hit/miss counters
+   — the caller accounts for the request's final disposition exactly
+   once. *)
+let probe t table ~ns key =
+  if not t.cache then None
+  else begin
+    Mutex.lock t.mutex;
+    let mem = Hashtbl.find_opt table key in
+    Mutex.unlock t.mutex;
+    match mem with
+    | Some _ -> mem
+    | None -> (
+      match disk_read t ~ns key with
+      | None -> None
+      | Some v ->
+        Mutex.lock t.mutex;
+        let winner =
+          match Hashtbl.find_opt table key with
+          | Some first -> first
+          | None ->
+            Hashtbl.replace table key v;
+            v
+        in
+        Mutex.unlock t.mutex;
+        Some winner)
+  end
+
+(* Store a batch-computed value under its key (memory + disk), first
+   writer winning so every caller's view stays identical. *)
+let store t table ~ns key v =
+  if not t.cache then v
+  else begin
+    Mutex.lock t.mutex;
+    let winner =
+      match Hashtbl.find_opt table key with
+      | Some first -> first
+      | None ->
+        Hashtbl.replace table key v;
+        v
+    in
+    Mutex.unlock t.mutex;
+    if winner == v then disk_write t ~ns key v;
+    winner
+  end
+
+let experiments_batch_spec ?attempts ?retry_seed ?(shard = 8) t requests =
+  let reqs = Array.of_list requests in
+  let n = Array.length reqs in
+  let keys =
+    Array.map
+      (fun r ->
+        key ~spec:r.req_spec ~machine:r.req_machine ~program:r.req_program
+          r.req_config)
+      reqs
+  in
+  let results : (outcome * bool) option array = Array.make n None in
+  (* Phase 1: answer what the cache already holds. *)
+  Array.iteri
+    (fun i _ ->
+      match probe t t.records ~ns:"rec" keys.(i) with
+      | Some record ->
+        Mutex.lock t.mutex;
+        t.cache_hits <- t.cache_hits + 1;
+        Mutex.unlock t.mutex;
+        note_telemetry t record;
+        results.(i) <- Some (Completed record, true)
+      | None -> ())
+    reqs;
+  let misses =
+    List.filter (fun i -> results.(i) = None) (List.init n Fun.id)
+  in
+  let batch_misses, solo_misses =
+    List.partition (fun i -> batchable reqs.(i).req_spec) misses
+  in
+  let fallback i =
+    let r = reqs.(i) in
+    let o =
+      experiment_guarded_spec ~spec:r.req_spec ?attempts ?retry_seed t
+        ~machine:r.req_machine ~program:r.req_program r.req_config
+    in
+    results.(i) <- Some (o, false)
+  in
+  (* Phase 2: shard the batchable misses, one machine group at a time
+     (lanes of one kernel must share a topology; all programs on one
+     machine do). *)
+  let groups : (Datapath.machine, int list) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun i ->
+      let m = reqs.(i).req_machine in
+      let prev = Option.value (Hashtbl.find_opt groups m) ~default:[] in
+      Hashtbl.replace groups m (i :: prev))
+    batch_misses;
+  Hashtbl.iter
+    (fun machine idxs_rev ->
+      let idxs = Array.of_list (List.rev idxs_rev) in
+      (* Warm the golden memos through the quarantine: a failing
+         reference run must surface as per-request [Failed]s from the
+         fallback path, never as a dead batch. *)
+      Array.iter
+        (fun i ->
+          try
+            ignore
+              (Experiment.golden ~engine:reqs.(i).req_spec.Run_spec.engine
+                 ~machine reqs.(i).req_program)
+          with _ -> ())
+        idxs;
+      let shard_results =
+        try
+          Pool.map_shards t.pool ~shard
+            (fun chunk ->
+              try
+                Experiment.run_batch_spec ~machine
+                  (Array.map
+                     (fun i ->
+                       (reqs.(i).req_spec, reqs.(i).req_program,
+                        reqs.(i).req_config))
+                     chunk)
+              with e ->
+                (* A kernel-level raise poisons the whole shard; every
+                   request in it retries through the solo guarded path. *)
+                Array.map (fun _ -> Error (Printexc.to_string e)) chunk)
+            idxs
+        with e -> Array.map (fun _ -> Error (Printexc.to_string e)) idxs
+      in
+      Array.iteri
+        (fun j i ->
+          match shard_results.(j) with
+          | Ok record ->
+            Mutex.lock t.mutex;
+            t.tasks_run <- t.tasks_run + 1;
+            t.cache_misses <- t.cache_misses + 1;
+            Mutex.unlock t.mutex;
+            let winner = store t t.records ~ns:"rec" keys.(i) record in
+            note_telemetry t winner;
+            results.(i) <- Some (Completed winner, false)
+          | Error _ ->
+            (* The batch already knows this request fails; the guarded
+               path re-runs it solo (bounded retries, escalating budget)
+               and quarantines it with a repro line if it still fails. *)
+            fallback i)
+        idxs)
+    groups;
+  List.iter fallback solo_misses;
+  Array.to_list
+    (Array.map (function Some x -> x | None -> assert false) results)
 
 let timed t name f =
   let t0 = Unix.gettimeofday () in

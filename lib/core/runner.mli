@@ -102,31 +102,6 @@ val experiments_spec :
     the batch (see {!experiments_guarded_spec} for the quarantining
     variant). *)
 
-val experiment :
-  ?engine:Wp_sim.Sim.kind ->
-  ?max_cycles:int ->
-  ?fault:Wp_sim.Fault.spec ->
-  ?protect:Protect.t ->
-  t ->
-  machine:Wp_soc.Datapath.machine ->
-  program:Wp_soc.Program.t ->
-  Config.t ->
-  Experiment.record
-(** Deprecated thin wrapper over {!experiment_spec} (via
-    {!Run_spec.v}); kept so pre-[Run_spec] callers keep compiling. *)
-
-val experiments :
-  ?engine:Wp_sim.Sim.kind ->
-  ?max_cycles:int ->
-  ?fault:Wp_sim.Fault.spec ->
-  ?protect:Protect.t ->
-  t ->
-  machine:Wp_soc.Datapath.machine ->
-  program:Wp_soc.Program.t ->
-  Config.t list ->
-  Experiment.record list
-(** Deprecated thin wrapper over {!experiments_spec}. *)
-
 type failure = {
   failed_key : string;     (** the full cache key of the failed task *)
   attempts_made : int;
@@ -170,33 +145,38 @@ val experiments_guarded_spec :
     experiment no longer kills the sweep — it comes back as [Failed] in
     its input position while every other configuration completes. *)
 
-val experiment_guarded :
-  ?engine:Wp_sim.Sim.kind ->
-  ?max_cycles:int ->
-  ?fault:Wp_sim.Fault.spec ->
-  ?protect:Protect.t ->
-  ?attempts:int ->
-  ?retry_seed:int ->
-  t ->
-  machine:Wp_soc.Datapath.machine ->
-  program:Wp_soc.Program.t ->
-  Config.t ->
-  outcome
-(** Deprecated thin wrapper over {!experiment_guarded_spec}. *)
+type request = {
+  req_spec : Run_spec.t;
+  req_machine : Wp_soc.Datapath.machine;
+  req_program : Wp_soc.Program.t;
+  req_config : Config.t;
+}
+(** One experiment request of a heterogeneous batch (the unit of work
+    the [wp_cli serve] daemon receives). *)
 
-val experiments_guarded :
-  ?engine:Wp_sim.Sim.kind ->
-  ?max_cycles:int ->
-  ?fault:Wp_sim.Fault.spec ->
-  ?protect:Protect.t ->
+val batchable : Run_spec.t -> bool
+(** Whether a spec may ride the structure-of-arrays batch kernel:
+    [Fast] engine, benign (stall-only) fault, capacity >= 1, no link
+    protection, telemetry off.  Non-batchable specs still work through
+    {!experiments_batch_spec} — they just take the solo guarded path. *)
+
+val experiments_batch_spec :
   ?attempts:int ->
   ?retry_seed:int ->
+  ?shard:int ->
   t ->
-  machine:Wp_soc.Datapath.machine ->
-  program:Wp_soc.Program.t ->
-  Config.t list ->
-  outcome list
-(** Deprecated thin wrapper over {!experiments_guarded_spec}. *)
+  request list ->
+  (outcome * bool) list
+(** Serve a heterogeneous request batch: cache probe first (the [bool]
+    is [true] for requests answered from cache), then the {!batchable}
+    misses grouped by machine and run as lanes of shared
+    {!Experiment.run_batch_spec} kernels, [shard] requests (default 8,
+    i.e. 16 lanes) per pool task.  Everything else — non-batchable
+    specs, and requests the batch reports as failing — goes through
+    {!experiment_guarded_spec} with its bounded retries, so a poisoned
+    request returns [Failed] with a repro line instead of killing the
+    batch.  Computed records are stored under the same cache keys as
+    {!experiment_spec}; results are in request order. *)
 
 val objective_spec :
   spec:Run_spec.t ->
@@ -209,15 +189,6 @@ val objective_spec :
     with {!experiment_spec} batches (an objective probe for a
     configuration whose full record is already cached is free, and vice
     versa). *)
-
-val objective :
-  ?engine:Wp_sim.Sim.kind ->
-  t ->
-  machine:Wp_soc.Datapath.machine ->
-  program:Wp_soc.Program.t ->
-  Config.t ->
-  float
-(** Deprecated thin wrapper over {!objective_spec}. *)
 
 val timed : t -> string -> (unit -> 'a) -> 'a * section
 (** Run a section under the wall clock and record it in {!stats},

@@ -1,0 +1,369 @@
+(* Multi-tenant serve daemon.  See service.mli for the threading model.
+
+   Locking: [t.mutex] guards the client table, every per-client queue
+   and the paused/stopping flags; [client.write_mutex] guards the
+   client's fd for writes, so reader-thread replies (Busy/Pong/Error)
+   never interleave with dispatcher replies.  The lock order is
+   [t.mutex] strictly before any [write_mutex]; no thread takes them the
+   other way around. *)
+
+module Frame = Wp_util.Frame
+
+type client = {
+  id : int;
+  fd : Unix.file_descr;
+  write_mutex : Mutex.t;
+  queue : (int * Wire.run_args) Queue.t;
+  mutable closed : bool;
+}
+
+type t = {
+  runner : Runner.t;
+  sock : Unix.file_descr;
+  path : string;
+  queue_bound : int;
+  shard : int;
+  batch_max : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  clients : (int, client) Hashtbl.t;
+  mutable next_client : int;
+  mutable paused : bool;
+  mutable stopping : bool;
+  mutable served_count : int;
+  mutable accept_thread : Thread.t option;
+  mutable dispatch_thread : Thread.t option;
+  mutable reader_threads : Thread.t list;
+}
+
+let socket_path t = t.path
+
+let served t =
+  Mutex.lock t.mutex;
+  let n = t.served_count in
+  Mutex.unlock t.mutex;
+  n
+
+(* A write to a vanished client must never kill a service thread; the
+   client is simply marked gone and its queued work dropped on reply. *)
+let write_reply c ~tag reply =
+  let payload = Wire.encode_reply ~tag reply in
+  Mutex.lock c.write_mutex;
+  let ok =
+    if c.closed then false
+    else
+      match Frame.write c.fd payload with
+      | () -> true
+      | exception (Unix.Unix_error _ | Sys_error _ | Invalid_argument _) ->
+        c.closed <- true;
+        false
+  in
+  Mutex.unlock c.write_mutex;
+  ok
+
+let drop_client t c =
+  Mutex.lock t.mutex;
+  let was = not c.closed || Hashtbl.mem t.clients c.id in
+  c.closed <- true;
+  Hashtbl.remove t.clients c.id;
+  Mutex.unlock t.mutex;
+  if was then begin
+    (* shutdown() before close(): closing an fd does not wake a thread
+       already blocked in read(2) on it, shutting it down does. *)
+    (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let stats_reply t =
+  let s = Runner.stats t.runner in
+  Wire.Stats_reply
+    {
+      st_jobs = s.Runner.jobs;
+      st_tasks_run = s.Runner.tasks_run;
+      st_cache_hits = s.Runner.cache_hits;
+      st_cache_misses = s.Runner.cache_misses;
+      st_quarantined = s.Runner.quarantined;
+    }
+
+let reader_loop t c =
+  let rec loop () =
+    match Frame.read c.fd with
+    | None -> ()
+    | Some payload ->
+      (match Wire.decode_request payload with
+      | Error msg ->
+        (* Tag 0: the payload was too mangled to recover the real tag. *)
+        ignore (write_reply c ~tag:0 (Wire.Error msg))
+      | Ok (tag, Wire.Ping) -> ignore (write_reply c ~tag Wire.Pong)
+      | Ok (tag, Wire.Stats) -> ignore (write_reply c ~tag (stats_reply t))
+      | Ok (tag, Wire.Run args) ->
+        Mutex.lock t.mutex;
+        let accepted =
+          if t.stopping || Queue.length c.queue >= t.queue_bound then false
+          else begin
+            Queue.push (tag, args) c.queue;
+            Condition.broadcast t.cond;
+            true
+          end
+        in
+        Mutex.unlock t.mutex;
+        if not accepted then ignore (write_reply c ~tag Wire.Busy));
+      loop ()
+  in
+  (try loop ()
+   with Frame.Truncated | Frame.Oversized _ | Unix.Unix_error _ | Sys_error _ ->
+     ());
+  drop_client t c;
+  (* The dispatcher may be blocked waiting for this client's work. *)
+  Mutex.lock t.mutex;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.sock with
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | fd, _ ->
+      Mutex.lock t.mutex;
+      if t.stopping then begin
+        Mutex.unlock t.mutex;
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else begin
+        let c =
+          {
+            id = t.next_client;
+            fd;
+            write_mutex = Mutex.create ();
+            queue = Queue.create ();
+            closed = false;
+          }
+        in
+        t.next_client <- t.next_client + 1;
+        Hashtbl.replace t.clients c.id c;
+        let th = Thread.create (fun () -> reader_loop t c) () in
+        t.reader_threads <- th :: t.reader_threads;
+        Mutex.unlock t.mutex;
+        loop ()
+      end
+  in
+  loop ()
+
+(* One fair dispatch round: at most one request per client per pass
+   (clients in connection order), passes repeating until [batch_max]
+   requests are drained or every queue is empty.  A client pipelining
+   hundreds of requests therefore shares the batch evenly with a client
+   sending one. *)
+let drain_round t =
+  let batch = ref [] in
+  let count = ref 0 in
+  let progress = ref true in
+  while !progress && !count < t.batch_max do
+    progress := false;
+    let ids = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.clients []) in
+    List.iter
+      (fun id ->
+        if !count < t.batch_max then
+          match Hashtbl.find_opt t.clients id with
+          | Some c when (not c.closed) && not (Queue.is_empty c.queue) ->
+            let tag, args = Queue.pop c.queue in
+            batch := (c, tag, args) :: !batch;
+            incr count;
+            progress := true
+          | Some _ | None -> ())
+      ids
+  done;
+  List.rev !batch
+
+let dispatch_batch t batch =
+  (* Resolve the textual requests; protocol errors answer immediately
+     and never reach the runner. *)
+  let runnable =
+    List.filter_map
+      (fun (c, tag, args) ->
+        match Wire.parse_run args with
+        | Ok req -> Some (c, tag, req)
+        | Error msg ->
+          ignore (write_reply c ~tag (Wire.Error msg));
+          Mutex.lock t.mutex;
+          t.served_count <- t.served_count + 1;
+          Mutex.unlock t.mutex;
+          None)
+      batch
+  in
+  if runnable <> [] then begin
+    let outcomes =
+      Runner.experiments_batch_spec ~shard:t.shard t.runner
+        (List.map (fun (_, _, req) -> req) runnable)
+    in
+    List.iter2
+      (fun (c, tag, _) (outcome, from_cache) ->
+        let reply =
+          match outcome with
+          | Runner.Completed record ->
+            Wire.Result (Wire.summary_of_record ~from_cache record)
+          | Runner.Failed f ->
+            Wire.Quarantined
+              {
+                attempts = f.Runner.attempts_made;
+                last_error = f.Runner.last_error;
+                repro = f.Runner.repro;
+              }
+        in
+        ignore (write_reply c ~tag reply);
+        Mutex.lock t.mutex;
+        t.served_count <- t.served_count + 1;
+        Mutex.unlock t.mutex)
+      runnable outcomes
+  end
+
+let dispatch_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      if t.stopping then false
+      else if
+        t.paused
+        || not
+             (Hashtbl.fold
+                (fun _ c any -> any || ((not c.closed) && not (Queue.is_empty c.queue)))
+                t.clients false)
+      then begin
+        Condition.wait t.cond t.mutex;
+        wait ()
+      end
+      else true
+    in
+    let work = wait () in
+    let batch = if work then drain_round t else [] in
+    Mutex.unlock t.mutex;
+    if work then begin
+      dispatch_batch t batch;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(queue_bound = 32) ?(shard = 8) ?(batch_max = 64) ?(paused = false)
+    ~runner path =
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind sock (Unix.ADDR_UNIX path);
+     Unix.listen sock 64
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      runner;
+      sock;
+      path;
+      queue_bound;
+      shard;
+      batch_max;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      clients = Hashtbl.create 8;
+      next_client = 0;
+      paused;
+      stopping = false;
+      served_count = 0;
+      accept_thread = None;
+      dispatch_thread = None;
+      reader_threads = [];
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.dispatch_thread <- Some (Thread.create (fun () -> dispatch_loop t) ());
+  t
+
+let pause t =
+  Mutex.lock t.mutex;
+  t.paused <- true;
+  Mutex.unlock t.mutex
+
+let resume t =
+  Mutex.lock t.mutex;
+  t.paused <- false;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let stop t =
+  Mutex.lock t.mutex;
+  let already = t.stopping in
+  t.stopping <- true;
+  let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.clients [] in
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  if not already then begin
+    (* Wake the accept thread with a throwaway connection: on Linux
+       neither close(2) nor shutdown(2) on a listening socket unblocks a
+       thread already parked in accept(2) (shutdown fails ENOTCONN), but
+       a real connection returns from accept, which then sees [stopping]
+       and exits.  Only close the listening fd after the join. *)
+    let poke = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect poke (Unix.ADDR_UNIX t.path) with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close poke with Unix.Unix_error _ -> ());
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    List.iter (fun c -> drop_client t c) cs;
+    Option.iter Thread.join t.dispatch_thread;
+    Mutex.lock t.mutex;
+    let readers = t.reader_threads in
+    t.reader_threads <- [];
+    Mutex.unlock t.mutex;
+    List.iter Thread.join readers;
+    if Sys.file_exists t.path then try Sys.remove t.path with Sys_error _ -> ()
+  end
+
+(* --- client --------------------------------------------------------- *)
+
+module Client = struct
+  type conn = {
+    fd : Unix.file_descr;
+    mutable pending : (int * Wire.reply) list;  (** replies buffered by [call] *)
+  }
+
+  let connect path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    { fd; pending = [] }
+
+  let send conn ~tag req = Frame.write conn.fd (Wire.encode_request ~tag req)
+
+  let read_one conn =
+    match Frame.read conn.fd with
+    | None -> None
+    | Some payload -> (
+      match Wire.decode_reply payload with
+      | Ok (tag, reply) -> Some (tag, reply)
+      | Error msg -> failwith ("Service.Client: undecodable reply: " ^ msg))
+
+  let recv conn =
+    match conn.pending with
+    | r :: rest ->
+      conn.pending <- rest;
+      Some r
+    | [] -> read_one conn
+
+  let call conn ~tag req =
+    send conn ~tag req;
+    let rec await () =
+      match read_one conn with
+      | None -> failwith "Service.Client: daemon closed the connection"
+      | Some (t, reply) ->
+        if t = tag then reply
+        else begin
+          conn.pending <- conn.pending @ [ (t, reply) ];
+          await ()
+        end
+    in
+    await ()
+
+  let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+end

@@ -1,0 +1,82 @@
+(** Multi-tenant experiment daemon: the engine behind [wp_cli serve].
+
+    One long-lived process owns a {!Runner} (worker-domain pool, warm
+    in-memory cache, optional WPCACHE2 disk cache) and serves {!Wire}
+    requests over a Unix-domain stream socket, so repeated sweeps from
+    short-lived clients stop paying process start-up, netlist
+    compilation and cache-warming for every invocation.
+
+    Concurrency model — three kinds of threads over one runner:
+
+    - an {b accept} thread registers clients and spawns one {b reader}
+      thread per connection;
+    - each reader parses frames and pushes [Run] requests onto its
+      client's {e bounded} queue ([Ping]/[Stats] are answered inline).
+      A request arriving on a full queue is answered [Busy] immediately
+      — backpressure is a protocol reply, never unbounded buffering;
+    - one {b dispatcher} thread repeatedly drains a fair batch (round
+      robin: at most one request per client per round, oldest clients
+      first) and hands it to {!Runner.experiments_batch_spec}, which
+      serves cache hits, shards batchable misses across the pool's
+      domains as structure-of-arrays kernel lanes, and quarantines
+      poisoned requests through the guarded retry machinery.
+
+    Replies are written under a per-client mutex, so an inline [Busy]
+    from the reader thread cannot interleave bytes with a [Result] from
+    the dispatcher. *)
+
+type t
+
+val create :
+  ?queue_bound:int ->
+  ?shard:int ->
+  ?batch_max:int ->
+  ?paused:bool ->
+  runner:Runner.t ->
+  string ->
+  t
+(** [create ~runner path] binds [path] (an existing socket file is
+    replaced), starts the accept and dispatcher threads and returns.
+    [queue_bound] (default 32) is the per-client pending-request cap
+    beyond which requests get [Busy]; [shard] (default 8) is forwarded
+    to {!Runner.experiments_batch_spec}; [batch_max] (default 64) caps
+    the requests drained per dispatch round.  [paused] (default false)
+    starts the dispatcher idle — requests still enqueue (and overflow to
+    [Busy]), nothing is simulated until {!resume}; this makes the
+    backpressure path deterministic to test. *)
+
+val pause : t -> unit
+val resume : t -> unit
+
+val socket_path : t -> string
+
+val served : t -> int
+(** Run requests answered so far (any reply kind except [Busy]). *)
+
+val stop : t -> unit
+(** Stop accepting, disconnect clients, join all service threads and
+    unlink the socket.  The runner is NOT shut down — it belongs to the
+    caller.  Idempotent. *)
+
+(** Client side of the protocol, shared by [wp_cli client], the
+    saturation bench and the tests. *)
+module Client : sig
+  type conn
+
+  val connect : string -> conn
+  (** Connect to a daemon's socket path. *)
+
+  val send : conn -> tag:int -> Wire.request -> unit
+  (** Fire one request without waiting — the pipelining primitive. *)
+
+  val recv : conn -> (int * Wire.reply) option
+  (** Next reply frame ([None] on clean daemon close).
+      @raise Failure on an undecodable reply. *)
+
+  val call : conn -> tag:int -> Wire.request -> Wire.reply
+  (** {!send} then block for the reply with the matching tag; replies
+      for other tags arriving first are buffered for later {!recv}ing.
+      @raise Failure if the daemon closes before replying. *)
+
+  val close : conn -> unit
+end

@@ -1,0 +1,328 @@
+(* Binary codec for the serve daemon.  See wire.mli for the model.
+
+   Layout: every payload is [tag:u32][type:u8][fields...].  Strings are
+   [len:u32][bytes]; options are [present:u8][value]; booleans are one
+   byte; floats travel as IEEE-754 bits in a u64.  All integers are
+   big-endian, matching the Frame length prefix. *)
+
+type run_args = {
+  rq_program : string;
+  rq_machine : string;
+  rq_config : string;
+  rq_engine : string option;
+  rq_capacity : int;
+  rq_max_cycles : int option;
+  rq_fault : string option;
+  rq_fault_seed : int;
+  rq_protect : string option;
+  rq_link_window : int;
+  rq_link_timeout : int;
+  rq_stall_report : bool;
+  rq_trace_depth : int;
+}
+
+let run_defaults ~program ~machine ~config =
+  {
+    rq_program = program;
+    rq_machine = machine;
+    rq_config = config;
+    rq_engine = None;
+    rq_capacity = 2;
+    rq_max_cycles = None;
+    rq_fault = None;
+    rq_fault_seed = 0;
+    rq_protect = None;
+    rq_link_window = 0;
+    rq_link_timeout = 0;
+    rq_stall_report = false;
+    rq_trace_depth = 0;
+  }
+
+type request =
+  | Run of run_args
+  | Ping
+  | Stats
+
+type summary = {
+  rs_program : string;
+  rs_machine : string;
+  rs_config : string;
+  rs_golden_cycles : int;
+  rs_wp1_cycles : int;
+  rs_wp2_cycles : int;
+  rs_th_wp1 : float;
+  rs_th_wp2 : float;
+  rs_gain_percent : float;
+  rs_from_cache : bool;
+}
+
+type reply =
+  | Result of summary
+  | Busy
+  | Error of string
+  | Quarantined of { attempts : int; last_error : string; repro : string }
+  | Pong
+  | Stats_reply of {
+      st_jobs : int;
+      st_tasks_run : int;
+      st_cache_hits : int;
+      st_cache_misses : int;
+      st_quarantined : int;
+    }
+
+(* --- encoding ------------------------------------------------------- *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+let put_u32 buf v = Buffer.add_int32_be buf (Int32.of_int v)
+let put_bool buf v = put_u8 buf (if v then 1 else 0)
+let put_f64 buf v = Buffer.add_int64_be buf (Int64.bits_of_float v)
+
+let put_str buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_opt put buf = function
+  | None -> put_u8 buf 0
+  | Some v ->
+    put_u8 buf 1;
+    put buf v
+
+(* [max_cycles] is the only optional int; -1 never being a legal budget
+   makes the flat encoding unambiguous. *)
+let put_opt_int buf = function
+  | None -> put_u32 buf (-1)
+  | Some v -> put_u32 buf v
+
+let encode_request ~tag req =
+  let buf = Buffer.create 64 in
+  put_u32 buf tag;
+  (match req with
+  | Ping -> put_u8 buf 1
+  | Stats -> put_u8 buf 2
+  | Run a ->
+    put_u8 buf 0;
+    put_str buf a.rq_program;
+    put_str buf a.rq_machine;
+    put_str buf a.rq_config;
+    put_opt put_str buf a.rq_engine;
+    put_u32 buf a.rq_capacity;
+    put_opt_int buf a.rq_max_cycles;
+    put_opt put_str buf a.rq_fault;
+    put_u32 buf a.rq_fault_seed;
+    put_opt put_str buf a.rq_protect;
+    put_u32 buf a.rq_link_window;
+    put_u32 buf a.rq_link_timeout;
+    put_bool buf a.rq_stall_report;
+    put_u32 buf a.rq_trace_depth);
+  Buffer.contents buf
+
+let encode_reply ~tag reply =
+  let buf = Buffer.create 64 in
+  put_u32 buf tag;
+  (match reply with
+  | Result s ->
+    put_u8 buf 0;
+    put_str buf s.rs_program;
+    put_str buf s.rs_machine;
+    put_str buf s.rs_config;
+    put_u32 buf s.rs_golden_cycles;
+    put_u32 buf s.rs_wp1_cycles;
+    put_u32 buf s.rs_wp2_cycles;
+    put_f64 buf s.rs_th_wp1;
+    put_f64 buf s.rs_th_wp2;
+    put_f64 buf s.rs_gain_percent;
+    put_bool buf s.rs_from_cache
+  | Busy -> put_u8 buf 1
+  | Error msg ->
+    put_u8 buf 2;
+    put_str buf msg
+  | Quarantined q ->
+    put_u8 buf 3;
+    put_u32 buf q.attempts;
+    put_str buf q.last_error;
+    put_str buf q.repro
+  | Pong -> put_u8 buf 4
+  | Stats_reply s ->
+    put_u8 buf 5;
+    put_u32 buf s.st_jobs;
+    put_u32 buf s.st_tasks_run;
+    put_u32 buf s.st_cache_hits;
+    put_u32 buf s.st_cache_misses;
+    put_u32 buf s.st_quarantined);
+  Buffer.contents buf
+
+(* --- decoding ------------------------------------------------------- *)
+
+exception Bad of string
+
+type cursor = { data : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.data then raise (Bad "truncated payload")
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_be c.data c.pos) in
+  c.pos <- c.pos + 4;
+  v
+
+let get_bool c = get_u8 c <> 0
+
+let get_f64 c =
+  need c 8;
+  let v = Int64.float_of_bits (String.get_int64_be c.data c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_str c =
+  let n = get_u32 c in
+  if n < 0 then raise (Bad "negative string length");
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_opt get c = if get_u8 c = 0 then None else Some (get c)
+
+let get_opt_int c =
+  let v = get_u32 c in
+  if v = -1 then None else Some v
+
+let decode payload f =
+  let c = { data = payload; pos = 0 } in
+  match
+    let tag = get_u32 c in
+    (tag, f c)
+  with
+  | v -> Ok v
+  | exception Bad msg -> Result.Error msg
+
+let decode_request payload =
+  decode payload (fun c ->
+      match get_u8 c with
+      | 1 -> Ping
+      | 2 -> Stats
+      | 0 ->
+        let rq_program = get_str c in
+        let rq_machine = get_str c in
+        let rq_config = get_str c in
+        let rq_engine = get_opt get_str c in
+        let rq_capacity = get_u32 c in
+        let rq_max_cycles = get_opt_int c in
+        let rq_fault = get_opt get_str c in
+        let rq_fault_seed = get_u32 c in
+        let rq_protect = get_opt get_str c in
+        let rq_link_window = get_u32 c in
+        let rq_link_timeout = get_u32 c in
+        let rq_stall_report = get_bool c in
+        let rq_trace_depth = get_u32 c in
+        Run
+          {
+            rq_program;
+            rq_machine;
+            rq_config;
+            rq_engine;
+            rq_capacity;
+            rq_max_cycles;
+            rq_fault;
+            rq_fault_seed;
+            rq_protect;
+            rq_link_window;
+            rq_link_timeout;
+            rq_stall_report;
+            rq_trace_depth;
+          }
+      | t -> raise (Bad (Printf.sprintf "unknown request type %d" t)))
+
+let decode_reply payload =
+  decode payload (fun c ->
+      match get_u8 c with
+      | 0 ->
+        let rs_program = get_str c in
+        let rs_machine = get_str c in
+        let rs_config = get_str c in
+        let rs_golden_cycles = get_u32 c in
+        let rs_wp1_cycles = get_u32 c in
+        let rs_wp2_cycles = get_u32 c in
+        let rs_th_wp1 = get_f64 c in
+        let rs_th_wp2 = get_f64 c in
+        let rs_gain_percent = get_f64 c in
+        let rs_from_cache = get_bool c in
+        Result
+          {
+            rs_program;
+            rs_machine;
+            rs_config;
+            rs_golden_cycles;
+            rs_wp1_cycles;
+            rs_wp2_cycles;
+            rs_th_wp1;
+            rs_th_wp2;
+            rs_gain_percent;
+            rs_from_cache;
+          }
+      | 1 -> Busy
+      | 2 -> Error (get_str c)
+      | 3 ->
+        let attempts = get_u32 c in
+        let last_error = get_str c in
+        let repro = get_str c in
+        Quarantined { attempts; last_error; repro }
+      | 4 -> Pong
+      | 5 ->
+        let st_jobs = get_u32 c in
+        let st_tasks_run = get_u32 c in
+        let st_cache_hits = get_u32 c in
+        let st_cache_misses = get_u32 c in
+        let st_quarantined = get_u32 c in
+        Stats_reply { st_jobs; st_tasks_run; st_cache_hits; st_cache_misses; st_quarantined }
+      | t -> raise (Bad (Printf.sprintf "unknown reply type %d" t)))
+
+(* --- request resolution -------------------------------------------- *)
+
+let parse_run (a : run_args) =
+  let ( let* ) = Result.bind in
+  let* program = Wp_soc.Programs.of_string a.rq_program in
+  let* machine =
+    match Wp_soc.Datapath.machine_of_name a.rq_machine with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (Printf.sprintf "unknown machine %S (want pipelined, btfn or multicycle)"
+           a.rq_machine)
+  in
+  let* config = Config.of_string a.rq_config in
+  let* spec =
+    Run_spec.of_args ?engine:a.rq_engine ~capacity:a.rq_capacity
+      ?max_cycles:a.rq_max_cycles ?fault:a.rq_fault ~fault_seed:a.rq_fault_seed
+      ?protect:a.rq_protect ~link_window:a.rq_link_window
+      ~link_timeout:a.rq_link_timeout ~stall_report:a.rq_stall_report
+      ~trace_depth:a.rq_trace_depth ()
+  in
+  Ok
+    {
+      Runner.req_spec = spec;
+      req_machine = machine;
+      req_program = program;
+      req_config = config;
+    }
+
+let summary_of_record ~from_cache (r : Experiment.record) =
+  {
+    rs_program = r.Experiment.program_name;
+    rs_machine = Wp_soc.Datapath.machine_name r.Experiment.machine;
+    rs_config = Config.describe r.Experiment.config;
+    rs_golden_cycles = r.Experiment.golden_cycles;
+    rs_wp1_cycles = r.Experiment.wp1.Wp_soc.Cpu.cycles;
+    rs_wp2_cycles = r.Experiment.wp2.Wp_soc.Cpu.cycles;
+    rs_th_wp1 = r.Experiment.th_wp1;
+    rs_th_wp2 = r.Experiment.th_wp2;
+    rs_gain_percent = r.Experiment.gain_percent;
+    rs_from_cache = from_cache;
+  }

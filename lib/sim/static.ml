@@ -216,6 +216,96 @@ let prepass ~capacity ~n_nodes ~n_chans ~in_base ~out_base ~chan_src_op
   (transient, period, Array.sub all 0 (transient + period))
 
 (* ------------------------------------------------------------------ *)
+(* Shared CSR metadata                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Flattened topology: every engine in this library derives the same
+   arrays from a network; factoring them out lets {!tables} serve both
+   this module and the batch kernel's static lane groups. *)
+type meta = {
+  m_n_nodes : int;
+  m_n_chans : int;
+  m_in_base : int array;
+  m_out_base : int array;
+  m_chan_src_op : int array;
+  m_chan_dst_ip : int array;
+  m_chan_rs_base : int array;
+  m_out_chan_base : int array;
+  m_out_chan_ids : int array;
+  m_ip_chan : int array;
+  m_op_chan : int array;
+}
+
+let meta_of net =
+  let n_nodes = Network.node_count net in
+  let n_chans = Network.channel_count net in
+  let procs = Array.init n_nodes (fun n -> Network.node_process net n) in
+  let prefix f =
+    let base = Array.make (n_nodes + 1) 0 in
+    for n = 0 to n_nodes - 1 do
+      base.(n + 1) <- base.(n) + f procs.(n)
+    done;
+    base
+  in
+  let in_base = prefix Process.n_inputs in
+  let out_base = prefix Process.n_outputs in
+  let n_in_total = in_base.(n_nodes) in
+  let n_out_total = out_base.(n_nodes) in
+  let chan_src_op = Array.make (max 1 n_chans) 0 in
+  let chan_dst_ip = Array.make (max 1 n_chans) 0 in
+  let chan_src_node = Array.make (max 1 n_chans) 0 in
+  let chan_rs_base = Array.make (n_chans + 1) 0 in
+  let ip_chan = Array.make (max 1 n_in_total) (-1) in
+  let op_chan = Array.make (max 1 n_out_total) (-1) in
+  for c = 0 to n_chans - 1 do
+    let src_node, src_port = Network.channel_src net c in
+    let dst_node, dst_port = Network.channel_dst net c in
+    chan_src_node.(c) <- src_node;
+    chan_src_op.(c) <- out_base.(src_node) + src_port;
+    chan_dst_ip.(c) <- in_base.(dst_node) + dst_port;
+    ip_chan.(chan_dst_ip.(c)) <- c;
+    op_chan.(chan_src_op.(c)) <- c;
+    chan_rs_base.(c + 1) <- chan_rs_base.(c) + Network.relay_stations net c
+  done;
+  let out_chan_base = Array.make (n_nodes + 1) 0 in
+  for c = 0 to n_chans - 1 do
+    let n = chan_src_node.(c) in
+    out_chan_base.(n + 1) <- out_chan_base.(n + 1) + 1
+  done;
+  for n = 0 to n_nodes - 1 do
+    out_chan_base.(n + 1) <- out_chan_base.(n + 1) + out_chan_base.(n)
+  done;
+  let out_chan_ids = Array.make (max 1 n_chans) 0 in
+  let cursor = Array.copy out_chan_base in
+  for c = 0 to n_chans - 1 do
+    let n = chan_src_node.(c) in
+    out_chan_ids.(cursor.(n)) <- c;
+    cursor.(n) <- cursor.(n) + 1
+  done;
+  {
+    m_n_nodes = n_nodes;
+    m_n_chans = n_chans;
+    m_in_base = in_base;
+    m_out_base = out_base;
+    m_chan_src_op = chan_src_op;
+    m_chan_dst_ip = chan_dst_ip;
+    m_chan_rs_base = chan_rs_base;
+    m_out_chan_base = out_chan_base;
+    m_out_chan_ids = out_chan_ids;
+    m_ip_chan = ip_chan;
+    m_op_chan = op_chan;
+  }
+
+let tables ~capacity net =
+  if capacity <= 0 then
+    unschedulable "unbounded FIFOs have no finite occupancy state";
+  let m = meta_of net in
+  prepass ~capacity ~n_nodes:m.m_n_nodes ~n_chans:m.m_n_chans
+    ~in_base:m.m_in_base ~out_base:m.m_out_base ~chan_src_op:m.m_chan_src_op
+    ~chan_dst_ip:m.m_chan_dst_ip ~chan_rs_base:m.m_chan_rs_base
+    ~out_chan_base:m.m_out_chan_base ~out_chan_ids:m.m_out_chan_ids
+
+(* ------------------------------------------------------------------ *)
 (* Compile                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -245,52 +335,20 @@ let create ?(capacity = 2) ?(record_traces = false) ?fault
   let instances =
     Array.init n_nodes (fun n -> procs.(n).Process.make ())
   in
-  let prefix f =
-    let base = Array.make (n_nodes + 1) 0 in
-    for n = 0 to n_nodes - 1 do
-      base.(n + 1) <- base.(n) + f procs.(n)
-    done;
-    base
-  in
-  let in_base = prefix Process.n_inputs in
-  let out_base = prefix Process.n_outputs in
+  let m = meta_of net in
+  let in_base = m.m_in_base in
+  let out_base = m.m_out_base in
   let n_in_total = in_base.(n_nodes) in
   let n_out_total = out_base.(n_nodes) in
-  let chan_src_op = Array.make (max 1 n_chans) 0 in
-  let chan_dst_ip = Array.make (max 1 n_chans) 0 in
-  let chan_src_node = Array.make (max 1 n_chans) 0 in
-  let chan_rs_base = Array.make (n_chans + 1) 0 in
-  let ip_chan = Array.make (max 1 n_in_total) (-1) in
-  let op_chan = Array.make (max 1 n_out_total) (-1) in
-  for c = 0 to n_chans - 1 do
-    let src_node, src_port = Network.channel_src net c in
-    let dst_node, dst_port = Network.channel_dst net c in
-    chan_src_node.(c) <- src_node;
-    chan_src_op.(c) <- out_base.(src_node) + src_port;
-    chan_dst_ip.(c) <- in_base.(dst_node) + dst_port;
-    ip_chan.(chan_dst_ip.(c)) <- c;
-    op_chan.(chan_src_op.(c)) <- c;
-    chan_rs_base.(c + 1) <- chan_rs_base.(c) + Network.relay_stations net c
-  done;
-  let total_rs = chan_rs_base.(n_chans) in
-  let out_chan_base = Array.make (n_nodes + 1) 0 in
-  for c = 0 to n_chans - 1 do
-    let n = chan_src_node.(c) in
-    out_chan_base.(n + 1) <- out_chan_base.(n + 1) + 1
-  done;
-  for n = 0 to n_nodes - 1 do
-    out_chan_base.(n + 1) <- out_chan_base.(n + 1) + out_chan_base.(n)
-  done;
-  let out_chan_ids = Array.make (max 1 n_chans) 0 in
-  let cursor = Array.copy out_chan_base in
-  for c = 0 to n_chans - 1 do
-    let n = chan_src_node.(c) in
-    out_chan_ids.(cursor.(n)) <- c;
-    cursor.(n) <- cursor.(n) + 1
-  done;
+  let ip_chan = m.m_ip_chan in
+  let op_chan = m.m_op_chan in
+  let chan_dst_ip = m.m_chan_dst_ip in
+  let total_rs = m.m_chan_rs_base.(n_chans) in
   let transient, period, table =
-    prepass ~capacity ~n_nodes ~n_chans ~in_base ~out_base ~chan_src_op
-      ~chan_dst_ip ~chan_rs_base ~out_chan_base ~out_chan_ids
+    prepass ~capacity ~n_nodes ~n_chans ~in_base ~out_base
+      ~chan_src_op:m.m_chan_src_op ~chan_dst_ip
+      ~chan_rs_base:m.m_chan_rs_base ~out_chan_base:m.m_out_chan_base
+      ~out_chan_ids:m.m_out_chan_ids
   in
   let quiescence = 16 + (4 * (n_nodes + n_chans + total_rs)) in
   let q_buf = Array.init (max 1 n_chans) (fun _ -> Array.make 16 0) in

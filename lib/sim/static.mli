@@ -73,6 +73,29 @@ val output_trace : t -> Network.node -> int -> int Wp_lis.Token.t list
 val buffered : t -> Network.node -> int -> int
 val any_halted : t -> bool
 
+(** {1 Count-only prepass}
+
+    The raw firing table, exposed so the batch kernel can compile one
+    schedule per group of topology-identical lanes and replay it across
+    all of them. *)
+
+type table_cycle = {
+  tc_fired : int array;  (** shells firing this cycle, ascending *)
+  tc_starved : int array;  (** stalled, missing an input *)
+  tc_blocked : int array;  (** stalled, ready but backpressured *)
+  tc_deliver : int array;  (** channels delivering a token *)
+  tc_any : bool;  (** did any shell fire *)
+}
+
+val tables : capacity:int -> Network.t -> int * int * table_cycle array
+(** [(transient, period, table)] for a Plain, unfaulted, unprotected
+    network: [table] has length [transient + period] and row [i]
+    describes cycle [i] (cycles beyond the table repeat with the
+    period).  Depends only on the topology, per-channel relay-station
+    counts and [capacity] — never on process data — so one table serves
+    every simulation sharing those.
+    @raise Unschedulable as for {!create}. *)
+
 (** {1 The schedule itself} *)
 
 val transient : t -> int

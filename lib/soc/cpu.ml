@@ -31,8 +31,7 @@ let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ?fault ?protect
      run exhausts (the bound was too tight, which the slack makes
      rare), fall back to the full budget so observable outcomes stay
      identical to the unbounded configuration. *)
-  let attempt max_cycles =
-    let dp = Datapath.build ?protect ~machine ~rs program in
+  let attempt_dp dp max_cycles =
     let sim =
       Sim.create ?engine ~capacity ?fault ?telemetry ~mode dp.Datapath.network
     in
@@ -67,6 +66,13 @@ let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ?fault ?protect
       telemetry = Sim.telemetry_report sim;
     }
   in
+  (* [Process.make] allocates every piece of mutable state afresh and
+     re-seats the taps, so one built datapath serves any number of
+     engine creations; [attempt] rebuilding each time would pay netlist
+     construction twice on the MCR path below. *)
+  let attempt max_cycles =
+    attempt_dp (Datapath.build ?protect ~machine ~rs program) max_cycles
+  in
   let faulted =
     match fault with Some f -> not (Wp_sim.Fault.is_none f) | None -> false
   in
@@ -84,10 +90,130 @@ let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ?fault ?protect
     let dp = Datapath.build ~machine ~rs program in
     let bound = Fast.cycle_bound ~work_cycles:work dp.Datapath.network in
     let bound = min bound default_max_cycles in
-    let result = attempt bound in
+    let result = attempt_dp dp bound in
     if result.outcome = Out_of_cycles && bound < default_max_cycles then
-      attempt default_max_cycles
+      attempt_dp dp default_max_cycles
     else result
+
+type batch_item = {
+  b_mode : Wp_lis.Shell.mode;
+  b_rs : Datapath.connection -> int;
+  b_capacity : int;
+  b_max_cycles : int option;
+  b_mcr_work : int option;
+  b_fault : Wp_sim.Fault.spec;
+  b_program : Program.t;
+}
+
+let run_batch ~machine (items : batch_item array) =
+  let module Batch = Wp_sim.Batch in
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    (* Per-item budget: the same decision tree as [run] above — an
+       explicit bound wins, faults disable the MCR fast path, otherwise
+       the marked-graph bound with full-budget fallback. *)
+    let budget = Array.make n default_max_cycles in
+    let tight = Array.make n false in
+    (* Datapaths built for the MCR bound are kept and reused as the
+       simulation lanes below — [Process.make] re-creates all mutable
+       state per engine, so nothing is built twice. *)
+    let prebuilt : Datapath.t option array = Array.make n None in
+    let build_item i =
+      Datapath.build ~machine ~rs:items.(i).b_rs items.(i).b_program
+    in
+    Array.iteri
+      (fun i it ->
+        match it.b_max_cycles, it.b_mcr_work with
+        | Some m, _ -> budget.(i) <- m
+        | None, None -> ()
+        | None, Some _ when not (Wp_sim.Fault.is_none it.b_fault) -> ()
+        | None, Some work ->
+          let dp = build_item i in
+          prebuilt.(i) <- Some dp;
+          let bound = Fast.cycle_bound ~work_cycles:work dp.Datapath.network in
+          let bound = min bound default_max_cycles in
+          budget.(i) <- bound;
+          tight.(i) <- bound < default_max_cycles)
+      items;
+    let assemble dp b lane out program =
+      let outcome, cycles =
+        match out with
+        | Engine.Halted c -> (Completed, c)
+        | Engine.Deadlocked c -> (Deadlocked, c)
+        | Engine.Exhausted c -> (Out_of_cycles, c)
+      in
+      let memory =
+        match !(dp.Datapath.memory_tap) with Some get -> get () | None -> [||]
+      in
+      let registers =
+        match !(dp.Datapath.register_tap) with Some get -> get () | None -> [||]
+      in
+      let result_ok =
+        outcome = Completed
+        &&
+        let base, len = program.Program.result_region in
+        let expected = Program.expected_result program in
+        len = 0
+        || (Array.length memory >= base + len
+           && Array.for_all2 ( = ) expected (Array.sub memory base len))
+      in
+      {
+        cycles;
+        outcome;
+        memory;
+        registers;
+        result_ok;
+        report = Monitor.collect_batch b ~lane;
+        telemetry = None;
+      }
+    in
+    let attempt idxs budgets =
+      let dps =
+        Array.map
+          (fun i ->
+            match prebuilt.(i) with
+            | Some dp -> dp
+            | None ->
+              let dp = build_item i in
+              prebuilt.(i) <- Some dp;
+              dp)
+          idxs
+      in
+      let lanes =
+        Array.mapi
+          (fun j i ->
+            {
+              Batch.net = dps.(j).Datapath.network;
+              mode = items.(i).b_mode;
+              capacity = items.(i).b_capacity;
+              fault = items.(i).b_fault;
+              max_cycles = budgets.(j);
+            })
+          idxs
+      in
+      let b = Batch.create lanes in
+      let outs = Batch.run b in
+      Array.mapi
+        (fun j i -> assemble dps.(j) b j outs.(j) items.(i).b_program)
+        idxs
+    in
+    let all = Array.init n (fun i -> i) in
+    let results = attempt all budget in
+    let retry =
+      Array.of_list
+        (List.filter
+           (fun i -> results.(i).outcome = Out_of_cycles && tight.(i))
+           (Array.to_list all))
+    in
+    if Array.length retry > 0 then begin
+      let fresh =
+        attempt retry (Array.map (fun _ -> default_max_cycles) retry)
+      in
+      Array.iteri (fun j i -> results.(i) <- fresh.(j)) retry
+    end;
+    results
+  end
 
 let run_golden ?engine ~machine program =
   run ?engine ~machine ~mode:Wp_lis.Shell.Plain ~rs:no_relay_stations program

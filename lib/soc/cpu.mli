@@ -57,6 +57,29 @@ val run :
     [Wp_core.Run_spec.run_cpu], which carries all of these knobs in one
     record with a single cache digest. *)
 
+type batch_item = {
+  b_mode : Wp_lis.Shell.mode;
+  b_rs : Datapath.connection -> int;
+  b_capacity : int;          (** must be >= 1 (see {!Wp_sim.Batch}) *)
+  b_max_cycles : int option;
+  b_mcr_work : int option;
+  b_fault : Wp_sim.Fault.spec;
+  b_program : Program.t;
+}
+(** One lane of a batched run: everything {!run} takes except protection
+    and telemetry, which the batch kernel does not support (use {!run}
+    for those specs). *)
+
+val run_batch : machine:Datapath.machine -> batch_item array -> result array
+(** Run all items as lanes of one {!Wp_sim.Batch} kernel and return the
+    results in item order.  Each result is byte-identical to the
+    corresponding sequential {!run} with [engine = Fast]: per-item cycle
+    budgets follow the same rules (explicit [b_max_cycles] wins; a fault
+    disables the MCR fast path; an [Out_of_cycles] at a tight MCR bound
+    is retried at the full budget — retries are themselves batched).
+    @raise Wp_sim.Batch.Unbatchable on capacity 0 or mismatched
+    topologies (programs on one machine always match). *)
+
 val run_golden : ?engine:Wp_sim.Sim.kind -> machine:Datapath.machine -> Program.t -> result
 (** Zero relay stations everywhere, plain wrappers: the reference system
     whose cycle count defines throughput 1.0. *)

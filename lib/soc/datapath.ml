@@ -41,6 +41,13 @@ let machine_name = function
   | Pipelined_btfn -> "pipelined+btfn"
   | Multicycle -> "multicycle"
 
+let machine_of_name s =
+  match String.lowercase_ascii s with
+  | "pipelined" | "p" -> Some Pipelined
+  | "btfn" | "pipelined+btfn" -> Some Pipelined_btfn
+  | "multicycle" | "mc" | "m" -> Some Multicycle
+  | _ -> None
+
 type t = {
   network : Network.t;
   channels_of : connection -> Network.channel list;
@@ -66,6 +73,15 @@ let wires =
     (DC_RF, ("DC", "load"), ("RF", "load"));
   ]
 
+(* Channel labels are independent of program and machine; formatting
+   them once instead of on every [build] matters when the batch serving
+   path constructs thousands of datapaths per second. *)
+let wire_labels =
+  List.map
+    (fun (conn, (src_block, src_port), _) ->
+      Printf.sprintf "%s:%s.%s" (connection_name conn) src_block src_port)
+    wires
+
 let build ?(protect = fun _ -> None) ~machine ~rs (program : Program.t) =
   let net = Network.create () in
   let memory_tap = ref None and register_tap = ref None in
@@ -90,18 +106,17 @@ let build ?(protect = fun _ -> None) ~machine ~rs (program : Program.t) =
   in
   let node name = List.assoc name nodes in
   let table =
-    List.map
-      (fun (conn, (src_block, src_port), (dst_block, dst_port)) ->
+    List.map2
+      (fun (conn, (src_block, src_port), (dst_block, dst_port)) label ->
         let channel =
           Network.connect net
             ~src:(node src_block, src_port)
             ~dst:(node dst_block, dst_port)
             ~relay_stations:(rs conn)
-            ~label:(Printf.sprintf "%s:%s.%s" (connection_name conn) src_block src_port)
-            ()
+            ~label ()
         in
         (conn, channel))
-      wires
+      wires wire_labels
   in
   Network.validate net;
   List.iter

@@ -34,6 +34,10 @@ val connection_of_name : string -> connection option
 
 val machine_name : machine -> string
 
+val machine_of_name : string -> machine option
+(** Case-insensitive; accepts the full names plus the CLI short forms
+    ([p], [mc], [m], [btfn]). *)
+
 type t = {
   network : Wp_sim.Network.t;
   channels_of : connection -> Wp_sim.Network.channel list;

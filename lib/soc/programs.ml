@@ -237,3 +237,68 @@ let all () =
     memcpy ~values:(sort_values ~seed:6 ~n:12);
     bubble_sort ~values:(sort_values ~seed:7 ~n:10);
   ]
+
+(* The CLI/service workload grammar: "sort:16", "random:7", "asm:PATH".
+   Shared by [wp_cli] argument parsing and the [wp_cli serve] daemon, so
+   a client names workloads with exactly the strings the CLI accepts.
+   Errors are one-line strings — both callers wrap them (cmdliner `Msg,
+   wire Error reply) rather than raise. *)
+
+let assembly_program path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "assembly file %S not found" path)
+  else
+    match
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg -> Error (Printf.sprintf "cannot read %S: %s" path msg)
+    | exception e ->
+      Error (Printf.sprintf "cannot read %S: %s" path (Printexc.to_string e))
+    | source -> (
+      match Asm.assemble source with
+      | Error e -> Error (Format.asprintf "%s: %a" path Asm.pp_error e)
+      | exception e ->
+        Error (Printf.sprintf "%s: assembler error: %s" path (Printexc.to_string e))
+      | Ok text ->
+        Ok
+          {
+            Program.name = Filename.remove_extension (Filename.basename path);
+            source;
+            text;
+            mem_size = 4096;
+            mem_init = [];
+            result_region = (0, 0);
+          })
+
+let of_string s =
+  let name, raw_param =
+    match String.index_opt s ':' with
+    | None -> (s, None)
+    | Some i -> (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+  in
+  if name = "asm" then
+    match raw_param with
+    | Some path -> assembly_program path
+    | None -> Error "asm needs a file: asm:PATH"
+  else
+  let param = Option.bind raw_param int_of_string_opt in
+  let size default = Option.value param ~default in
+  match name with
+  | "sort" -> Ok (extraction_sort ~values:(sort_values ~seed:1 ~n:(size 16)))
+  | "matmul" ->
+    let n = size 5 in
+    Ok (matrix_multiply ~n ~a:(matrix_values ~seed:2 ~n) ~b:(matrix_values ~seed:3 ~n))
+  | "fib" -> Ok (fibonacci ~n:(size 20))
+  | "dot" ->
+    let n = size 12 in
+    Ok (dot_product ~x:(sort_values ~seed:4 ~n) ~y:(sort_values ~seed:5 ~n))
+  | "memcpy" -> Ok (memcpy ~values:(sort_values ~seed:6 ~n:(size 12)))
+  | "bubble" -> Ok (bubble_sort ~values:(sort_values ~seed:7 ~n:(size 12)))
+  | "random" -> Ok (Random_program.generate ~seed:(size 1) ())
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown program %S (try sort, matmul, fib, dot, memcpy, bubble, random, asm:FILE)" s)

@@ -37,3 +37,10 @@ val sort_values : seed:int -> n:int -> int array
 (** Deterministic pseudo-random workload data. *)
 
 val matrix_values : seed:int -> n:int -> int array
+
+val of_string : string -> (Program.t, string) result
+(** Parse the CLI/service workload grammar: [sort[:n]], [matmul[:n]],
+    [fib[:n]], [dot[:n]], [memcpy[:n]], [bubble[:n]], [random[:seed]],
+    or [asm:FILE] (load and assemble a source file).  All failure modes
+    — unknown name, missing file, assembler error — come back as a
+    one-line [Error]. *)

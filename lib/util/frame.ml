@@ -1,0 +1,47 @@
+exception Truncated
+exception Oversized of int
+
+let max_frame = 16 * 1024 * 1024
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (off + n) (len - n)
+  end
+
+(* Returns the number of bytes actually read: [len] normally, less if the
+   peer closed first.  A short count therefore always means EOF. *)
+let read_upto fd buf off len =
+  let rec go off len got =
+    if len = 0 then got
+    else
+      match Unix.read fd buf off len with
+      | 0 -> got
+      | n -> go (off + n) (len - n) (got + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len got
+  in
+  go off len 0
+
+let write fd payload =
+  let len = String.length payload in
+  if len > max_frame then
+    invalid_arg (Printf.sprintf "Frame.write: payload of %d bytes exceeds max_frame" len);
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  write_all fd buf 0 (4 + len)
+
+let read fd =
+  let hdr = Bytes.create 4 in
+  match read_upto fd hdr 0 4 with
+  | 0 -> None
+  | 4 ->
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max_frame then raise (Oversized len);
+    let payload = Bytes.create len in
+    if read_upto fd payload 0 len < len then raise Truncated;
+    Some (Bytes.unsafe_to_string payload)
+  | _ -> raise Truncated

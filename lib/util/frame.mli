@@ -1,0 +1,29 @@
+(** Length-prefixed framing over a [Unix.file_descr].
+
+    Every frame on the wire is a 4-byte big-endian payload length followed
+    by the payload bytes.  The codec is transport-agnostic: the serve
+    daemon uses it over Unix-domain stream sockets, the tests over
+    [Unix.socketpair].  Reads and writes retry on [EINTR] and loop over
+    short transfers, so callers see whole frames or an error, never a
+    partial one. *)
+
+exception Truncated
+(** The peer closed the connection in the middle of a frame (after the
+    length prefix, or mid-payload). *)
+
+exception Oversized of int
+(** A length prefix exceeded {!max_frame}; raised before any payload is
+    read so a hostile peer cannot force a giant allocation. *)
+
+val max_frame : int
+(** Upper bound on payload size accepted by {!read} (16 MiB). *)
+
+val write : Unix.file_descr -> string -> unit
+(** [write fd payload] sends one frame.  Raises [Invalid_argument] if the
+    payload exceeds {!max_frame}, [Unix.Unix_error] on transport errors
+    (e.g. [EPIPE] once the peer is gone). *)
+
+val read : Unix.file_descr -> string option
+(** [read fd] blocks for the next frame.  [None] means the peer closed
+    the connection cleanly at a frame boundary; a close anywhere else
+    raises {!Truncated}. *)

@@ -1,0 +1,94 @@
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+exception Bad
+
+(* Scan one JSON value starting at [i]; return the index one past its
+   end.  Only the bracket/string structure is tracked — enough to find
+   where a top-level value stops. *)
+let scan_value s i =
+  let n = String.length s in
+  let rec skip_string j =
+    if j >= n then raise Bad
+    else
+      match s.[j] with
+      | '"' -> j + 1
+      | '\\' -> if j + 1 >= n then raise Bad else skip_string (j + 2)
+      | _ -> skip_string (j + 1)
+  in
+  let rec go j depth =
+    if j >= n then if depth = 0 then j else raise Bad
+    else
+      match s.[j] with
+      | '{' | '[' -> go (j + 1) (depth + 1)
+      | '}' | ']' ->
+        if depth = 0 then j         (* closing brace of the enclosing object *)
+        else if depth = 1 && (s.[j] = '}' || s.[j] = ']') then j + 1
+        else go (j + 1) (depth - 1)
+      | '"' -> go (skip_string (j + 1)) depth
+      | ',' when depth = 0 -> j
+      | _ -> go (j + 1) depth
+  in
+  go i 0
+
+let sections text =
+  let n = String.length text in
+  let rec skip_ws i = if i < n && is_ws text.[i] then skip_ws (i + 1) else i in
+  let parse_key i =
+    if i >= n || text.[i] <> '"' then raise Bad;
+    let rec finish j =
+      if j >= n then raise Bad
+      else
+        match text.[j] with
+        | '"' -> j
+        | '\\' -> if j + 1 >= n then raise Bad else finish (j + 2)
+        | _ -> finish (j + 1)
+    in
+    let stop = finish (i + 1) in
+    (String.sub text (i + 1) (stop - i - 1), stop + 1)
+  in
+  let rtrim i stop =
+    let rec go stop = if stop > i && is_ws text.[stop - 1] then go (stop - 1) else stop in
+    go stop
+  in
+  try
+    let i = skip_ws 0 in
+    if i >= n || text.[i] <> '{' then raise Bad;
+    let rec entries i acc =
+      let i = skip_ws i in
+      if i >= n then raise Bad
+      else if text.[i] = '}' then List.rev acc
+      else begin
+        let key, i = parse_key i in
+        let i = skip_ws i in
+        if i >= n || text.[i] <> ':' then raise Bad;
+        let vstart = skip_ws (i + 1) in
+        let vstop = scan_value text vstart in
+        let value = String.sub text vstart (rtrim vstart vstop - vstart) in
+        let i = skip_ws vstop in
+        if i < n && text.[i] = ',' then entries (i + 1) ((key, value) :: acc)
+        else if i < n && text.[i] = '}' then List.rev ((key, value) :: acc)
+        else raise Bad
+      end
+    in
+    Some (entries (i + 1) [])
+  with Bad -> None
+
+let merge ~existing ~updates =
+  let base = match existing with None -> [] | Some text -> Option.value ~default:[] (sections text) in
+  let merged =
+    List.fold_left
+      (fun acc (k, v) ->
+        if List.mem_assoc k acc then
+          List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) acc
+        else acc @ [ (k, v) ])
+      base updates
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Printf.sprintf "  %S: %s" k v))
+    merged;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

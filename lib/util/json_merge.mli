@@ -1,0 +1,24 @@
+(** Section-level merging of JSON objects, for benchmark result files.
+
+    [bench/sim_bench.ml] writes one top-level JSON object per run, with
+    one key per probe.  A [--smoke] or single-probe run used to overwrite
+    the whole file, silently dropping every other probe's numbers; this
+    module lets it re-read the previous file and replace only the
+    sections it re-measured.
+
+    The parser is deliberately shallow: it splits a JSON object into
+    [(key, raw value text)] pairs without interpreting the values, which
+    is all the merge needs and keeps it free of a full JSON dependency.
+    Values keep their original formatting byte-for-byte. *)
+
+val sections : string -> (string * string) list option
+(** Split the top-level object of a JSON document into ordered
+    [(key, raw_value)] pairs.  [None] if the input is not a syntactically
+    plausible JSON object (unbalanced braces, truncated string, ...) —
+    callers treat that as "no previous results". *)
+
+val merge : existing:string option -> updates:(string * string) list -> string
+(** Render a JSON object that contains every section of [existing] (when
+    parseable), with sections named in [updates] replaced in place and
+    new sections appended in order.  Later duplicates in [updates] win.
+    The result ends with a newline. *)

@@ -145,3 +145,25 @@ let map t f xs =
     iteri t (fun i x -> results.(i) <- Some (f x)) xs;
     Array.to_list
       (Array.map (function Some y -> y | None -> assert false) results)
+
+let map_shards t ~shard f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let shard = max 1 shard in
+    let n_chunks = (n + shard - 1) / shard in
+    let chunk i =
+      let off = i * shard in
+      Array.sub xs off (min shard (n - off))
+    in
+    let mapped =
+      map t
+        (fun c ->
+          let r = f c in
+          if Array.length r <> Array.length c then
+            invalid_arg "Pool.map_shards: chunk result length mismatch";
+          r)
+        (List.init n_chunks chunk)
+    in
+    Array.concat mapped
+  end

@@ -47,3 +47,11 @@ val shutdown : t -> unit
 
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run, and always [shutdown]. *)
+
+val map_shards : t -> shard:int -> ('a array -> 'b array) -> 'a array -> 'b array
+(** [map_shards t ~shard f xs] splits [xs] into contiguous chunks of at
+    most [shard] elements, maps each chunk with [f] as one pool task, and
+    concatenates the results in input order.  [f] must return an array of
+    the same length as its chunk (checked).  Used to hand a batch kernel
+    a few lanes per domain instead of one task per element.  Same
+    scheduling and exception contract as {!map}. *)

@@ -1,0 +1,326 @@
+(* Batch kernel differential battery: every lane of a Wp_sim.Batch run
+   must be byte-identical to running the same spec alone on the Fast
+   kernel — same outcome, cycle count, delivered counts, per-shell
+   statistics, output traces and fault injections.  Lanes deliberately
+   differ in program, RS configuration, FIFO capacity, shell mode and
+   fault spec, so the structure-of-arrays state of neighbouring lanes
+   is never accidentally interchangeable. *)
+
+module Shell = Wp_lis.Shell
+module Process = Wp_lis.Process
+module Network = Wp_sim.Network
+module Fault = Wp_sim.Fault
+module Batch = Wp_sim.Batch
+module Sim = Wp_sim.Sim
+module Datapath = Wp_soc.Datapath
+module Program = Wp_soc.Program
+module Programs = Wp_soc.Programs
+module Random_program = Wp_soc.Random_program
+module Cpu = Wp_soc.Cpu
+module Config = Wp_core.Config
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let max_cycles = 2_000_000
+
+(* Seed policy mirrors the engine battery in test_soc.ml: program seed
+   [s], RS configuration from Prng(1000 + s).  On top of that each lane
+   gets its own capacity, mode and fault clauses, all derived from the
+   seed so every failure names a replayable case. *)
+let battery_seeds = 50
+
+let battery_config seed =
+  let prng = Wp_util.Prng.create ~seed:(1000 + seed) in
+  Config.of_alist
+    (List.map
+       (fun conn -> (conn, Wp_util.Prng.int prng 3))
+       Datapath.all_connections)
+
+let battery_capacity seed = 2 + (seed mod 3)
+let battery_mode seed = if seed mod 2 = 0 then Shell.Plain else Shell.Oracle
+
+(* Benign clauses only: destructive Break faults can legitimately make a
+   process raise (identically on Fast and Batch — pinned by the
+   destructive test below), which would poison the whole batch; the
+   Runner's batchability gate excludes them for the same reason. *)
+let battery_fault seed =
+  let clauses = [] in
+  let clauses = if seed mod 7 = 3 then "jitter:15@500" :: clauses else clauses in
+  let clauses = if seed mod 7 = 5 then "storm:7/2@400" :: clauses else clauses in
+  let clauses =
+    if seed mod 11 = 4 then "stall:2@3+9+27" :: clauses else clauses
+  in
+  match clauses with
+  | [] -> Fault.none
+  | cs -> Fault.of_string ~seed:(2000 + seed) (String.concat "," cs)
+
+let mode_name = function Shell.Plain -> "plain" | Shell.Oracle -> "oracle"
+
+(* Compare one batch lane against a freshly built solo Fast run of the
+   identical spec. *)
+let compare_lane ~note ~seed ~ctx b ~lane ~machine ~mode ~capacity ~fault
+    program config =
+  let note fmt = Printf.ksprintf note fmt in
+  let rs = Config.to_fun config in
+  let dp = Datapath.build ~machine ~rs program in
+  let sim =
+    Sim.create ~engine:Sim.Fast ~capacity ~record_traces:true ~fault ~mode
+      dp.Datapath.network
+  in
+  match Sim.run ~max_cycles sim with
+  | exception e -> note "seed %d: %s solo Fast raised %s" seed ctx (Printexc.to_string e)
+  | solo_out ->
+    let net = Sim.network sim in
+    (match Batch.outcome b ~lane with
+    | None -> note "seed %d: %s lane %d never finished" seed ctx lane
+    | Some out ->
+      if out <> solo_out then
+        note "seed %d: %s lane %d outcome differs from solo Fast" seed ctx lane);
+    if Batch.lane_cycles b ~lane <> Sim.cycles sim then
+      note "seed %d: %s lane %d cycle count %d differs from solo %d" seed ctx
+        lane (Batch.lane_cycles b ~lane) (Sim.cycles sim);
+    if Batch.fault_injections b ~lane <> Sim.fault_injections sim then
+      note "seed %d: %s lane %d fault injections differ" seed ctx lane;
+    List.iter
+      (fun c ->
+        if Batch.delivered b ~lane c <> Sim.delivered sim c then
+          note "seed %d: %s lane %d disagrees on delivered(%s)" seed ctx lane
+            (Network.channel_label net c))
+      (Network.channels net);
+    List.iter
+      (fun n ->
+        let proc = Network.node_process net n in
+        if Batch.node_stats b ~lane n <> Sim.node_stats sim n then
+          note "seed %d: %s lane %d disagrees on stats(%s)" seed ctx lane
+            proc.Process.name;
+        Array.iteri
+          (fun p _ ->
+            if Batch.output_trace b ~lane n p <> Sim.output_trace sim n p then
+              note "seed %d: %s lane %d disagrees on trace %s.%s" seed ctx lane
+                proc.Process.name proc.Process.output_names.(p))
+          proc.Process.output_names)
+      (Network.nodes net)
+
+let battery_for_machine machine =
+  let failures = ref [] in
+  let note s = failures := s :: !failures in
+  let seeds = List.init battery_seeds Fun.id in
+  let lane_of seed =
+    let program = Random_program.generate ~seed () in
+    let config = battery_config seed in
+    let dp = Datapath.build ~machine ~rs:(Config.to_fun config) program in
+    {
+      Batch.net = dp.Datapath.network;
+      mode = battery_mode seed;
+      capacity = battery_capacity seed;
+      fault = battery_fault seed;
+      max_cycles;
+    }
+  in
+  let b = Batch.create ~record_traces:true (Array.of_list (List.map lane_of seeds)) in
+  let (_ : Wp_sim.Engine.outcome array) = Batch.run b in
+  List.iter
+    (fun seed ->
+      let ctx =
+        Printf.sprintf "%s/%s" (Datapath.machine_name machine)
+          (mode_name (battery_mode seed))
+      in
+      compare_lane ~note ~seed ~ctx b ~lane:seed ~machine
+        ~mode:(battery_mode seed) ~capacity:(battery_capacity seed)
+        ~fault:(battery_fault seed)
+        (Random_program.generate ~seed ())
+        (battery_config seed))
+    seeds;
+  List.rev !failures
+
+let test_battery_pipelined () =
+  match battery_for_machine Datapath.Pipelined with
+  | [] -> ()
+  | fs ->
+    Alcotest.failf "%d batch battery failure(s):\n%s" (List.length fs)
+      (String.concat "\n" fs)
+
+let test_battery_multicycle () =
+  match battery_for_machine Datapath.Multicycle with
+  | [] -> ()
+  | fs ->
+    Alcotest.failf "%d batch battery failure(s):\n%s" (List.length fs)
+      (String.concat "\n" fs)
+
+(* ------------------------------------------------------------------ *)
+(* Rejections                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let soc_lane ?(capacity = 2) ?(machine = Datapath.Pipelined) () =
+  let program = Programs.extraction_sort ~values:(Programs.sort_values ~seed:3 ~n:6) in
+  let dp = Datapath.build ~machine ~rs:Cpu.no_relay_stations program in
+  {
+    Batch.net = dp.Datapath.network;
+    mode = Shell.Plain;
+    capacity;
+    fault = Fault.none;
+    max_cycles;
+  }
+
+let test_rejects_capacity_zero () =
+  match Batch.create [| soc_lane ~capacity:0 () |] with
+  | _ -> Alcotest.fail "capacity 0 accepted"
+  | exception Batch.Unbatchable _ -> ()
+
+let test_rejects_protection () =
+  let lane = soc_lane () in
+  Network.set_protection lane.Batch.net 0
+    (Some { Network.window = 4; timeout = 16 });
+  (match Batch.create [| lane |] with
+  | _ -> Alcotest.fail "protected channel accepted"
+  | exception Batch.Unbatchable _ -> ());
+  Network.set_protection lane.Batch.net 0 None
+
+(* A ring of [m] unary +1 relays, as in test_fast.ml. *)
+let ring m ~rs =
+  let relay name =
+    Process.unary ~name ~input_name:"i" ~output_name:"o" ~reset:0 succ
+  in
+  let net = Network.create () in
+  let nodes =
+    Array.init m (fun i -> Network.add net (relay (Printf.sprintf "p%d" i)))
+  in
+  for i = 0 to m - 1 do
+    ignore
+      (Network.connect net
+         ~src:(nodes.(i), "o")
+         ~dst:(nodes.((i + 1) mod m), "i")
+         ~relay_stations:(if i = m - 1 then rs else 0)
+         ())
+  done;
+  net
+
+let ring_lane m ~rs =
+  { Batch.net = ring m ~rs; mode = Shell.Plain; capacity = 2;
+    fault = Fault.none; max_cycles = 1_000 }
+
+let test_rejects_topology_mismatch () =
+  match Batch.create [| ring_lane 3 ~rs:1; ring_lane 4 ~rs:1 |] with
+  | _ -> Alcotest.fail "mismatched topologies accepted"
+  | exception Batch.Unbatchable _ -> ()
+
+(* The two SoC machines share one topology (5 blocks, same wiring), so
+   lanes from different machines batch together legitimately. *)
+let test_mixed_machines_batch () =
+  let b =
+    Batch.create
+      [| soc_lane ~machine:Datapath.Pipelined ();
+         soc_lane ~machine:Datapath.Multicycle () |]
+  in
+  Array.iter
+    (function
+      | Wp_sim.Engine.Halted _ -> ()
+      | _ -> Alcotest.fail "mixed-machine lane did not halt")
+    (Batch.run b)
+
+(* Destructive Break faults may make process closures raise; the batch
+   kernel must fail with exactly the sequential kernel's error. *)
+let test_destructive_fault_raises_identically () =
+  let seed = 9 in
+  let program = Random_program.generate ~seed () in
+  let config = battery_config seed in
+  let fault = Fault.of_string ~seed:(2000 + seed) "drop:1:4" in
+  let build () =
+    Datapath.build ~machine:Datapath.Pipelined ~rs:(Config.to_fun config)
+      program
+  in
+  let solo_err =
+    let sim =
+      Sim.create ~engine:Sim.Fast ~capacity:2 ~fault ~mode:Shell.Oracle
+        (build ()).Datapath.network
+    in
+    match Sim.run ~max_cycles sim with
+    | _ -> None
+    | exception Failure m -> Some m
+  in
+  let batch_err =
+    let lane =
+      { Batch.net = (build ()).Datapath.network; mode = Shell.Oracle;
+        capacity = 2; fault; max_cycles }
+    in
+    match Batch.run (Batch.create [| lane |]) with
+    | _ -> None
+    | exception Failure m -> Some m
+  in
+  checkb "destructive fault raised in both engines" true
+    (solo_err <> None && solo_err = batch_err)
+
+(* ------------------------------------------------------------------ *)
+(* Cpu.run_batch against sequential Cpu.run                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_batch_matches_run () =
+  let machine = Datapath.Pipelined in
+  let mk ?max_cycles ?mcr_work ?(fault = Fault.none) ~mode ~capacity seed =
+    let program = Random_program.generate ~seed () in
+    let config = battery_config seed in
+    ( {
+        Cpu.b_mode = mode;
+        b_rs = Config.to_fun config;
+        b_capacity = capacity;
+        b_max_cycles = max_cycles;
+        b_mcr_work = mcr_work;
+        b_fault = fault;
+        b_program = program;
+      },
+      fun () ->
+        Cpu.run ~engine:Sim.Fast ~capacity ?max_cycles ?mcr_work ~fault
+          ~machine ~mode ~rs:(Config.to_fun config) program )
+  in
+  let golden_cycles seed =
+    (Cpu.run_golden ~machine (Random_program.generate ~seed ())).Cpu.cycles
+  in
+  let items =
+    [
+      mk ~mode:Shell.Plain ~capacity:2 1;
+      mk ~mode:Shell.Oracle ~capacity:3 2;
+      (* tight explicit budget: must exhaust identically *)
+      mk ~max_cycles:40 ~mode:Shell.Plain ~capacity:2 3;
+      (* MCR-guided budget path *)
+      mk ~mcr_work:(golden_cycles 4) ~mode:Shell.Oracle ~capacity:2 4;
+      (* faulted lane: full budget path *)
+      mk ~fault:(Fault.of_string ~seed:11 "jitter:10@300") ~mode:Shell.Plain
+        ~capacity:2 5;
+    ]
+  in
+  let batch = Cpu.run_batch ~machine (Array.of_list (List.map fst items)) in
+  List.iteri
+    (fun i (_, solo) ->
+      let s = solo () in
+      checkb (Printf.sprintf "item %d equals sequential run" i) true
+        (batch.(i) = s))
+    items;
+  checki "batch size" (List.length items) (Array.length batch)
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "battery",
+        [
+          Alcotest.test_case "pipelined 50-seed differential" `Slow
+            test_battery_pipelined;
+          Alcotest.test_case "multicycle 50-seed differential" `Slow
+            test_battery_multicycle;
+        ] );
+      ( "rejections",
+        [
+          Alcotest.test_case "capacity 0" `Quick test_rejects_capacity_zero;
+          Alcotest.test_case "protection" `Quick test_rejects_protection;
+          Alcotest.test_case "topology mismatch" `Quick
+            test_rejects_topology_mismatch;
+          Alcotest.test_case "mixed machines batch fine" `Quick
+            test_mixed_machines_batch;
+          Alcotest.test_case "destructive fault raises identically" `Quick
+            test_destructive_fault_raises_identically;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "run_batch = run" `Quick test_run_batch_matches_run;
+        ] );
+    ]

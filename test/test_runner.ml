@@ -114,14 +114,14 @@ let test_runner_cache_accounting () =
   let runner = Runner.create ~jobs:2 () in
   checkb "cache on by default" true (Runner.cache_enabled runner);
   let first =
-    Runner.experiments runner ~machine:Datapath.Pipelined ~program:small_sort three_configs
+    Runner.experiments_spec ~spec:Run_spec.default runner ~machine:Datapath.Pipelined ~program:small_sort three_configs
   in
   let s1 = Runner.stats runner in
   checki "first pass misses" 3 s1.Runner.cache_misses;
   checki "first pass no hits" 0 s1.Runner.cache_hits;
   checki "first pass tasks" 3 s1.Runner.tasks_run;
   let second =
-    Runner.experiments runner ~machine:Datapath.Pipelined ~program:small_sort three_configs
+    Runner.experiments_spec ~spec:Run_spec.default runner ~machine:Datapath.Pipelined ~program:small_sort three_configs
   in
   let s2 = Runner.stats runner in
   checki "second pass hits" 3 s2.Runner.cache_hits;
@@ -130,17 +130,17 @@ let test_runner_cache_accounting () =
   (* The objective table is independent of the record table but shares
      the accounting. *)
   let v =
-    Runner.objective runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero
+    Runner.objective_spec ~spec:Run_spec.default runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero
   in
   let v' =
-    Runner.objective runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero
+    Runner.objective_spec ~spec:Run_spec.default runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero
   in
   Alcotest.(check (float 1e-12)) "objective deterministic" v v';
   let s3 = Runner.stats runner in
   checki "objective probe missed once then hit" 4 s3.Runner.cache_hits;
   Runner.clear_cache runner;
   ignore
-    (Runner.experiment runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero);
+    (Runner.experiment_spec ~spec:Run_spec.default runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero);
   checki "clear_cache forgets" 5 (Runner.stats runner).Runner.cache_misses;
   Runner.shutdown runner
 
@@ -148,9 +148,9 @@ let test_runner_no_cache () =
   let runner = Runner.create ~jobs:1 ~cache:false () in
   checkb "cache disabled" false (Runner.cache_enabled runner);
   ignore
-    (Runner.experiments runner ~machine:Datapath.Pipelined ~program:small_sort three_configs);
+    (Runner.experiments_spec ~spec:Run_spec.default runner ~machine:Datapath.Pipelined ~program:small_sort three_configs);
   ignore
-    (Runner.experiments runner ~machine:Datapath.Pipelined ~program:small_sort three_configs);
+    (Runner.experiments_spec ~spec:Run_spec.default runner ~machine:Datapath.Pipelined ~program:small_sort three_configs);
   let s = Runner.stats runner in
   checki "no hits ever" 0 s.Runner.cache_hits;
   checki "every lookup misses" 6 s.Runner.cache_misses;
@@ -161,9 +161,9 @@ let test_runner_max_cycles_in_key () =
      same (program, machine, config). *)
   let runner = Runner.create ~jobs:1 () in
   ignore
-    (Runner.experiment runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero);
+    (Runner.experiment_spec ~spec:Run_spec.default runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero);
   ignore
-    (Runner.experiment ~max_cycles:500_000 runner ~machine:Datapath.Pipelined
+    (Runner.experiment_spec ~spec:(Run_spec.v ~max_cycles:500_000 ()) runner ~machine:Datapath.Pipelined
        ~program:small_sort Config.zero);
   checki "distinct keys" 2 (Runner.stats runner).Runner.cache_misses;
   Runner.shutdown runner
@@ -176,7 +176,7 @@ let test_runner_exception_propagation () =
   (* An impossible experiment (cycle budget 1) must surface its Failure
      through the worker pool, not hang or get swallowed. *)
   (match
-     Runner.experiments ~max_cycles:1 runner ~machine:Datapath.Pipelined
+     Runner.experiments_spec ~spec:(Run_spec.v ~max_cycles:1 ()) runner ~machine:Datapath.Pipelined
        ~program:small_sort three_configs
    with
   | _ -> Alcotest.fail "expected Failure for 1-cycle budget"
@@ -188,7 +188,7 @@ let test_runner_timed_sections () =
   let (), section =
     Runner.timed runner "warm" (fun () ->
         ignore
-          (Runner.experiments runner ~machine:Datapath.Pipelined ~program:small_sort
+          (Runner.experiments_spec ~spec:Run_spec.default runner ~machine:Datapath.Pipelined ~program:small_sort
              three_configs))
   in
   checks "section name" "warm" section.Runner.section_name;
@@ -197,7 +197,7 @@ let test_runner_timed_sections () =
   let (), reread =
     Runner.timed runner "cached" (fun () ->
         ignore
-          (Runner.experiments runner ~machine:Datapath.Pipelined ~program:small_sort
+          (Runner.experiments_spec ~spec:Run_spec.default runner ~machine:Datapath.Pipelined ~program:small_sort
              three_configs))
   in
   checki "cached section hits" 3 reread.Runner.section_cache_hits;
@@ -214,14 +214,16 @@ let test_runner_protect_in_key () =
   (* A protected record must never satisfy an unprotected lookup. *)
   let runner = Runner.create ~jobs:1 () in
   ignore
-    (Runner.experiment runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero);
+    (Runner.experiment_spec ~spec:Run_spec.default runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero);
   ignore
-    (Runner.experiment ~protect:(Protect.of_connections [ Datapath.CU_AL ]) runner
+    (Runner.experiment_spec
+       ~spec:(Run_spec.v ~protect:(Protect.of_connections [ Datapath.CU_AL ]) ())
+       runner
        ~machine:Datapath.Pipelined ~program:small_sort Config.zero);
   checki "distinct keys" 2 (Runner.stats runner).Runner.cache_misses;
   (* ... but Protect.none digests like an absent policy, so it aliases. *)
   ignore
-    (Runner.experiment ~protect:Protect.none runner ~machine:Datapath.Pipelined
+    (Runner.experiment_spec ~spec:(Run_spec.v ~protect:Protect.none ()) runner ~machine:Datapath.Pipelined
        ~program:small_sort Config.zero);
   checki "none aliases absent" 1 (Runner.stats runner).Runner.cache_hits;
   Runner.shutdown runner
@@ -250,7 +252,7 @@ let with_cache_dir f =
 let one_experiment ~dir () =
   let runner = Runner.create ~jobs:1 ~cache_dir:dir () in
   let r =
-    Runner.experiment runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero
+    Runner.experiment_spec ~spec:Run_spec.default runner ~machine:Datapath.Pipelined ~program:small_sort Config.zero
   in
   let s = Runner.stats runner in
   Runner.shutdown runner;
@@ -330,7 +332,7 @@ let test_runner_guarded_quarantine () =
   (* An impossible 1-cycle budget (even escalated to 2 and 4 cycles)
      must come back as Failed in every slot — the sweep survives. *)
   let outcomes =
-    Runner.experiments_guarded ~max_cycles:1 ~attempts:3 runner
+    Runner.experiments_guarded_spec ~spec:(Run_spec.v ~max_cycles:1 ()) ~attempts:3 runner
       ~machine:Datapath.Pipelined ~program:small_sort three_configs
   in
   checki "every slot reported" 3 (List.length outcomes);
@@ -357,7 +359,7 @@ let test_runner_guarded_escalation () =
      with an 800-cycle budget and completes. *)
   let runner = Runner.create ~jobs:1 () in
   (match
-     Runner.experiment_guarded ~max_cycles:400 runner ~machine:Datapath.Pipelined
+     Runner.experiment_guarded_spec ~spec:(Run_spec.v ~max_cycles:400 ()) runner ~machine:Datapath.Pipelined
        ~program:small_sort Config.zero
    with
   | Runner.Failed f -> Alcotest.failf "escalation did not converge: %s" f.Runner.last_error
@@ -414,14 +416,14 @@ let test_optimizer_map_independence () =
   let machine = Datapath.Pipelined and program = small_sort in
   let seq =
     Optimizer.optimal ~budget:3 ~per_connection_max:2
-      ~objective:(Experiment.wp2_cycles_objective ~machine ~program)
+      ~objective:(Experiment.wp2_cycles_objective_spec ~spec:Run_spec.default ~machine ~program)
       ()
   in
   let runner = Runner.create ~jobs:4 () in
   let par =
     Optimizer.optimal ~budget:3 ~per_connection_max:2
       ~map:(Runner.map runner)
-      ~objective:(Runner.objective runner ~machine ~program)
+      ~objective:(Runner.objective_spec ~spec:Run_spec.default runner ~machine ~program)
       ()
   in
   Runner.shutdown runner;
