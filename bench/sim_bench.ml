@@ -5,11 +5,13 @@
      --engine fast|ref|static|both|all
                               which kernel(s) to measure (default both;
                               'all' adds the static-schedule kernel)
-     --probe core|batch|serve|all
+     --probe core|batch|serve|topo|all
                               which probe(s) to run (default core; repeatable).
                               core  = the classic engine sweep below
                               batch = 64-lane SoA Batch vs sequential Fast
                               serve = in-process daemon saturation (p50/p99)
+                              topo  = generated-topology scale (ring:1000,
+                                      mesh:16x16) cycles/sec per engine
      --smoke                  shrink workloads (also WIREPIPE_BENCH_FAST=1)
      --out FILE               merge machine-readable results into FILE
                               (default BENCH_sim.json; sections from probes
@@ -87,10 +89,10 @@ let parse_args () =
     | "--gc-stats" -> gc_stats := true
     | "--probe" -> (
       match next "--probe" with
-      | "all" -> probes := !probes @ [ "core"; "batch"; "serve" ]
-      | ("core" | "batch" | "serve") as p -> probes := !probes @ [ p ]
+      | "all" -> probes := !probes @ [ "core"; "batch"; "serve"; "topo" ]
+      | ("core" | "batch" | "serve" | "topo") as p -> probes := !probes @ [ p ]
       | s ->
-        Printf.eprintf "sim_bench: unknown probe %S (want core|batch|serve|all)\n" s;
+        Printf.eprintf "sim_bench: unknown probe %S (want core|batch|serve|topo|all)\n" s;
         exit 2)
     | a ->
       Printf.eprintf "sim_bench: unknown argument %S\n" a;
@@ -762,6 +764,121 @@ let run_serve_probe opts =
   (sections, failures)
 
 (* ------------------------------------------------------------------ *)
+(* Probe: generated-topology scale                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Cycles/sec on two generated instances an order of magnitude past the
+   Table 1 SoC: a 1000-block ring (deep pipeline, one loop) and a
+   16x16 mesh (256 blocks, 481 channels, dense feedback through the
+   mesh return edge).  The same Topology.build output feeds test_topo
+   and wp_cli sweep, so these numbers anchor what the differential
+   battery and sweep harness cost per simulated cycle.  The static
+   engine's measured word rate is cross-checked against the Howard-MCR
+   bound of the capacity-extended graph before timing. *)
+
+let topo_instances = [ "ring:1000"; "mesh:16x16" ]
+
+let measure_topo_steps ~engine ~cycles net =
+  let step =
+    match engine with
+    | Sim.Reference ->
+      let e = Engine.create ~capacity:2 ~mode:Shell.Plain net in
+      fun () -> Engine.step e
+    | Sim.Fast ->
+      let f = Fast.create ~capacity:2 ~mode:Shell.Plain net in
+      fun () -> Fast.step f
+    | Sim.Static ->
+      let s = Static.create ~capacity:2 ~mode:Shell.Plain net in
+      fun () -> Static.step s
+  in
+  for _ = 1 to 100 do step () done;
+  let best = ref infinity in
+  let words = ref 0.0 in
+  for _ = 1 to 3 do
+    Gc.full_major ();
+    let g0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to cycles do step () done;
+    let seconds = Unix.gettimeofday () -. t0 in
+    let g1 = Gc.quick_stat () in
+    if seconds < !best then begin
+      best := seconds;
+      words := g1.Gc.minor_words -. g0.Gc.minor_words
+    end
+  done;
+  { runs = 1; total_cycles = cycles; seconds = !best; minor_words = !words }
+
+let run_topo_probe opts =
+  let module Topology = Wp_topo.Topology in
+  let cycles = if opts.smoke then 1_000 else 10_000 in
+  Printf.printf "generated-topology probe (%d timed cycles, capacity 2):\n%!" cycles;
+  (* The static table replays every engine's steady state, so its word
+     rate must match the marked-graph bound exactly — gate on it before
+     spending time on the measurements. *)
+  let failures = ref [] in
+  let instances =
+    List.map
+      (fun name ->
+        let spec =
+          match Topology.of_string name with
+          | Ok t -> t
+          | Error e -> failwith (Printf.sprintf "sim_bench: %s: %s" name e)
+        in
+        let net = Topology.build spec in
+        let bound = Topology.mcr ~capacity:2 net in
+        let st = Static.create ~capacity:2 ~mode:Shell.Plain net in
+        let rate = Static.rate st 0 in
+        if rate <> bound then
+          failures :=
+            !failures
+            @ [
+                Printf.sprintf
+                  "sim_bench: FAIL — %s: static word rate %d/%d != Howard-MCR bound %d/%d"
+                  name rate.Cycle_ratio.num rate.Cycle_ratio.den
+                  bound.Cycle_ratio.num bound.Cycle_ratio.den;
+              ];
+        Printf.printf "%s: %d blocks, %d channels, bound %d/%d\n" name
+          (Network.node_count net) (Network.channel_count net)
+          bound.Cycle_ratio.num bound.Cycle_ratio.den;
+        let engines =
+          (* always include static here: replaying the table at this
+             scale is the point of the probe *)
+          if List.mem Sim.Static opts.engines then opts.engines
+          else opts.engines @ [ Sim.Static ]
+        in
+        let per_engine =
+          List.map
+            (fun engine ->
+              let m = measure_topo_steps ~engine ~cycles net in
+              print_measurement ~gc_stats:opts.gc_stats
+                (Printf.sprintf "%s" (engine_name engine))
+                m;
+              (engine, m))
+            engines
+        in
+        (name, per_engine))
+      topo_instances
+  in
+  let sections =
+    [
+      ( "topology_probe",
+        Printf.sprintf "{\n%s\n  }"
+          (String.concat ",\n"
+             (List.map
+                (fun (name, per_engine) ->
+                  Printf.sprintf "    %S: {\n%s\n    }" name
+                    (String.concat ",\n"
+                       (List.map
+                          (fun (e, m) ->
+                            Printf.sprintf "      %S: %s" (engine_name e)
+                              (json_of_measurement m))
+                          per_engine)))
+                instances)) );
+    ]
+  in
+  (sections, !failures)
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -775,6 +892,7 @@ let () =
   if List.mem "core" opts.probes then add (run_core opts);
   if List.mem "batch" opts.probes then add (run_batch_probe opts);
   if List.mem "serve" opts.probes then add (run_serve_probe opts);
+  if List.mem "topo" opts.probes then add (run_topo_probe opts);
   (* Merge into the existing results file: sections this run did not
      re-measure keep their previous values. *)
   let existing =

@@ -907,6 +907,76 @@ let client_cmd =
           $ engine_str_arg $ capacity_arg $ max_cycles_arg $ fault_str_arg
           $ fault_seed_arg $ repeat $ window $ max_p99 $ ping $ daemon_stats)
 
+(* --- sweep ------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let module Topology = Wp_topo.Topology in
+  let module Sweep = Wp_topo.Sweep in
+  let topology_conv =
+    let parse s =
+      match Topology.of_string s with
+      | Ok t -> Ok t
+      | Error e -> Error (`Msg e)
+    in
+    let print ppf t = Format.pp_print_string ppf (Topology.to_string t) in
+    Arg.conv (parse, print)
+  in
+  let topology_arg =
+    Arg.(non_empty & opt_all topology_conv []
+         & info [ "topology" ] ~docv:"SHAPE"
+             ~doc:"Topology family to sweep (repeatable): \
+                   $(b,ring:N), $(b,mesh:RxC), $(b,torus:RxC) or \
+                   $(b,rand:N), each optionally suffixed \
+                   $(b,:seedK), $(b,:rsK) (max relay stations per \
+                   channel) and $(b,:adapt) (insert mismatched-width \
+                   channels bridged by space-time adapter shells).")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 1
+         & info [ "seeds" ] ~docv:"N"
+             ~doc:"Generator seeds per family: each family is \
+                   instantiated with seeds $(i,base..base+N-1).")
+  in
+  let no_check_arg =
+    Arg.(value & flag
+         & info [ "no-check" ]
+             ~doc:"Skip the cross-engine agreement checks (static \
+                   schedule replay and reference-interpreter spot \
+                   checks); only run the primary engine.")
+  in
+  let run topos seeds no_check jobs gc spec =
+    with_gc_stats gc @@ fun () ->
+    let scenarios = Sweep.expand ~topos ~seeds ~spec in
+    let results = Sweep.run ?jobs ~check_engines:(not no_check) scenarios in
+    print_string (Sweep.render results);
+    let failures = List.filter (fun r -> not (Sweep.ok r)) results in
+    if failures <> [] then begin
+      List.iter
+        (fun (r : Sweep.result) ->
+          let reason =
+            match r.Sweep.r_error with
+            | Some e -> e
+            | None ->
+              if r.Sweep.r_word_ok = Some false then "word-rate mismatch"
+              else String.concat "; " r.Sweep.r_disagreements
+          in
+          let path = Sweep.write_repro r.Sweep.r_scenario ~reason in
+          Printf.eprintf "FAIL %s: %s\n  repro:  %s\n  replay: %s\n"
+            (Topology.digest r.Sweep.r_scenario.Sweep.topo)
+            reason path
+            (Sweep.replay_command r.Sweep.r_scenario))
+        failures;
+      Printf.eprintf "sweep: %d/%d scenarios failed\n" (List.length failures)
+        (List.length results);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Stress generated topologies across engines and seeds")
+    Term.(const run $ topology_arg $ seeds_arg $ no_check_arg $ jobs_arg
+          $ gc_stats_arg $ spec_term)
+
 let () =
   let doc = "wire-pipelined SoC design methodology (DATE'05 reproduction)" in
   let info = Cmd.info "wirepipe" ~version:"1.0.0" ~doc in
@@ -931,6 +1001,7 @@ let () =
             rtl_cmd;
             serve_cmd;
             client_cmd;
+            sweep_cmd;
           ])
      with Wp_sim.Static.Unschedulable reason ->
        (* --engine static on a configuration with no static firing

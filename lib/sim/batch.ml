@@ -1069,59 +1069,63 @@ let cached_tables ~capacity net =
     Mutex.unlock schedule_mutex;
     s
 
+
+(* ------------------------------------------------------------------ *)
+(* Topology signature                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* What two lanes must agree on to share one compiled sub-kernel: node
+   count, per-node port shapes and channel endpoints.  Relay-station
+   counts and capacity are deliberately absent — they vary per lane
+   (Dyn) or per replay group.  This is also the key [Topology.signature]
+   exposes so sweep drivers can predict lane grouping. *)
+let signature net =
+  let b = Buffer.create 128 in
+  let n_nodes = Network.node_count net in
+  let n_chans = Network.channel_count net in
+  Printf.bprintf b "n%d|c%d" n_nodes n_chans;
+  for n = 0 to n_nodes - 1 do
+    let p = Network.node_process net n in
+    Printf.bprintf b "|%d.%d" (Process.n_inputs p) (Process.n_outputs p)
+  done;
+  for c = 0 to n_chans - 1 do
+    let sn, sp = Network.channel_src net c in
+    let dn, dp = Network.channel_dst net c in
+    Printf.bprintf b "|%d.%d.%d.%d" sn sp dn dp
+  done;
+  Buffer.contents b
+
 (* ------------------------------------------------------------------ *)
 (* Composite: partition, dispatch                                     *)
 (* ------------------------------------------------------------------ *)
 
 type sub = Dyn_lane of int | Rep_lane of int * int
 
-type t = {
-  n_lanes : int;
-  where : sub array; (* caller's lane id -> owning sub-kernel *)
-  dyn : Dyn.t option;
-  dyn_global : int array;
-  groups : Replay.t array;
+(* One topology-homogeneous sub-composite: every lane in it shares the
+   signature above, so Dyn's shared-structure assumption and Replay's
+   shared-schedule assumption both hold within it. *)
+type homo = {
+  h_global : int array; (* local lane id -> caller's lane id *)
+  h_where : sub array; (* local lane id -> owning sub-kernel *)
+  h_dyn : Dyn.t option;
+  h_dyn_local : int array; (* dyn lane order -> local lane id *)
+  h_groups : Replay.t array;
 }
 
-let create ?(record_traces = false) lanes =
+type t = {
+  n_lanes : int;
+  loc : (int * int) array; (* caller's lane id -> (topology, local lane) *)
+  homos : homo array;
+}
+
+(* Compile one topology-homogeneous lane set.  Lanes are already
+   validated (capacity >= 1, no protection, valid network) and agree on
+   the topology signature; [global] maps them back to the caller's lane
+   ids for error messages. *)
+let create_homo ~record_traces ~global lanes =
   let n_lanes = Array.length lanes in
-  if n_lanes = 0 then invalid_arg "Batch.create: empty lane array";
-  Array.iteri
-    (fun l ln ->
-      if ln.capacity < 1 then
-        unbatchable "lane %d: capacity %d (unbounded FIFOs are not batchable)"
-          l ln.capacity;
-      Network.validate ln.net;
-      List.iter
-        (fun c ->
-          if Network.protection ln.net c <> None then
-            unbatchable "lane %d: channel %d is link-protected" l c)
-        (Network.channels ln.net))
-    lanes;
   let net0 = lanes.(0).net in
-  let n_nodes = Network.node_count net0 in
   let n_chans = Network.channel_count net0 in
-  let procs0 = Array.init n_nodes (fun n -> Network.node_process net0 n) in
-  Array.iteri
-    (fun l ln ->
-      if
-        Network.node_count ln.net <> n_nodes
-        || Network.channel_count ln.net <> n_chans
-      then unbatchable "lane %d: node/channel counts differ from lane 0" l;
-      for n = 0 to n_nodes - 1 do
-        let p = Network.node_process ln.net n in
-        if
-          Process.n_inputs p <> Process.n_inputs procs0.(n)
-          || Process.n_outputs p <> Process.n_outputs procs0.(n)
-        then unbatchable "lane %d: node %d port shape differs from lane 0" l n
-      done;
-      for c = 0 to n_chans - 1 do
-        if
-          Network.channel_src ln.net c <> Network.channel_src net0 c
-          || Network.channel_dst ln.net c <> Network.channel_dst net0 c
-        then unbatchable "lane %d: channel %d endpoints differ from lane 0" l c
-      done)
-    lanes;
   (* Partition: Plain, unfaulted lanes share a data-independent firing
      schedule keyed by (capacity, relay stations per channel); the rest
      step dynamically.  A group whose prepass finds no periodic steady
@@ -1151,43 +1155,91 @@ let create ?(record_traces = false) lanes =
       let rep = List.hd ids in
       match cached_tables ~capacity lanes.(rep).net with
       | schedule ->
-        let global = Array.of_list ids in
-        let sub = Array.map (fun l -> lanes.(l)) global in
+        let local = Array.of_list ids in
+        let sub = Array.map (fun l -> lanes.(l)) local in
         groups :=
-          Replay.create ~record_traces ~capacity ~schedule ~global sub
+          Replay.create ~record_traces ~capacity ~schedule ~global:local sub
           :: !groups
       | exception Static.Unschedulable _ ->
         dyn_ids := List.merge compare ids !dyn_ids)
     (List.rev !keys);
-  let groups = Array.of_list (List.rev !groups) in
-  let dyn_global = Array.of_list !dyn_ids in
-  let dyn =
-    if Array.length dyn_global = 0 then None
+  let h_groups = Array.of_list (List.rev !groups) in
+  let h_dyn_local = Array.of_list !dyn_ids in
+  let h_dyn =
+    if Array.length h_dyn_local = 0 then None
     else
       Some
         (Dyn.create ~record_traces
-           (Array.map (fun l -> lanes.(l)) dyn_global))
+           (Array.map (fun l -> lanes.(l)) h_dyn_local))
   in
-  let where = Array.make n_lanes (Dyn_lane 0) in
-  Array.iteri (fun i g -> where.(g) <- Dyn_lane i) dyn_global;
+  let h_where = Array.make n_lanes (Dyn_lane 0) in
+  Array.iteri (fun i l -> h_where.(l) <- Dyn_lane i) h_dyn_local;
   Array.iteri
     (fun gi grp ->
-      Array.iteri (fun i g -> where.(g) <- Rep_lane (gi, i)) grp.Replay.global)
-    groups;
-  { n_lanes; where; dyn; dyn_global; groups }
+      Array.iteri (fun i l -> h_where.(l) <- Rep_lane (gi, i)) grp.Replay.global)
+    h_groups;
+  { h_global = global; h_where; h_dyn; h_dyn_local; h_groups }
+
+let create ?(record_traces = false) lanes =
+  let n_lanes = Array.length lanes in
+  if n_lanes = 0 then invalid_arg "Batch.create: empty lane array";
+  Array.iteri
+    (fun l ln ->
+      if ln.capacity < 1 then
+        unbatchable "lane %d: capacity %d (unbounded FIFOs are not batchable)"
+          l ln.capacity;
+      Network.validate ln.net;
+      List.iter
+        (fun c ->
+          if Network.protection ln.net c <> None then
+            unbatchable "lane %d: channel %d is link-protected" l c)
+        (Network.channels ln.net))
+    lanes;
+  (* Group lanes by topology signature, in first-appearance order; each
+     signature compiles its own sub-composite, so a heterogeneous batch
+     (several generated topologies in one call) needs no fallback. *)
+  let sig_order = ref [] in
+  let by_sig = Hashtbl.create 8 in
+  for l = n_lanes - 1 downto 0 do
+    let key = signature lanes.(l).net in
+    match Hashtbl.find_opt by_sig key with
+    | None ->
+      sig_order := key :: !sig_order;
+      Hashtbl.add by_sig key [ l ]
+    | Some ls -> Hashtbl.replace by_sig key (l :: ls)
+  done;
+  let homos =
+    Array.of_list
+      (List.map
+         (fun key ->
+           let global = Array.of_list (Hashtbl.find by_sig key) in
+           let sub = Array.map (fun l -> lanes.(l)) global in
+           create_homo ~record_traces ~global sub)
+         !sig_order)
+  in
+  let loc = Array.make n_lanes (0, 0) in
+  Array.iteri
+    (fun hi h -> Array.iteri (fun li g -> loc.(g) <- (hi, li)) h.h_global)
+    homos;
+  { n_lanes; loc; homos }
 
 let run t =
   let out = Array.make t.n_lanes None in
-  (match t.dyn with
-  | None -> ()
-  | Some d ->
-    let o = Dyn.run d in
-    Array.iteri (fun i g -> out.(g) <- Some o.(i)) t.dyn_global);
   Array.iter
-    (fun grp ->
-      let o = Replay.run grp in
-      Array.iteri (fun i g -> out.(g) <- Some o.(i)) grp.Replay.global)
-    t.groups;
+    (fun h ->
+      (match h.h_dyn with
+      | None -> ()
+      | Some d ->
+        let o = Dyn.run d in
+        Array.iteri (fun i l -> out.(h.h_global.(l)) <- Some o.(i)) h.h_dyn_local);
+      Array.iter
+        (fun grp ->
+          let o = Replay.run grp in
+          Array.iteri
+            (fun i l -> out.(h.h_global.(l)) <- Some o.(i))
+            grp.Replay.global)
+        h.h_groups)
+    t.homos;
   Array.map (function Some o -> o | None -> assert false) out
 
 (* ------------------------------------------------------------------ *)
@@ -1197,52 +1249,60 @@ let run t =
 let n_lanes t = t.n_lanes
 
 let cycles t =
-  let m = match t.dyn with Some d -> Dyn.cycles d | None -> 0 in
-  Array.fold_left (fun acc g -> max acc (Replay.cycles g)) m t.groups
+  Array.fold_left
+    (fun acc h ->
+      let m = match h.h_dyn with Some d -> max acc (Dyn.cycles d) | None -> acc in
+      Array.fold_left (fun acc g -> max acc (Replay.cycles g)) m h.h_groups)
+    0 t.homos
 
-let dyn t = match t.dyn with Some d -> d | None -> assert false
+let h_dyn h = match h.h_dyn with Some d -> d | None -> assert false
+
+let locate t lane =
+  let hi, li = t.loc.(lane) in
+  let h = t.homos.(hi) in
+  (h, h.h_where.(li))
 
 let lane_cycles t ~lane =
-  match t.where.(lane) with
-  | Dyn_lane i -> Dyn.lane_cycles (dyn t) ~lane:i
-  | Rep_lane (g, i) -> Replay.lane_cycles t.groups.(g) i
+  match locate t lane with
+  | h, Dyn_lane i -> Dyn.lane_cycles (h_dyn h) ~lane:i
+  | h, Rep_lane (g, i) -> Replay.lane_cycles h.h_groups.(g) i
 
 let outcome t ~lane =
-  match t.where.(lane) with
-  | Dyn_lane i -> Dyn.outcome (dyn t) ~lane:i
-  | Rep_lane (g, i) -> Replay.outcome t.groups.(g) i
+  match locate t lane with
+  | h, Dyn_lane i -> Dyn.outcome (h_dyn h) ~lane:i
+  | h, Rep_lane (g, i) -> Replay.outcome h.h_groups.(g) i
 
 let network t ~lane =
-  match t.where.(lane) with
-  | Dyn_lane i -> Dyn.network (dyn t) ~lane:i
-  | Rep_lane (g, i) -> Replay.network t.groups.(g) i
+  match locate t lane with
+  | h, Dyn_lane i -> Dyn.network (h_dyn h) ~lane:i
+  | h, Rep_lane (g, i) -> Replay.network h.h_groups.(g) i
 
 let mode t ~lane =
-  match t.where.(lane) with
-  | Dyn_lane i -> Dyn.mode (dyn t) ~lane:i
-  | Rep_lane _ -> Shell.Plain
+  match locate t lane with
+  | h, Dyn_lane i -> Dyn.mode (h_dyn h) ~lane:i
+  | _, Rep_lane _ -> Shell.Plain
 
 let delivered t ~lane c =
-  match t.where.(lane) with
-  | Dyn_lane i -> Dyn.delivered (dyn t) ~lane:i c
-  | Rep_lane (g, i) -> Replay.delivered t.groups.(g) i c
+  match locate t lane with
+  | h, Dyn_lane i -> Dyn.delivered (h_dyn h) ~lane:i c
+  | h, Rep_lane (g, i) -> Replay.delivered h.h_groups.(g) i c
 
 let fault_injections t ~lane =
-  match t.where.(lane) with
-  | Dyn_lane i -> Dyn.fault_injections (dyn t) ~lane:i
-  | Rep_lane _ -> 0
+  match locate t lane with
+  | h, Dyn_lane i -> Dyn.fault_injections (h_dyn h) ~lane:i
+  | _, Rep_lane _ -> 0
 
 let node_stats t ~lane n =
-  match t.where.(lane) with
-  | Dyn_lane i -> Dyn.node_stats (dyn t) ~lane:i n
-  | Rep_lane (g, i) -> Replay.node_stats t.groups.(g) i n
+  match locate t lane with
+  | h, Dyn_lane i -> Dyn.node_stats (h_dyn h) ~lane:i n
+  | h, Rep_lane (g, i) -> Replay.node_stats h.h_groups.(g) i n
 
 let output_trace t ~lane node port =
-  match t.where.(lane) with
-  | Dyn_lane i -> Dyn.output_trace (dyn t) ~lane:i node port
-  | Rep_lane (g, i) -> Replay.output_trace t.groups.(g) i node port
+  match locate t lane with
+  | h, Dyn_lane i -> Dyn.output_trace (h_dyn h) ~lane:i node port
+  | h, Rep_lane (g, i) -> Replay.output_trace h.h_groups.(g) i node port
 
 let buffered t ~lane node port =
-  match t.where.(lane) with
-  | Dyn_lane i -> Dyn.buffered (dyn t) ~lane:i node port
-  | Rep_lane (g, i) -> Replay.buffered t.groups.(g) i node port
+  match locate t lane with
+  | h, Dyn_lane i -> Dyn.buffered (h_dyn h) ~lane:i node port
+  | h, Rep_lane (g, i) -> Replay.buffered h.h_groups.(g) i node port

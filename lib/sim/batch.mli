@@ -2,11 +2,14 @@
 
     {!Fast} compiles one netlist into flat arrays and steps it with no
     per-cycle allocation; this module goes one step further and steps
-    [N] {e independent} simulations — lanes — at once.  All lanes must
-    share the same topology (node count, port shapes, channel
-    endpoints), but each lane carries its own process instances
-    (programs), FIFO capacity, relay-station counts and fault seed, so a
-    sweep's worth of [Run_spec]s becomes one kernel invocation.
+    [N] {e independent} simulations — lanes — at once.  Lanes are first
+    grouped by topology {!signature} (node count, port shapes, channel
+    endpoints), each signature compiling its own sub-composite, so a
+    heterogeneous batch — several generated topologies in one call — is
+    fine.  Within a signature each lane carries its own process
+    instances (programs), FIFO capacity, relay-station counts and fault
+    seed, so a sweep's worth of [Run_spec]s becomes one kernel
+    invocation.
 
     The kernel is a composite of two engines, chosen per lane at
     {!create}:
@@ -43,7 +46,7 @@ module Token = Wp_lis.Token
 type t
 
 type lane = {
-  net : Network.t;        (** same topology as every other lane *)
+  net : Network.t;        (** any topology; equal {!signature}s share a sub-kernel *)
   mode : Shell.mode;      (** Plain (WP1) or Oracle (WP2) wrapper rule *)
   capacity : int;         (** shell FIFO capacity; must be >= 1 *)
   fault : Fault.spec;     (** per-lane fault program ({!Fault.none} ok) *)
@@ -52,14 +55,19 @@ type lane = {
 
 exception Unbatchable of string
 (** A lane violates the kernel's restrictions (capacity 0, protected
-    channels, topology mismatch with lane 0).  The message names the
-    offending lane. *)
+    channels).  The message names the offending lane. *)
+
+val signature : Network.t -> string
+(** Topology signature: node count, per-node port shapes and channel
+    endpoints — {e not} relay-station counts or capacity, which may
+    vary lane to lane.  Lanes with equal signatures share one compiled
+    sub-kernel; unequal signatures are simply compiled separately. *)
 
 val create : ?record_traces:bool -> lane array -> t
-(** Compile the shared topology once and allocate the SoA state for all
-    lanes.  Each lane starts at cycle 0 with the usual reset token per
-    channel.  @raise Unbatchable as described above, [Invalid_argument]
-    on an empty lane array. *)
+(** Group the lanes by {!signature}, compile each topology once and
+    allocate the SoA state for all lanes.  Each lane starts at cycle 0
+    with the usual reset token per channel.  @raise Unbatchable as
+    described above, [Invalid_argument] on an empty lane array. *)
 
 val run : t -> Engine.outcome array
 (** Step all lanes to completion and return one outcome per lane, in

@@ -1,0 +1,498 @@
+module Sim = Wp_sim.Sim
+module Static = Wp_sim.Static
+module Engine = Wp_sim.Engine
+module Batch = Wp_sim.Batch
+module Network = Wp_sim.Network
+module Fault = Wp_sim.Fault
+module Telemetry = Wp_sim.Telemetry
+module Shell = Wp_lis.Shell
+module Run_spec = Wp_core.Run_spec
+module Protect = Wp_core.Protect
+module Pool = Wp_util.Pool
+module Shrink = Wp_util.Shrink
+module Cycle_ratio = Wp_graph.Cycle_ratio
+
+type scenario = { topo : Topology.spec; spec : Run_spec.t }
+
+type result = {
+  r_scenario : scenario;
+  r_blocks : int;
+  r_channels : int;
+  r_outcome : Engine.outcome;
+  r_cycles : int;
+  r_firings : int;
+  r_bound : Cycle_ratio.ratio;
+  r_word_rate : Cycle_ratio.ratio option;
+  r_word_ok : bool option;
+  r_disagreements : string list;
+  r_telemetry : Telemetry.summary option;
+  r_error : string option;
+}
+
+let default_budget = 2048
+
+let budget spec =
+  match spec.Run_spec.max_cycles with Some n -> n | None -> default_budget
+
+let expand ~topos ~seeds ~spec =
+  if seeds < 1 then invalid_arg "Sweep.expand: seeds < 1";
+  List.concat_map
+    (fun t ->
+      List.init seeds (fun k ->
+          { topo = Topology.with_seed t (t.Topology.seed + k); spec }))
+    topos
+
+(* --------------------------------------------------------------- *)
+(* Replay / repro                                                   *)
+(* --------------------------------------------------------------- *)
+
+let replay_command sc =
+  let spec = sc.spec in
+  let b = Buffer.create 96 in
+  Printf.bprintf b "wp_cli sweep --topology %s --seeds 1 --engine %s"
+    (Topology.to_string sc.topo)
+    (Sim.kind_to_string spec.Run_spec.engine);
+  if spec.capacity <> 2 then Printf.bprintf b " --capacity %d" spec.capacity;
+  (match spec.max_cycles with
+  | Some n -> Printf.bprintf b " --max-cycles %d" n
+  | None -> ());
+  if not (Fault.is_none spec.fault) then
+    Printf.bprintf b " --fault '%s' --fault-seed %d"
+      (Fault.to_string spec.fault)
+      spec.fault.Fault.seed;
+  if not (Protect.is_none spec.protect) then Buffer.add_string b " --protect all";
+  if spec.telemetry.Telemetry.counters then Buffer.add_string b " --stall-report";
+  if spec.telemetry.Telemetry.trace_depth > 0 then
+    Printf.bprintf b " --trace-depth %d" spec.telemetry.Telemetry.trace_depth;
+  Buffer.contents b
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c | _ -> '-')
+    s
+
+let write_repro ?dir sc ~reason =
+  let name =
+    sanitize
+      (Printf.sprintf "sweep-%s-%s" (Topology.to_string sc.topo)
+         (Run_spec.digest sc.spec))
+  in
+  Shrink.write_repro ?dir ~name
+    [
+      ("topology", Topology.to_sexp sc.topo);
+      ("spec", Shrink.Sexp.atom (Run_spec.digest sc.spec));
+      ("reason", Shrink.Sexp.atom reason);
+      ("replay", Shrink.Sexp.atom (replay_command sc));
+    ]
+
+(* --------------------------------------------------------------- *)
+(* One engine's observable stats                                    *)
+(* --------------------------------------------------------------- *)
+
+type view = {
+  v_outcome : Engine.outcome;
+  v_cycles : int;
+  v_firings : int array; (* per node *)
+  v_delivered : int array; (* per channel *)
+}
+
+let outcome_str = function
+  | Engine.Halted c -> Printf.sprintf "halted@%d" c
+  | Engine.Deadlocked c -> Printf.sprintf "deadlocked@%d" c
+  | Engine.Exhausted c -> Printf.sprintf "exhausted@%d" c
+
+(* [b] is the checking engine, [a] the primary; any difference is a
+   cross-engine bug worth a repro file. *)
+let compare_views ~who a b =
+  let ds = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> ds := s :: !ds) fmt in
+  if a.v_outcome <> b.v_outcome then
+    add "%s: outcome %s vs %s" who (outcome_str a.v_outcome)
+      (outcome_str b.v_outcome);
+  if a.v_cycles <> b.v_cycles then
+    add "%s: cycles %d vs %d" who a.v_cycles b.v_cycles;
+  Array.iteri
+    (fun n f ->
+      if f <> b.v_firings.(n) then
+        add "%s: node %d firings %d vs %d" who n f b.v_firings.(n))
+    a.v_firings;
+  Array.iteri
+    (fun c d ->
+      if d <> b.v_delivered.(c) then
+        add "%s: channel %d delivered %d vs %d" who c d b.v_delivered.(c))
+    a.v_delivered;
+  List.rev !ds
+
+let view_of_sim net sim outcome =
+  {
+    v_outcome = outcome;
+    v_cycles = Sim.cycles sim;
+    v_firings =
+      Array.init (Network.node_count net) (fun n ->
+          (Sim.node_stats sim n).Shell.firings);
+    v_delivered =
+      Array.init (Network.channel_count net) (fun c -> Sim.delivered sim c);
+  }
+
+let view_of_batch net b ~lane =
+  {
+    v_outcome =
+      (match Batch.outcome b ~lane with Some o -> o | None -> assert false);
+    v_cycles = Batch.lane_cycles b ~lane;
+    v_firings =
+      Array.init (Network.node_count net) (fun n ->
+          (Batch.node_stats b ~lane n).Shell.firings);
+    v_delivered =
+      Array.init (Network.channel_count net) (fun c ->
+          Batch.delivered b ~lane c);
+  }
+
+(* --------------------------------------------------------------- *)
+(* Primary execution paths                                          *)
+(* --------------------------------------------------------------- *)
+
+type prim = {
+  p_view : view;
+  p_tele : Telemetry.summary option;
+  p_word : (Cycle_ratio.ratio * bool) option;
+}
+
+let run_solo ~engine sc net =
+  let spec = sc.spec in
+  let sim =
+    Sim.create ~engine ~capacity:spec.Run_spec.capacity ~fault:spec.fault
+      ~telemetry:spec.telemetry ~mode:Shell.Plain net
+  in
+  let outcome = Sim.run ~max_cycles:(budget spec) sim in
+  let tele =
+    Option.map
+      (fun (r : Telemetry.report) -> r.Telemetry.summary)
+      (Sim.telemetry_report sim)
+  in
+  { p_view = view_of_sim net sim outcome; p_tele = tele; p_word = None }
+
+(* The static path measures sustained throughput exactly: block 0's
+   firing count over one full period against the next must advance by
+   exactly the word's ones count.  Checkpoints are visited in ascending
+   order; the caller-visible view is snapshotted at the budget
+   checkpoint even when the word check needs to run further. *)
+let run_static_checked sc net =
+  let spec = sc.spec in
+  (* Mirror the CLI's refusal semantics at scenario granularity: a
+     faulted / protected / telemetered spec has no static firing word,
+     so running the table unfaulted here would manufacture a spurious
+     cross-engine disagreement. *)
+  if not (Fault.is_none spec.Run_spec.fault) then
+    raise (Static.Unschedulable "faults have no static firing word");
+  if not (Protect.is_none spec.Run_spec.protect) then
+    raise (Static.Unschedulable "protected channels have no static firing word");
+  if not (Telemetry.is_off spec.Run_spec.telemetry) then
+    raise (Static.Unschedulable "telemetry is not supported by the table replay");
+  let cap = spec.Run_spec.capacity in
+  let st = Static.create ~capacity:cap ~mode:Shell.Plain net in
+  let tr = Static.transient st and p = Static.period st in
+  let word = Static.word st 0 in
+  let ones = Array.fold_left (fun a f -> if f then a + 1 else a) 0 word in
+  let t1 = tr + p and t2 = tr + (2 * p) in
+  let b = budget spec in
+  let firings () = (Static.node_stats st 0).Shell.firings in
+  let f1 = ref 0 and f2 = ref 0 in
+  let snap = ref None in
+  List.iter
+    (fun cp ->
+      let o = Static.run ~max_cycles:cp st in
+      if cp = t1 then f1 := firings ();
+      if cp = t2 then f2 := firings ();
+      if cp = b && !snap = None then
+        snap :=
+          Some
+            {
+              v_outcome = o;
+              v_cycles = Static.cycles st;
+              v_firings =
+                Array.init (Network.node_count net) (fun n ->
+                    (Static.node_stats st n).Shell.firings);
+              v_delivered =
+                Array.init (Network.channel_count net) (fun c ->
+                    Static.delivered st c);
+            })
+    (List.sort_uniq compare [ t1; t2; b ]);
+  let view = match !snap with Some v -> v | None -> assert false in
+  let word_ok = !f2 - !f1 = ones in
+  { p_view = view; p_tele = None; p_word = Some (Static.rate st 0, word_ok) }
+
+(* A plain static replay to the same budget, for cross-checking a
+   dynamic primary engine. *)
+let static_view sc net =
+  let spec = sc.spec in
+  let st = Static.create ~capacity:spec.Run_spec.capacity ~mode:Shell.Plain net in
+  let o = Static.run ~max_cycles:(budget spec) st in
+  {
+    v_outcome = o;
+    v_cycles = Static.cycles st;
+    v_firings =
+      Array.init (Network.node_count net) (fun n ->
+          (Static.node_stats st n).Shell.firings);
+    v_delivered =
+      Array.init (Network.channel_count net) (fun c -> Static.delivered st c);
+  }
+
+(* --------------------------------------------------------------- *)
+(* Classification                                                   *)
+(* --------------------------------------------------------------- *)
+
+let protected_spec spec = not (Protect.is_none spec.Run_spec.protect)
+
+let apply_protection spec net =
+  if protected_spec spec then
+    List.iter
+      (fun c ->
+        Network.set_protection net c (Some { Network.window = 0; timeout = 0 }))
+      (Network.channels net)
+
+let schedulable spec =
+  spec.Run_spec.capacity >= 1
+  && Fault.is_none spec.fault
+  && (not (protected_spec spec))
+  && Telemetry.is_off spec.telemetry
+
+let batchable spec =
+  spec.Run_spec.engine = Sim.Fast
+  && spec.capacity >= 1
+  && (not (protected_spec spec))
+  && Telemetry.is_off spec.telemetry
+
+(* Reference replays are the costliest check; bound them to small nets
+   and a deterministic quarter of the seeds (always including the
+   family's base seed 0). *)
+let check_ref sc net =
+  Network.node_count net <= 128 && sc.topo.Topology.seed mod 4 = 0
+
+(* --------------------------------------------------------------- *)
+(* Shard execution                                                  *)
+(* --------------------------------------------------------------- *)
+
+let process_shard ~check_engines (shard : scenario array) : result array =
+  let n = Array.length shard in
+  let ctx =
+    Array.map
+      (fun sc ->
+        match Topology.build sc.topo with
+        | net ->
+          apply_protection sc.spec net;
+          Ok (sc, net)
+        | exception e -> Error (Printexc.to_string e))
+      shard
+  in
+  let primary : prim option array = Array.make n None in
+  let errors : string option array = Array.make n None in
+  (* Batchable lanes ride one kernel invocation; the signature grouping
+     inside Batch.create splits heterogeneous topologies by itself. *)
+  let batch_ids =
+    List.filter
+      (fun i ->
+        match ctx.(i) with
+        | Ok (sc, _) -> batchable sc.spec
+        | Error _ -> false)
+      (List.init n Fun.id)
+  in
+  (match batch_ids with
+  | [] -> ()
+  | ids -> (
+    let lane_of i =
+      match ctx.(i) with
+      | Ok (sc, net) ->
+        {
+          Batch.net;
+          mode = Shell.Plain;
+          capacity = sc.spec.Run_spec.capacity;
+          fault = sc.spec.Run_spec.fault;
+          max_cycles = budget sc.spec;
+        }
+      | Error _ -> assert false
+    in
+    match
+      let lanes = Array.of_list (List.map lane_of ids) in
+      let b = Batch.create lanes in
+      ignore (Batch.run b);
+      b
+    with
+    | b ->
+      List.iteri
+        (fun lane i ->
+          match ctx.(i) with
+          | Ok (_, net) ->
+            primary.(i) <-
+              Some { p_view = view_of_batch net b ~lane; p_tele = None; p_word = None }
+          | Error _ -> ())
+        ids
+    | exception _ -> () (* fall through to the solo path below *)))
+  ;
+  (* Solo paths: non-batchable engines, and any batch fallout. *)
+  Array.iteri
+    (fun i c ->
+      match (c, primary.(i)) with
+      | Error e, _ -> errors.(i) <- Some e
+      | Ok _, Some _ -> ()
+      | Ok (sc, net), None -> (
+        match
+          match sc.spec.Run_spec.engine with
+          | Sim.Static -> run_static_checked sc net
+          | Sim.Reference -> run_solo ~engine:Sim.Reference sc net
+          | Sim.Fast -> run_solo ~engine:Sim.Fast sc net
+        with
+        | p -> primary.(i) <- Some p
+        | exception Static.Unschedulable r ->
+          errors.(i) <- Some ("not statically schedulable: " ^ r)
+        | exception e -> errors.(i) <- Some (Printexc.to_string e)))
+    ctx;
+  (* Cross-engine checks. *)
+  Array.mapi
+    (fun i sc ->
+      match (ctx.(i), primary.(i), errors.(i)) with
+      | Error _, _, _ | Ok _, None, _ ->
+        let e = match errors.(i) with Some e -> e | None -> "no result" in
+        {
+          r_scenario = sc;
+          r_blocks = 0;
+          r_channels = 0;
+          r_outcome = Engine.Deadlocked 0;
+          r_cycles = 0;
+          r_firings = 0;
+          r_bound = Cycle_ratio.make_ratio 0 1;
+          r_word_rate = None;
+          r_word_ok = None;
+          r_disagreements = [];
+          r_telemetry = None;
+          r_error = Some e;
+        }
+      | Ok (_, net), Some p, _ ->
+        let disagreements = ref [] in
+        let err = ref None in
+        if check_engines then begin
+          (if schedulable sc.spec && sc.spec.Run_spec.engine <> Sim.Static then
+             match static_view sc net with
+             | v ->
+               disagreements :=
+                 !disagreements @ compare_views ~who:"static" p.p_view v
+             | exception e ->
+               err := Some (Printf.sprintf "static check: %s" (Printexc.to_string e)));
+          (if sc.spec.Run_spec.engine = Sim.Static then
+             match run_solo ~engine:Sim.Fast sc net with
+             | q ->
+               disagreements :=
+                 !disagreements @ compare_views ~who:"fast" p.p_view q.p_view
+             | exception e ->
+               err := Some (Printf.sprintf "fast check: %s" (Printexc.to_string e)));
+          if sc.spec.Run_spec.engine <> Sim.Reference && check_ref sc net then
+            match run_solo ~engine:Sim.Reference sc net with
+            | q ->
+              disagreements :=
+                !disagreements @ compare_views ~who:"ref" p.p_view q.p_view
+            | exception e ->
+              err := Some (Printf.sprintf "ref check: %s" (Printexc.to_string e))
+        end;
+        {
+          r_scenario = sc;
+          r_blocks = Network.node_count net;
+          r_channels = Network.channel_count net;
+          r_outcome = p.p_view.v_outcome;
+          r_cycles = p.p_view.v_cycles;
+          r_firings = p.p_view.v_firings.(0);
+          r_bound = Topology.mcr ~capacity:(max 1 sc.spec.Run_spec.capacity) net;
+          r_word_rate = Option.map fst p.p_word;
+          r_word_ok = Option.map snd p.p_word;
+          r_disagreements = !disagreements;
+          r_telemetry = p.p_tele;
+          r_error = !err;
+        })
+    shard
+
+let run ?jobs ?(check_engines = true) scenarios =
+  let arr = Array.of_list scenarios in
+  let out =
+    Pool.with_pool ?jobs (fun pool ->
+        Pool.map_shards pool ~shard:8 (process_shard ~check_engines) arr)
+  in
+  Array.to_list out
+
+let ok r =
+  r.r_error = None && r.r_disagreements = [] && r.r_word_ok <> Some false
+
+(* --------------------------------------------------------------- *)
+(* Report                                                           *)
+(* --------------------------------------------------------------- *)
+
+let render results =
+  let fams = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let f = Topology.family r.r_scenario.topo in
+      match Hashtbl.find_opt fams f with
+      | None ->
+        order := f :: !order;
+        Hashtbl.add fams f [ r ]
+      | Some rs -> Hashtbl.replace fams f (r :: rs))
+    results;
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "%-24s %7s %7s %5s %10s %10s %7s %6s %s\n" "topology"
+    "blocks" "chans" "scen" "bound" "measured" "agree" "word" "notes";
+  List.iter
+    (fun f ->
+      let rs = List.rev (Hashtbl.find fams f) in
+      let oks = List.filter (fun r -> r.r_error = None) rs in
+      let blocks = match oks with r :: _ -> r.r_blocks | [] -> 0 in
+      let chans = match oks with r :: _ -> r.r_channels | [] -> 0 in
+      let bound =
+        match oks with
+        | r :: _ -> Format.asprintf "%a" Cycle_ratio.ratio_pp r.r_bound
+        | [] -> "-"
+      in
+      let thpt =
+        let xs =
+          List.filter_map
+            (fun r ->
+              if r.r_cycles > 0 then
+                Some (float_of_int r.r_firings /. float_of_int r.r_cycles)
+              else None)
+            oks
+        in
+        match xs with
+        | [] -> "-"
+        | _ ->
+          Printf.sprintf "%.4f"
+            (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
+      in
+      let agree =
+        Printf.sprintf "%d/%d"
+          (List.length (List.filter (fun r -> r.r_disagreements = []) oks))
+          (List.length oks)
+      in
+      let word =
+        let checks = List.filter_map (fun r -> r.r_word_ok) oks in
+        if checks = [] then "-"
+        else if List.for_all Fun.id checks then "ok"
+        else "FAIL"
+      in
+      let notes =
+        let errs = List.length rs - List.length oks in
+        if errs > 0 then Printf.sprintf "%d error(s)" errs else ""
+      in
+      Printf.bprintf b "%-24s %7d %7d %5d %10s %10s %7s %6s %s\n" f blocks
+        chans (List.length rs) bound thpt agree word notes;
+      let tele =
+        List.fold_left
+          (fun acc r ->
+            match r.r_telemetry with
+            | Some s -> Telemetry.merge_opt acc s
+            | None -> acc)
+          None oks
+      in
+      match tele with
+      | Some s ->
+        Printf.bprintf b "\nstall attribution — %s\n%s\n" f (Telemetry.to_table s)
+      | None -> ())
+    (List.rev !order);
+  Buffer.contents b

@@ -200,10 +200,50 @@ let ring_lane m ~rs =
   { Batch.net = ring m ~rs; mode = Shell.Plain; capacity = 2;
     fault = Fault.none; max_cycles = 1_000 }
 
-let test_rejects_topology_mismatch () =
-  match Batch.create [| ring_lane 3 ~rs:1; ring_lane 4 ~rs:1 |] with
-  | _ -> Alcotest.fail "mismatched topologies accepted"
-  | exception Batch.Unbatchable _ -> ()
+(* Regression for the topology-generic signature grouping: different
+   topologies in one batch used to raise Unbatchable; now each
+   signature compiles its own sub-kernel and every lane must stay
+   byte-identical to its solo Fast run. *)
+let test_mixed_topologies_batch () =
+  let lanes =
+    [| ring_lane 3 ~rs:1; ring_lane 4 ~rs:1; ring_lane 3 ~rs:0;
+       ring_lane 5 ~rs:2 |]
+  in
+  checkb "rings 3 and 4 have distinct signatures" false
+    (Batch.signature lanes.(0).Batch.net = Batch.signature lanes.(1).Batch.net);
+  checkb "rs does not enter the signature" true
+    (Batch.signature lanes.(0).Batch.net = Batch.signature lanes.(2).Batch.net);
+  let b = Batch.create ~record_traces:true lanes in
+  let out = Batch.run b in
+  Array.iteri
+    (fun lane ln ->
+      let sim =
+        Sim.create ~engine:Sim.Fast ~capacity:ln.Batch.capacity
+          ~record_traces:true ~mode:Shell.Plain ln.Batch.net
+      in
+      let solo = Sim.run ~max_cycles:ln.Batch.max_cycles sim in
+      checkb (Printf.sprintf "lane %d outcome" lane) true
+        (Batch.outcome b ~lane = Some solo);
+      checki (Printf.sprintf "lane %d cycles" lane)
+        (Sim.cycles sim) (Batch.lane_cycles b ~lane);
+      checkb (Printf.sprintf "lane %d outcome array" lane) true
+        (out.(lane) = solo);
+      let net = ln.Batch.net in
+      List.iter
+        (fun c ->
+          checki
+            (Printf.sprintf "lane %d delivered(%d)" lane c)
+            (Sim.delivered sim c)
+            (Batch.delivered b ~lane c))
+        (Network.channels net);
+      List.iter
+        (fun n ->
+          checkb (Printf.sprintf "lane %d stats(%d)" lane n) true
+            (Batch.node_stats b ~lane n = Sim.node_stats sim n);
+          checkb (Printf.sprintf "lane %d trace(%d)" lane n) true
+            (Batch.output_trace b ~lane n 0 = Sim.output_trace sim n 0))
+        (Network.nodes net))
+    lanes
 
 (* The two SoC machines share one topology (5 blocks, same wiring), so
    lanes from different machines batch together legitimately. *)
@@ -312,8 +352,8 @@ let () =
         [
           Alcotest.test_case "capacity 0" `Quick test_rejects_capacity_zero;
           Alcotest.test_case "protection" `Quick test_rejects_protection;
-          Alcotest.test_case "topology mismatch" `Quick
-            test_rejects_topology_mismatch;
+          Alcotest.test_case "mixed topologies batch fine" `Quick
+            test_mixed_topologies_batch;
           Alcotest.test_case "mixed machines batch fine" `Quick
             test_mixed_machines_batch;
           Alcotest.test_case "destructive fault raises identically" `Quick

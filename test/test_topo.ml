@@ -1,0 +1,444 @@
+(* Generated-topology test battery.
+
+   Three layers:
+
+   - QCheck properties of the generator itself: strong connectivity,
+     token-carrying cycles (deadlock freedom at the default capacity),
+     seed-stable digests/builds, grammar round trips, and
+     Schedule.check acceptance of the balanced word on every instance;
+   - a >= 30-topology differential battery running Reference, Fast and
+     Static on every instance (byte-identical outcomes, cycles,
+     delivered counts, stats and traces) plus one heterogeneous Batch
+     call over all instances at once — failures are shrunk with
+     Wp_util.Shrink to a minimal spec and written to a .sexp repro with
+     a replay command;
+   - sweep-harness checks: the static path's exact word-rate assertion
+     and the fast path's cross-engine agreement. *)
+
+module Topology = Wp_topo.Topology
+module Sweep = Wp_topo.Sweep
+module Network = Wp_sim.Network
+module Sim = Wp_sim.Sim
+module Static = Wp_sim.Static
+module Batch = Wp_sim.Batch
+module Engine = Wp_sim.Engine
+module Fault = Wp_sim.Fault
+module Shell = Wp_lis.Shell
+module Process = Wp_lis.Process
+module Schedule = Wp_graph.Schedule
+module Scc = Wp_graph.Scc
+module Cycle_ratio = Wp_graph.Cycle_ratio
+module Run_spec = Wp_core.Run_spec
+module Shrink = Wp_util.Shrink
+module Prng = Wp_util.Prng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Spec generator                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let gen_shape =
+  QCheck2.Gen.oneof
+    [
+      QCheck2.Gen.map (fun n -> Topology.Ring n) (QCheck2.Gen.int_range 2 12);
+      QCheck2.Gen.map2
+        (fun r c -> Topology.Mesh (r, c))
+        (QCheck2.Gen.int_range 1 4) (QCheck2.Gen.int_range 2 4);
+      QCheck2.Gen.map2
+        (fun r c -> Topology.Torus (r, c))
+        (QCheck2.Gen.int_range 2 4) (QCheck2.Gen.int_range 2 3);
+      QCheck2.Gen.map (fun n -> Topology.Rand n) (QCheck2.Gen.int_range 2 16);
+    ]
+
+let gen_spec =
+  QCheck2.Gen.map
+    (fun (shape, (seed, (max_rs, adapters))) ->
+      { Topology.shape; seed; max_rs; adapters })
+    (QCheck2.Gen.pair gen_shape
+       (QCheck2.Gen.pair (QCheck2.Gen.int_range 0 999)
+          (QCheck2.Gen.pair (QCheck2.Gen.int_range 0 3) QCheck2.Gen.bool)))
+
+let prop_connected =
+  QCheck2.Test.make ~count:150 ~name:"generated nets are strongly connected"
+    ~print:Topology.to_string gen_spec (fun spec ->
+      let net = Topology.build spec in
+      let g, _ = Network.to_digraph net in
+      List.length (Scc.components g) = 1)
+
+let prop_cycles_tokened =
+  QCheck2.Test.make ~count:150
+    ~name:"every cycle carries >= 1 token (MCR > 0 at capacity 2)"
+    ~print:Topology.to_string gen_spec (fun spec ->
+      let net = Topology.build spec in
+      (Topology.mcr net).Cycle_ratio.num > 0)
+
+let prop_seed_stable =
+  QCheck2.Test.make ~count:80
+    ~name:"digest and build are seed-stable across runs"
+    ~print:Topology.to_string gen_spec (fun spec ->
+      let d1 = Topology.digest spec and d2 = Topology.digest spec in
+      let n1 = Topology.build spec and n2 = Topology.build spec in
+      d1 = d2
+      && Topology.signature n1 = Topology.signature n2
+      && List.for_all
+           (fun c ->
+             Network.relay_stations n1 c = Network.relay_stations n2 c)
+           (Network.channels n1)
+      &&
+      let run net =
+        let sim = Sim.create ~engine:Sim.Fast ~capacity:2 ~mode:Shell.Plain net in
+        ignore (Sim.run ~max_cycles:64 sim);
+        List.map (fun c -> Sim.delivered sim c) (Network.channels net)
+      in
+      run n1 = run n2)
+
+let prop_grammar_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"grammar round trip"
+    ~print:Topology.to_string gen_spec (fun spec ->
+      Topology.of_string (Topology.to_string spec) = Ok spec)
+
+let prop_schedule_accepted =
+  QCheck2.Test.make ~count:80
+    ~name:"Schedule.check accepts the balanced word of every instance"
+    ~print:Topology.to_string gen_spec (fun spec ->
+      let net = Topology.build spec in
+      let sched = Static.schedule ~capacity:2 net in
+      let g, tokens, time = Static.capacity_graph ~capacity:2 net in
+      Schedule.check g ~tokens ~time sched = Ok ())
+
+let prop_prepass_schedulable =
+  QCheck2.Test.make ~count:50
+    ~name:"count-only prepass finds a periodic steady state"
+    ~print:Topology.to_string gen_spec (fun spec ->
+      let net = Topology.build spec in
+      let transient, period, table = Static.tables ~capacity:2 net in
+      transient >= 0 && period >= 1
+      && Array.length table = transient + period)
+
+(* ------------------------------------------------------------------ *)
+(* Grammar corner cases                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_grammar () =
+  let ok s exp =
+    match Topology.of_string s with
+    | Ok t -> Alcotest.(check string) s exp (Topology.to_string t)
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  ok "ring:16" "ring:16";
+  ok "mesh:8x8" "mesh:8x8";
+  ok "rand:64:seed0" "rand:64";
+  ok "torus:3x3:seed7:rs4:adapt" "torus:3x3:seed7:rs4:adapt";
+  ok "rand:20:adapt:rs0" "rand:20:rs0:adapt";
+  List.iter
+    (fun s ->
+      match Topology.of_string s with
+      | Ok _ -> Alcotest.failf "%s unexpectedly parsed" s
+      | Error _ -> ())
+    [ "ring"; "ring:x"; "mesh:4"; "hex:4"; "ring:4:spin3"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* Space-time adapter round trip                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_adapter_roundtrip () =
+  let rec find seed =
+    if seed > 50 then Alcotest.fail "no adapter found in 50 seeds"
+    else
+      let spec = Topology.v ~seed ~adapters:true (Topology.Ring 8) in
+      let net = Topology.build spec in
+      match Network.node_of_name net "x0d" with
+      | Some _ -> net
+      | None -> find (seed + 1)
+  in
+  let net = find 0 in
+  let dn = Option.get (Network.node_of_name net "x0d") in
+  let up = Option.get (Network.node_of_name net "x0u") in
+  let pd = Network.node_process net dn in
+  let pu = Network.node_process net up in
+  let r = Array.length pd.Process.output_names in
+  checki "lane counts agree" r (Array.length pu.Process.input_names);
+  let slice = (pd.Process.make ()).Process.fire in
+  let pack = (pu.Process.make ()).Process.fire in
+  let rng = Prng.create ~seed:42 in
+  for _ = 1 to 200 do
+    let v = Prng.int rng (1 lsl 48) in
+    let lanes = slice [| Some v |] in
+    let packed = pack (Array.map (fun w -> Some w) lanes) in
+    checki "pack (slice v) = v" v packed.(0)
+  done
+
+let test_build_10k () =
+  let net = Topology.build (Topology.v (Topology.Rand 10_000)) in
+  checkb "10k blocks" true (Network.node_count net >= 10_000);
+  checkb "connected" true
+    (List.length (Scc.components (fst (Network.to_digraph net))) = 1)
+
+(* ------------------------------------------------------------------ *)
+(* Differential battery over >= 30 generated topologies               *)
+(* ------------------------------------------------------------------ *)
+
+let battery_cycles = 160
+
+let battery_specs : Topology.spec list =
+  let open Topology in
+  List.concat
+    [
+      List.map
+        (fun (n, seed, max_rs) -> { shape = Ring n; seed; max_rs; adapters = false })
+        [ (2, 0, 0); (3, 0, 1); (4, 1, 2); (6, 2, 3); (8, 3, 1) ];
+      List.map
+        (fun (n, seed) -> { shape = Ring n; seed; max_rs = 2; adapters = true })
+        [ (4, 0); (6, 1); (8, 5) ];
+      List.map
+        (fun (r, c, seed, max_rs) ->
+          { shape = Mesh (r, c); seed; max_rs; adapters = false })
+        [ (1, 2, 0, 0); (2, 2, 0, 1); (2, 3, 1, 2); (3, 3, 2, 2); (1, 6, 3, 3) ];
+      List.map
+        (fun (r, c, seed) ->
+          { shape = Mesh (r, c); seed; max_rs = 2; adapters = true })
+        [ (2, 2, 4); (2, 3, 5); (3, 3, 6) ];
+      List.map
+        (fun (r, c, seed, max_rs) ->
+          { shape = Torus (r, c); seed; max_rs; adapters = false })
+        [ (2, 2, 0, 1); (2, 3, 1, 2); (3, 3, 2, 0) ];
+      List.map
+        (fun (r, c, seed) ->
+          { shape = Torus (r, c); seed; max_rs = 1; adapters = true })
+        [ (2, 2, 7); (3, 3, 8) ];
+      List.map
+        (fun (n, seed, max_rs) -> { shape = Rand n; seed; max_rs; adapters = false })
+        [ (6, 0, 1); (10, 1, 2); (14, 2, 0); (18, 3, 3); (10, 4, 2); (12, 5, 1) ];
+      List.map
+        (fun (n, seed) -> { shape = Rand n; seed; max_rs = 2; adapters = true })
+        [ (8, 0); (12, 3); (16, 6); (20, 9) ];
+    ]
+
+let run_engine engine net =
+  let sim =
+    Sim.create ~engine ~capacity:2 ~record_traces:true ~mode:Shell.Plain net
+  in
+  let out = Sim.run ~max_cycles:battery_cycles sim in
+  (out, sim)
+
+(* First engine disagreement of one spec, or None.  Compares outcome,
+   cycles, per-channel delivered counts, per-node stats and full output
+   traces for Fast vs Reference and Fast vs Static. *)
+let diff_engines spec =
+  let net = Topology.build spec in
+  let out_f, fast = run_engine Sim.Fast net in
+  let mismatch who (out_o, other) =
+    let complain fmt = Printf.ksprintf Option.some fmt in
+    if out_o <> out_f then complain "%s: outcome differs" who
+    else if Sim.cycles other <> Sim.cycles fast then
+      complain "%s: cycles %d vs %d" who (Sim.cycles other) (Sim.cycles fast)
+    else
+      let bad = ref None in
+      List.iter
+        (fun c ->
+          if !bad = None && Sim.delivered other c <> Sim.delivered fast c then
+            bad := complain "%s: delivered(%d) differs" who c)
+        (Network.channels net);
+      List.iter
+        (fun n ->
+          if !bad = None && Sim.node_stats other n <> Sim.node_stats fast n then
+            bad := complain "%s: stats(%d) differs" who n;
+          if !bad = None then
+            Array.iteri
+              (fun p _ ->
+                if
+                  !bad = None
+                  && Sim.output_trace other n p <> Sim.output_trace fast n p
+                then bad := complain "%s: trace(%d.%d) differs" who n p)
+              (Network.node_process net n).Process.output_names)
+        (Network.nodes net);
+      !bad
+  in
+  match mismatch "ref" (run_engine Sim.Reference net) with
+  | Some m -> Some m
+  | None -> mismatch "static" (run_engine Sim.Static net)
+
+let fail_shrunk spec msg =
+  let still_fails s = diff_engines s <> None in
+  let minimal =
+    Shrink.fixpoint ~candidates:Topology.shrink_candidates ~still_fails spec
+  in
+  let sc =
+    {
+      Sweep.topo = minimal;
+      spec =
+        Run_spec.v ~engine:Sim.Fast ~capacity:2 ~max_cycles:battery_cycles ();
+    }
+  in
+  let path = Sweep.write_repro sc ~reason:msg in
+  Alcotest.failf
+    "engine disagreement on %s (%s); minimal repro %s written to %s; replay: %s"
+    (Topology.to_string spec) msg
+    (Topology.to_string minimal)
+    path (Sweep.replay_command sc)
+
+let test_differential_battery () =
+  checkb "battery has >= 30 topologies" true (List.length battery_specs >= 30);
+  List.iter
+    (fun spec ->
+      match diff_engines spec with
+      | None -> ()
+      | Some msg -> fail_shrunk spec msg)
+    battery_specs
+
+(* All battery topologies as lanes of ONE heterogeneous batch call —
+   the topology-generic signature grouping at work — each lane
+   byte-identical to its solo Fast run. *)
+let test_battery_batch_matches_fast () =
+  let nets = List.map Topology.build battery_specs in
+  let lanes =
+    Array.of_list
+      (List.map
+         (fun net ->
+           {
+             Batch.net;
+             mode = Shell.Plain;
+             capacity = 2;
+             fault = Fault.none;
+             max_cycles = battery_cycles;
+           })
+         nets)
+  in
+  let b = Batch.create ~record_traces:true lanes in
+  let out = Batch.run b in
+  List.iteri
+    (fun lane spec ->
+      let net = lanes.(lane).Batch.net in
+      let solo_out, solo = run_engine Sim.Fast net in
+      let fail fmt =
+        Printf.ksprintf
+          (fun m ->
+            Alcotest.failf "batch lane %d (%s): %s" lane
+              (Topology.to_string spec) m)
+          fmt
+      in
+      if out.(lane) <> solo_out then fail "outcome differs from solo Fast";
+      if Batch.lane_cycles b ~lane <> Sim.cycles solo then fail "cycles differ";
+      List.iter
+        (fun c ->
+          if Batch.delivered b ~lane c <> Sim.delivered solo c then
+            fail "delivered(%d) differs" c)
+        (Network.channels net);
+      List.iter
+        (fun n ->
+          if Batch.node_stats b ~lane n <> Sim.node_stats solo n then
+            fail "stats(%d) differs" n;
+          Array.iteri
+            (fun p _ ->
+              if Batch.output_trace b ~lane n p <> Sim.output_trace solo n p
+              then fail "trace(%d.%d) differs" n p)
+            (Network.node_process net n).Process.output_names)
+        (Network.nodes net))
+    battery_specs
+
+(* ------------------------------------------------------------------ *)
+(* Sweep harness                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fail_sweep r =
+  Alcotest.failf "sweep scenario %s failed: %s; replay: %s"
+    (Topology.to_string r.Sweep.r_scenario.Sweep.topo)
+    (match (r.Sweep.r_error, r.Sweep.r_disagreements) with
+    | Some e, _ -> e
+    | None, d :: _ -> d
+    | None, [] -> "word-rate check failed")
+    (Sweep.replay_command r.Sweep.r_scenario)
+
+let test_sweep_static_word_rate () =
+  let spec = Run_spec.v ~engine:Sim.Static ~capacity:2 ~max_cycles:300 () in
+  let topos =
+    [
+      Topology.v (Topology.Mesh (4, 4));
+      Topology.v (Topology.Torus (3, 3));
+      Topology.v ~max_rs:3 (Topology.Ring 9);
+    ]
+  in
+  let results = Sweep.run ~jobs:2 (Sweep.expand ~topos ~seeds:3 ~spec) in
+  checki "scenario count" 9 (List.length results);
+  List.iter
+    (fun r ->
+      if not (Sweep.ok r) then fail_sweep r;
+      checkb "word rate checked" true (r.Sweep.r_word_ok = Some true);
+      checkb "word rate equals MCR bound" true
+        (r.Sweep.r_word_rate = Some r.Sweep.r_bound))
+    results
+
+let test_sweep_fast_agreement () =
+  let spec = Run_spec.v ~engine:Sim.Fast ~capacity:2 ~max_cycles:200 () in
+  let topos =
+    [ Topology.v (Topology.Mesh (3, 3)); Topology.v ~seed:2 (Topology.Rand 12) ]
+  in
+  let results = Sweep.run ~jobs:2 (Sweep.expand ~topos ~seeds:4 ~spec) in
+  checki "scenario count" 8 (List.length results);
+  List.iter (fun r -> if not (Sweep.ok r) then fail_sweep r) results;
+  let report = Sweep.render results in
+  checkb "report names the mesh family" true (contains report "mesh:3x3")
+
+let test_sweep_faulted_runs () =
+  (* A benign stall fault: still batchable, still deterministic, not
+     schedulable — exercises the dynamic lanes of the sweep. *)
+  let fault = Fault.of_string ~seed:11 "jitter:10@100" in
+  let spec = Run_spec.v ~engine:Sim.Fast ~capacity:2 ~max_cycles:150 ~fault () in
+  let topos = [ Topology.v (Topology.Ring 6) ] in
+  let results = Sweep.run ~jobs:1 (Sweep.expand ~topos ~seeds:3 ~spec) in
+  List.iter (fun r -> if not (Sweep.ok r) then fail_sweep r) results
+
+let test_expand_and_replay () =
+  let spec = Run_spec.v ~engine:Sim.Fast () in
+  let topos = [ Topology.v ~seed:5 (Topology.Ring 4) ] in
+  let scs = Sweep.expand ~topos ~seeds:3 ~spec in
+  checki "expansion count" 3 (List.length scs);
+  let seeds = List.map (fun sc -> sc.Sweep.topo.Topology.seed) scs in
+  checkb "seeds advance from the base" true (seeds = [ 5; 6; 7 ]);
+  let cmd = Sweep.replay_command (List.hd scs) in
+  checkb "replay names the seed" true (contains cmd "ring:4:seed5")
+
+let () =
+  Alcotest.run "topo"
+    [
+      ( "generator properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_connected;
+            prop_cycles_tokened;
+            prop_seed_stable;
+            prop_grammar_roundtrip;
+            prop_schedule_accepted;
+            prop_prepass_schedulable;
+          ] );
+      ( "generator units",
+        [
+          Alcotest.test_case "grammar corner cases" `Quick test_grammar;
+          Alcotest.test_case "adapter round trip" `Quick test_adapter_roundtrip;
+          Alcotest.test_case "10k-block build" `Quick test_build_10k;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "31-topology three-engine battery" `Slow
+            test_differential_battery;
+          Alcotest.test_case "heterogeneous batch matches solo Fast" `Slow
+            test_battery_batch_matches_fast;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "static word-rate equality" `Quick
+            test_sweep_static_word_rate;
+          Alcotest.test_case "fast cross-engine agreement" `Quick
+            test_sweep_fast_agreement;
+          Alcotest.test_case "faulted scenarios run" `Quick
+            test_sweep_faulted_runs;
+          Alcotest.test_case "expand and replay" `Quick test_expand_and_replay;
+        ] );
+    ]
