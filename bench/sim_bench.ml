@@ -5,11 +5,14 @@
      --engine fast|ref|static|both|all
                               which kernel(s) to measure (default both;
                               'all' adds the static-schedule kernel)
-     --probe core|batch|serve|topo|all
+     --probe core|batch|serve|degradation|topo|all
                               which probe(s) to run (default core; repeatable).
                               core  = the classic engine sweep below
                               batch = 64-lane SoA Batch vs sequential Fast
                               serve = in-process daemon saturation (p50/p99)
+                              degradation = serve throughput/p99 with 20%
+                                      of clients misbehaving (gate: p99
+                                      within 3x clean)
                               topo  = generated-topology scale (ring:1000,
                                       mesh:16x16) cycles/sec per engine
      --smoke                  shrink workloads (also WIREPIPE_BENCH_FAST=1)
@@ -89,10 +92,13 @@ let parse_args () =
     | "--gc-stats" -> gc_stats := true
     | "--probe" -> (
       match next "--probe" with
-      | "all" -> probes := !probes @ [ "core"; "batch"; "serve"; "topo" ]
-      | ("core" | "batch" | "serve" | "topo") as p -> probes := !probes @ [ p ]
+      | "all" ->
+        probes := !probes @ [ "core"; "batch"; "serve"; "degradation"; "topo" ]
+      | ("core" | "batch" | "serve" | "degradation" | "topo") as p ->
+        probes := !probes @ [ p ]
       | s ->
-        Printf.eprintf "sim_bench: unknown probe %S (want core|batch|serve|topo|all)\n" s;
+        Printf.eprintf
+          "sim_bench: unknown probe %S (want core|batch|serve|degradation|topo|all)\n" s;
         exit 2)
     | a ->
       Printf.eprintf "sim_bench: unknown argument %S\n" a;
@@ -588,6 +594,7 @@ let measure_batch_workload ~reps kind =
           capacity;
           fault = Wp_sim.Fault.none;
           max_cycles = batch_max_cycles;
+          cancel = Wp_util.Cancel.never;
         })
       dps
   in
@@ -712,7 +719,7 @@ let run_serve_probe opts =
       done;
       match Client.recv conn with
       | None -> failwith "sim_bench: daemon closed the connection"
-      | Some (tag, Wire.Busy) ->
+      | Some (tag, Wire.Busy _) ->
         incr busy;
         Thread.delay 0.002;
         Client.send conn ~tag (Wire.Run (args tag))
@@ -760,6 +767,184 @@ let run_serve_probe opts =
   let failures =
     if pass then []
     else [ Printf.sprintf "sim_bench: FAIL — serve probe saw %d error replies" !errors ]
+  in
+  (sections, failures)
+
+(* ------------------------------------------------------------------ *)
+(* Probe: degradation under misbehaving clients                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The serve numbers with 20% of the tenants misbehaving: four
+   well-behaved clients run the usual distinct-program workload while a
+   fifth connection cycles through the hostile repertoire (framed
+   garbage, then a reply flood it never reads).  Throughput and p99 are
+   measured for the well-behaved clients only, once clean and once
+   under attack; the gate is the fault-boundary invariant — hostile
+   tenants may cost throughput, never correctness (no error replies to
+   the good clients) and no more than 3x the clean p99. *)
+
+let degradation_good_clients = 4
+
+let run_degradation_probe opts =
+  let module Client = Wp_core.Service.Client in
+  let module Wire = Wp_core.Wire in
+  let module Frame = Wp_util.Frame in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let n_requests = if opts.smoke then 8 else 32 in
+  Printf.printf
+    "degradation probe (%d well-behaved clients x %d requests, 1 hostile):\n%!"
+    degradation_good_clients n_requests;
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wp_bench_degrade_%d.sock" (Unix.getpid ()))
+  in
+  let runner = Wp_core.Runner.create ~cache:false () in
+  let svc =
+    Wp_core.Service.create ~reply_bound:32 ~stall_timeout:0.5
+      ~write_timeout:0.3 ~runner socket
+  in
+  let errors = ref 0 in
+  let emut = Mutex.create () in
+  let fail msg =
+    Mutex.lock emut;
+    incr errors;
+    Mutex.unlock emut;
+    Printf.eprintf "sim_bench: degradation probe: %s\n" msg
+  in
+  (* One well-behaved client: window 2, every request a distinct random
+     program (real work, not hits), latency measured send-to-reply. *)
+  let good_client ~base deliver =
+    Thread.create
+      (fun () ->
+        let conn = Client.connect socket in
+        let args i =
+          Wire.run_defaults
+            ~program:(Printf.sprintf "random:%d" (base + i))
+            ~machine:"pipelined" ~config:"none"
+        in
+        let lat = Array.make n_requests 0.0 in
+        let sent_at = Array.make n_requests 0.0 in
+        let sent = ref 0 and recvd = ref 0 in
+        while !recvd < n_requests do
+          while !sent < n_requests && !sent - !recvd < 2 do
+            sent_at.(!sent) <- Unix.gettimeofday ();
+            Client.send conn ~tag:!sent (Wire.Run (args !sent));
+            incr sent
+          done;
+          match Client.recv conn with
+          | None -> failwith "sim_bench: daemon closed a well-behaved client"
+          | Some (tag, Wire.Busy _) ->
+            Thread.delay 0.002;
+            Client.send conn ~tag (Wire.Run (args tag))
+          | Some (tag, reply) ->
+            lat.(tag) <- Unix.gettimeofday () -. sent_at.(tag);
+            incr recvd;
+            (match reply with
+            | Wire.Result _ -> ()
+            | Wire.Error m -> fail m
+            | Wire.Deadline_exceeded m -> fail ("deadline: " ^ m)
+            | Wire.Quarantined { last_error; _ } ->
+              fail ("quarantined: " ^ last_error)
+            | _ -> ())
+        done;
+        Client.close conn;
+        deliver lat)
+      ()
+  in
+  let hostile_loop stop =
+    let ping = Wire.encode_request ~tag:0 Wire.Ping in
+    let prefix =
+      let b = Bytes.create 4 in
+      Bytes.set_int32_be b 0 (Int32.of_int (String.length ping));
+      Bytes.to_string b
+    in
+    let burst = String.concat "" (List.init 256 (fun _ -> prefix ^ ping)) in
+    while not !stop do
+      (try
+         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         Unix.connect fd (Unix.ADDR_UNIX socket);
+         (try
+            for _ = 1 to 20 do
+              Frame.write fd "garbage!";
+              ignore (Frame.read fd)
+            done;
+            (* now turn slow-loris: flood pings, never read a pong *)
+            for _ = 1 to 20 do
+              ignore (Unix.write_substring fd burst 0 (String.length burst))
+            done
+          with _ -> ());
+         (try Unix.close fd with _ -> ())
+       with _ -> ());
+      Thread.delay 0.005
+    done
+  in
+  let measure ~hostile ~base =
+    let all = ref [] in
+    let amut = Mutex.create () in
+    let stop = ref false in
+    let attacker = if hostile then Some (Thread.create hostile_loop stop) else None in
+    let t0 = Unix.gettimeofday () in
+    let goods =
+      List.init degradation_good_clients (fun i ->
+          good_client
+            ~base:(base + (i * n_requests))
+            (fun lat ->
+              Mutex.lock amut;
+              all := Array.to_list lat @ !all;
+              Mutex.unlock amut))
+    in
+    List.iter Thread.join goods;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    stop := true;
+    Option.iter Thread.join attacker;
+    let lat = Array.of_list !all in
+    Array.sort compare lat;
+    let n = Array.length lat in
+    let p99 = lat.(min (n - 1) (n * 99 / 100)) *. 1e3 in
+    (float_of_int n /. elapsed, p99)
+  in
+  let clean_specs, clean_p99 = measure ~hostile:false ~base:40_000 in
+  Printf.printf "  clean:    %7.1f specs/s, p99 %7.2f ms\n%!" clean_specs clean_p99;
+  let att_specs, att_p99 = measure ~hostile:true ~base:50_000 in
+  let counters = Wp_core.Service.counters svc in
+  Printf.printf
+    "  attacked: %7.1f specs/s, p99 %7.2f ms (%d shed, %d slow-client disconnects)\n%!"
+    att_specs att_p99 counters.Wp_core.Service.shed
+    counters.Wp_core.Service.slow_disconnects;
+  Wp_core.Service.stop svc;
+  Wp_core.Runner.shutdown runner;
+  (* The floor keeps a microsecond-scale clean p99 from turning
+     scheduler noise into a failure. *)
+  let limit = Float.max (3.0 *. clean_p99) (clean_p99 +. 25.0) in
+  let pass = !errors = 0 && att_p99 <= limit in
+  let sections =
+    [
+      ( "degradation",
+        Printf.sprintf
+          "{\n    \"good_clients\": %d,\n    \"requests_per_client\": %d,\n    \
+           \"clean\": { \"specs_per_sec\": %.1f, \"p99_ms\": %.3f },\n    \
+           \"attacked\": { \"specs_per_sec\": %.1f, \"p99_ms\": %.3f },\n    \
+           \"shed\": %d,\n    \"slow_disconnects\": %d,\n    \"pass\": %b\n  }"
+          degradation_good_clients n_requests clean_specs clean_p99 att_specs
+          att_p99 counters.Wp_core.Service.shed
+          counters.Wp_core.Service.slow_disconnects pass );
+    ]
+  in
+  let failures =
+    if pass then []
+    else if !errors > 0 then
+      [
+        Printf.sprintf
+          "sim_bench: FAIL — degradation probe: %d error replies to well-behaved clients"
+          !errors;
+      ]
+    else
+      [
+        Printf.sprintf
+          "sim_bench: FAIL — degradation probe: p99 under attack %.2f ms exceeds \
+           limit %.2f ms (clean %.2f ms)"
+          att_p99 limit clean_p99;
+      ]
   in
   (sections, failures)
 
@@ -892,6 +1077,7 @@ let () =
   if List.mem "core" opts.probes then add (run_core opts);
   if List.mem "batch" opts.probes then add (run_batch_probe opts);
   if List.mem "serve" opts.probes then add (run_serve_probe opts);
+  if List.mem "degradation" opts.probes then add (run_degradation_probe opts);
   if List.mem "topo" opts.probes then add (run_topo_probe opts);
   (* Merge into the existing results file: sections this run did not
      re-measure keep their previous values. *)

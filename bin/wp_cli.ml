@@ -131,12 +131,22 @@ let trace_depth_arg =
                  (0 = no trace; $(b,--trace)/$(b,--trace-json) imply a \
                  default depth).")
 
+let deadline_ms_arg =
+  Arg.(value & opt (some int) None
+       & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Wall-clock budget for the run: the simulation polls a \
+                 cancellation token and abandons the work once MS \
+                 milliseconds have elapsed (reported as deadline \
+                 exceeded).  Deadlines bound latency, never results — \
+                 cached records satisfy any deadline.")
+
 let spec_term =
   let build engine capacity max_cycles fault fault_seed protect link_window
-      link_timeout stall_report trace_depth =
+      link_timeout stall_report trace_depth deadline_ms =
     match
       Wp_core.Run_spec.of_args ?engine ~capacity ?max_cycles ?fault ~fault_seed
-        ?protect ~link_window ~link_timeout ~stall_report ~trace_depth ()
+        ?protect ~link_window ~link_timeout ~stall_report ~trace_depth
+        ?deadline_ms ()
     with
     | Ok spec -> Ok spec
     | Error msg -> Error (`Msg msg)
@@ -144,7 +154,8 @@ let spec_term =
   Term.term_result
     Term.(const build $ engine_str_arg $ capacity_arg $ max_cycles_arg
           $ fault_str_arg $ fault_seed_arg $ protect_str_arg $ link_window_arg
-          $ link_timeout_arg $ stall_report_arg $ trace_depth_arg)
+          $ link_timeout_arg $ stall_report_arg $ trace_depth_arg
+          $ deadline_ms_arg)
 
 (* Trace exporters (run and table1). *)
 
@@ -372,7 +383,8 @@ let run_cmd =
             (match r.Wp_soc.Cpu.outcome with
             | Wp_soc.Cpu.Completed -> ""
             | Wp_soc.Cpu.Deadlocked -> " (deadlocked)"
-            | Wp_soc.Cpu.Out_of_cycles -> " (out of cycles)");
+            | Wp_soc.Cpu.Out_of_cycles -> " (out of cycles)"
+            | Wp_soc.Cpu.Cancelled -> " (deadline exceeded)");
           if verbose then print_string (Wp_sim.Monitor.to_table r.Wp_soc.Cpu.report);
           (match r.Wp_soc.Cpu.telemetry with
           | Some rep when spec.Wp_core.Run_spec.telemetry.Wp_sim.Telemetry.counters ->
@@ -476,6 +488,7 @@ let equiv_cmd =
       | Wp_sim.Engine.Halted _ -> ""
       | Wp_sim.Engine.Deadlocked _ -> " deadlocked"
       | Wp_sim.Engine.Exhausted _ -> " out of cycles"
+      | Wp_sim.Engine.Cancelled _ -> " deadline exceeded"
     in
     let any_bad = ref false in
     let one label shell_mode =
@@ -729,11 +742,55 @@ let serve_cmd =
              ~doc:"Requests drained per dispatch round (round robin, at most \
                    one per client per round).")
   in
-  let run socket jobs no_cache cache_dir queue_bound shard batch_max =
+  let reply_bound =
+    Arg.(value & opt int 128
+         & info [ "reply-bound" ] ~docv:"N"
+             ~doc:"Per-client reply-queue cap; a client that stops reading \
+                   overflows it and is disconnected (slow-loris defense).")
+  in
+  let idle_timeout =
+    Arg.(value & opt float 300.0
+         & info [ "idle-timeout" ] ~docv:"SECONDS"
+             ~doc:"Reap a connection that has been idle this long with no \
+                   queued, running or unread work.")
+  in
+  let io_timeout =
+    Arg.(value & opt float 10.0
+         & info [ "io-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-chunk budget for reading the rest of a started frame \
+                   and for writing replies; a peer that trickles or stops \
+                   draining is dropped.")
+  in
+  let shed_limit =
+    Arg.(value & opt int 256
+         & info [ "shed-limit" ] ~docv:"N"
+             ~doc:"Total queued-request backlog at which normal-priority \
+                   requests are shed with $(b,Busy) (priority 0 sheds at \
+                   half this; priority 2+ only at the per-client bound).")
+  in
+  let breaker_threshold =
+    Arg.(value & opt int 5
+         & info [ "breaker-threshold" ] ~docv:"N"
+             ~doc:"Consecutive quarantined outcomes for one \
+                   (machine, config) key that open its circuit breaker.")
+  in
+  let breaker_cooldown =
+    Arg.(value & opt float 1.0
+         & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+             ~doc:"How long an open breaker sheds matching requests before \
+                   going half-open.")
+  in
+  let run socket jobs no_cache cache_dir queue_bound shard batch_max
+      reply_bound idle_timeout io_timeout shed_limit breaker_threshold
+      breaker_cooldown =
     let runner =
       Wp_core.Runner.create ?jobs ~cache:(not no_cache) ?cache_dir ()
     in
-    let svc = Service.create ~queue_bound ~shard ~batch_max ~runner socket in
+    let svc =
+      Service.create ~queue_bound ~shard ~batch_max ~reply_bound ~idle_timeout
+        ~stall_timeout:io_timeout ~write_timeout:io_timeout ~shed_limit
+        ~breaker_threshold ~breaker_cooldown ~runner socket
+    in
     Printf.printf "wirepipe serve: listening on %s\n%!" socket;
     (* Block until SIGINT/SIGTERM; the handler only flips a flag — the
        actual teardown (joining service threads, unlinking the socket,
@@ -752,7 +809,8 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the multi-tenant experiment daemon on a Unix socket")
     Term.(const run $ socket_arg $ jobs_arg $ no_cache_arg $ cache_dir
-          $ queue_bound $ shard $ batch_max)
+          $ queue_bound $ shard $ batch_max $ reply_bound $ idle_timeout
+          $ io_timeout $ shed_limit $ breaker_threshold $ breaker_cooldown)
 
 let client_cmd =
   (* The wire protocol carries the *textual* parameter forms (the daemon
@@ -800,8 +858,23 @@ let client_cmd =
          & info [ "daemon-stats" ]
              ~doc:"Print the daemon's runner statistics and exit.")
   in
+  let retry_budget =
+    Arg.(value & opt int 8
+         & info [ "retry-budget" ] ~docv:"N"
+             ~doc:"Busy retries allowed per request before giving up with \
+                   exit code 3.  Retries back off exponentially with \
+                   seeded jitter, never sooner than the daemon's \
+                   retry-after hint.")
+  in
+  let priority =
+    Arg.(value & opt int 1
+         & info [ "priority" ] ~docv:"P"
+             ~doc:"Request priority: 0 = best-effort (shed first under \
+                   load), 1 = normal, 2+ = critical (shed last).")
+  in
   let run socket program machine config engine capacity max_cycles fault
-      fault_seed repeat window max_p99 ping daemon_stats =
+      fault_seed deadline_ms priority retry_budget repeat window max_p99 ping
+      daemon_stats =
     let conn = Service.Client.connect socket in
     if ping then begin
       let t0 = Unix.gettimeofday () in
@@ -815,10 +888,16 @@ let client_cmd =
       (match Service.Client.call conn ~tag:0 Wire.Stats with
       | Wire.Stats_reply
           { st_jobs; st_tasks_run; st_cache_hits; st_cache_misses;
-            st_quarantined } ->
+            st_quarantined; st_expired; st_shed; st_breaker_trips;
+            st_slow_disconnects; st_stale_reaped; st_cache_corrupt } ->
         Printf.printf
-          "jobs %d, tasks run %d, cache %d hits / %d misses, %d quarantined\n"
+          "jobs %d, tasks run %d, cache %d hits / %d misses, %d quarantined\n\
+           deadlines expired %d, shed %d, breaker trips %d, slow-client \
+           disconnects %d\nstale temp files reaped %d, corrupt entries \
+           quarantined %d\n"
           st_jobs st_tasks_run st_cache_hits st_cache_misses st_quarantined
+          st_expired st_shed st_breaker_trips st_slow_disconnects
+          st_stale_reaped st_cache_corrupt
       | _ -> failwith "unexpected reply to stats");
       Service.Client.close conn
     end
@@ -832,12 +911,16 @@ let client_cmd =
           rq_max_cycles = max_cycles;
           rq_fault = fault;
           rq_fault_seed = fault_seed;
+          rq_deadline_ms = deadline_ms;
+          rq_priority = priority;
         }
       in
       let lat = Array.make repeat 0.0 in
       let sent_at = Array.make repeat 0.0 in
+      let retries = Array.make repeat 0 in
+      let backoff_rng = Random.State.make [| 0x2bad; fault_seed |] in
       let first = ref None in
-      let busy = ref 0 and errors = ref 0 and hits = ref 0 in
+      let busy = ref 0 and errors = ref 0 and hits = ref 0 and expired = ref 0 in
       let sent = ref 0 and recvd = ref 0 in
       let t_start = Unix.gettimeofday () in
       while !recvd < repeat do
@@ -848,12 +931,23 @@ let client_cmd =
         done;
         match Service.Client.recv conn with
         | None -> failwith "daemon closed the connection"
-        | Some (tag, Wire.Busy) ->
-          (* Backpressure: resubmit the same tag after a beat.  Latency
-             keeps accumulating from the first send, so a saturated
-             daemon shows up in p99 rather than being hidden. *)
+        | Some (tag, Wire.Busy { retry_after_ms }) ->
+          (* Backpressure: resubmit the same tag after a jittered
+             exponential backoff, never sooner than the daemon's hint.
+             Latency keeps accumulating from the first send, so a
+             saturated daemon shows up in p99 rather than being
+             hidden. *)
+          if retries.(tag) >= retry_budget then begin
+            Printf.eprintf
+              "wirepipe client: request %d still Busy after %d retries\n" tag
+              retry_budget;
+            exit 3
+          end;
           incr busy;
-          Thread.delay 0.002;
+          let base = max retry_after_ms (1 lsl retries.(tag)) in
+          retries.(tag) <- retries.(tag) + 1;
+          let jit = Random.State.int backoff_rng (1 + (base / 2)) in
+          Thread.delay (float_of_int (base + jit) /. 1000.);
           Service.Client.send conn ~tag (Wire.Run args)
         | Some (tag, reply) ->
           lat.(tag) <- Unix.gettimeofday () -. sent_at.(tag);
@@ -869,6 +963,9 @@ let client_cmd =
             incr errors;
             Printf.eprintf "wirepipe client: quarantined after %d attempts: %s\n"
               attempts last_error
+          | Wire.Deadline_exceeded msg ->
+            incr expired;
+            Printf.eprintf "wirepipe client: deadline exceeded: %s\n" msg
           | _ -> ())
       done;
       let elapsed = Unix.gettimeofday () -. t_start in
@@ -888,10 +985,10 @@ let client_cmd =
       if repeat > 1 || max_p99 > 0.0 then
         Printf.printf
           "%d requests in %.3f s (%.1f specs/sec), p50 %.2f ms, p99 %.2f ms, \
-           %d busy retries, %d cache hits, %d errors\n"
+           %d busy retries, %d cache hits, %d expired, %d errors\n"
           repeat elapsed
           (float_of_int repeat /. elapsed)
-          p50 p99 !busy !hits !errors;
+          p50 p99 !busy !hits !expired !errors;
       if !errors > 0 then exit 1;
       if max_p99 > 0.0 && p99 > max_p99 then begin
         Printf.eprintf "wirepipe client: p99 %.2f ms exceeds --max-p99 %.2f ms\n"
@@ -905,7 +1002,297 @@ let client_cmd =
        ~doc:"Send experiment requests to a running daemon and report latency")
     Term.(const run $ socket_arg $ program_str $ machine_str $ config_str
           $ engine_str_arg $ capacity_arg $ max_cycles_arg $ fault_str_arg
-          $ fault_seed_arg $ repeat $ window $ max_p99 $ ping $ daemon_stats)
+          $ fault_seed_arg $ deadline_ms_arg $ priority $ retry_budget $ repeat
+          $ window $ max_p99 $ ping $ daemon_stats)
+
+(* --- chaos ------------------------------------------------------------ *)
+
+(* Self-contained fault-boundary drill: every hostile-client scenario the
+   service defends against, exercised against a real daemon, plus a
+   SIGKILL-and-restart pass over a shared disk cache.  Exit 0 iff every
+   scenario holds, including the latency gate: p99 under attack must
+   stay within 3x the unloaded p99. *)
+let chaos_cmd =
+  let module Frame = Wp_util.Frame in
+  let requests_arg =
+    Arg.(value & opt int 50
+         & info [ "requests" ] ~docv:"N"
+             ~doc:"Cached requests per latency measurement (baseline and \
+                   under-attack p99 are both over N requests).")
+  in
+  let u32_be n =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 (Int32.of_int n);
+    Bytes.to_string b
+  in
+  let raw_connect socket =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    fd
+  in
+  let send_raw fd s =
+    let b = Bytes.of_string s in
+    let n = Bytes.length b in
+    let rec go o = if o < n then go (o + Unix.write fd b o (n - o)) in
+    go 0
+  in
+  let fd_count () = Array.length (Sys.readdir "/proc/self/fd") in
+  let healthy socket =
+    let conn = Service.Client.connect socket in
+    Fun.protect ~finally:(fun () -> Service.Client.close conn)
+      (fun () -> Service.Client.call conn ~tag:0 Wire.Ping = Wire.Pong)
+  in
+  let wait_for ?(timeout = 10.0) pred =
+    let deadline = Unix.gettimeofday () +. timeout in
+    let rec go () =
+      if pred () then true
+      else if Unix.gettimeofday () > deadline then false
+      else (Thread.delay 0.02; go ())
+    in
+    go ()
+  in
+  let chaos_args =
+    { (Wire.run_defaults ~program:"sort:8" ~machine:"pipelined"
+         ~config:"CU-AL=1")
+      with Wire.rq_priority = 2 (* the good client is the critical tenant *) }
+  in
+  (* p99 (ms) over [n] cached requests, riding out Busy shedding. *)
+  let p99_ms socket n =
+    let conn = Service.Client.connect socket in
+    Fun.protect ~finally:(fun () -> Service.Client.close conn)
+      (fun () ->
+        let lat = Array.make n 0.0 in
+        for i = 0 to n - 1 do
+          let t0 = Unix.gettimeofday () in
+          let rec get () =
+            match Service.Client.call conn ~tag:i (Wire.Run chaos_args) with
+            | Wire.Busy { retry_after_ms } ->
+              Thread.delay (float_of_int (max 1 retry_after_ms) /. 1000.);
+              get ()
+            | Wire.Result _ -> ()
+            | _ -> failwith "chaos: unexpected reply to the probe request"
+          in
+          get ();
+          lat.(i) <- Unix.gettimeofday () -. t0
+        done;
+        Array.sort compare lat;
+        lat.(n * 99 / 100) *. 1e3)
+  in
+  let run jobs requests =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let failures = ref 0 in
+    let scenario name ok detail =
+      Printf.printf "%-44s %s%s\n%!" name (if ok then "PASS" else "FAIL")
+        (if detail = "" then "" else "  " ^ detail);
+      if not ok then incr failures
+    in
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "wp_chaos_%d" (Unix.getpid ()))
+    in
+    Unix.mkdir dir 0o755;
+    Fun.protect
+      ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote dir)))
+    @@ fun () ->
+    let socket = Filename.concat dir "chaos.sock" in
+    let cache = Filename.concat dir "cache" in
+    let runner = Wp_core.Runner.create ?jobs ~cache:true ~cache_dir:cache () in
+    let fd_before = fd_count () in
+    let svc =
+      Service.create ~reply_bound:32 ~write_timeout:0.3 ~stall_timeout:0.5
+        ~runner socket
+    in
+    (* Warm the cache so both latency measurements serve hits. *)
+    ignore (p99_ms socket 1);
+    let baseline = p99_ms socket requests in
+    Printf.printf "baseline p99 over %d cached requests: %.2f ms\n%!" requests
+      baseline;
+
+    (* Garbage frame: answered Error, connection survives. *)
+    (let fd = raw_connect socket in
+     Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+       (fun () ->
+         Frame.write fd "garbage!";
+         let classified =
+           match Frame.read fd with
+           | Some p -> (match Wire.decode_reply p with
+             | Ok (0, Wire.Error _) -> true
+             | _ -> false)
+           | None -> false
+         in
+         Frame.write fd (Wire.encode_request ~tag:1 Wire.Ping);
+         let survived =
+           match Frame.read fd with
+           | Some p -> Wire.decode_reply p = Ok (1, Wire.Pong)
+           | None -> false
+         in
+         scenario "garbage frame answered Error" (classified && survived) ""));
+
+    (* Oversized length prefix: dropped without allocating. *)
+    (let fd = raw_connect socket in
+     Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+       (fun () ->
+         send_raw fd (u32_be 0x7F00_0000);
+         let buf = Bytes.create 1 in
+         scenario "oversized frame drops client"
+           (Unix.read fd buf 0 1 = 0 && healthy socket) ""));
+
+    (* Mid-frame disconnect: classified, daemon stays healthy. *)
+    (let fd = raw_connect socket in
+     send_raw fd (u32_be 64);
+     send_raw fd "0123456789";
+     Unix.close fd;
+     scenario "mid-frame disconnect tolerated" (healthy socket) "");
+
+    (* Silent client: floods requests, never reads replies. *)
+    (let before = (Service.counters svc).Service.slow_disconnects in
+     let fd = raw_connect socket in
+     Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+       (fun () ->
+         let ping = Wire.encode_request ~tag:0 Wire.Ping in
+         let frame = u32_be (String.length ping) ^ ping in
+         let burst = String.concat "" (List.init 512 (fun _ -> frame)) in
+         (try for _ = 1 to 200 do send_raw fd burst done
+          with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+         scenario "silent client disconnected"
+           (wait_for (fun () ->
+                (Service.counters svc).Service.slow_disconnects > before)
+            && healthy socket)
+           ""));
+
+    (* Deadline storm: expired requests come back Deadline_exceeded. *)
+    (Service.pause svc;
+     let conn = Service.Client.connect socket in
+     Fun.protect ~finally:(fun () -> Service.Client.close conn)
+       (fun () ->
+         (* An uncached spec: a cache hit would (by design) satisfy any
+            deadline, and the probe spec is already warm. *)
+         let n = 16 in
+         for tag = 0 to n - 1 do
+           Service.Client.send conn ~tag
+             (Wire.Run
+                { chaos_args with
+                  Wire.rq_program = Printf.sprintf "random:%d" (9000 + tag);
+                  rq_deadline_ms = Some 1;
+                })
+         done;
+         Thread.delay 0.1;
+         Service.resume svc;
+         let expired = ref 0 in
+         for _ = 1 to n do
+           match Service.Client.recv conn with
+           | Some (_, Wire.Deadline_exceeded _) -> incr expired
+           | _ -> ()
+         done;
+         scenario "deadline storm all expired"
+           (!expired = n && healthy socket)
+           (Printf.sprintf "%d/%d" !expired n)));
+
+    (* Degradation: p99 with hostile clients attacking concurrently. *)
+    (let hostile_stop = ref false in
+     let garbage_flooder =
+       Thread.create
+         (fun () ->
+           while not !hostile_stop do
+             (try
+                let fd = raw_connect socket in
+                for _ = 1 to 50 do
+                  Frame.write fd "garbage!";
+                  ignore (Frame.read fd)
+                done;
+                (* vanish mid-frame on the way out *)
+                send_raw fd (u32_be 64);
+                send_raw fd "0123";
+                Unix.close fd
+              with _ -> ());
+             Thread.delay 0.005
+           done)
+         ()
+     in
+     let silent_flooder =
+       Thread.create
+         (fun () ->
+           let ping = Wire.encode_request ~tag:0 Wire.Ping in
+           let frame = u32_be (String.length ping) ^ ping in
+           let burst = String.concat "" (List.init 256 (fun _ -> frame)) in
+           while not !hostile_stop do
+             (try
+                let fd = raw_connect socket in
+                (try for _ = 1 to 50 do send_raw fd burst done with _ -> ());
+                (try Unix.close fd with _ -> ())
+              with _ -> ());
+             Thread.delay 0.005
+           done)
+         ()
+     in
+     let attacked = p99_ms socket requests in
+     hostile_stop := true;
+     Thread.join garbage_flooder;
+     Thread.join silent_flooder;
+     (* 3x the unloaded p99, with a floor so a microsecond baseline does
+        not turn scheduler noise into a failure. *)
+     let limit = Float.max (3.0 *. baseline) (baseline +. 25.0) in
+     scenario "p99 under attack within 3x baseline" (attacked <= limit)
+       (Printf.sprintf "%.2f ms vs limit %.2f ms" attacked limit));
+
+    Service.stop svc;
+    let fd_after = fd_count () in
+    scenario "no fd leak" (fd_after <= fd_before)
+      (Printf.sprintf "before %d, after %d" fd_before fd_after);
+    Wp_core.Runner.shutdown runner;
+
+    (* SIGKILL-and-restart: a murdered daemon's cache directory must be
+       fully usable by its successor — stale temp files swept, no
+       corruption, prior entries served as hits. *)
+    (let sock2 = Filename.concat dir "kill.sock" in
+     let spawn () =
+       let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+       Fun.protect ~finally:(fun () -> Unix.close devnull)
+         (fun () ->
+           Unix.create_process Sys.executable_name
+             [| Sys.executable_name; "serve"; "--socket"; sock2;
+                "--cache-dir"; cache; "--jobs"; "2" |]
+             Unix.stdin devnull devnull)
+     in
+     let ready () =
+       wait_for (fun () -> try healthy sock2 with _ -> false)
+     in
+     let ask () =
+       let conn = Service.Client.connect sock2 in
+       Fun.protect ~finally:(fun () -> Service.Client.close conn)
+         (fun () ->
+           match Service.Client.call conn ~tag:0 (Wire.Run chaos_args) with
+           | Wire.Result s -> Some s.Wire.rs_from_cache
+           | _ -> None)
+     in
+     let pid = spawn () in
+     let first = if ready () then ask () else None in
+     Unix.kill pid Sys.sigkill;
+     ignore (Unix.waitpid [] pid);
+     let pid2 = spawn () in
+     let second = if ready () then ask () else None in
+     let strays =
+       Sys.readdir cache |> Array.to_list
+       |> List.filter (fun n -> List.mem "tmp" (String.split_on_char '.' n))
+     in
+     Unix.kill pid2 Sys.sigterm;
+     ignore (Unix.waitpid [] pid2);
+     scenario "SIGKILL'd daemon restarts onto its cache"
+       (first <> None && second = Some true && strays = [])
+       (Printf.sprintf "hit after restart: %b, stray temp files: %d"
+          (second = Some true) (List.length strays)));
+
+    if !failures > 0 then begin
+      Printf.eprintf "chaos: %d scenario(s) failed\n" !failures;
+      exit 1
+    end;
+    Printf.printf "chaos: all scenarios passed\n"
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Drill the daemon's fault boundary with hostile clients and a \
+             SIGKILL-restart cycle")
+    Term.(const run $ jobs_arg $ requests_arg)
 
 (* --- sweep ------------------------------------------------------------ *)
 
@@ -1001,6 +1388,7 @@ let () =
             rtl_cmd;
             serve_cmd;
             client_cmd;
+            chaos_cmd;
             sweep_cmd;
           ])
      with Wp_sim.Static.Unschedulable reason ->

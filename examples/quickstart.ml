@@ -31,7 +31,7 @@ let run ~relay_stations ~cycles =
   let engine = Engine.create ~record_traces:true ~mode:Shell.Plain (build ~relay_stations) in
   (match Engine.run ~max_cycles:cycles engine with
   | Engine.Exhausted _ -> ()
-  | Engine.Halted _ | Engine.Deadlocked _ -> assert false);
+  | Engine.Halted _ | Engine.Deadlocked _ | Engine.Cancelled _ -> assert false);
   let report = Monitor.collect engine in
   let throughput = Monitor.node_throughput report "doubler" in
   let trace = Shell.output_trace (Engine.shell engine 0) 0 in

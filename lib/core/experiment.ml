@@ -80,10 +80,10 @@ let oracle_spec (spec : Run_spec.t) =
   | Wp_sim.Sim.Static -> { spec with Run_spec.engine = Wp_sim.Sim.Fast }
   | _ -> spec
 
-let checked_run ?mcr_work ~spec ~machine ~mode ~config program =
+let checked_run ?cancel ?mcr_work ~spec ~machine ~mode ~config program =
   let r =
-    Run_spec.run_cpu ?mcr_work ~spec ~machine ~mode ~rs:(Config.to_fun config)
-      program
+    Run_spec.run_cpu ?cancel ?mcr_work ~spec ~machine ~mode
+      ~rs:(Config.to_fun config) program
   in
   (match r.Cpu.outcome with
   | Cpu.Completed -> ()
@@ -94,27 +94,45 @@ let checked_run ?mcr_work ~spec ~machine ~mode ~config program =
   | Cpu.Out_of_cycles ->
     failwith
       (Printf.sprintf "Experiment: cycle budget exhausted (%s, %s)" program.Program.name
-         (Config.describe config)));
+         (Config.describe config))
+  | Cpu.Cancelled ->
+    (* An exception, not a [failwith]: cancellation is the caller's own
+       doing — the {!Runner} converts it to [Expired] without burning
+       retries, and nothing below may cache the partial run. *)
+    raise
+      (Wp_util.Cancel.Cancelled
+         (Printf.sprintf "deadline exceeded after %d cycles (%s, %s)"
+            r.Cpu.cycles program.Program.name (Config.describe config))));
   if not r.Cpu.result_ok then
     failwith
       (Printf.sprintf "Experiment: wrong architectural result (%s, %s)" program.Program.name
          (Config.describe config));
   r
 
-let run_spec ~spec ~machine ~program config =
+let run_spec ?cancel ~spec ~machine ~program config =
+  (* An already-expired token must not burn a golden run (the memo is
+     shared, but a miss still simulates). *)
+  (match cancel with
+  | Some c -> Wp_util.Cancel.check ~what:"before golden run" c
+  | None -> ());
   (* The golden run is always clean and unprotected: faults perturb the
      wire-pipelined systems under test, never the reference they are
      judged against — and the link layer exists to make the protected
-     runs equivalent to that untouched reference. *)
+     runs equivalent to that untouched reference.  It also runs without
+     the cancel token: it is memoized and shared across requests, so a
+     cancelled caller must not poison the table for everyone else. *)
   let g = golden ~engine:spec.Run_spec.engine ~machine program in
   (* The golden cycle count is the work the wire-pipelined runs must
      complete, so it feeds the MCR-guided bound: each run is capped at
      [ceil (golden / Th) + slack] instead of the blanket 2M budget. *)
   let mcr_work = g.Cpu.cycles in
-  let wp1 = checked_run ~mcr_work ~spec ~machine ~mode:Shell.Plain ~config program in
+  let wp1 =
+    checked_run ?cancel ~mcr_work ~spec ~machine ~mode:Shell.Plain ~config
+      program
+  in
   let wp2 =
-    checked_run ~mcr_work ~spec:(oracle_spec spec) ~machine ~mode:Shell.Oracle
-      ~config program
+    checked_run ?cancel ~mcr_work ~spec:(oracle_spec spec) ~machine
+      ~mode:Shell.Oracle ~config program
   in
   let th_wp1 = Cpu.throughput ~golden:g wp1 in
   let th_wp2 = Cpu.throughput ~golden:g wp2 in
@@ -144,7 +162,7 @@ let run ?engine ?max_cycles ?fault ?protect ~machine ~program config =
    back as [Error] in place — they must not poison the other lanes —
    while a kernel-level raise (which only a non-benign fault can cause,
    and [Runner.batchable] excludes those) propagates to the caller. *)
-let run_batch_spec ~machine
+let run_batch_spec ?cancels ~machine
     (requests : (Run_spec.t * Program.t * Config.t) array) =
   let n = Array.length requests in
   if n = 0 then [||]
@@ -154,6 +172,17 @@ let run_batch_spec ~machine
         if spec.Run_spec.engine <> Wp_sim.Sim.Fast then
           invalid_arg "Experiment.run_batch_spec: engine must be Fast")
       requests;
+    let cancel_of i =
+      match cancels with
+      | Some cs when Array.length cs = n -> cs.(i)
+      | Some _ ->
+        invalid_arg "Experiment.run_batch_spec: cancels length mismatch"
+      | None -> (
+        match (let s, _, _ = requests.(i) in s.Run_spec.deadline_ms) with
+        | Some ms -> Wp_util.Cancel.create ~deadline_ms:ms ()
+        | None -> Wp_util.Cancel.never)
+    in
+    let lane_cancels = Array.init n cancel_of in
     let goldens =
       Array.map
         (fun ((spec : Run_spec.t), program, _) ->
@@ -171,6 +200,7 @@ let run_batch_spec ~machine
             b_max_cycles = spec.Run_spec.max_cycles;
             b_mcr_work = Some goldens.(i).Cpu.cycles;
             b_fault = spec.Run_spec.fault;
+            b_cancel = lane_cancels.(i);
             b_program = program;
           })
     in
@@ -187,6 +217,10 @@ let run_batch_spec ~machine
         Error
           (Printf.sprintf "Experiment: cycle budget exhausted (%s, %s)"
              program.Program.name (Config.describe config))
+      | Cpu.Cancelled ->
+        Error
+          (Printf.sprintf "deadline exceeded after %d cycles (%s, %s)"
+             r.Cpu.cycles program.Program.name (Config.describe config))
       | Cpu.Completed ->
         if not r.Cpu.result_ok then
           Error
@@ -228,7 +262,7 @@ let wp2_cycles_objective_spec ~spec ~machine ~program config =
   in
   match wp2.Cpu.outcome with
   | Cpu.Completed when wp2.Cpu.result_ok -> Cpu.throughput ~golden:g wp2
-  | Cpu.Completed | Cpu.Deadlocked | Cpu.Out_of_cycles -> 0.0
+  | Cpu.Completed | Cpu.Deadlocked | Cpu.Out_of_cycles | Cpu.Cancelled -> 0.0
 
 (* Deprecated wrapper: prefer [wp2_cycles_objective_spec]. *)
 let wp2_cycles_objective ?engine ~machine ~program config =

@@ -29,6 +29,7 @@ val golden :
     the parallel {!Runner} may call this concurrently. *)
 
 val run_spec :
+  ?cancel:Wp_util.Cancel.t ->
   spec:Run_spec.t ->
   machine:Wp_soc.Datapath.machine ->
   program:Wp_soc.Program.t ->
@@ -45,9 +46,14 @@ val run_spec :
     fault specs architecturally invisible.  [spec.telemetry] turns on
     stall attribution for both WP runs; the reports land in
     [wp1.telemetry] / [wp2.telemetry].
+    [cancel] (default: a token built from [spec.deadline_ms], or
+    {!Wp_util.Cancel.never}) cooperatively aborts the WP runs — never
+    the memoized golden reference, which other requests share.
     @raise Failure if any run fails to complete or corrupts the
     architectural result — equivalence is an invariant here, not a
-    statistic. *)
+    statistic.
+    @raise Wp_util.Cancel.Cancelled when the token fires mid-run; the
+    partial result is discarded and never cached. *)
 
 val run :
   ?engine:Wp_sim.Sim.kind ->
@@ -63,6 +69,7 @@ val run :
     spec. *)
 
 val run_batch_spec :
+  ?cancels:Wp_util.Cancel.t array ->
   machine:Wp_soc.Datapath.machine ->
   (Run_spec.t * Wp_soc.Program.t * Config.t) array ->
   (record, string) result array
@@ -70,9 +77,13 @@ val run_batch_spec :
     one {!Wp_soc.Cpu.run_batch} kernel sharing a single compiled
     netlist.  Results are in request order and each record is identical
     to the corresponding {!run_spec}.  A request whose run deadlocks,
-    exhausts its budget or corrupts the result comes back as [Error]
-    with {!run_spec}'s failure message, without disturbing the other
-    lanes.  Specs must satisfy {!Runner.batchable}-style constraints:
+    exhausts its budget, exceeds its deadline or corrupts the result
+    comes back as [Error] with {!run_spec}'s failure message, without
+    disturbing the other lanes — a cancelled lane is compacted out of
+    the kernel and its siblings' results stay byte-identical.
+    [cancels] (one token per request, both of a request's lanes share
+    it) overrides each spec's own [deadline_ms]; its length must equal
+    the request count.  Specs must satisfy {!Runner.batchable}-style constraints:
     @raise Invalid_argument if any spec's engine is not [Fast];
     @raise Wp_sim.Batch.Unbatchable on capacity 0 or protection. *)
 

@@ -347,7 +347,7 @@ let static_conformance ?engine ?(horizon = 6) kind =
     let sim = Sim.create ~engine ~record_traces:true ~fault:spec ~mode net in
     (match Sim.run ~max_cycles sim with
     | Engine.Exhausted _ -> () (* free-running: the budget IS the window *)
-    | Engine.Halted c | Engine.Deadlocked c ->
+    | Engine.Halted c | Engine.Deadlocked c | Engine.Cancelled c ->
         note "run ended at cycle %d, before the measurement window closed" c);
     List.iter
       (fun node ->

@@ -10,6 +10,7 @@ type t = {
   fault : Fault.spec;
   protect : Protect.t;
   telemetry : Telemetry.spec;
+  deadline_ms : int option;
 }
 
 let default =
@@ -20,17 +21,22 @@ let default =
     fault = Fault.none;
     protect = Protect.none;
     telemetry = Telemetry.off;
+    deadline_ms = None;
   }
 
 let v ?(engine = Sim.default_kind) ?(capacity = 2) ?max_cycles
     ?(fault = Fault.none) ?(protect = Protect.none)
-    ?(telemetry = Telemetry.off) () =
-  { engine; capacity; max_cycles; fault; protect; telemetry }
+    ?(telemetry = Telemetry.off) ?deadline_ms () =
+  { engine; capacity; max_cycles; fault; protect; telemetry; deadline_ms }
 
 let digest t =
-  (* Every field is covered; Runner cache keys embed this verbatim, so a
-     field added to the record automatically becomes part of every key
-     (the very drift this module exists to prevent). *)
+  (* Every result-affecting field is covered; Runner cache keys embed
+     this verbatim, so such a field added to the record automatically
+     becomes part of every key (the very drift this module exists to
+     prevent).  [deadline_ms] is deliberately absent: a deadline decides
+     {e whether} a run finishes, never what it computes, so a cached
+     record may satisfy any deadline and an expired request must not
+     fragment the cache. *)
   String.concat "|"
     [
       Sim.kind_to_string t.engine;
@@ -46,6 +52,9 @@ let equal a b = digest a = digest b
 let describe t =
   let parts = ref [] in
   let add s = parts := s :: !parts in
+  (match t.deadline_ms with
+  | Some ms -> add ("deadline_ms=" ^ string_of_int ms)
+  | None -> ());
   if not (Telemetry.is_off t.telemetry) then
     add ("telemetry=" ^ Telemetry.spec_digest t.telemetry);
   if not (Protect.is_none t.protect) then
@@ -60,7 +69,7 @@ let describe t =
 
 let of_args ?engine ?(capacity = 2) ?max_cycles ?fault ?(fault_seed = 0)
     ?protect ?(link_window = 0) ?(link_timeout = 0) ?(stall_report = false)
-    ?(trace_depth = 0) () =
+    ?(trace_depth = 0) ?deadline_ms () =
   let ( let* ) = Result.bind in
   let* engine =
     match engine with
@@ -100,18 +109,31 @@ let of_args ?engine ?(capacity = 2) ?max_cycles ?fault ?(fault_seed = 0)
   let* () =
     if trace_depth < 0 then Error "trace-depth must be >= 0" else Ok ()
   in
+  let* () =
+    match deadline_ms with
+    | Some ms when ms <= 0 -> Error "deadline-ms must be > 0"
+    | _ -> Ok ()
+  in
   let telemetry =
     if trace_depth > 0 then Telemetry.with_trace ~depth:trace_depth ()
     else if stall_report then Telemetry.counters
     else Telemetry.off
   in
-  Ok { engine; capacity; max_cycles; fault; protect; telemetry }
+  Ok { engine; capacity; max_cycles; fault; protect; telemetry; deadline_ms }
 
-let run_cpu ?mcr_work ~spec ~machine ~mode ~rs program =
+let run_cpu ?cancel ?mcr_work ~spec ~machine ~mode ~rs program =
   let protect =
     if Protect.is_none spec.protect then None
     else Some (Protect.to_fun spec.protect)
   in
-  Cpu.run ~engine:spec.engine ~capacity:spec.capacity
+  (* An explicit token (the serve daemon's, stamped at request arrival)
+     wins over the spec's relative deadline, which wins over [never]. *)
+  let cancel =
+    match cancel, spec.deadline_ms with
+    | Some c, _ -> c
+    | None, Some ms -> Wp_util.Cancel.create ~deadline_ms:ms ()
+    | None, None -> Wp_util.Cancel.never
+  in
+  Cpu.run ~engine:spec.engine ~capacity:spec.capacity ~cancel
     ?max_cycles:spec.max_cycles ?mcr_work ~fault:spec.fault ?protect
     ~telemetry:spec.telemetry ~machine ~mode ~rs program

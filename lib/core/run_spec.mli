@@ -29,6 +29,11 @@ type t = {
   protect : Protect.t;  (** link-protection policy (default {!Protect.none}) *)
   telemetry : Wp_sim.Telemetry.spec;
       (** stall attribution / event trace (default {!Wp_sim.Telemetry.off}) *)
+  deadline_ms : int option;
+      (** wall-clock latency budget: the run auto-cancels once this many
+          milliseconds elapse and finishes [Cancelled].  Deliberately
+          {e not} part of {!digest} — a deadline never changes what a
+          run computes, so cached results satisfy any deadline *)
 }
 
 val default : t
@@ -40,6 +45,7 @@ val v :
   ?fault:Wp_sim.Fault.spec ->
   ?protect:Protect.t ->
   ?telemetry:Wp_sim.Telemetry.spec ->
+  ?deadline_ms:int ->
   unit ->
   t
 (** Build a spec from the legacy optional arguments; omitted fields take
@@ -47,10 +53,11 @@ val v :
     wrappers use. *)
 
 val digest : t -> string
-(** Stable content digest covering every field, e.g.
+(** Stable content digest covering every result-affecting field, e.g.
     ["fast|cap2|mcr|nofault|noprot|notel"].  {!Runner} cache keys embed
     it verbatim; two specs with equal digests are observably
-    interchangeable. *)
+    interchangeable.  [deadline_ms] is excluded: it bounds latency, not
+    results, so any cached record satisfies any deadline. *)
 
 val equal : t -> t -> bool
 
@@ -68,6 +75,7 @@ val of_args :
   ?link_timeout:int ->
   ?stall_report:bool ->
   ?trace_depth:int ->
+  ?deadline_ms:int ->
   unit ->
   (t, string) result
 (** The single CLI parser: every subcommand maps its flags onto these
@@ -80,6 +88,7 @@ val of_args :
     any field comes back as [Error msg] — no exceptions, no [exit]. *)
 
 val run_cpu :
+  ?cancel:Wp_util.Cancel.t ->
   ?mcr_work:int ->
   spec:t ->
   machine:Wp_soc.Datapath.machine ->
@@ -90,4 +99,6 @@ val run_cpu :
 (** {!Wp_soc.Cpu.run} driven by a spec: unpacks the fields (converting
     {!Protect.t} to the function form {!Wp_soc.Datapath.build} expects)
     so callers above the SoC layer never touch the optional-argument
-    form. *)
+    form.  An explicit [cancel] token (e.g. the serve daemon's,
+    stamped at request arrival so queueing counts against the budget)
+    takes precedence over the spec's own [deadline_ms]. *)

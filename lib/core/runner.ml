@@ -19,6 +19,8 @@ type stats = {
   cache_misses : int;
   cache_corrupt : int;
   quarantined : int;
+  expired : int;
+  stale_reaped : int;
   telemetry : Telemetry.summary option;
   sections : section list;
 }
@@ -42,6 +44,8 @@ type t = {
   mutable cache_misses : int;
   mutable cache_corrupt : int;
   mutable quarantined : int;
+  mutable expired : int;
+  mutable stale_reaped : int;
   mutable sections_rev : section list;
   (* Monotone accumulator of every telemetry summary that flowed through
      [experiment_spec] (cache hits included: the aggregate describes the
@@ -56,12 +60,77 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* ------------------------------------------------------------------ *)
+(* Crash recovery.
+
+   Entry writes go through [<entry>.tmp.<pid>.<domain>] + rename, so a
+   crash (or SIGKILL) can only strand temp files, never tear a named
+   entry.  At [create] time we sweep those orphans: a temp file whose
+   writer PID is dead is garbage by construction — the rename that
+   would have published it can no longer happen.  The scan runs under
+   an advisory file lock ([.wpcache.lock], opened close-on-exec so a
+   daemon's children never inherit it); if another process holds the
+   lock it is already doing this exact job, so we skip rather than
+   block the constructor. *)
+(* ------------------------------------------------------------------ *)
+
+let lock_file_name = ".wpcache.lock"
+let quarantine_subdir = "quarantine"
+
+(* [name] is ["<hexdigest>.<ns>.tmp.<pid>.<domain>"]; anything else is
+   not ours to touch. *)
+let stale_tmp_pid name =
+  match String.split_on_char '.' name with
+  | [ _digest; _ns; "tmp"; pid; _domain ] -> int_of_string_opt pid
+  | _ -> None
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  (* EPERM means the PID exists but belongs to someone else: alive. *)
+  | exception Unix.Unix_error _ -> true
+
+let recover_cache_dir dir =
+  match
+    Unix.openfile
+      (Filename.concat dir lock_file_name)
+      [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ]
+      0o644
+  with
+  | exception Unix.Unix_error _ -> 0
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.lockf fd Unix.F_TLOCK 0 with
+        | exception Unix.Unix_error _ -> 0 (* someone else is sweeping *)
+        | () ->
+          let reaped = ref 0 in
+          let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+          Array.iter
+            (fun name ->
+              match stale_tmp_pid name with
+              | Some pid when pid > 0 && not (pid_alive pid) ->
+                (try
+                   Sys.remove (Filename.concat dir name);
+                   incr reaped
+                 with Sys_error _ -> ())
+              | _ -> ())
+            entries;
+          (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+          !reaped)
+
 let create ?jobs ?(cache = true) ?cache_dir () =
   (match cache_dir with Some dir -> mkdir_p dir | None -> ());
+  let cache_dir = if cache then cache_dir else None in
+  let stale_reaped =
+    match cache_dir with Some dir -> recover_cache_dir dir | None -> 0
+  in
   {
     pool = Pool.create ?jobs ();
     cache;
-    cache_dir = (if cache then cache_dir else None);
+    cache_dir;
     mutex = Mutex.create ();
     records = Hashtbl.create 64;
     objectives = Hashtbl.create 256;
@@ -70,6 +139,8 @@ let create ?jobs ?(cache = true) ?cache_dir () =
     cache_misses = 0;
     cache_corrupt = 0;
     quarantined = 0;
+    expired = 0;
+    stale_reaped;
     sections_rev = [];
     telemetry_acc = None;
   }
@@ -112,8 +183,23 @@ let entry_path dir ~ns cache_key =
   Filename.concat dir (Digest.to_hex (Digest.string cache_key) ^ "." ^ ns)
 
 let note_corrupt t path why =
-  Printf.eprintf "runner: corrupt cache entry %s (%s): treated as miss\n%!" path
-    why;
+  Printf.eprintf "runner: corrupt cache entry %s (%s): quarantined, treated as miss\n%!"
+    path why;
+  (* Move the bad entry aside instead of leaving it in place: the cache
+     directory stays clean for the next reader (the chaos harness
+     asserts zero corrupt entries after a SIGKILL + restart), and the
+     evidence survives under [quarantine/] for post-mortem.  A rename
+     race with a concurrent recomputing writer is benign — either the
+     fresh entry wins the name or the rename fails and we fall back to
+     deleting. *)
+  (match t.cache_dir with
+  | Some dir -> (
+    let qdir = Filename.concat dir quarantine_subdir in
+    (try mkdir_p qdir with Unix.Unix_error _ | Sys_error _ -> ());
+    let dst = Filename.concat qdir (Filename.basename path) in
+    try Sys.rename path dst
+    with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ()))
+  | None -> ());
   Mutex.lock t.mutex;
   t.cache_corrupt <- t.cache_corrupt + 1;
   Mutex.unlock t.mutex
@@ -261,11 +347,14 @@ let note_telemetry t (r : Experiment.record) =
     | None -> ());
     Mutex.unlock t.mutex
 
-let experiment_spec ~spec t ~machine ~program config =
+let experiment_spec ?cancel ~spec t ~machine ~program config =
+  (* A cancelled compute raises out of [lookup] before [store_winner], so
+     an abandoned run never poisons the cache; a cache hit on the other
+     hand is free and satisfies any deadline. *)
   let r =
     lookup t t.records ~ns:"rec"
       (key ~spec ~machine ~program config)
-      (fun () -> Experiment.run_spec ~spec ~machine ~program config)
+      (fun () -> Experiment.run_spec ?cancel ~spec ~machine ~program config)
   in
   note_telemetry t r;
   r
@@ -307,6 +396,7 @@ type failure = {
 type outcome =
   | Completed of Experiment.record
   | Failed of failure
+  | Expired of string
 
 let repro_line ~spec ~machine ~(program : Program.t) config =
   Printf.sprintf
@@ -320,10 +410,19 @@ let repro_line ~spec ~machine ~(program : Program.t) config =
     | Some n -> string_of_int n
     | None -> "default")
 
-let experiment_guarded_spec ~spec ?(attempts = 3) ?(retry_seed = 0) t ~machine
-    ~program config =
+let experiment_guarded_spec ~spec ?(attempts = 3) ?(retry_seed = 0) ?cancel t
+    ~machine ~program config =
   let attempts = max 1 attempts in
   let k = key ~spec ~machine ~program config in
+  let cancel_tok = Option.value cancel ~default:Wp_util.Cancel.never in
+  let expired msg =
+    (* A deadline is not a fault: no retry (the budget is wall-clock and
+       it is gone), no quarantine. *)
+    Mutex.lock t.mutex;
+    t.expired <- t.expired + 1;
+    Mutex.unlock t.mutex;
+    Expired msg
+  in
   let rng = Random.State.make [| retry_seed; Hashtbl.hash k |] in
   let spec_for i =
     (* Attempt i gets 2^(i-1) times the caller's budget: a run killed by
@@ -333,7 +432,12 @@ let experiment_guarded_spec ~spec ?(attempts = 3) ?(retry_seed = 0) t ~machine
     | None -> spec
   in
   let rec go i last_error =
-    if i > attempts then begin
+    if Wp_util.Cancel.cancelled cancel_tok then
+      expired
+        (Printf.sprintf "deadline exceeded before attempt %d/%d (%s)" i
+           attempts
+           (repro_line ~spec ~machine ~program config))
+    else if i > attempts then begin
       Mutex.lock t.mutex;
       t.quarantined <- t.quarantined + 1;
       Mutex.unlock t.mutex;
@@ -353,8 +457,11 @@ let experiment_guarded_spec ~spec ?(attempts = 3) ?(retry_seed = 0) t ~machine
         let jitter = Random.State.float rng base in
         try Unix.sleepf (base +. jitter) with Unix.Unix_error _ -> ()
       end;
-      match experiment_spec ~spec:(spec_for i) t ~machine ~program config with
+      match experiment_spec ?cancel ~spec:(spec_for i) t ~machine ~program
+              config
+      with
       | r -> Completed r
+      | exception Wp_util.Cancel.Cancelled msg -> expired msg
       | exception e -> go (i + 1) (Printexc.to_string e)
     end
   in
@@ -388,6 +495,7 @@ type request = {
   req_machine : Datapath.machine;
   req_program : Program.t;
   req_config : Config.t;
+  req_cancel : Wp_util.Cancel.t;
 }
 
 let batchable (spec : Run_spec.t) =
@@ -477,13 +585,31 @@ let experiments_batch_spec ?attempts ?retry_seed ?(shard = 8) t requests =
   let misses =
     List.filter (fun i -> results.(i) = None) (List.init n Fun.id)
   in
+  (* A request whose deadline already passed gets no compute at all: the
+     cache said no, and burning a lane (or a golden run) on it can only
+     delay its live siblings. *)
+  let dead_misses, misses =
+    List.partition
+      (fun i -> Wp_util.Cancel.cancelled reqs.(i).req_cancel)
+      misses
+  in
+  List.iter
+    (fun i ->
+      Mutex.lock t.mutex;
+      t.expired <- t.expired + 1;
+      Mutex.unlock t.mutex;
+      results.(i) <- Some (Expired "deadline exceeded before dispatch", false))
+    dead_misses;
   let batch_misses, solo_misses =
     List.partition (fun i -> batchable reqs.(i).req_spec) misses
   in
   let fallback i =
     let r = reqs.(i) in
+    let cancel =
+      if Wp_util.Cancel.is_never r.req_cancel then None else Some r.req_cancel
+    in
     let o =
-      experiment_guarded_spec ~spec:r.req_spec ?attempts ?retry_seed t
+      experiment_guarded_spec ~spec:r.req_spec ?attempts ?retry_seed ?cancel t
         ~machine:r.req_machine ~program:r.req_program r.req_config
     in
     results.(i) <- Some (o, false)
@@ -518,6 +644,7 @@ let experiments_batch_spec ?attempts ?retry_seed ?(shard = 8) t requests =
             (fun chunk ->
               try
                 Experiment.run_batch_spec ~machine
+                  ~cancels:(Array.map (fun i -> reqs.(i).req_cancel) chunk)
                   (Array.map
                      (fun i ->
                        (reqs.(i).req_spec, reqs.(i).req_program,
@@ -541,6 +668,15 @@ let experiments_batch_spec ?attempts ?retry_seed ?(shard = 8) t requests =
             let winner = store t t.records ~ns:"rec" keys.(i) record in
             note_telemetry t winner;
             results.(i) <- Some (Completed winner, false)
+          | Error msg when Wp_util.Cancel.cancelled reqs.(i).req_cancel ->
+            (* The lane was cancelled mid-batch (its deadline passed while
+               siblings kept running): that is a final disposition, not a
+               failure to retry — keep the batch's message, which carries
+               the cycle count where the lane stopped. *)
+            Mutex.lock t.mutex;
+            t.expired <- t.expired + 1;
+            Mutex.unlock t.mutex;
+            results.(i) <- Some (Expired msg, false)
           | Error _ ->
             (* The batch already knows this request fails; the guarded
                path re-runs it solo (bounded retries, escalating budget)
@@ -595,6 +731,8 @@ let stats t =
       cache_misses = t.cache_misses;
       cache_corrupt = t.cache_corrupt;
       quarantined = t.quarantined;
+      expired = t.expired;
+      stale_reaped = t.stale_reaped;
       telemetry = t.telemetry_acc;
       sections = List.rev t.sections_rev;
     }
@@ -609,6 +747,8 @@ let reset_stats t =
   t.cache_misses <- 0;
   t.cache_corrupt <- 0;
   t.quarantined <- 0;
+  t.expired <- 0;
+  t.stale_reaped <- 0;
   t.sections_rev <- [];
   t.telemetry_acc <- None;
   Mutex.unlock t.mutex
@@ -635,6 +775,12 @@ let pp_stats ppf s =
   if s.quarantined > 0 then
     Format.fprintf ppf ", %d task%s quarantined" s.quarantined
       (if s.quarantined = 1 then "" else "s");
+  if s.expired > 0 then
+    Format.fprintf ppf ", %d deadline%s expired" s.expired
+      (if s.expired = 1 then "" else "s");
+  if s.stale_reaped > 0 then
+    Format.fprintf ppf ", %d stale temp file%s reaped" s.stale_reaped
+      (if s.stale_reaped = 1 then "" else "s");
   (match s.telemetry with
   | None -> ()
   | Some tel ->

@@ -41,6 +41,8 @@ type stats = {
   cache_misses : int;         (** lookups that had to simulate *)
   cache_corrupt : int;        (** disk entries rejected by digest check *)
   quarantined : int;          (** guarded tasks that exhausted retries *)
+  expired : int;              (** requests abandoned at their deadline *)
+  stale_reaped : int;         (** dead writers' temp files swept at startup *)
   telemetry : Wp_sim.Telemetry.summary option;
       (** running merge of every record's WP1+WP2 telemetry since the
           last {!reset_stats}; mixed-topology sweeps keep the first
@@ -58,9 +60,19 @@ val create : ?jobs:int -> ?cache:bool -> ?cache_dir:string -> unit -> t
     entry is stored as a digest-guarded file (magic + MD5 of the
     marshalled payload + payload, written atomically via rename).  The
     digest is validated on every read; a truncated or bit-flipped entry
-    is logged, counted in [cache_corrupt], treated as a miss and
-    overwritten by the recomputed value — corruption can cost time,
-    never correctness, and never raises. *)
+    is logged, counted in [cache_corrupt], moved into a [quarantine/]
+    subdirectory for post-mortem, treated as a miss and replaced by the
+    recomputed value — corruption can cost time, never correctness, and
+    never raises.
+
+    Crash safety: entries are only ever published by an atomic rename of
+    a [*.tmp.<pid>.<domain>] file, so a crashed or SIGKILLed writer can
+    strand temp files but never tear an entry.  [create] sweeps the
+    directory for temp files whose writer PID is dead and deletes them
+    (counted in [stale_reaped]), under an advisory [.wpcache.lock] file
+    lock so concurrent daemons sharing the directory do not race the
+    sweep (if the lock is busy, the other process is already
+    sweeping). *)
 
 val default : unit -> t
 (** A lazily created process-wide runner with default parameters; used
@@ -74,13 +86,19 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     {!stats}).  The first task exception is re-raised in the caller. *)
 
 val experiment_spec :
+  ?cancel:Wp_util.Cancel.t ->
   spec:Run_spec.t ->
   t ->
   machine:Wp_soc.Datapath.machine ->
   program:Wp_soc.Program.t ->
   Config.t ->
   Experiment.record
-(** Cached {!Experiment.run_spec}.  The cache key is
+(** Cached {!Experiment.run_spec}.  [cancel] (and the spec's own
+    [deadline_ms]) bound wall-clock, not results: a cache hit satisfies
+    any deadline, a cancelled compute raises
+    {!Wp_util.Cancel.Cancelled} before anything is stored, and
+    [deadline_ms] is deliberately excluded from the cache key.  The
+    cache key is
     [(program content digest, machine, Config.digest, Run_spec.digest)]
     — every run parameter (engine kind, cycle budget, FIFO capacity,
     fault, protection, telemetry) enters through {!Run_spec.digest}, so
@@ -112,11 +130,17 @@ type failure = {
 type outcome =
   | Completed of Experiment.record
   | Failed of failure
+  | Expired of string
+      (** the request's deadline passed (before or during a run); the
+          payload says where it stopped.  Deadlines are not faults:
+          expiry burns no retries and is counted in [stats.expired],
+          not [quarantined]. *)
 
 val experiment_guarded_spec :
   spec:Run_spec.t ->
   ?attempts:int ->
   ?retry_seed:int ->
+  ?cancel:Wp_util.Cancel.t ->
   t ->
   machine:Wp_soc.Datapath.machine ->
   program:Wp_soc.Program.t ->
@@ -130,7 +154,12 @@ val experiment_guarded_spec :
     timeout escalates instead of failing identically (each escalated
     budget is its own cache key, via the spec digest).  A task that
     still fails returns [Failed] with its repro line — it never
-    raises. *)
+    raises.
+
+    [cancel] is checked before every attempt and polled inside the run:
+    a cancelled or deadline-expired task returns [Expired] immediately,
+    with no retries (the budget that ran out is wall-clock) and no
+    quarantine. *)
 
 val experiments_guarded_spec :
   spec:Run_spec.t ->
@@ -150,6 +179,10 @@ type request = {
   req_machine : Wp_soc.Datapath.machine;
   req_program : Wp_soc.Program.t;
   req_config : Config.t;
+  req_cancel : Wp_util.Cancel.t;
+      (** per-request cancellation/deadline token
+          ({!Wp_util.Cancel.never} for no bound); the service cancels it
+          when the client disconnects *)
 }
 (** One experiment request of a heterogeneous batch (the unit of work
     the [wp_cli serve] daemon receives). *)
@@ -176,7 +209,13 @@ val experiments_batch_spec :
     {!experiment_guarded_spec} with its bounded retries, so a poisoned
     request returns [Failed] with a repro line instead of killing the
     batch.  Computed records are stored under the same cache keys as
-    {!experiment_spec}; results are in request order. *)
+    {!experiment_spec}; results are in request order.
+
+    Deadlines: a miss whose [req_cancel] is already cancelled returns
+    [Expired] without touching a lane; a lane cancelled mid-batch is
+    compacted out of the kernel (its live siblings' results stay
+    byte-identical to a batch that never contained it) and returns
+    [Expired] with the cycle count where it stopped. *)
 
 val objective_spec :
   spec:Run_spec.t ->

@@ -1,20 +1,42 @@
 (* Multi-tenant serve daemon.  See service.mli for the threading model.
 
-   Locking: [t.mutex] guards the client table, every per-client queue
-   and the paused/stopping flags; [client.write_mutex] guards the
-   client's fd for writes, so reader-thread replies (Busy/Pong/Error)
-   never interleave with dispatcher replies.  The lock order is
-   [t.mutex] strictly before any [write_mutex]; no thread takes them the
-   other way around. *)
+   Locking: [t.mutex] guards the client table, every per-client work
+   queue and in-flight list, the breaker table, the shed RNG and the
+   counters; [client.rmutex] guards the client's reply queue and
+   [closed] flag.  The lock order is [t.mutex] strictly before any
+   [rmutex]; no thread takes them the other way around (in particular,
+   [post_reply] releases [rmutex] before a disconnect takes [t.mutex]).
+
+   Fd ownership: the reader and writer threads share the client fd;
+   [drop_client] only ever shuts the fd down (which wakes both), and the
+   reader — last out, after joining the writer — closes it.  No thread
+   can touch a recycled descriptor number. *)
 
 module Frame = Wp_util.Frame
+module Cancel = Wp_util.Cancel
 
 type client = {
   id : int;
   fd : Unix.file_descr;
-  write_mutex : Mutex.t;
-  queue : (int * Wire.run_args) Queue.t;
-  mutable closed : bool;
+  rmutex : Mutex.t;
+  rcond : Condition.t;
+  replies : (int * Wire.reply) Queue.t;  (* under rmutex *)
+  queue : (int * Runner.request) Queue.t;  (* under t.mutex *)
+  mutable inflight : Runner.request list;  (* under t.mutex *)
+  mutable closed : bool;  (* under rmutex *)
+  mutable writer : Thread.t option;
+}
+
+(* Per-(machine, config) circuit breaker: [fails] quarantine outcomes in
+   a row open it for [breaker_cooldown] seconds, during which matching
+   requests are refused with [Busy] instead of burning retry budgets on
+   a key that is currently poisoned. *)
+type breaker = { mutable fails : int; mutable open_until : float }
+
+type counters = {
+  shed : int;
+  breaker_trips : int;
+  slow_disconnects : int;
 }
 
 type t = {
@@ -22,15 +44,27 @@ type t = {
   sock : Unix.file_descr;
   path : string;
   queue_bound : int;
+  reply_bound : int;
   shard : int;
   batch_max : int;
+  idle_timeout : float;
+  stall_timeout : float;
+  write_timeout : float;
+  shed_limit : int;
+  breaker_threshold : int;
+  breaker_cooldown : float;
   mutex : Mutex.t;
   cond : Condition.t;
   clients : (int, client) Hashtbl.t;
+  breakers : (string, breaker) Hashtbl.t;
+  shed_rng : Random.State.t;  (* under t.mutex *)
   mutable next_client : int;
   mutable paused : bool;
   mutable stopping : bool;
   mutable served_count : int;
+  mutable shed_count : int;
+  mutable breaker_trip_count : int;
+  mutable slow_disconnect_count : int;
   mutable accept_thread : Thread.t option;
   mutable dispatch_thread : Thread.t option;
   mutable reader_threads : Thread.t list;
@@ -44,38 +78,95 @@ let served t =
   Mutex.unlock t.mutex;
   n
 
-(* A write to a vanished client must never kill a service thread; the
-   client is simply marked gone and its queued work dropped on reply. *)
-let write_reply c ~tag reply =
-  let payload = Wire.encode_reply ~tag reply in
-  Mutex.lock c.write_mutex;
-  let ok =
-    if c.closed then false
-    else
-      match Frame.write c.fd payload with
-      | () -> true
-      | exception (Unix.Unix_error _ | Sys_error _ | Invalid_argument _) ->
-        c.closed <- true;
-        false
+let counters t =
+  Mutex.lock t.mutex;
+  let c =
+    {
+      shed = t.shed_count;
+      breaker_trips = t.breaker_trip_count;
+      slow_disconnects = t.slow_disconnect_count;
+    }
   in
-  Mutex.unlock c.write_mutex;
-  ok
+  Mutex.unlock t.mutex;
+  c
+
+let cancel_request (req : Runner.request) = Cancel.cancel req.Runner.req_cancel
 
 let drop_client t c =
   Mutex.lock t.mutex;
-  let was = not c.closed || Hashtbl.mem t.clients c.id in
-  c.closed <- true;
+  let was = Hashtbl.mem t.clients c.id in
   Hashtbl.remove t.clients c.id;
+  (* The client is gone, so its work is garbage: cancel every token it
+     owns (queued and in-flight) so running lanes abandon it at the next
+     poll instead of computing for nobody. *)
+  Queue.iter (fun (_, req) -> cancel_request req) c.queue;
+  Queue.clear c.queue;
+  List.iter cancel_request c.inflight;
+  Condition.broadcast t.cond;
   Mutex.unlock t.mutex;
-  if was then begin
-    (* shutdown() before close(): closing an fd does not wake a thread
-       already blocked in read(2) on it, shutting it down does. *)
-    (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-    try Unix.close c.fd with Unix.Unix_error _ -> ()
-  end
+  Mutex.lock c.rmutex;
+  c.closed <- true;
+  Condition.broadcast c.rcond;
+  Mutex.unlock c.rmutex;
+  if was then
+    (* shutdown() wakes both the reader (EOF) and the writer (EPIPE)
+       without invalidating the descriptor number; the reader closes the
+       fd after joining the writer. *)
+    try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+(* Enqueue a reply for the writer thread.  A client that stopped
+   draining replies fills its bounded queue and is disconnected — the
+   slow-loris defense: a reader that never reads costs one queue, never
+   a blocked service thread or unbounded memory. *)
+let post_reply t c ~tag reply =
+  Mutex.lock c.rmutex;
+  let verdict =
+    if c.closed then `Gone
+    else if Queue.length c.replies >= t.reply_bound then `Overflow
+    else begin
+      Queue.push (tag, reply) c.replies;
+      Condition.signal c.rcond;
+      `Queued
+    end
+  in
+  Mutex.unlock c.rmutex;
+  match verdict with
+  | `Queued | `Gone -> ()
+  | `Overflow ->
+    Mutex.lock t.mutex;
+    t.slow_disconnect_count <- t.slow_disconnect_count + 1;
+    Mutex.unlock t.mutex;
+    drop_client t c
+
+let writer_loop t c =
+  let rec loop () =
+    Mutex.lock c.rmutex;
+    while Queue.is_empty c.replies && not c.closed do
+      Condition.wait c.rcond c.rmutex
+    done;
+    let next = if c.closed then None else Some (Queue.pop c.replies) in
+    Mutex.unlock c.rmutex;
+    match next with
+    | None -> ()
+    | Some (tag, reply) -> (
+      let payload = Wire.encode_reply ~tag reply in
+      match Frame.write_timed ~timeout:t.write_timeout c.fd payload with
+      | () -> loop ()
+      | exception Frame.Timeout ->
+        (* The peer accepted the connection but stopped reading
+           (SIGSTOP'd, or a deliberate slow-loris): drop it. *)
+        Mutex.lock t.mutex;
+        t.slow_disconnect_count <- t.slow_disconnect_count + 1;
+        Mutex.unlock t.mutex;
+        drop_client t c
+      | exception (Unix.Unix_error _ | Sys_error _ | Invalid_argument _) ->
+        drop_client t c)
+  in
+  loop ()
 
 let stats_reply t =
   let s = Runner.stats t.runner in
+  let c = counters t in
   Wire.Stats_reply
     {
       st_jobs = s.Runner.jobs;
@@ -83,41 +174,170 @@ let stats_reply t =
       st_cache_hits = s.Runner.cache_hits;
       st_cache_misses = s.Runner.cache_misses;
       st_quarantined = s.Runner.quarantined;
+      st_expired = s.Runner.expired;
+      st_shed = c.shed;
+      st_breaker_trips = c.breaker_trips;
+      st_slow_disconnects = c.slow_disconnects;
+      st_stale_reaped = s.Runner.stale_reaped;
+      st_cache_corrupt = s.Runner.cache_corrupt;
     }
 
+(* --- circuit breaker ------------------------------------------------ *)
+
+let breaker_key (req : Runner.request) =
+  Wp_soc.Datapath.machine_name req.Runner.req_machine
+  ^ "|"
+  ^ Config.describe req.Runner.req_config
+
+(* Call with [t.mutex] held. *)
+let breaker_state t key ~now =
+  match Hashtbl.find_opt t.breakers key with
+  | None -> `Closed
+  | Some b ->
+    if b.open_until > now then `Open (b.open_until -. now)
+    else begin
+      if b.open_until > 0. then begin
+        (* Cooldown over: half-open.  One success closes it, one more
+           failure re-trips immediately. *)
+        b.open_until <- 0.;
+        b.fails <- max 0 (t.breaker_threshold - 1)
+      end;
+      `Closed
+    end
+
+let note_request_failure t key =
+  Mutex.lock t.mutex;
+  let b =
+    match Hashtbl.find_opt t.breakers key with
+    | Some b -> b
+    | None ->
+      let b = { fails = 0; open_until = 0. } in
+      Hashtbl.replace t.breakers key b;
+      b
+  in
+  b.fails <- b.fails + 1;
+  if b.fails >= t.breaker_threshold && b.open_until = 0. then begin
+    b.open_until <- Unix.gettimeofday () +. t.breaker_cooldown;
+    b.fails <- 0;
+    t.breaker_trip_count <- t.breaker_trip_count + 1
+  end;
+  Mutex.unlock t.mutex
+
+let note_request_success t key =
+  Mutex.lock t.mutex;
+  (match Hashtbl.find_opt t.breakers key with
+  | Some b -> if b.open_until = 0. then b.fails <- 0
+  | None -> ());
+  Mutex.unlock t.mutex
+
+(* --- admission ------------------------------------------------------ *)
+
+(* Call with [t.mutex] held.  The jitter keeps a thundering herd of
+   shed clients from retrying in lockstep; seeded, so tests are
+   reproducible. *)
+let jitter t ms = ms + Random.State.int t.shed_rng (max 1 (ms / 2))
+
+let total_backlog t =
+  Hashtbl.fold (fun _ c acc -> acc + Queue.length c.queue) t.clients 0
+
+let admit t c ~tag (args : Wire.run_args) =
+  (* Cheap shed checks before the parse: a refused request must cost
+     (almost) nothing.  Priority tiers: 0 sheds at half the backlog
+     limit, 1 at the limit, 2+ only at the per-client bound. *)
+  let prio = args.Wire.rq_priority in
+  Mutex.lock t.mutex;
+  let backlog = total_backlog t in
+  let shed_floor =
+    if prio <= 0 then t.shed_limit / 2
+    else if prio = 1 then t.shed_limit
+    else max_int
+  in
+  let verdict =
+    if t.stopping then `Shed (jitter t 200)
+    else if Queue.length c.queue >= t.queue_bound then
+      `Shed (jitter t (100 + (10 * Queue.length c.queue)))
+    else if backlog >= shed_floor then `Shed (jitter t (100 + backlog))
+    else `Go
+  in
+  (match verdict with
+  | `Shed _ -> t.shed_count <- t.shed_count + 1
+  | `Go -> ());
+  Mutex.unlock t.mutex;
+  match verdict with
+  | `Shed ms -> post_reply t c ~tag (Wire.Busy { retry_after_ms = ms })
+  | `Go -> (
+    match Wire.parse_run args with
+    | Error msg ->
+      Mutex.lock t.mutex;
+      t.served_count <- t.served_count + 1;
+      Mutex.unlock t.mutex;
+      post_reply t c ~tag (Wire.Error msg)
+    | Ok req -> (
+      let key = breaker_key req in
+      let now = Unix.gettimeofday () in
+      Mutex.lock t.mutex;
+      let verdict =
+        match breaker_state t key ~now with
+        | `Open left ->
+          t.shed_count <- t.shed_count + 1;
+          `Shed (jitter t (max 1 (int_of_float (ceil (left *. 1000.)))))
+        | `Closed ->
+          if t.stopping then begin
+            t.shed_count <- t.shed_count + 1;
+            `Shed (jitter t 200)
+          end
+          else begin
+            Queue.push (tag, req) c.queue;
+            Condition.broadcast t.cond;
+            `Queued
+          end
+      in
+      Mutex.unlock t.mutex;
+      match verdict with
+      | `Queued -> ()
+      | `Shed ms -> post_reply t c ~tag (Wire.Busy { retry_after_ms = ms })))
+
+(* --- per-connection threads ----------------------------------------- *)
+
 let reader_loop t c =
+  let quiescent () =
+    Mutex.lock t.mutex;
+    let no_work = Queue.is_empty c.queue && c.inflight = [] in
+    Mutex.unlock t.mutex;
+    no_work
+    &&
+    (Mutex.lock c.rmutex;
+     let no_replies = Queue.is_empty c.replies in
+     Mutex.unlock c.rmutex;
+     no_replies)
+  in
   let rec loop () =
-    match Frame.read c.fd with
-    | None -> ()
-    | Some payload ->
+    match Frame.read_timed ~idle:t.idle_timeout ~stall:t.stall_timeout c.fd with
+    | Frame.Eof -> ()
+    | Frame.Idle ->
+      (* Reap only a quiescent connection: a client with work queued,
+         running or unread is waiting on us, not the other way round. *)
+      if quiescent () then () else loop ()
+    | Frame.Frame payload ->
       (match Wire.decode_request payload with
       | Error msg ->
         (* Tag 0: the payload was too mangled to recover the real tag. *)
-        ignore (write_reply c ~tag:0 (Wire.Error msg))
-      | Ok (tag, Wire.Ping) -> ignore (write_reply c ~tag Wire.Pong)
-      | Ok (tag, Wire.Stats) -> ignore (write_reply c ~tag (stats_reply t))
-      | Ok (tag, Wire.Run args) ->
-        Mutex.lock t.mutex;
-        let accepted =
-          if t.stopping || Queue.length c.queue >= t.queue_bound then false
-          else begin
-            Queue.push (tag, args) c.queue;
-            Condition.broadcast t.cond;
-            true
-          end
-        in
-        Mutex.unlock t.mutex;
-        if not accepted then ignore (write_reply c ~tag Wire.Busy));
+        post_reply t c ~tag:0 (Wire.Error msg)
+      | Ok (tag, Wire.Ping) -> post_reply t c ~tag Wire.Pong
+      | Ok (tag, Wire.Stats) -> post_reply t c ~tag (stats_reply t)
+      | Ok (tag, Wire.Run args) -> admit t c ~tag args);
       loop ()
   in
   (try loop ()
-   with Frame.Truncated | Frame.Oversized _ | Unix.Unix_error _ | Sys_error _ ->
-     ());
+   with
+  | Frame.Truncated | Frame.Oversized _ | Frame.Timeout | Unix.Unix_error _
+  | Sys_error _
+  ->
+    ());
   drop_client t c;
-  (* The dispatcher may be blocked waiting for this client's work. *)
-  Mutex.lock t.mutex;
-  Condition.broadcast t.cond;
-  Mutex.unlock t.mutex
+  (* Last out closes the fd: the writer has seen [closed] and exited. *)
+  (match c.writer with Some th -> Thread.join th | None -> ());
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
 
 let accept_loop t =
   let rec loop () =
@@ -135,13 +355,18 @@ let accept_loop t =
           {
             id = t.next_client;
             fd;
-            write_mutex = Mutex.create ();
+            rmutex = Mutex.create ();
+            rcond = Condition.create ();
+            replies = Queue.create ();
             queue = Queue.create ();
+            inflight = [];
             closed = false;
+            writer = None;
           }
         in
         t.next_client <- t.next_client + 1;
         Hashtbl.replace t.clients c.id c;
+        c.writer <- Some (Thread.create (fun () -> writer_loop t c) ());
         let th = Thread.create (fun () -> reader_loop t c) () in
         t.reader_threads <- th :: t.reader_threads;
         Mutex.unlock t.mutex;
@@ -154,7 +379,7 @@ let accept_loop t =
    (clients in connection order), passes repeating until [batch_max]
    requests are drained or every queue is empty.  A client pipelining
    hundreds of requests therefore shares the batch evenly with a client
-   sending one. *)
+   sending one.  Call with [t.mutex] held. *)
 let drain_round t =
   let batch = ref [] in
   let count = ref 0 in
@@ -166,9 +391,10 @@ let drain_round t =
       (fun id ->
         if !count < t.batch_max then
           match Hashtbl.find_opt t.clients id with
-          | Some c when (not c.closed) && not (Queue.is_empty c.queue) ->
-            let tag, args = Queue.pop c.queue in
-            batch := (c, tag, args) :: !batch;
+          | Some c when not (Queue.is_empty c.queue) ->
+            let tag, req = Queue.pop c.queue in
+            c.inflight <- req :: c.inflight;
+            batch := (c, tag, req) :: !batch;
             incr count;
             progress := true
           | Some _ | None -> ())
@@ -177,45 +403,38 @@ let drain_round t =
   List.rev !batch
 
 let dispatch_batch t batch =
-  (* Resolve the textual requests; protocol errors answer immediately
-     and never reach the runner. *)
-  let runnable =
-    List.filter_map
-      (fun (c, tag, args) ->
-        match Wire.parse_run args with
-        | Ok req -> Some (c, tag, req)
-        | Error msg ->
-          ignore (write_reply c ~tag (Wire.Error msg));
-          Mutex.lock t.mutex;
-          t.served_count <- t.served_count + 1;
-          Mutex.unlock t.mutex;
-          None)
-      batch
-  in
-  if runnable <> [] then begin
+  if batch <> [] then begin
     let outcomes =
       Runner.experiments_batch_spec ~shard:t.shard t.runner
-        (List.map (fun (_, _, req) -> req) runnable)
+        (List.map (fun (_, _, req) -> req) batch)
     in
     List.iter2
-      (fun (c, tag, _) (outcome, from_cache) ->
+      (fun (c, tag, req) (outcome, from_cache) ->
+        let key = breaker_key req in
         let reply =
           match outcome with
           | Runner.Completed record ->
+            note_request_success t key;
             Wire.Result (Wire.summary_of_record ~from_cache record)
           | Runner.Failed f ->
+            note_request_failure t key;
             Wire.Quarantined
               {
                 attempts = f.Runner.attempts_made;
                 last_error = f.Runner.last_error;
                 repro = f.Runner.repro;
               }
+          | Runner.Expired msg ->
+            (* A deadline is the client's choice, not the key's fault:
+               the breaker does not count it. *)
+            Wire.Deadline_exceeded msg
         in
-        ignore (write_reply c ~tag reply);
         Mutex.lock t.mutex;
         t.served_count <- t.served_count + 1;
-        Mutex.unlock t.mutex)
-      runnable outcomes
+        c.inflight <- List.filter (fun r -> r != req) c.inflight;
+        Mutex.unlock t.mutex;
+        post_reply t c ~tag reply)
+      batch outcomes
   end
 
 let dispatch_loop t =
@@ -227,7 +446,7 @@ let dispatch_loop t =
         t.paused
         || not
              (Hashtbl.fold
-                (fun _ c any -> any || ((not c.closed) && not (Queue.is_empty c.queue)))
+                (fun _ c any -> any || not (Queue.is_empty c.queue))
                 t.clients false)
       then begin
         Condition.wait t.cond t.mutex;
@@ -246,7 +465,9 @@ let dispatch_loop t =
   loop ()
 
 let create ?(queue_bound = 32) ?(shard = 8) ?(batch_max = 64) ?(paused = false)
-    ~runner path =
+    ?(reply_bound = 128) ?(idle_timeout = 300.) ?(stall_timeout = 10.)
+    ?(write_timeout = 10.) ?(shed_limit = 256) ?(breaker_threshold = 5)
+    ?(breaker_cooldown = 1.0) ?(shed_seed = 0) ~runner path =
   if Sys.file_exists path then Sys.remove path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
@@ -261,15 +482,27 @@ let create ?(queue_bound = 32) ?(shard = 8) ?(batch_max = 64) ?(paused = false)
       sock;
       path;
       queue_bound;
+      reply_bound;
       shard;
       batch_max;
+      idle_timeout;
+      stall_timeout;
+      write_timeout;
+      shed_limit;
+      breaker_threshold;
+      breaker_cooldown;
       mutex = Mutex.create ();
       cond = Condition.create ();
       clients = Hashtbl.create 8;
+      breakers = Hashtbl.create 8;
+      shed_rng = Random.State.make [| shed_seed; 0x5ced |];
       next_client = 0;
       paused;
       stopping = false;
       served_count = 0;
+      shed_count = 0;
+      breaker_trip_count = 0;
+      slow_disconnect_count = 0;
       accept_thread = None;
       dispatch_thread = None;
       reader_threads = [];
@@ -314,6 +547,9 @@ let stop t =
     let readers = t.reader_threads in
     t.reader_threads <- [];
     Mutex.unlock t.mutex;
+    (* Each reader joins its own writer and closes the client fd on the
+       way out, so after this join no service thread or descriptor is
+       left behind. *)
     List.iter Thread.join readers;
     if Sys.file_exists t.path then try Sys.remove t.path with Sys_error _ -> ()
   end

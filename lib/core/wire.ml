@@ -19,6 +19,8 @@ type run_args = {
   rq_link_timeout : int;
   rq_stall_report : bool;
   rq_trace_depth : int;
+  rq_deadline_ms : int option;
+  rq_priority : int;
 }
 
 let run_defaults ~program ~machine ~config =
@@ -36,6 +38,8 @@ let run_defaults ~program ~machine ~config =
     rq_link_timeout = 0;
     rq_stall_report = false;
     rq_trace_depth = 0;
+    rq_deadline_ms = None;
+    rq_priority = 1;
   }
 
 type request =
@@ -58,7 +62,7 @@ type summary = {
 
 type reply =
   | Result of summary
-  | Busy
+  | Busy of { retry_after_ms : int }
   | Error of string
   | Quarantined of { attempts : int; last_error : string; repro : string }
   | Pong
@@ -68,7 +72,14 @@ type reply =
       st_cache_hits : int;
       st_cache_misses : int;
       st_quarantined : int;
+      st_expired : int;
+      st_shed : int;
+      st_breaker_trips : int;
+      st_slow_disconnects : int;
+      st_stale_reaped : int;
+      st_cache_corrupt : int;
     }
+  | Deadline_exceeded of string
 
 (* --- encoding ------------------------------------------------------- *)
 
@@ -87,8 +98,9 @@ let put_opt put buf = function
     put_u8 buf 1;
     put buf v
 
-(* [max_cycles] is the only optional int; -1 never being a legal budget
-   makes the flat encoding unambiguous. *)
+(* Optional ints ([max_cycles], [deadline_ms]) are flat-encoded as -1
+   for [None]; neither has -1 as a legal value, so the encoding is
+   unambiguous. *)
 let put_opt_int buf = function
   | None -> put_u32 buf (-1)
   | Some v -> put_u32 buf v
@@ -113,7 +125,9 @@ let encode_request ~tag req =
     put_u32 buf a.rq_link_window;
     put_u32 buf a.rq_link_timeout;
     put_bool buf a.rq_stall_report;
-    put_u32 buf a.rq_trace_depth);
+    put_u32 buf a.rq_trace_depth;
+    put_opt_int buf a.rq_deadline_ms;
+    put_u32 buf a.rq_priority);
   Buffer.contents buf
 
 let encode_reply ~tag reply =
@@ -132,7 +146,9 @@ let encode_reply ~tag reply =
     put_f64 buf s.rs_th_wp2;
     put_f64 buf s.rs_gain_percent;
     put_bool buf s.rs_from_cache
-  | Busy -> put_u8 buf 1
+  | Busy b ->
+    put_u8 buf 1;
+    put_u32 buf b.retry_after_ms
   | Error msg ->
     put_u8 buf 2;
     put_str buf msg
@@ -148,7 +164,16 @@ let encode_reply ~tag reply =
     put_u32 buf s.st_tasks_run;
     put_u32 buf s.st_cache_hits;
     put_u32 buf s.st_cache_misses;
-    put_u32 buf s.st_quarantined);
+    put_u32 buf s.st_quarantined;
+    put_u32 buf s.st_expired;
+    put_u32 buf s.st_shed;
+    put_u32 buf s.st_breaker_trips;
+    put_u32 buf s.st_slow_disconnects;
+    put_u32 buf s.st_stale_reaped;
+    put_u32 buf s.st_cache_corrupt
+  | Deadline_exceeded msg ->
+    put_u8 buf 6;
+    put_str buf msg);
   Buffer.contents buf
 
 (* --- decoding ------------------------------------------------------- *)
@@ -222,6 +247,8 @@ let decode_request payload =
         let rq_link_timeout = get_u32 c in
         let rq_stall_report = get_bool c in
         let rq_trace_depth = get_u32 c in
+        let rq_deadline_ms = get_opt_int c in
+        let rq_priority = get_u32 c in
         Run
           {
             rq_program;
@@ -237,6 +264,8 @@ let decode_request payload =
             rq_link_timeout;
             rq_stall_report;
             rq_trace_depth;
+            rq_deadline_ms;
+            rq_priority;
           }
       | t -> raise (Bad (Printf.sprintf "unknown request type %d" t)))
 
@@ -267,7 +296,9 @@ let decode_reply payload =
             rs_gain_percent;
             rs_from_cache;
           }
-      | 1 -> Busy
+      | 1 ->
+        let retry_after_ms = get_u32 c in
+        Busy { retry_after_ms }
       | 2 -> Error (get_str c)
       | 3 ->
         let attempts = get_u32 c in
@@ -281,7 +312,27 @@ let decode_reply payload =
         let st_cache_hits = get_u32 c in
         let st_cache_misses = get_u32 c in
         let st_quarantined = get_u32 c in
-        Stats_reply { st_jobs; st_tasks_run; st_cache_hits; st_cache_misses; st_quarantined }
+        let st_expired = get_u32 c in
+        let st_shed = get_u32 c in
+        let st_breaker_trips = get_u32 c in
+        let st_slow_disconnects = get_u32 c in
+        let st_stale_reaped = get_u32 c in
+        let st_cache_corrupt = get_u32 c in
+        Stats_reply
+          {
+            st_jobs;
+            st_tasks_run;
+            st_cache_hits;
+            st_cache_misses;
+            st_quarantined;
+            st_expired;
+            st_shed;
+            st_breaker_trips;
+            st_slow_disconnects;
+            st_stale_reaped;
+            st_cache_corrupt;
+          }
+      | 6 -> Deadline_exceeded (get_str c)
       | t -> raise (Bad (Printf.sprintf "unknown reply type %d" t)))
 
 (* --- request resolution -------------------------------------------- *)
@@ -303,7 +354,16 @@ let parse_run (a : run_args) =
       ?max_cycles:a.rq_max_cycles ?fault:a.rq_fault ~fault_seed:a.rq_fault_seed
       ?protect:a.rq_protect ~link_window:a.rq_link_window
       ~link_timeout:a.rq_link_timeout ~stall_report:a.rq_stall_report
-      ~trace_depth:a.rq_trace_depth ()
+      ~trace_depth:a.rq_trace_depth ?deadline_ms:a.rq_deadline_ms ()
+  in
+  (* The deadline clock starts here, at parse time — i.e. at arrival in
+     the daemon — not when a dispatcher thread finally picks the request
+     up: time spent queued behind a saturated pool counts against the
+     client's budget, which is the whole point of a deadline. *)
+  let cancel =
+    match spec.Run_spec.deadline_ms with
+    | Some ms -> Wp_util.Cancel.create ~deadline_ms:ms ()
+    | None -> Wp_util.Cancel.never
   in
   Ok
     {
@@ -311,6 +371,7 @@ let parse_run (a : run_args) =
       req_machine = machine;
       req_program = program;
       req_config = config;
+      req_cancel = cancel;
     }
 
 let summary_of_record ~from_cache (r : Experiment.record) =

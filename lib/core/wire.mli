@@ -29,6 +29,13 @@ type run_args = {
   rq_link_timeout : int;
   rq_stall_report : bool;
   rq_trace_depth : int;
+  rq_deadline_ms : int option;
+      (** wall-clock budget for the whole request, measured from the
+          moment the daemon parses it (queueing included); [None] = no
+          bound *)
+  rq_priority : int;
+      (** 0 = best-effort (shed first under load), 1 = normal (default),
+          2+ = critical (shed last) *)
 }
 
 val run_defaults : program:string -> machine:string -> config:string -> run_args
@@ -54,7 +61,10 @@ type summary = {
 
 type reply =
   | Result of summary
-  | Busy                        (** per-client queue full; resubmit later *)
+  | Busy of { retry_after_ms : int }
+      (** load-shed: the daemon declined to queue the request.
+          [retry_after_ms] is a jittered backoff hint — retrying sooner
+          just earns another [Busy] *)
   | Error of string             (** malformed or unparseable request *)
   | Quarantined of { attempts : int; last_error : string; repro : string }
       (** the guarded runner exhausted its retries on this request *)
@@ -65,7 +75,17 @@ type reply =
       st_cache_hits : int;
       st_cache_misses : int;
       st_quarantined : int;
+      st_expired : int;          (** requests abandoned at their deadline *)
+      st_shed : int;             (** requests refused with [Busy] *)
+      st_breaker_trips : int;    (** circuit-breaker open transitions *)
+      st_slow_disconnects : int; (** clients dropped for not reading *)
+      st_stale_reaped : int;     (** dead writers' temp files swept *)
+      st_cache_corrupt : int;    (** disk entries quarantined *)
     }
+  | Deadline_exceeded of string
+      (** the request's [rq_deadline_ms] elapsed before (or while) it
+          ran; the payload says where it stopped.  Final — the run was
+          abandoned, not queued *)
 
 val encode_request : tag:int -> request -> string
 val decode_request : string -> (int * request, string) result
@@ -80,6 +100,9 @@ val parse_run : run_args -> (Runner.request, string) result
 (** Resolve a [Run] request's strings into a runnable
     {!Runner.request}: program, machine and config through their
     library parsers, the spec knobs through {!Run_spec.of_args}.  The
-    first failing field wins. *)
+    first failing field wins.  When [rq_deadline_ms] is set, the
+    returned request carries a live {!Wp_util.Cancel} token whose clock
+    starts {e now} — parse at arrival, so daemon queueing time counts
+    against the client's budget. *)
 
 val summary_of_record : from_cache:bool -> Experiment.record -> summary

@@ -40,6 +40,7 @@ type lane = {
   capacity : int;
   fault : Fault.spec;
   max_cycles : int;
+  cancel : Wp_util.Cancel.t;
 }
 
 exception Unbatchable of string
@@ -67,6 +68,8 @@ module Dyn = struct
     cap_max : int;
     faults : Fault.t option array; (* per lane *)
     budget : int array; (* per lane max_cycles *)
+    cancels : Wp_util.Cancel.t array; (* per lane *)
+    has_cancel : bool; (* any non-[never] token in [cancels] *)
     quiescence : int array; (* per lane *)
     (* shared structure (validated equal across lanes) *)
     in_base : int array; (* n_nodes + 1 *)
@@ -229,6 +232,9 @@ module Dyn = struct
         cap_max;
         faults;
         budget = Array.map (fun ln -> ln.max_cycles) lanes;
+        cancels = Array.map (fun ln -> ln.cancel) lanes;
+        has_cancel =
+          Array.exists (fun ln -> not (Wp_util.Cancel.is_never ln.cancel)) lanes;
         quiescence;
         in_base;
         out_base;
@@ -583,7 +589,15 @@ module Dyn = struct
   let run t =
     while t.n_act > 0 do
       (* Same per-lane termination checks, in the same order, as Fast.run:
-         halt, quiescence-window deadlock, then the cycle budget. *)
+         halt, quiescence-window deadlock, the cycle budget, then the
+         cancellation poll (every [Engine.cancel_interval] cycles, one
+         clock sample shared by every lane of the round).  A cancelled
+         lane is compacted out exactly like a finished one, so its
+         siblings' results stay byte-identical. *)
+      let poll_cancel =
+        t.has_cancel && t.clock land (Engine.cancel_interval - 1) = 0
+      in
+      let now = if poll_cancel then Wp_util.Cancel.now () else 0. in
       let w = ref 0 in
       for a = 0 to t.n_act - 1 do
         let l = t.act.(a) in
@@ -592,6 +606,9 @@ module Dyn = struct
           else if t.quiet.(l) > t.quiescence.(l) then
             Some (Engine.Deadlocked t.clock)
           else if t.clock >= t.budget.(l) then Some (Engine.Exhausted t.clock)
+          else if
+            poll_cancel && Wp_util.Cancel.cancelled_at ~now t.cancels.(l)
+          then Some (Engine.Cancelled t.clock)
           else None
         in
         match fin with
@@ -676,6 +693,8 @@ module Replay = struct
     record_traces : bool;
     nets : Network.t array; (* per local lane *)
     budget : int array; (* per local lane *)
+    cancels : Wp_util.Cancel.t array; (* per local lane *)
+    has_cancel : bool;
     n_nodes : int;
     n_chans : int;
     instances : Process.instance array; (* [n * L + l] *)
@@ -795,6 +814,9 @@ module Replay = struct
         record_traces;
         nets = Array.map (fun ln -> ln.net) lanes;
         budget = Array.map (fun ln -> ln.max_cycles) lanes;
+        cancels = Array.map (fun ln -> ln.cancel) lanes;
+        has_cancel =
+          Array.exists (fun ln -> not (Wp_util.Cancel.is_never ln.cancel)) lanes;
         n_nodes;
         n_chans;
         instances;
@@ -940,7 +962,14 @@ module Replay = struct
     while t.n_act > 0 do
       (* Same per-lane checks, in the same order, as Fast.run.  The
          quiet counter is shared: the firing pattern — hence every
-         silent-cycle run — is identical across the group's lanes. *)
+         silent-cycle run — is identical across the group's lanes.
+         Cancelled lanes leave the act set like finished ones; the
+         schedule replay is lane-independent, so survivors keep their
+         byte-identical results. *)
+      let poll_cancel =
+        t.has_cancel && t.clock land (Engine.cancel_interval - 1) = 0
+      in
+      let now = if poll_cancel then Wp_util.Cancel.now () else 0. in
       let w = ref 0 in
       for a = 0 to t.n_act - 1 do
         let l = t.act.(a) in
@@ -949,6 +978,9 @@ module Replay = struct
             Some (Engine.Halted t.clock)
           else if t.quiet > t.quiescence then Some (Engine.Deadlocked t.clock)
           else if t.clock >= t.budget.(l) then Some (Engine.Exhausted t.clock)
+          else if
+            poll_cancel && Wp_util.Cancel.cancelled_at ~now t.cancels.(l)
+          then Some (Engine.Cancelled t.clock)
           else None
         in
         match fin with

@@ -51,6 +51,11 @@ type lane = {
   capacity : int;         (** shell FIFO capacity; must be >= 1 *)
   fault : Fault.spec;     (** per-lane fault program ({!Fault.none} ok) *)
   max_cycles : int;       (** per-lane cycle budget *)
+  cancel : Wp_util.Cancel.t;
+      (** per-lane cancellation token ({!Wp_util.Cancel.never} ok);
+          polled every {!Engine.cancel_interval} cycles — a cancelled
+          lane finishes with [Engine.Cancelled] and is compacted out of
+          the active set without disturbing sibling lanes' results *)
 }
 
 exception Unbatchable of string

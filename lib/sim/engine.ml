@@ -35,6 +35,13 @@ type outcome =
   | Halted of int
   | Deadlocked of int
   | Exhausted of int
+  | Cancelled of int
+
+(* Cancellation-poll cadence shared by all engines: at 256 the
+   uncancellable inner loop pays one land+branch per cycle, and an
+   expired deadline still stops a run within a few microseconds of
+   simulated work. *)
+let cancel_interval = 256
 
 let create ?(capacity = 2) ?(record_traces = false) ?fault
     ?(telemetry = Telemetry.off) ~mode net =
@@ -305,11 +312,16 @@ let step t =
 
 let any_halted t = Array.exists Shell.halted t.shells
 
-let run ?(max_cycles = 1_000_000) t =
+let run ?(cancel = Wp_util.Cancel.never) ?(max_cycles = 1_000_000) t =
+  let poll = not (Wp_util.Cancel.is_never cancel) in
   let rec loop () =
     if any_halted t then Halted t.clock
     else if t.quiet_cycles > t.quiescence then Deadlocked t.clock
     else if t.clock >= max_cycles then Exhausted t.clock
+    else if
+      poll && t.clock land (cancel_interval - 1) = 0
+      && Wp_util.Cancel.cancelled cancel
+    then Cancelled t.clock
     else begin
       step t;
       loop ()

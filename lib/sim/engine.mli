@@ -22,6 +22,10 @@ type outcome =
   | Halted of int      (** a process reached its terminal state at this cycle count *)
   | Deadlocked of int  (** no firing for a full quiescence window *)
   | Exhausted of int   (** max_cycles reached *)
+  | Cancelled of int
+      (** the run's {!Wp_util.Cancel} token fired (deadline expired or
+          client abandoned); the engine stopped cooperatively at this
+          cycle count, state intact *)
 
 val create :
   ?capacity:int ->
@@ -43,9 +47,18 @@ val create :
 val step : t -> unit
 (** Advance one clock cycle. *)
 
-val run : ?max_cycles:int -> t -> outcome
+val run : ?cancel:Wp_util.Cancel.t -> ?max_cycles:int -> t -> outcome
 (** Step until a process halts, a deadlock is detected, or [max_cycles]
-    (default 1_000_000) elapses. *)
+    (default 1_000_000) elapses.  [cancel] (default
+    {!Wp_util.Cancel.never}) is polled every {!cancel_interval} cycles;
+    when it fires the run stops with [Cancelled] instead of burning the
+    rest of its budget. *)
+
+val cancel_interval : int
+(** Cycles between cancellation polls (shared by every engine): coarse
+    enough that the uncancellable path pays one integer test per cycle,
+    fine enough that an expired deadline stops the run within
+    microseconds. *)
 
 val cycles : t -> int
 val mode : t -> Wp_lis.Shell.mode

@@ -39,7 +39,7 @@ val step : t -> unit
 (** Advance one clock cycle (three phases: stop propagation, firing,
     simultaneous shift — in the same order as {!Engine.step}). *)
 
-val run : ?max_cycles:int -> t -> Engine.outcome
+val run : ?cancel:Wp_util.Cancel.t -> ?max_cycles:int -> t -> Engine.outcome
 (** Step until a process halts, a deadlock is detected, or [max_cycles]
     (default 1_000_000) elapses.  Outcomes are shared with the
     reference engine so callers can compare them directly. *)

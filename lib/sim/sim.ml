@@ -47,10 +47,10 @@ let step = function
   | Fst f -> Fast.step f
   | Sta s -> Static.step s
 
-let run ?max_cycles = function
-  | Ref e -> Engine.run ?max_cycles e
-  | Fst f -> Fast.run ?max_cycles f
-  | Sta s -> Static.run ?max_cycles s
+let run ?cancel ?max_cycles = function
+  | Ref e -> Engine.run ?cancel ?max_cycles e
+  | Fst f -> Fast.run ?cancel ?max_cycles f
+  | Sta s -> Static.run ?cancel ?max_cycles s
 
 let cycles = function
   | Ref e -> Engine.cycles e

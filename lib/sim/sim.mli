@@ -57,7 +57,7 @@ val of_static : Static.t -> t
 val kind : t -> kind
 
 val step : t -> unit
-val run : ?max_cycles:int -> t -> Engine.outcome
+val run : ?cancel:Wp_util.Cancel.t -> ?max_cycles:int -> t -> Engine.outcome
 val cycles : t -> int
 val mode : t -> Wp_lis.Shell.mode
 val network : t -> Network.t

@@ -485,11 +485,17 @@ let any_halted t =
   done;
   !halted
 
-let run ?(max_cycles = 1_000_000) t =
+let run ?(cancel = Wp_util.Cancel.never) ?(max_cycles = 1_000_000) t =
+  let poll = not (Wp_util.Cancel.is_never cancel) in
   let rec loop () =
     if any_halted t then Engine.Halted t.clock
     else if t.quiet_cycles > t.quiescence then Engine.Deadlocked t.clock
     else if t.clock >= max_cycles then Engine.Exhausted t.clock
+    else if
+      poll
+      && t.clock land (Engine.cancel_interval - 1) = 0
+      && Wp_util.Cancel.cancelled cancel
+    then Engine.Cancelled t.clock
     else begin
       step t;
       loop ()

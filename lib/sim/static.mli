@@ -51,8 +51,9 @@ val create :
 val step : t -> unit
 (** Advance one cycle by table lookup. *)
 
-val run : ?max_cycles:int -> t -> Engine.outcome
-(** Same loop and outcomes as {!Fast.run}. *)
+val run : ?cancel:Wp_util.Cancel.t -> ?max_cycles:int -> t -> Engine.outcome
+(** Same loop and outcomes as {!Fast.run}, including the
+    {!Engine.cancel_interval} cancellation poll. *)
 
 val cycles : t -> int
 val mode : t -> Wp_lis.Shell.mode

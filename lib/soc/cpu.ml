@@ -7,6 +7,7 @@ type outcome =
   | Completed
   | Deadlocked
   | Out_of_cycles
+  | Cancelled
 
 type result = {
   cycles : int;
@@ -22,7 +23,7 @@ let no_relay_stations (_ : Datapath.connection) = 0
 
 let default_max_cycles = 2_000_000
 
-let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ?fault ?protect
+let run ?engine ?(capacity = 2) ?cancel ?max_cycles ?mcr_work ?fault ?protect
     ?telemetry ~machine ~mode ~rs (program : Program.t) =
   (* [mcr_work] enables the MCR-guided cycle budget: instead of stepping
      up to the full default budget, bound the run at
@@ -36,10 +37,11 @@ let run ?engine ?(capacity = 2) ?max_cycles ?mcr_work ?fault ?protect
       Sim.create ?engine ~capacity ?fault ?telemetry ~mode dp.Datapath.network
     in
     let outcome, cycles =
-      match Sim.run ~max_cycles sim with
+      match Sim.run ?cancel ~max_cycles sim with
       | Engine.Halted c -> (Completed, c)
       | Engine.Deadlocked c -> (Deadlocked, c)
       | Engine.Exhausted c -> (Out_of_cycles, c)
+      | Engine.Cancelled c -> (Cancelled, c)
     in
     let memory =
       match !(dp.Datapath.memory_tap) with Some get -> get () | None -> [||]
@@ -102,6 +104,7 @@ type batch_item = {
   b_max_cycles : int option;
   b_mcr_work : int option;
   b_fault : Wp_sim.Fault.spec;
+  b_cancel : Wp_util.Cancel.t;
   b_program : Program.t;
 }
 
@@ -142,6 +145,7 @@ let run_batch ~machine (items : batch_item array) =
         | Engine.Halted c -> (Completed, c)
         | Engine.Deadlocked c -> (Deadlocked, c)
         | Engine.Exhausted c -> (Out_of_cycles, c)
+        | Engine.Cancelled c -> (Cancelled, c)
       in
       let memory =
         match !(dp.Datapath.memory_tap) with Some get -> get () | None -> [||]
@@ -189,6 +193,7 @@ let run_batch ~machine (items : batch_item array) =
               capacity = items.(i).b_capacity;
               fault = items.(i).b_fault;
               max_cycles = budgets.(j);
+              cancel = items.(i).b_cancel;
             })
           idxs
       in

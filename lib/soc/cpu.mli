@@ -8,6 +8,9 @@ type outcome =
   | Completed
   | Deadlocked
   | Out_of_cycles
+  | Cancelled
+      (** the run's {!Wp_util.Cancel} token fired (deadline expired or
+          caller abandoned); the engine stopped cooperatively *)
 
 type result = {
   cycles : int;
@@ -24,6 +27,7 @@ type result = {
 val run :
   ?engine:Wp_sim.Sim.kind ->
   ?capacity:int ->
+  ?cancel:Wp_util.Cancel.t ->
   ?max_cycles:int ->
   ?mcr_work:int ->
   ?fault:Wp_sim.Fault.spec ->
@@ -64,6 +68,7 @@ type batch_item = {
   b_max_cycles : int option;
   b_mcr_work : int option;
   b_fault : Wp_sim.Fault.spec;
+  b_cancel : Wp_util.Cancel.t;  (** {!Wp_util.Cancel.never} when unused *)
   b_program : Program.t;
 }
 (** One lane of a batched run: everything {!run} takes except protection

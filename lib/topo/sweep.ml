@@ -101,6 +101,7 @@ let outcome_str = function
   | Engine.Halted c -> Printf.sprintf "halted@%d" c
   | Engine.Deadlocked c -> Printf.sprintf "deadlocked@%d" c
   | Engine.Exhausted c -> Printf.sprintf "exhausted@%d" c
+  | Engine.Cancelled c -> Printf.sprintf "cancelled@%d" c
 
 (* [b] is the checking engine, [a] the primary; any difference is a
    cross-engine bug worth a repro file. *)
@@ -309,6 +310,7 @@ let process_shard ~check_engines (shard : scenario array) : result array =
           capacity = sc.spec.Run_spec.capacity;
           fault = sc.spec.Run_spec.fault;
           max_cycles = budget sc.spec;
+          cancel = Wp_util.Cancel.never;
         }
       | Error _ -> assert false
     in

@@ -1,5 +1,6 @@
 exception Truncated
 exception Oversized of int
+exception Timeout
 
 let max_frame = 16 * 1024 * 1024
 
@@ -45,3 +46,96 @@ let read fd =
     if read_upto fd payload 0 len < len then raise Truncated;
     Some (Bytes.unsafe_to_string payload)
   | _ -> raise Truncated
+
+(* ------------------------------------------------------------------ *)
+(* Deadline-aware variants (the serve daemon's side of the protocol).
+
+   Both work on blocking OR non-blocking descriptors: every transfer is
+   preceded by a [select] bounded by the remaining budget, and
+   EAGAIN/EWOULDBLOCK from a non-blocking descriptor simply loops back
+   into the wait.  [select] rather than [poll] because it is what the
+   OCaml Unix library portably exposes; the daemon serves hundreds of
+   descriptors, not tens of thousands, and each thread waits on exactly
+   one. *)
+(* ------------------------------------------------------------------ *)
+
+(* Wait until [fd] is ready (readable if [read], writable otherwise) or
+   [deadline] passes; false = timed out. *)
+let wait_ready ~read fd deadline =
+  let rec go () =
+    let budget = deadline -. Unix.gettimeofday () in
+    if budget <= 0. then false
+    else begin
+      let rs, ws = if read then ([ fd ], []) else ([], [ fd ]) in
+      match Unix.select rs ws [] budget with
+      | [], [], _ -> go ()
+      | _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    end
+  in
+  go ()
+
+let nonblocking_retry = function
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> true
+  | _ -> false
+
+(* Read exactly [len] bytes, each chunk granted [stall] seconds from the
+   moment the previous one arrived.  Returns the byte count like
+   [read_upto]; raises [Timeout] when the peer goes quiet mid-transfer
+   (the half-open / slow-loris signature). *)
+let read_upto_stall fd buf off len ~stall =
+  let rec go off len got =
+    if len = 0 then got
+    else begin
+      if not (wait_ready ~read:true fd (Unix.gettimeofday () +. stall)) then
+        raise Timeout;
+      match Unix.read fd buf off len with
+      | 0 -> got
+      | n -> go (off + n) (len - n) (got + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len got
+      | exception e when nonblocking_retry e -> go off len got
+    end
+  in
+  go off len 0
+
+type timed_read =
+  | Frame of string
+  | Eof
+  | Idle
+
+let read_timed ~idle ~stall fd =
+  if not (wait_ready ~read:true fd (Unix.gettimeofday () +. idle)) then Idle
+  else begin
+    let hdr = Bytes.create 4 in
+    match read_upto_stall fd hdr 0 4 ~stall with
+    | 0 -> Eof
+    | 4 ->
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > max_frame then raise (Oversized len);
+      let payload = Bytes.create len in
+      if read_upto_stall fd payload 0 len ~stall < len then raise Truncated;
+      Frame (Bytes.unsafe_to_string payload)
+    | _ -> raise Truncated
+  end
+
+let write_timed ~timeout fd payload =
+  let len = String.length payload in
+  if len > max_frame then
+    invalid_arg
+      (Printf.sprintf "Frame.write_timed: payload of %d bytes exceeds max_frame" len);
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  let rec go off remaining =
+    if remaining > 0 then begin
+      (* The budget restarts per chunk: a reader draining slowly but
+         steadily is tolerated, one that stops entirely is not. *)
+      if not (wait_ready ~read:false fd (Unix.gettimeofday () +. timeout)) then
+        raise Timeout;
+      match Unix.write fd buf off remaining with
+      | n -> go (off + n) (remaining - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off remaining
+      | exception e when nonblocking_retry e -> go off remaining
+    end
+  in
+  go 0 (4 + len)

@@ -5,7 +5,15 @@
     daemon uses it over Unix-domain stream sockets, the tests over
     [Unix.socketpair].  Reads and writes retry on [EINTR] and loop over
     short transfers, so callers see whole frames or an error, never a
-    partial one. *)
+    partial one.
+
+    Two API layers share the byte format:
+
+    - {!read} / {!write} block indefinitely — the trusting side
+      (short-lived clients talking to a daemon they chose to wait for);
+    - {!read_timed} / {!write_timed} bound every wait with [select] —
+      the daemon's side, where a half-open peer, a slow-loris reader or
+      a SIGSTOP'd client must never park a service thread forever. *)
 
 exception Truncated
 (** The peer closed the connection in the middle of a frame (after the
@@ -14,6 +22,11 @@ exception Truncated
 exception Oversized of int
 (** A length prefix exceeded {!max_frame}; raised before any payload is
     read so a hostile peer cannot force a giant allocation. *)
+
+exception Timeout
+(** A deadline-aware transfer ran out of budget {e mid-frame} (or, for
+    {!write_timed}, the peer stopped draining).  The connection is in an
+    unknown framing state; the only safe continuation is to drop it. *)
 
 val max_frame : int
 (** Upper bound on payload size accepted by {!read} (16 MiB). *)
@@ -27,3 +40,22 @@ val read : Unix.file_descr -> string option
 (** [read fd] blocks for the next frame.  [None] means the peer closed
     the connection cleanly at a frame boundary; a close anywhere else
     raises {!Truncated}. *)
+
+type timed_read =
+  | Frame of string  (** a whole frame arrived within budget *)
+  | Eof  (** clean close at a frame boundary (= {!read}'s [None]) *)
+  | Idle
+      (** no frame {e started} within the idle budget; the connection is
+          intact — the caller decides whether to keep waiting or reap *)
+
+val read_timed : idle:float -> stall:float -> Unix.file_descr -> timed_read
+(** [read_timed ~idle ~stall fd] waits up to [idle] seconds for the
+    first byte of the next frame, then grants [stall] seconds per
+    subsequent chunk.  Works on blocking and non-blocking descriptors.
+    @raise Timeout when bytes stop flowing mid-frame.
+    @raise Oversized / @raise Truncated as {!read}. *)
+
+val write_timed : timeout:float -> Unix.file_descr -> string -> unit
+(** [write_timed ~timeout fd payload] sends one frame, granting
+    [timeout] seconds per chunk the peer accepts.  @raise Timeout when
+    the peer stops draining. *)

@@ -116,6 +116,7 @@ let battery_for_machine machine =
       capacity = battery_capacity seed;
       fault = battery_fault seed;
       max_cycles;
+      cancel = Wp_util.Cancel.never;
     }
   in
   let b = Batch.create ~record_traces:true (Array.of_list (List.map lane_of seeds)) in
@@ -161,6 +162,7 @@ let soc_lane ?(capacity = 2) ?(machine = Datapath.Pipelined) () =
     capacity;
     fault = Fault.none;
     max_cycles;
+    cancel = Wp_util.Cancel.never;
   }
 
 let test_rejects_capacity_zero () =
@@ -198,7 +200,7 @@ let ring m ~rs =
 
 let ring_lane m ~rs =
   { Batch.net = ring m ~rs; mode = Shell.Plain; capacity = 2;
-    fault = Fault.none; max_cycles = 1_000 }
+    fault = Fault.none; max_cycles = 1_000; cancel = Wp_util.Cancel.never }
 
 (* Regression for the topology-generic signature grouping: different
    topologies in one batch used to raise Unbatchable; now each
@@ -282,7 +284,7 @@ let test_destructive_fault_raises_identically () =
   let batch_err =
     let lane =
       { Batch.net = (build ()).Datapath.network; mode = Shell.Oracle;
-        capacity = 2; fault; max_cycles }
+        capacity = 2; fault; max_cycles; cancel = Wp_util.Cancel.never }
     in
     match Batch.run (Batch.create [| lane |]) with
     | _ -> None
@@ -307,6 +309,7 @@ let test_run_batch_matches_run () =
         b_max_cycles = max_cycles;
         b_mcr_work = mcr_work;
         b_fault = fault;
+        b_cancel = Wp_util.Cancel.never;
         b_program = program;
       },
       fun () ->

@@ -205,7 +205,8 @@ let test_capacity_one_deadlock () =
   (match outcome with
   | Engine.Deadlocked _ -> ()
   | Engine.Halted c -> Alcotest.failf "unexpected halt at %d" c
-  | Engine.Exhausted c -> Alcotest.failf "unexpected exhaustion at %d" c);
+  | Engine.Exhausted c -> Alcotest.failf "unexpected exhaustion at %d" c
+  | Engine.Cancelled c -> Alcotest.failf "unexpected cancellation at %d" c);
   checki "no token ever moved" 0 (Fast.node_stats f 0).Shell.firings
 
 let test_zero_rs_chain () =
@@ -287,7 +288,8 @@ let test_cycle_bound_is_sufficient () =
       match Fast.run ~max_cycles:bound f with
       | Engine.Halted _ -> ()
       | Engine.Deadlocked c -> Alcotest.failf "rs %d: deadlock at %d" rs c
-      | Engine.Exhausted c -> Alcotest.failf "rs %d: bound %d too tight (at %d)" rs bound c)
+      | Engine.Exhausted c -> Alcotest.failf "rs %d: bound %d too tight (at %d)" rs bound c
+      | Engine.Cancelled c -> Alcotest.failf "rs %d: unexpected cancellation at %d" rs c)
     [ 0; 1; 5; 11 ];
   checkb "bound grows with work" true
     (Fast.cycle_bound ~work_cycles:2_000 (ring 3 ~rs:2)

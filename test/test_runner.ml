@@ -339,6 +339,7 @@ let test_runner_guarded_quarantine () =
   List.iter
     (function
       | Runner.Completed _ -> Alcotest.fail "1-cycle budget cannot complete"
+      | Runner.Expired m -> Alcotest.failf "no deadline was set: %s" m
       | Runner.Failed f ->
         checki "all attempts made" 3 f.Runner.attempts_made;
         checkb "error captured" true (String.length f.Runner.last_error > 0);
@@ -363,6 +364,7 @@ let test_runner_guarded_escalation () =
        ~program:small_sort Config.zero
    with
   | Runner.Failed f -> Alcotest.failf "escalation did not converge: %s" f.Runner.last_error
+  | Runner.Expired m -> Alcotest.failf "no deadline was set: %s" m
   | Runner.Completed r ->
     checkb "completed under the escalated budget" true
       (r.Experiment.wp1.Wp_soc.Cpu.outcome = Wp_soc.Cpu.Completed));

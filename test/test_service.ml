@@ -141,7 +141,7 @@ let test_busy_backpressure () =
             Client.send conn ~tag (Wire.Run (run_args ()))
           done;
           (match Client.recv conn with
-          | Some (2, Wire.Busy) -> ()
+          | Some (2, Wire.Busy _) -> ()
           | Some (tag, _) -> Alcotest.failf "expected Busy for tag 2, got tag %d" tag
           | None -> Alcotest.fail "daemon closed");
           Service.resume svc;

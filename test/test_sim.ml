@@ -110,7 +110,8 @@ let firing_rate net ~mode ~cycles ~node_name =
   (match Engine.run ~max_cycles:cycles engine with
   | Engine.Exhausted _ -> ()
   | Engine.Halted c -> Alcotest.failf "unexpected halt at %d" c
-  | Engine.Deadlocked c -> Alcotest.failf "unexpected deadlock at %d" c);
+  | Engine.Deadlocked c -> Alcotest.failf "unexpected deadlock at %d" c
+  | Engine.Cancelled c -> Alcotest.failf "unexpected cancellation at %d" c);
   let report = Monitor.collect engine in
   Monitor.node_throughput report node_name
 
@@ -181,14 +182,16 @@ let test_engine_halts () =
   let engine = Engine.create ~mode:Shell.Plain net in
   match Engine.run engine with
   | Engine.Halted cycles -> checki "halted at 10" 10 cycles
-  | Engine.Deadlocked _ | Engine.Exhausted _ -> Alcotest.fail "expected halt"
+  | Engine.Deadlocked _ | Engine.Exhausted _ | Engine.Cancelled _ ->
+    Alcotest.fail "expected halt"
 
 let test_engine_exhausts () =
   let net = ring 2 ~rs:0 in
   let engine = Engine.create ~mode:Shell.Plain net in
   match Engine.run ~max_cycles:50 engine with
   | Engine.Exhausted cycles -> checki "ran 50" 50 cycles
-  | Engine.Halted _ | Engine.Deadlocked _ -> Alcotest.fail "expected exhaustion"
+  | Engine.Halted _ | Engine.Deadlocked _ | Engine.Cancelled _ ->
+    Alcotest.fail "expected exhaustion"
 
 let test_engine_deadlock_detected () =
   (* A self-loop into a capacity-1 FIFO: the initial token fills the FIFO,
@@ -202,6 +205,7 @@ let test_engine_deadlock_detected () =
   | Engine.Deadlocked _ -> ()
   | Engine.Halted _ -> Alcotest.fail "expected deadlock, got halt"
   | Engine.Exhausted _ -> Alcotest.fail "expected deadlock, got exhaustion"
+  | Engine.Cancelled _ -> Alcotest.fail "expected deadlock, got cancellation"
 
 let test_engine_self_loop_live_with_capacity_2 () =
   let net = Network.create () in
@@ -210,7 +214,8 @@ let test_engine_self_loop_live_with_capacity_2 () =
   let engine = Engine.create ~capacity:2 ~mode:Shell.Plain net in
   (match Engine.run ~max_cycles:100 engine with
   | Engine.Exhausted _ -> ()
-  | Engine.Halted _ | Engine.Deadlocked _ -> Alcotest.fail "self loop should be live");
+  | Engine.Halted _ | Engine.Deadlocked _ | Engine.Cancelled _ ->
+    Alcotest.fail "self loop should be live");
   let report = Monitor.collect engine in
   check_rate 1.0 (Monitor.node_throughput report "a")
 
@@ -514,7 +519,8 @@ let test_denotational_halts_like_engine () =
   let engine = Engine.create ~mode:Shell.Plain (build ()) in
   match Engine.run engine with
   | Engine.Halted cycles -> checki "same halt round" cycles reference.Wp_sim.Denotational.rounds
-  | Engine.Deadlocked _ | Engine.Exhausted _ -> Alcotest.fail "expected halt"
+  | Engine.Deadlocked _ | Engine.Exhausted _ | Engine.Cancelled _ ->
+    Alcotest.fail "expected halt"
 
 (* ------------------------------------------------------------------ *)
 (* Waveform                                                           *)

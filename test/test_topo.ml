@@ -308,6 +308,7 @@ let test_battery_batch_matches_fast () =
              capacity = 2;
              fault = Fault.none;
              max_cycles = battery_cycles;
+             cancel = Wp_util.Cancel.never;
            })
          nets)
   in
