@@ -160,7 +160,9 @@ let table1_sort () =
   let values = Programs.sort_values ~seed:1 ~n:(if fast then 10 else 16) in
   let rows =
     timed "table1-sort" (fun () ->
-        Table1.sort_rows ~engine ~values ~runner ~machine:Datapath.Pipelined ())
+        Table1.sort_rows
+          ~spec:(Wp_core.Run_spec.v ~engine ())
+          ~values ~runner ~machine:Datapath.Pipelined ())
   in
   side_by_side ~title:"Extraction Sort (pipelined)" ~workload:`Sort rows
 
@@ -168,7 +170,9 @@ let table1_matmul () =
   heading "Table 1 — Matrix Multiply, pipelined (paper vs this reproduction)";
   let rows =
     timed "table1-matmul" (fun () ->
-        Table1.matmul_rows ~engine ~n:(if fast then 3 else 5) ~runner ~machine:Datapath.Pipelined ())
+        Table1.matmul_rows
+          ~spec:(Wp_core.Run_spec.v ~engine ())
+          ~n:(if fast then 3 else 5) ~runner ~machine:Datapath.Pipelined ())
   in
   side_by_side ~title:"Matrix Multiply (pipelined)" ~workload:`Matmul rows
 
@@ -286,7 +290,9 @@ let equivalence () =
     timed "equivalence" (fun () ->
         Runner.map runner
           (fun (_, machine, mode, config) ->
-            Wp_core.Equiv_check.check ~engine ~machine ~mode ~config program)
+            Wp_core.Equiv_check.check_spec
+              ~spec:(Wp_core.Run_spec.v ~engine ())
+              ~machine ~mode ~config program)
           checks)
   in
   List.iter2
@@ -559,7 +565,14 @@ let floorplan () =
         r.Wp_floorplan.Flow.die_area r.Wp_floorplan.Flow.wirelength
         r.Wp_floorplan.Flow.wp1_bound
         (Config.describe r.Wp_floorplan.Flow.config))
-    (Wp_floorplan.Flow.objectives_ablation ~seed:9 ~reach:1.3 ())
+    (Wp_floorplan.Flow.objectives_ablation
+       ~spec:
+         {
+           Wp_floorplan.Flow_spec.default with
+           Wp_floorplan.Flow_spec.seed = 9;
+           reach = 1.3;
+         }
+       ())
 
 (* ------------------------------------------------------------------ *)
 (* 9. Bechamel micro-benchmarks                                       *)
@@ -598,8 +611,9 @@ let bechamel_section () =
       Test.make ~name:"equivalence-check (sort, All 1)"
         (Staged.stage (fun () ->
              ignore
-               (Wp_core.Equiv_check.check ~engine ~machine:Datapath.Pipelined ~mode:Shell.Oracle
-                  ~config sort_program)));
+               (Wp_core.Equiv_check.check_spec
+                  ~spec:(Wp_core.Run_spec.v ~engine ())
+                  ~machine:Datapath.Pipelined ~mode:Shell.Oracle ~config sort_program)));
       Test.make ~name:"area-model (case study)"
         (Staged.stage (fun () -> ignore (Wp_core.Area.case_study_report ~oracle:true)));
     ]

@@ -5,7 +5,7 @@
      --engine fast|ref|static|both|all
                               which kernel(s) to measure (default both;
                               'all' adds the static-schedule kernel)
-     --probe core|batch|serve|degradation|topo|all
+     --probe core|batch|serve|degradation|topo|flow|all
                               which probe(s) to run (default core; repeatable).
                               core  = the classic engine sweep below
                               batch = 64-lane SoA Batch vs sequential Fast
@@ -93,12 +93,12 @@ let parse_args () =
     | "--probe" -> (
       match next "--probe" with
       | "all" ->
-        probes := !probes @ [ "core"; "batch"; "serve"; "degradation"; "topo" ]
-      | ("core" | "batch" | "serve" | "degradation" | "topo") as p ->
+        probes := !probes @ [ "core"; "batch"; "serve"; "degradation"; "topo"; "flow" ]
+      | ("core" | "batch" | "serve" | "degradation" | "topo" | "flow") as p ->
         probes := !probes @ [ p ]
       | s ->
         Printf.eprintf
-          "sim_bench: unknown probe %S (want core|batch|serve|degradation|topo|all)\n" s;
+          "sim_bench: unknown probe %S (want core|batch|serve|degradation|topo|flow|all)\n" s;
         exit 2)
     | a ->
       Printf.eprintf "sim_bench: unknown argument %S\n" a;
@@ -1064,6 +1064,100 @@ let run_topo_probe opts =
   (sections, !failures)
 
 (* ------------------------------------------------------------------ *)
+(* Flow probe: incremental MCR evaluator vs from-scratch re-solve      *)
+(* ------------------------------------------------------------------ *)
+
+(* The co-optimization flow's inner loop re-derives a few channels'
+   relay-station counts after every move and re-solves the throughput
+   bound.  This probe replays one perturbation sequence through both
+   evaluators -- the warm-started {!Cycle_ratio.Incremental} state and
+   the from-scratch path (set the relay stations on the network, rebuild
+   the capacity graph, run Howard cold) -- checks they agree exactly at
+   every step, and gates on the speedup. *)
+let run_flow_probe opts =
+  let module Topology = Wp_topo.Topology in
+  let module Howard = Wp_graph.Howard in
+  let name = if opts.smoke then "rand:100" else "rand:1000" in
+  let perturbations = if opts.smoke then 60 else 300 in
+  let capacity = 2 in
+  Printf.printf "flow probe (%s, %d relay-station perturbations, capacity %d):\n%!"
+    name perturbations capacity;
+  let spec =
+    match Topology.of_string name with
+    | Ok t -> t
+    | Error e -> failwith (Printf.sprintf "sim_bench: %s: %s" name e)
+  in
+  let net = Topology.build spec in
+  let n_chans = Network.channel_count net in
+  (* One deterministic perturbation sequence, shared by both sides. *)
+  let prng = Wp_util.Prng.create ~seed:7 in
+  let seq =
+    Array.init perturbations (fun _ ->
+        (Wp_util.Prng.int prng n_chans, Wp_util.Prng.int prng 5))
+  in
+  let g, tokens, time = Static.capacity_graph ~capacity net in
+  let inc = Cycle_ratio.Incremental.create g ~cost:tokens ~time in
+  let ratio_of = function
+    | Some (r, _) -> r
+    | None -> failwith "sim_bench: flow probe: capacity graph became acyclic"
+  in
+  let incremental_ratios = Array.make perturbations { Cycle_ratio.num = 0; den = 1 } in
+  let t0 = Unix.gettimeofday () in
+  Array.iteri
+    (fun i (c, rs) ->
+      Cycle_ratio.Incremental.set_time inc (2 * c) (1 + rs);
+      Cycle_ratio.Incremental.set_cost inc ((2 * c) + 1) (capacity + (2 * rs) - 1);
+      incremental_ratios.(i) <- ratio_of (Cycle_ratio.Incremental.solve inc))
+    seq;
+  let incremental_seconds = Unix.gettimeofday () -. t0 in
+  let failures = ref [] in
+  let t0 = Unix.gettimeofday () in
+  Array.iteri
+    (fun i (c, rs) ->
+      Network.set_relay_stations net c rs;
+      let g, tokens, time = Static.capacity_graph ~capacity net in
+      let r = ratio_of (Howard.minimum_cycle_ratio g ~cost:tokens ~time) in
+      if Cycle_ratio.ratio_compare r incremental_ratios.(i) <> 0 then
+        failures :=
+          !failures
+          @ [
+              Printf.sprintf
+                "sim_bench: FAIL — flow probe step %d: incremental %d/%d != scratch %d/%d"
+                i incremental_ratios.(i).Cycle_ratio.num
+                incremental_ratios.(i).Cycle_ratio.den r.Cycle_ratio.num
+                r.Cycle_ratio.den;
+            ])
+    seq;
+  let scratch_seconds = Unix.gettimeofday () -. t0 in
+  let speedup = scratch_seconds /. incremental_seconds in
+  Printf.printf
+    "incremental: %.4f s (%d policy re-solves)  from-scratch: %.4f s  speedup: %.1fx\n"
+    incremental_seconds
+    (Cycle_ratio.Incremental.solves inc)
+    scratch_seconds speedup;
+  let floor = 5.0 in
+  if speedup < floor then
+    failures :=
+      !failures
+      @ [
+          Printf.sprintf
+            "sim_bench: FAIL — incremental MCR evaluator only %.1fx over from-scratch \
+             (gate %.1fx) on %s"
+            speedup floor name;
+        ];
+  let sections =
+    [
+      ( "flow_probe",
+        Printf.sprintf
+          "{ \"netlist\": %S, \"perturbations\": %d, \"incremental_seconds\": %.6f, \
+           \"scratch_seconds\": %.6f, \"speedup\": %.2f, \"solves\": %d }"
+          name perturbations incremental_seconds scratch_seconds speedup
+          (Cycle_ratio.Incremental.solves inc) );
+    ]
+  in
+  (sections, !failures)
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1079,6 +1173,7 @@ let () =
   if List.mem "serve" opts.probes then add (run_serve_probe opts);
   if List.mem "degradation" opts.probes then add (run_degradation_probe opts);
   if List.mem "topo" opts.probes then add (run_topo_probe opts);
+  if List.mem "flow" opts.probes then add (run_flow_probe opts);
   (* Merge into the existing results file: sections this run did not
      re-measure keep their previous values. *)
   let existing =

@@ -445,10 +445,13 @@ let floorplan_cmd =
       (Config.describe r.Wp_floorplan.Flow.config)
   in
   let run seed reach ablation =
+    let spec =
+      { Wp_floorplan.Flow_spec.default with Wp_floorplan.Flow_spec.seed; reach }
+    in
     if ablation then
-      List.iter (fun (tag, r) -> show tag r) (Wp_floorplan.Flow.objectives_ablation ~seed ~reach ())
+      List.iter (fun (tag, r) -> show tag r) (Wp_floorplan.Flow.objectives_ablation ~spec ())
     else begin
-      let r = Wp_floorplan.Flow.run ~seed ~reach () in
+      let r = Wp_floorplan.Flow.run ~spec () in
       show "floorplan" r;
       List.iter
         (fun (name, rect) ->
@@ -462,6 +465,94 @@ let floorplan_cmd =
   Cmd.v
     (Cmd.info "floorplan" ~doc:"Floorplan the SoC and derive relay-station counts")
     Term.(const run $ seed $ reach $ ablation)
+
+(* --- flow -------------------------------------------------------------- *)
+
+let flow_cmd =
+  let module Flow_spec = Wp_floorplan.Flow_spec in
+  let module Flow_scale = Wp_floorplan.Flow_scale in
+  let topology_arg =
+    Arg.(required & opt (some string) None
+         & info [ "topology" ] ~docv:"SHAPE"
+             ~doc:"Generated netlist to co-optimize: $(b,ring:N), \
+                   $(b,mesh:RxC), $(b,torus:RxC) or $(b,rand:N), \
+                   optionally suffixed $(b,:seedK).")
+  in
+  let reach_arg =
+    Arg.(value & opt (some float) None
+         & info [ "reach" ] ~docv:"CELLS"
+             ~doc:"Signal reach per clock, in grid cells (default 1.5).")
+  in
+  let objective_arg =
+    Arg.(value & opt (some string) None
+         & info [ "objective" ] ~docv:"OBJ"
+             ~doc:"$(b,area), $(b,wire), $(b,aware) or $(b,pareto) \
+                   (default $(b,wire); $(b,pareto) gives every walker \
+                   its own scalarisation).")
+  in
+  let budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Total annealing moves across all walkers (default 4000).")
+  in
+  let seed_arg =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED")
+  in
+  let pool_arg =
+    Arg.(value & opt (some int) None
+         & info [ "pool" ] ~docv:"K" ~doc:"Walker population size (default 4).")
+  in
+  let out_arg =
+    Arg.(value & opt string "flow_front.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Pareto-front artifact path.")
+  in
+  let run topology reach objective budget seed pool out jobs gc =
+    with_gc_stats gc @@ fun () ->
+    match Flow_spec.of_args ~topology ?reach ?objective ?budget ?seed ?pool () with
+    | Error e ->
+      Printf.eprintf "wirepipe flow: %s\n" e;
+      exit 1
+    | Ok { Flow_spec.topology = Flow_spec.Case_study; _ } ->
+      Printf.eprintf
+        "wirepipe flow: the 5-block case study goes through `wirepipe floorplan' \
+         (pass a generated topology: mesh:RxC, ring:N, torus:RxC, rand:N)\n";
+      exit 1
+    | Ok spec ->
+      let r = Flow_scale.run ?jobs ~spec () in
+      let best = r.Flow_scale.best in
+      Printf.printf "flow: %s\n" (Flow_spec.describe spec);
+      Printf.printf
+        "search: %d walkers x %d rounds, %d moves, %d evaluations (%d cache hits)\n"
+        r.Flow_scale.walkers r.Flow_scale.rounds r.Flow_scale.moves
+        r.Flow_scale.evaluations r.Flow_scale.cache_hits;
+      Printf.printf "front: %d non-dominated points\n" (List.length r.Flow_scale.front);
+      Printf.printf
+        "best: die %.0f cells, wire %.0f cells, %d relay stations, WP1 bound %s (%.4f)\n"
+        best.Flow_scale.die_area best.Flow_scale.wirelength best.Flow_scale.rs_total
+        (Format.asprintf "%a" Wp_graph.Cycle_ratio.ratio_pp best.Flow_scale.wp1_bound)
+        (Wp_graph.Cycle_ratio.ratio_to_float best.Flow_scale.wp1_bound);
+      (* [Flow_scale.run] has already verified the incremental bound against
+         a from-scratch Howard solve of the derived network -- exactly. *)
+      Printf.printf "cross-check: incremental bound == from-scratch Howard MCR (exact)\n";
+      if Array.length best.Flow_scale.cells <= 256 then begin
+        let net = Flow_scale.derived_network spec best in
+        let rate = Flow_scale.static_rate net in
+        Printf.printf "cross-check: static balanced-word rate %s (%s)\n"
+          (Format.asprintf "%a" Wp_graph.Cycle_ratio.ratio_pp rate)
+          (if Wp_graph.Cycle_ratio.ratio_compare rate best.Flow_scale.wp1_bound = 0 then
+             "matches the WP1 bound"
+           else "differs from the WP1 bound")
+      end;
+      let oc = open_out out in
+      output_string oc (Flow_scale.front_to_json ~spec r);
+      close_out oc;
+      Printf.printf "wrote %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:"Floorplan->throughput co-optimization on a generated netlist")
+    Term.(const run $ topology_arg $ reach_arg $ objective_arg $ budget_arg $ seed_arg
+          $ pool_arg $ out_arg $ jobs_arg $ gc_stats_arg)
 
 (* --- graph ------------------------------------------------------------ *)
 
@@ -636,7 +727,13 @@ let optimal_cmd =
     let (config, value), _ =
       with_gc_stats gc (fun () ->
           Wp_core.Runner.timed runner "optimal" (fun () ->
-              Wp_core.Optimizer.optimal ~budget ~per_connection_max:per_max
+              Wp_core.Optimizer.optimal
+                ~search:
+                  {
+                    Wp_core.Optimizer.default_search with
+                    Wp_core.Optimizer.budget;
+                    per_connection_max = per_max;
+                  }
                 ~map:(Wp_core.Runner.map runner)
                 ~objective:(Wp_core.Runner.objective_spec ~spec runner ~machine ~program)
                 ()))
@@ -1379,6 +1476,7 @@ let () =
             run_cmd;
             loops_cmd;
             floorplan_cmd;
+            flow_cmd;
             graph_cmd;
             equiv_cmd;
             area_cmd;

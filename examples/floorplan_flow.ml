@@ -19,6 +19,7 @@ let show_placement (p : Place.placement) =
 let () =
   print_endline "wire-pipelining methodology: floorplan -> RS budget -> loop analysis\n";
   let reach = 1.3 in
+  let spec = { Wp_floorplan.Flow_spec.default with Wp_floorplan.Flow_spec.seed = 9; reach } in
   Printf.printf "signal reach per clock: %.1f mm\n\n" reach;
   List.iter
     (fun (tag, r) ->
@@ -29,14 +30,15 @@ let () =
       Printf.printf "  worst-loop throughput bound: %.3f\n" r.Flow.wp1_bound;
       show_placement r.Flow.placement;
       print_newline ())
-    (Flow.objectives_ablation ~seed:9 ~reach ());
+    (Flow.objectives_ablation ~spec ());
   (* Close the loop: simulate the processor under the best floorplan's RS
      budget and confirm the bound. *)
-  let results = Flow.objectives_ablation ~seed:9 ~reach () in
+  let results = Flow.objectives_ablation ~spec () in
   let aware = List.assoc "area + loop throughput" results in
   let program = Wp_soc.Programs.extraction_sort ~values:(Wp_soc.Programs.sort_values ~seed:1 ~n:12) in
   let record =
-    Wp_core.Experiment.run ~machine:Wp_soc.Datapath.Pipelined ~program aware.Flow.config
+    Wp_core.Experiment.run_spec ~spec:Wp_core.Run_spec.default
+      ~machine:Wp_soc.Datapath.Pipelined ~program aware.Flow.config
   in
   Printf.printf
     "simulated under the throughput-aware floorplan: WP1 %.3f (bound %.3f), WP2 %.3f\n"

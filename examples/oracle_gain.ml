@@ -34,7 +34,8 @@ let () =
   List.iter
     (fun conn ->
       let record =
-        Wp_core.Experiment.run ~machine:Datapath.Pipelined ~program (Config.only conn 1)
+        Wp_core.Experiment.run_spec ~spec:Wp_core.Run_spec.default
+          ~machine:Datapath.Pipelined ~program (Config.only conn 1)
       in
       let estimate =
         Wp_core.Analysis.wp2_estimate (Config.only conn 1)

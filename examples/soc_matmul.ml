@@ -24,7 +24,8 @@ let () =
   in
   List.iter
     (fun (label, config) ->
-      let r = Wp_core.Experiment.run ~machine:Datapath.Pipelined ~program config in
+      let r = Wp_core.Experiment.run_spec ~spec:Wp_core.Run_spec.default
+          ~machine:Datapath.Pipelined ~program config in
       Printf.printf "%-20s WP1 %.3f | WP2 %.3f | gain %+.0f%% | WP2 cycles %d\n" label
         r.Wp_core.Experiment.th_wp1 r.Wp_core.Experiment.th_wp2
         r.Wp_core.Experiment.gain_percent r.Wp_core.Experiment.wp2.Wp_soc.Cpu.cycles;

@@ -129,11 +129,6 @@ let check_spec ~spec ~machine ~mode ~config program =
     recovery;
   }
 
-(* Deprecated wrapper: prefer [check_spec]. *)
-let check ?engine ?max_cycles ?fault ?protect ~machine ~mode ~config program =
-  check_spec
-    ~spec:(Run_spec.v ?engine ?max_cycles ?fault ?protect ())
-    ~machine ~mode ~config program
 
 let check_n_equivalence_spec ~spec ~n ~machine ~mode ~config program =
   let _, golden, _ =
@@ -159,9 +154,3 @@ let check_n_equivalence_spec ~spec ~n ~machine ~mode ~config program =
         else true)
     golden
 
-(* Deprecated wrapper: prefer [check_n_equivalence_spec]. *)
-let check_n_equivalence ?engine ?max_cycles ?fault ?protect ~n ~machine ~mode
-    ~config program =
-  check_n_equivalence_spec
-    ~spec:(Run_spec.v ?engine ?max_cycles ?fault ?protect ())
-    ~n ~machine ~mode ~config program

@@ -61,17 +61,6 @@ val check_spec :
     connections must leave the verdict equivalent, and the [recovery]
     field reports how the link layer absorbed them. *)
 
-val check :
-  ?engine:Wp_sim.Sim.kind ->
-  ?max_cycles:int ->
-  ?fault:Wp_sim.Fault.spec ->
-  ?protect:Protect.t ->
-  machine:Wp_soc.Datapath.machine ->
-  mode:Wp_lis.Shell.mode ->
-  config:Config.t ->
-  Wp_soc.Program.t ->
-  verdict
-(** Deprecated thin wrapper over {!check_spec} (via {!Run_spec.v}). *)
 
 val check_n_equivalence_spec :
   spec:Run_spec.t ->
@@ -86,15 +75,3 @@ val check_n_equivalence_spec :
     Ports that never carry [n] events in either run are skipped.  Spec
     fields split between the runs as in {!check_spec}. *)
 
-val check_n_equivalence :
-  ?engine:Wp_sim.Sim.kind ->
-  ?max_cycles:int ->
-  ?fault:Wp_sim.Fault.spec ->
-  ?protect:Protect.t ->
-  n:int ->
-  machine:Wp_soc.Datapath.machine ->
-  mode:Wp_lis.Shell.mode ->
-  config:Config.t ->
-  Wp_soc.Program.t ->
-  bool
-(** Deprecated thin wrapper over {!check_n_equivalence_spec}. *)

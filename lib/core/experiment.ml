@@ -149,11 +149,6 @@ let run_spec ?cancel ~spec ~machine ~program config =
     wp1_bound = Analysis.wp1_bound_float config;
   }
 
-(* Deprecated wrapper: prefer [run_spec]. *)
-let run ?engine ?max_cycles ?fault ?protect ~machine ~program config =
-  run_spec
-    ~spec:(Run_spec.v ?engine ?max_cycles ?fault ?protect ())
-    ~machine ~program config
 
 (* Batched [run_spec]: every request contributes two lanes (WP1 plain +
    WP2 oracle) of one structure-of-arrays kernel, so N requests compile
@@ -264,7 +259,3 @@ let wp2_cycles_objective_spec ~spec ~machine ~program config =
   | Cpu.Completed when wp2.Cpu.result_ok -> Cpu.throughput ~golden:g wp2
   | Cpu.Completed | Cpu.Deadlocked | Cpu.Out_of_cycles | Cpu.Cancelled -> 0.0
 
-(* Deprecated wrapper: prefer [wp2_cycles_objective_spec]. *)
-let wp2_cycles_objective ?engine ~machine ~program config =
-  wp2_cycles_objective_spec ~spec:(Run_spec.v ?engine ()) ~machine ~program
-    config

@@ -55,18 +55,6 @@ val run_spec :
     @raise Wp_util.Cancel.Cancelled when the token fires mid-run; the
     partial result is discarded and never cached. *)
 
-val run :
-  ?engine:Wp_sim.Sim.kind ->
-  ?max_cycles:int ->
-  ?fault:Wp_sim.Fault.spec ->
-  ?protect:Protect.t ->
-  machine:Wp_soc.Datapath.machine ->
-  program:Wp_soc.Program.t ->
-  Config.t ->
-  record
-(** Deprecated thin wrapper over {!run_spec} (via {!Run_spec.v}); kept
-    so pre-[Run_spec] callers keep compiling.  New code should build a
-    spec. *)
 
 val run_batch_spec :
   ?cancels:Wp_util.Cancel.t array ->
@@ -96,10 +84,3 @@ val wp2_cycles_objective_spec :
 (** Objective for the optimiser: the WP2 throughput of the configuration
     (higher is better). *)
 
-val wp2_cycles_objective :
-  ?engine:Wp_sim.Sim.kind ->
-  machine:Wp_soc.Datapath.machine ->
-  program:Wp_soc.Program.t ->
-  Config.t ->
-  float
-(** Deprecated thin wrapper over {!wp2_cycles_objective_spec}. *)

@@ -638,7 +638,8 @@ let check_repro ?(max_cycles = 200_000) r =
   iss_valid r
   &&
   match
-    Equiv_check.check ~engine:r.r_engine ~max_cycles ~fault:r.r_fault
+    Equiv_check.check_spec
+      ~spec:(Run_spec.v ~engine:r.r_engine ~max_cycles ~fault:r.r_fault ())
       ~machine:r.r_machine ~mode:r.r_mode ~config:r.r_config
       (program_of_repro r)
   with

@@ -2,11 +2,52 @@ module Datapath = Wp_soc.Datapath
 
 let default_exclude = [ Datapath.CU_IC ]
 
+type search = {
+  budget : int;
+  per_connection_max : int;
+  exclude : Datapath.connection list;
+  candidates : int;
+  seed : int;
+  schedule : Config.t Wp_util.Anneal.schedule;
+}
+
+let default_search =
+  {
+    budget = 9;
+    per_connection_max = 2;
+    exclude = default_exclude;
+    candidates = 24;
+    seed = 42;
+    schedule =
+      { Wp_util.Anneal.steps = 2000; initial_temperature = 0.2; cooling = 0.95; plateau = 40 };
+  }
+
+let search_digest s =
+  String.concat "|"
+    [
+      Printf.sprintf "b%d" s.budget;
+      Printf.sprintf "m%d" s.per_connection_max;
+      Printf.sprintf "x%s"
+        (String.concat "+" (List.map Datapath.connection_name s.exclude));
+      Printf.sprintf "c%d" s.candidates;
+      Printf.sprintf "s%d" s.seed;
+      Printf.sprintf "a%dt%gx%gp%d" s.schedule.Wp_util.Anneal.steps
+        s.schedule.Wp_util.Anneal.initial_temperature s.schedule.Wp_util.Anneal.cooling
+        s.schedule.Wp_util.Anneal.plateau;
+    ]
+
+let unreachable_budget who budget per_connection_max slots =
+  invalid_arg
+    (Printf.sprintf
+       "%s: budget %d exceeds capacity %d (%d connections x %d per connection)" who budget
+       (per_connection_max * slots) slots per_connection_max)
+
 let enumerate ~budget ~per_connection_max ?(exclude = default_exclude) () =
-  if budget < 0 then invalid_arg "Optimizer.enumerate: negative budget";
+  if budget < 0 then
+    invalid_arg (Printf.sprintf "Optimizer.enumerate: negative budget %d" budget);
   let slots = List.filter (fun c -> not (List.mem c exclude)) Datapath.all_connections in
   if budget > per_connection_max * List.length slots then
-    invalid_arg "Optimizer.enumerate: budget exceeds capacity";
+    unreachable_budget "Optimizer.enumerate" budget per_connection_max (List.length slots);
   let results = ref [] in
   let rec distribute remaining config = function
     | [] -> if remaining = 0 then results := config :: !results
@@ -38,8 +79,8 @@ let best_static ~budget ~per_connection_max ?(exclude = default_exclude) () =
     in
     (best, fst best_score)
 
-let optimal ~budget ~per_connection_max ?(exclude = default_exclude) ?(candidates = 24)
-    ?(map = List.map) ~objective () =
+let optimal ~search ?(map = List.map) ~objective () =
+  let { budget; per_connection_max; exclude; candidates; _ } = search in
   let configs = enumerate ~budget ~per_connection_max ~exclude () in
   let decorated = List.map (fun c -> (static_score c, c)) configs in
   let ranked = List.sort (fun (sa, _) (sb, _) -> compare sb sa) decorated in
@@ -63,14 +104,15 @@ let optimal ~budget ~per_connection_max ?(exclude = default_exclude) ?(candidate
         (fun (bc, bv) (config, v) -> if v > bv then (config, v) else (bc, bv))
         (first, first_v) rest)
 
-let anneal_placement ~prng ~budget ~per_connection_max ?(exclude = default_exclude)
-    ?(objective = Analysis.wp1_bound_float) ?schedule () =
+let anneal_placement ~search ?(objective = Analysis.wp1_bound_float) () =
+  let { budget; per_connection_max; exclude; seed; schedule; _ } = search in
+  let prng = Wp_util.Prng.create ~seed in
   let slots =
     Array.of_list (List.filter (fun c -> not (List.mem c exclude)) Datapath.all_connections)
   in
   let n = Array.length slots in
   if budget > per_connection_max * n then
-    invalid_arg "Optimizer.anneal_placement: budget exceeds capacity";
+    unreachable_budget "Optimizer.anneal_placement" budget per_connection_max n;
   (* Deterministic initial spread: round-robin one station at a time. *)
   let init =
     let config = ref Config.zero in
@@ -98,12 +140,6 @@ let anneal_placement ~prng ~budget ~per_connection_max ?(exclude = default_exclu
           (Config.set config from_conn (Config.get config from_conn - 1))
           to_conn
           (Config.get config to_conn + 1)
-  in
-  let schedule =
-    match schedule with
-    | Some s -> s
-    | None ->
-      { Wp_util.Anneal.steps = 2000; initial_temperature = 0.2; cooling = 0.95; plateau = 40 }
   in
   let result =
     Wp_util.Anneal.optimize ~prng ~init ~neighbor

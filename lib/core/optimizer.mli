@@ -5,7 +5,28 @@
     by the fetch-interface length, and the paper never re-places it) for
     the one with the best throughput.  Placements are pre-ranked by the
     static worst-loop bound — cheap to evaluate — and only the best
-    candidates are simulated. *)
+    candidates are simulated.
+
+    The searches take a {!search} spec record — the same convention as
+    {!Run_spec} for simulation runs and [Wp_floorplan.Flow_spec] for the
+    co-optimization flow (which projects onto {!search}; the dependency
+    points floorplan→core, so the projection lives there). *)
+
+type search = {
+  budget : int;               (** total relay stations to place *)
+  per_connection_max : int;   (** cap per connection *)
+  exclude : Wp_soc.Datapath.connection list;  (** connections pinned at 0 *)
+  candidates : int;           (** shortlist size for {!optimal} *)
+  seed : int;                 (** PRNG seed for {!anneal_placement} *)
+  schedule : Config.t Wp_util.Anneal.schedule;  (** annealing schedule *)
+}
+
+val default_search : search
+(** budget 9, per-connection max 2, CU-IC excluded, 24 candidates,
+    seed 42, the annealer's classic 2000-step schedule. *)
+
+val search_digest : search -> string
+(** Stable pipe-joined key over every field (cache/artifact naming). *)
 
 val enumerate :
   budget:int ->
@@ -15,7 +36,10 @@ val enumerate :
   Config.t list
 (** All configurations with exactly [budget] relay stations in total and
     at most [per_connection_max] per connection; excluded connections stay
-    at zero.  @raise Invalid_argument if the budget is unreachable. *)
+    at zero.  @raise Invalid_argument if the budget is negative or
+    unreachable — the message names the offending budget and the
+    capacity ([connections x per-connection max]) so sweep scripts can
+    report the bad knob directly. *)
 
 val best_static :
   budget:int ->
@@ -27,33 +51,28 @@ val best_static :
     fewer physical relay stations, then enumeration order). *)
 
 val optimal :
-  budget:int ->
-  per_connection_max:int ->
-  ?exclude:Wp_soc.Datapath.connection list ->
-  ?candidates:int ->
+  search:search ->
   ?map:((Config.t -> float) -> Config.t list -> float list) ->
   objective:(Config.t -> float) ->
   unit ->
   Config.t * float
-(** Rank all placements by the static bound, keep the [candidates]
-    (default 24) best, evaluate [objective] (e.g. simulated WP2
-    throughput) on those, return the winner.  [map] (default [List.map])
-    evaluates the shortlist; pass {!Runner.map} to fan the simulations
-    out across cores — the winner is folded in shortlist order either
-    way, so the result is independent of [map]. *)
+(** Rank all placements by the static bound, keep the [search.candidates]
+    best, evaluate [objective] (e.g. simulated WP2 throughput) on those,
+    return the winner.  [map] (default [List.map]) evaluates the
+    shortlist; pass {!Runner.map} to fan the simulations out across cores
+    — the winner is folded in shortlist order either way, so the result
+    is independent of [map]. *)
 
 val anneal_placement :
-  prng:Wp_util.Prng.t ->
-  budget:int ->
-  per_connection_max:int ->
-  ?exclude:Wp_soc.Datapath.connection list ->
+  search:search ->
   ?objective:(Config.t -> float) ->
-  ?schedule:Config.t Wp_util.Anneal.schedule ->
   unit ->
   Config.t * float
 (** Simulated-annealing alternative for budgets where exhaustive
     enumeration is impractical: moves shift one relay station between
-    connections, keeping the total exactly [budget].  The default
-    objective is the static WP1 bound (cheap); pass a simulation-backed
-    objective for final refinement.  @raise Invalid_argument if the
-    budget is unreachable. *)
+    connections, keeping the total exactly [search.budget]; the PRNG is
+    seeded from [search.seed] so equal specs give equal placements.  The
+    default objective is the static WP1 bound (cheap); pass a
+    simulation-backed objective for final refinement.
+    @raise Invalid_argument if the budget is unreachable (message names
+    budget and capacity, as {!enumerate}). *)

@@ -3,15 +3,15 @@
     telemetry — with a single content digest.
 
     Before this module, every layer of the stack ({!Wp_soc.Cpu.run},
-    {!Experiment.run}, {!Equiv_check.check}, {!Runner}, {!Table1} and
+    [Experiment.run], [Equiv_check.check], {!Runner}, {!Table1} and
     the CLI) re-declared the same [?engine ?fault ?protect ?max_cycles]
     optional-argument sprawl, and the {!Runner} cache key concatenated
     the fields by hand.  A [Run_spec.t] carries them all at once:
 
     - the spec-taking functions ([Experiment.run_spec],
-      [Runner.experiment_spec], …) are the primary API;
-    - the legacy optional-argument entry points remain as thin wrappers
-      (deprecated in documentation) so existing callers keep compiling;
+      [Runner.experiment_spec], …) are the {e only} API — the legacy
+      optional-argument bridge wrappers have been removed; build specs
+      with {!v} or {!of_args};
     - {!digest} is the {e only} source of cache-key material for the
       run-parameter component — a field added here is automatically
       keyed everywhere.
@@ -48,9 +48,8 @@ val v :
   ?deadline_ms:int ->
   unit ->
   t
-(** Build a spec from the legacy optional arguments; omitted fields take
-    their {!default} values.  This is the bridge the deprecated
-    wrappers use. *)
+(** Build a spec from optional arguments; omitted fields take their
+    {!default} values. *)
 
 val digest : t -> string
 (** Stable content digest covering every result-affecting field, e.g.

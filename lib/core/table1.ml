@@ -30,9 +30,11 @@ let optimal_config ~spec ~runner ~machine ~program ~k () =
      them apart from plain probes), so the objective always uses the
      uninstrumented spec. *)
   let probe_spec = { spec with Run_spec.telemetry = Telemetry.off } in
-  let budget = 9 * k in
+  let search =
+    { Optimizer.default_search with Optimizer.budget = 9 * k; per_connection_max = 2 * k }
+  in
   let config, _ =
-    Optimizer.optimal ~budget ~per_connection_max:(2 * k)
+    Optimizer.optimal ~search
       ~map:(Runner.map runner)
       ~objective:(Runner.objective_spec ~spec:probe_spec runner ~machine ~program)
       ()
@@ -47,9 +49,6 @@ let run_rows ~spec ~runner ~machine ~program specs =
     (fun i ((label, _config), record) -> { index = i + 1; label; record })
     (List.combine specs records)
 
-let spec_of ?spec ?engine () =
-  match spec with Some s -> s | None -> Run_spec.v ?engine ()
-
 let common_head =
   [ ("All 0 (ideal)", Config.zero) ]
   @ List.map
@@ -57,9 +56,8 @@ let common_head =
         (Printf.sprintf "Only %s" (Datapath.connection_name conn), Config.only conn 1))
       single_rs_order
 
-let sort_rows ?spec ?engine ?(values = Programs.sort_values ~seed:1 ~n:16)
+let sort_rows ?(spec = Run_spec.default) ?(values = Programs.sort_values ~seed:1 ~n:16)
     ?runner ~machine () =
-  let spec = spec_of ?spec ?engine () in
   let runner = match runner with Some r -> r | None -> Runner.default () in
   let program = Programs.extraction_sort ~values in
   let specs =
@@ -71,8 +69,7 @@ let sort_rows ?spec ?engine ?(values = Programs.sort_values ~seed:1 ~n:16)
   in
   run_rows ~spec ~runner ~machine ~program specs
 
-let matmul_rows ?spec ?engine ?(n = 5) ?runner ~machine () =
-  let spec = spec_of ?spec ?engine () in
+let matmul_rows ?(spec = Run_spec.default) ?(n = 5) ?runner ~machine () =
   let runner = match runner with Some r -> r | None -> Runner.default () in
   let program =
     Programs.matrix_multiply ~n ~a:(Programs.matrix_values ~seed:2 ~n)

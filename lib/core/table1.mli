@@ -25,7 +25,6 @@ val single_rs_order : Wp_soc.Datapath.connection list
 
 val sort_rows :
   ?spec:Run_spec.t ->
-  ?engine:Wp_sim.Sim.kind ->
   ?values:int array ->
   ?runner:Runner.t ->
   machine:Wp_soc.Datapath.machine ->
@@ -33,10 +32,10 @@ val sort_rows :
   row list
 (** The 13 extraction-sort rows.  Default workload: 16 pseudo-random
     values (seed 1).  [spec] carries every run parameter (engine,
-    telemetry, fault, protection, …; default {!Run_spec.default}) and is
-    the preferred knob; [engine] is the deprecated shorthand for
-    [~spec:(Run_spec.v ~engine ())] and is ignored when [spec] is given.
-    Both kernels produce byte-identical tables.  Rows are simulated
+    telemetry, fault, protection, …; default {!Run_spec.default}) — the
+    former [engine] shorthand is gone, build a spec with
+    [Run_spec.v ~engine ()].  Both kernels produce byte-identical
+    tables.  Rows are simulated
     through [runner] (default {!Runner.default}): fan-out across its
     worker pool, memoised in its result cache, byte-identical output for
     any job count.  The optimiser's objective probes always run with
@@ -44,7 +43,6 @@ val sort_rows :
 
 val matmul_rows :
   ?spec:Run_spec.t ->
-  ?engine:Wp_sim.Sim.kind ->
   ?n:int ->
   ?runner:Runner.t ->
   machine:Wp_soc.Datapath.machine ->

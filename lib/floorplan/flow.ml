@@ -54,9 +54,24 @@ let result_of_placement ~reach placement =
     wirelength = Place.total_wirelength placement ~nets;
   }
 
-let run ?(seed = 42) ?(reach = 1.5) ?(wirelength_weight = 0.5) ?(throughput_weight = 0.0)
-    ?schedule () =
-  let prng = Wp_util.Prng.create ~seed in
+(* Weight chosen so the throughput term competes with die area (a few
+   mm^2): losing 0.25 of loop throughput costs like 7.5 mm^2 of silicon. *)
+let aware_weight = 30.0
+
+(* The spec's abstract objective, as the case-study scalar weights. *)
+let weights_of_objective = function
+  | Flow_spec.Area -> (0.0, 0.0)
+  | Flow_spec.Area_wire -> (0.5, 0.0)
+  | Flow_spec.Aware | Flow_spec.Pareto -> (0.0, aware_weight)
+
+let run ?(spec = Flow_spec.default) () =
+  (match spec.Flow_spec.topology with
+  | Flow_spec.Case_study -> ()
+  | Flow_spec.Generated _ ->
+    invalid_arg "Flow.run: generated topologies go through Flow_scale.run");
+  let reach = spec.Flow_spec.reach in
+  let prng = Wp_util.Prng.create ~seed:spec.Flow_spec.seed in
+  let wirelength_weight, throughput_weight = weights_of_objective spec.Flow_spec.objective in
   let extra_cost placement =
     if throughput_weight = 0.0 then 0.0
     else begin
@@ -64,20 +79,32 @@ let run ?(seed = 42) ?(reach = 1.5) ?(wirelength_weight = 0.5) ?(throughput_weig
       throughput_weight *. (1.0 -. Analysis.wp1_bound_float config)
     end
   in
+  let s = spec.Flow_spec.schedule in
+  let schedule =
+    {
+      Wp_util.Anneal.steps = spec.Flow_spec.budget;
+      initial_temperature =
+        (if s.Flow_spec.initial_temperature > 0.0 then s.Flow_spec.initial_temperature
+         else
+           (* Auto: the packer's classic problem-scaled temperature. *)
+           0.3
+           *. List.fold_left
+                (fun acc b -> acc +. b.Place.block_area)
+                0.0 case_study_blocks);
+      cooling = s.Flow_spec.cooling;
+      plateau = s.Flow_spec.plateau;
+    }
+  in
   let placement =
     Place.anneal ~prng ~blocks:case_study_blocks ~nets ~wirelength_weight ~extra_cost
-      ?schedule ()
+      ~schedule ()
   in
   result_of_placement ~reach placement
 
-(* Weight chosen so the throughput term competes with die area (a few
-   mm^2): losing 0.25 of loop throughput costs like 7.5 mm^2 of silicon. *)
-let aware_weight = 30.0
-
-let objectives_ablation ?(seed = 42) ?(reach = 1.3) () =
+let objectives_ablation ?(spec = Flow_spec.default) () =
+  let with_objective objective = { spec with Flow_spec.objective } in
   [
-    ("area only", run ~seed ~reach ~wirelength_weight:0.0 ());
-    ("area + wirelength", run ~seed ~reach ~wirelength_weight:0.5 ());
-    ( "area + loop throughput",
-      run ~seed ~reach ~wirelength_weight:0.0 ~throughput_weight:aware_weight () );
+    ("area only", run ~spec:(with_objective Flow_spec.Area) ());
+    ("area + wirelength", run ~spec:(with_objective Flow_spec.Area_wire) ());
+    ("area + loop throughput", run ~spec:(with_objective Flow_spec.Aware) ());
   ]

@@ -33,23 +33,22 @@ type result = {
   wirelength : float;      (** total over {!nets} *)
 }
 
-val run :
-  ?seed:int ->
-  ?reach:float ->
-  ?wirelength_weight:float ->
-  ?throughput_weight:float ->
-  ?schedule:Slicing.expr Wp_util.Anneal.schedule ->
-  unit ->
-  result
-(** One methodology pass.  [reach] defaults to 1.5 (mm per cycle);
-    [wirelength_weight] (default 0.5) scales the net-length term and
-    [throughput_weight] (default 0.0) scales a [(1 - wp1_bound)] penalty
-    inside the annealing cost — setting the latter positive is the
-    wire-pipelining-aware mode. *)
+val run : ?spec:Flow_spec.t -> unit -> result
+(** One methodology pass on the 5-block case study, every knob carried
+    by the {!Flow_spec.t} (default {!Flow_spec.default}): [spec.seed]
+    drives the annealer, [spec.reach] sizes the relay-station chains,
+    [spec.objective] selects the cost — {!Flow_spec.Area} is area only,
+    {!Flow_spec.Area_wire} adds the net-length term,
+    {!Flow_spec.Aware}/{!Flow_spec.Pareto} add the [(1 - wp1_bound)]
+    penalty (the wire-pipelining-aware mode) — and [spec.budget] /
+    [spec.schedule] parameterise the annealing.
+    @raise Invalid_argument on a {!Flow_spec.Generated} topology: the
+    scaled flow is {!Flow_scale.run}. *)
 
-val objectives_ablation : ?seed:int -> ?reach:float -> unit -> (string * result) list
+val objectives_ablation : ?spec:Flow_spec.t -> unit -> (string * result) list
 (** The methodology ablation, same seed throughout: floorplan driven by
-    (a) area only, (b) area + wirelength, (c) area + loop throughput.
-    The headline is that (c) achieves the best loop bound — on the
-    5-block case study (a) typically lands at 0.5 while (c) reaches the
-    geometric optimum. *)
+    (a) area only, (b) area + wirelength, (c) area + loop throughput —
+    [spec] with only its [objective] overridden per run.  The headline
+    is that (c) achieves the best loop bound — on the 5-block case study
+    (a) typically lands at 0.5 while (c) reaches the geometric
+    optimum. *)

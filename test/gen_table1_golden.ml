@@ -18,7 +18,7 @@ module Datapath = Wp_soc.Datapath
 module Programs = Wp_soc.Programs
 
 let () =
-  let engine = Wp_sim.Sim.Fast in
+  let spec = Wp_core.Run_spec.v ~engine:Wp_sim.Sim.Fast () in
   let runner = Runner.create () in
   Fun.protect
     ~finally:(fun () -> Runner.shutdown runner)
@@ -27,7 +27,7 @@ let () =
         (fun machine ->
           let mname = Datapath.machine_name machine in
           let sort_rows =
-            Table1.sort_rows ~engine
+            Table1.sort_rows ~spec
               ~values:(Programs.sort_values ~seed:1 ~n:10)
               ~runner ~machine ()
           in
@@ -36,7 +36,7 @@ let () =
                ~title:(Printf.sprintf "Table 1 — Extraction Sort (%s)" mname)
                sort_rows);
           print_newline ();
-          let matmul_rows = Table1.matmul_rows ~engine ~n:3 ~runner ~machine () in
+          let matmul_rows = Table1.matmul_rows ~spec ~n:3 ~runner ~machine () in
           print_string
             (Table1.render
                ~title:(Printf.sprintf "Table 1 — Matrix Multiply (%s)" mname)

@@ -112,10 +112,14 @@ let test_optimizer_enumerate () =
     configs
 
 let test_optimizer_enumerate_bounds () =
-  checkb "unreachable budget" true
-    (match Optimizer.enumerate ~budget:100 ~per_connection_max:1 () with
-    | exception Invalid_argument _ -> true
-    | _ -> false);
+  (* Both failure directions must name the offending numbers. *)
+  Alcotest.check_raises "unreachable budget names the numbers"
+    (Invalid_argument
+       "Optimizer.enumerate: budget 100 exceeds capacity 9 (9 connections x 1 per connection)")
+    (fun () -> ignore (Optimizer.enumerate ~budget:100 ~per_connection_max:1 ()));
+  Alcotest.check_raises "negative budget names the budget"
+    (Invalid_argument "Optimizer.enumerate: negative budget -3") (fun () ->
+      ignore (Optimizer.enumerate ~budget:(-3) ~per_connection_max:1 ()));
   checki "budget zero" 1 (List.length (Optimizer.enumerate ~budget:0 ~per_connection_max:1 ()))
 
 let test_optimizer_best_static () =
@@ -134,7 +138,10 @@ let test_optimizer_optimal_calls_objective () =
     float_of_int (Config.get c Datapath.DC_RF)
   in
   let config, value =
-    Optimizer.optimal ~budget:1 ~per_connection_max:1 ~candidates:9 ~objective ()
+    Optimizer.optimal
+      ~search:
+        { Optimizer.default_search with Optimizer.budget = 1; per_connection_max = 1; candidates = 9 }
+      ~objective ()
   in
   checkb "objective evaluated" true (!calls > 0 && !calls <= 9);
   checkb "winner maximises objective among shortlist" true
@@ -148,8 +155,9 @@ let test_optimizer_anneal_matches_exhaustive () =
       let _, exhaustive = Optimizer.best_static ~budget ~per_connection_max:2 () in
       let _, annealed =
         Optimizer.anneal_placement
-          ~prng:(Wp_util.Prng.create ~seed:31)
-          ~budget ~per_connection_max:2 ()
+          ~search:
+            { Optimizer.default_search with Optimizer.budget; per_connection_max = 2; seed = 31 }
+          ()
       in
       Alcotest.(check (float 1e-9))
         (Printf.sprintf "budget %d" budget)
@@ -159,8 +167,9 @@ let test_optimizer_anneal_matches_exhaustive () =
 let test_optimizer_anneal_respects_budget () =
   let config, _ =
     Optimizer.anneal_placement
-      ~prng:(Wp_util.Prng.create ~seed:32)
-      ~budget:7 ~per_connection_max:3 ()
+      ~search:
+        { Optimizer.default_search with Optimizer.budget = 7; per_connection_max = 3; seed = 32 }
+      ()
   in
   checki "budget preserved" 7 (Config.total_connections config);
   checki "CU-IC untouched" 0 (Config.get config Datapath.CU_IC);
@@ -176,7 +185,8 @@ let small_sort = Programs.extraction_sort ~values:(Programs.sort_values ~seed:11
 
 let test_experiment_consistency () =
   let record =
-    Experiment.run ~machine:Datapath.Pipelined ~program:small_sort
+    Experiment.run_spec ~spec:Run_spec.default ~machine:Datapath.Pipelined
+      ~program:small_sort
       (Config.only Datapath.ALU_CU 1)
   in
   checkb "wp1 at least as slow as golden" true
@@ -228,7 +238,8 @@ let test_table1_csv () =
   (* A tiny synthetic row list exercises the CSV writer without another
      simulation sweep. *)
   let record =
-    Experiment.run ~machine:Datapath.Pipelined ~program:small_sort
+    Experiment.run_spec ~spec:Run_spec.default ~machine:Datapath.Pipelined
+      ~program:small_sort
       (Config.only Datapath.DC_RF 1)
   in
   let rows =
@@ -273,7 +284,10 @@ let prop_throughput_ordering =
         Config.of_alist
           (List.mapi (fun i conn -> (conn, budgets.(i))) Datapath.all_connections)
       in
-      let r = Experiment.run ~machine:Datapath.Pipelined ~program:small_sort config in
+      let r =
+        Experiment.run_spec ~spec:Run_spec.default ~machine:Datapath.Pipelined
+          ~program:small_sort config
+      in
       r.Experiment.th_wp2 >= r.Experiment.th_wp1 -. 1e-9
       && r.Experiment.th_wp1 <= r.Experiment.wp1_bound +. 0.02)
 
@@ -363,7 +377,8 @@ let test_equiv_check_pipelined () =
   List.iter
     (fun mode ->
       let v =
-        Equiv_check.check ~machine:Datapath.Pipelined ~mode ~config small_sort
+        Equiv_check.check_spec ~spec:Run_spec.default ~machine:Datapath.Pipelined ~mode
+          ~config small_sort
       in
       checkb "equivalent" true v.Equiv_check.equivalent;
       checki "12 ports" 12 v.Equiv_check.ports_checked;
@@ -374,15 +389,16 @@ let test_equiv_check_pipelined () =
 let test_equiv_check_multicycle () =
   let config = Config.only Datapath.CU_IC 1 in
   let v =
-    Equiv_check.check ~machine:Datapath.Multicycle ~mode:Shell.Oracle ~config small_sort
+    Equiv_check.check_spec ~spec:Run_spec.default ~machine:Datapath.Multicycle
+      ~mode:Shell.Oracle ~config small_sort
   in
   checkb "multicycle equivalent" true v.Equiv_check.equivalent
 
 let test_n_equivalence () =
   let config = Config.only Datapath.DC_RF 2 in
   checkb "100-equivalent" true
-    (Equiv_check.check_n_equivalence ~n:100 ~machine:Datapath.Pipelined ~mode:Shell.Oracle
-       ~config small_sort)
+    (Equiv_check.check_n_equivalence_spec ~spec:Run_spec.default ~n:100
+       ~machine:Datapath.Pipelined ~mode:Shell.Oracle ~config small_sort)
 
 (* ------------------------------------------------------------------ *)
 (* Equiv_check negative paths: destructive faults must flip the        *)
@@ -413,8 +429,8 @@ let break_fault kind nth =
 let neg_config = Config.only Datapath.DC_RF 1
 
 let neg_check fault =
-  Equiv_check.check ~fault ~machine:Datapath.Pipelined ~mode:Shell.Plain ~config:neg_config
-    small_sort
+  Equiv_check.check_spec ~spec:(Run_spec.v ~fault ()) ~machine:Datapath.Pipelined
+    ~mode:Shell.Plain ~config:neg_config small_sort
 
 let blamed v =
   match v.Equiv_check.first_mismatch with
@@ -455,7 +471,8 @@ let test_negative_detected_on_both_engines () =
   List.iter
     (fun engine ->
       let v =
-        Equiv_check.check ~engine ~fault:(break_fault Fault.Corrupt 4)
+        Equiv_check.check_spec
+          ~spec:(Run_spec.v ~engine ~fault:(break_fault Fault.Corrupt 4) ())
           ~machine:Datapath.Pipelined ~mode:Shell.Plain ~config:neg_config small_sort
       in
       checkb

@@ -274,7 +274,9 @@ let test_faulted_differential_battery () =
         (* both engines must reach the same verdict, and the verdict must
            be "equivalent" because the fault is benign. *)
         let run engine =
-          Equiv_check.check ~engine ~fault ~machine:Datapath.Pipelined ~mode ~config program
+          Equiv_check.check_spec
+            ~spec:(Wp_core.Run_spec.v ~engine ~fault ())
+            ~machine:Datapath.Pipelined ~mode ~config program
         in
         let vr = run Sim.Reference and vf = run Sim.Fast in
         if not vr.Equiv_check.equivalent then
@@ -362,7 +364,9 @@ let test_broken_shell_shrinks () =
 let test_broken_shell_names_port () =
   let repro = find_broken_repro () in
   match
-    Equiv_check.check ~engine:repro.Lid_check.r_engine ~fault:repro.Lid_check.r_fault
+    Equiv_check.check_spec
+      ~spec:
+        (Wp_core.Run_spec.v ~engine:repro.Lid_check.r_engine ~fault:repro.Lid_check.r_fault ())
       ~machine:repro.Lid_check.r_machine ~mode:repro.Lid_check.r_mode
       ~config:repro.Lid_check.r_config
       (Lid_check.program_of_repro repro)

@@ -310,14 +310,17 @@ let test_flow_relay_station_sizing () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let spec_with ?(reach = Flow_spec.default.Flow_spec.reach) seed =
+  { Flow_spec.default with Flow_spec.seed; reach }
+
 let test_flow_run_deterministic () =
-  let a = Flow.run ~seed:5 () and b = Flow.run ~seed:5 () in
+  let a = Flow.run ~spec:(spec_with 5) () and b = Flow.run ~spec:(spec_with 5) () in
   checkf "same bound" a.Flow.wp1_bound b.Flow.wp1_bound;
   checkf "same area" a.Flow.die_area b.Flow.die_area;
   checkb "same config" true (Wp_core.Config.equal a.Flow.config b.Flow.config)
 
 let test_flow_config_is_geometric () =
-  let r = Flow.run ~seed:6 ~reach:1.2 () in
+  let r = Flow.run ~spec:(spec_with ~reach:1.2 6) () in
   (* Each connection's RS count must match its wire length. *)
   List.iter
     (fun (conn, count) ->
@@ -334,7 +337,7 @@ let test_flow_config_is_geometric () =
     (Wp_core.Config.to_alist r.Flow.config)
 
 let test_flow_ablation () =
-  let results = Flow.objectives_ablation ~seed:9 () in
+  let results = Flow.objectives_ablation ~spec:(spec_with ~reach:1.3 9) () in
   checki "three objectives" 3 (List.length results);
   let bound label = (List.assoc label results).Flow.wp1_bound in
   checkb
@@ -342,6 +345,115 @@ let test_flow_ablation () =
        (bound "area + loop throughput") (bound "area only"))
     true
     (bound "area + loop throughput" >= bound "area only" -. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Flow_spec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_flow_spec_of_args () =
+  (match Flow_spec.of_args () with
+  | Ok spec -> checkb "defaults" true (Flow_spec.equal spec Flow_spec.default)
+  | Error e -> Alcotest.fail e);
+  (match Flow_spec.of_args ~topology:"mesh:4x4" ~objective:"pareto" ~seed:7 () with
+  | Ok spec ->
+    Alcotest.(check string)
+      "digest" "mesh:4x4|r1.5|pareto|b4000|s7|t0c0.95p40|k4" (Flow_spec.digest spec)
+  | Error e -> Alcotest.fail e);
+  let is_error = function Error _ -> true | Ok _ -> false in
+  checkb "bad topology" true (is_error (Flow_spec.of_args ~topology:"blob:9" ()));
+  checkb "bad objective" true (is_error (Flow_spec.of_args ~objective:"speed" ()));
+  checkb "bad reach" true (is_error (Flow_spec.of_args ~reach:0.0 ()));
+  checkb "bad budget" true (is_error (Flow_spec.of_args ~budget:0 ()));
+  checkb "bad cooling" true (is_error (Flow_spec.of_args ~cooling:1.5 ()));
+  checkb "bad plateau" true (is_error (Flow_spec.of_args ~plateau:0 ()));
+  checkb "bad pool" true (is_error (Flow_spec.of_args ~pool:0 ()))
+
+let test_flow_spec_to_search () =
+  let spec = { Flow_spec.default with Flow_spec.seed = 11; budget = 123 } in
+  let search = Flow_spec.to_search spec in
+  checki "seed" 11 search.Wp_core.Optimizer.seed;
+  checki "steps" 123 search.Wp_core.Optimizer.schedule.Wp_util.Anneal.steps;
+  checki "budget stays core default" Wp_core.Optimizer.default_search.Wp_core.Optimizer.budget
+    search.Wp_core.Optimizer.budget;
+  let search = Flow_spec.to_search ~budget:5 ~per_connection_max:1 spec in
+  checki "budget override" 5 search.Wp_core.Optimizer.budget;
+  checki "per-connection override" 1 search.Wp_core.Optimizer.per_connection_max
+
+let test_flow_spec_topology_gate () =
+  let generated =
+    match Flow_spec.of_args ~topology:"mesh:3x3" () with
+    | Ok spec -> spec
+    | Error e -> Alcotest.fail e
+  in
+  checkb "Flow.run rejects generated" true
+    (match Flow.run ~spec:generated () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "Flow_scale.run rejects case study" true
+    (match Flow_scale.run ~spec:Flow_spec.default () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Flow_scale                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let scale_spec =
+  match
+    Flow_spec.of_args ~topology:"mesh:4x4" ~objective:"pareto" ~budget:400 ~seed:3 ()
+  with
+  | Ok spec -> spec
+  | Error e -> failwith e
+
+(* The population annealer must be byte-identical at 1 vs 4 domains:
+   cached evaluation values are pure functions of the placement, so
+   walker trajectories cannot depend on domain interleaving. *)
+let test_flow_scale_domain_determinism () =
+  let a = Flow_scale.run ~jobs:1 ~spec:scale_spec () in
+  let b = Flow_scale.run ~jobs:4 ~spec:scale_spec () in
+  checkb "identical results at 1 vs 4 domains" true (a = b);
+  Alcotest.(check string)
+    "identical artifacts"
+    (Flow_scale.front_to_json ~spec:scale_spec a)
+    (Flow_scale.front_to_json ~spec:scale_spec b)
+
+let test_flow_scale_front_consistent () =
+  let r = Flow_scale.run ~jobs:2 ~spec:scale_spec () in
+  checkb "best heads the front" true (List.hd r.Flow_scale.front = r.Flow_scale.best);
+  (* [run] cross-checks the best point internally; re-check every front
+     point against a from-scratch Howard solve of its derived network. *)
+  List.iter
+    (fun (p : Flow_scale.point) ->
+      let net = Flow_scale.derived_network scale_spec p in
+      checkb "front bound is exact" true
+        (Wp_graph.Cycle_ratio.ratio_compare p.Flow_scale.wp1_bound
+           (Flow_scale.scratch_bound net)
+         = 0))
+    r.Flow_scale.front;
+  (* Pairwise non-dominance of the front. *)
+  let dominates (p : Flow_scale.point) (q : Flow_scale.point) =
+    p.Flow_scale.die_area <= q.Flow_scale.die_area
+    && p.Flow_scale.wirelength <= q.Flow_scale.wirelength
+    && Wp_graph.Cycle_ratio.ratio_compare p.Flow_scale.wp1_bound q.Flow_scale.wp1_bound
+       >= 0
+    && (p.Flow_scale.die_area < q.Flow_scale.die_area
+        || p.Flow_scale.wirelength < q.Flow_scale.wirelength
+        || Wp_graph.Cycle_ratio.ratio_compare p.Flow_scale.wp1_bound
+             q.Flow_scale.wp1_bound
+           > 0)
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q -> checkb "front is mutually non-dominated" false (dominates p q))
+        (List.filter (fun q -> q != p) r.Flow_scale.front))
+    r.Flow_scale.front;
+  (* The static engine agrees with the marked-graph bound on the best. *)
+  let net = Flow_scale.derived_network scale_spec r.Flow_scale.best in
+  checkb "static word rate = WP1 bound" true
+    (Wp_graph.Cycle_ratio.ratio_compare (Flow_scale.static_rate net)
+       r.Flow_scale.best.Flow_scale.wp1_bound
+    = 0)
 
 let () =
   let props =
@@ -388,6 +500,19 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_flow_run_deterministic;
           Alcotest.test_case "config is geometric" `Quick test_flow_config_is_geometric;
           Alcotest.test_case "objectives ablation" `Slow test_flow_ablation;
+        ] );
+      ( "flow_spec",
+        [
+          Alcotest.test_case "of_args" `Quick test_flow_spec_of_args;
+          Alcotest.test_case "to_search" `Quick test_flow_spec_to_search;
+          Alcotest.test_case "topology gate" `Quick test_flow_spec_topology_gate;
+        ] );
+      ( "flow_scale",
+        [
+          Alcotest.test_case "1 vs 4 domains byte-identical" `Quick
+            test_flow_scale_domain_determinism;
+          Alcotest.test_case "front is exact and non-dominated" `Quick
+            test_flow_scale_front_consistent;
         ] );
       ("properties", props);
     ]

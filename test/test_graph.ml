@@ -391,6 +391,88 @@ let prop_howard_matches_karp_max_sc =
       | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Cycle_ratio.Incremental                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Incr = Cycle_ratio.Incremental
+
+let test_incremental_acyclic () =
+  let g = graph_of 3 [ (0, 1); (1, 2) ] in
+  let t = Incr.create g ~cost:(fun _ -> 1) ~time:(fun _ -> 1) in
+  checkb "acyclic -> None" true (Incr.solve t = None);
+  Incr.set_cost t 0 5;
+  checkb "still None after a perturbation" true (Incr.solve t = None)
+
+let test_incremental_memoised () =
+  let g = graph_of 2 [ (0, 1); (1, 0) ] in
+  let t = Incr.create g ~cost:(fun _ -> 1) ~time:(fun e -> if e = 0 then 2 else 1) in
+  (match Incr.solve t with
+  | Some (r, _) ->
+    checki "num" 2 r.Cycle_ratio.num;
+    checki "den" 3 r.Cycle_ratio.den
+  | None -> Alcotest.fail "expected a cycle");
+  checki "one solve" 1 (Incr.solves t);
+  ignore (Incr.solve t);
+  checki "clean state is memoised" 1 (Incr.solves t);
+  Incr.set_time t 0 2;
+  ignore (Incr.solve t);
+  checki "no-op perturbation stays memoised" 1 (Incr.solves t);
+  Incr.set_time t 0 5;
+  (match Incr.solve t with
+  | Some (r, _) ->
+    checki "perturbed num" 1 r.Cycle_ratio.num;
+    checki "perturbed den" 3 r.Cycle_ratio.den
+  | None -> Alcotest.fail "expected a cycle");
+  checki "dirty state re-solves" 2 (Incr.solves t);
+  checkb "negative time rejected" true
+    (match Incr.set_time t 0 (-1) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  checki "accessors see the weights" 5 (Incr.time t 0);
+  checki "accessors see the weights (cost)" 1 (Incr.cost t 0)
+
+(* The differential battery: one persistent evaluator driven through a
+   50-step random perturbation sequence must agree exactly with a cold
+   Howard solve of the same weights at every step.  [gen_graph] mixes
+   acyclic, multi-SCC and self-loop shapes, so the warm-started policy
+   iteration is exercised across components and through None results. *)
+let prop_incremental_matches_scratch =
+  QCheck2.Test.make ~count:100
+    ~name:"incremental mcr = from-scratch howard across 50 perturbations"
+    QCheck2.Gen.(
+      let* n, edges = gen_graph in
+      let m = List.length edges in
+      let* steps =
+        list_size (return 50)
+          (triple (int_range 0 (max 0 (m - 1))) (int_range (-3) 4) (int_range 1 3))
+      in
+      return (n, edges, steps))
+    (fun (n, edges, steps) ->
+      let g = graph_of n edges in
+      let m = List.length edges in
+      m = 0
+      ||
+      let cost = Array.init m edge_weight and time = Array.init m edge_time in
+      let inc = Incr.create g ~cost:(fun e -> cost.(e)) ~time:(fun e -> time.(e)) in
+      List.for_all
+        (fun (e, c, t) ->
+          cost.(e) <- c;
+          time.(e) <- t;
+          Incr.set_cost inc e c;
+          Incr.set_time inc e t;
+          match
+            ( Incr.solve inc,
+              Wp_graph.Howard.minimum_cycle_ratio g
+                ~cost:(fun e -> cost.(e))
+                ~time:(fun e -> time.(e)) )
+          with
+          | None, None -> true
+          | Some (r1, c1), Some (r2, _) ->
+            Cycle_ratio.ratio_compare r1 r2 = 0 && Cycles.is_elementary_cycle g c1
+          | None, Some _ | Some _, None -> false)
+        steps)
+
+(* ------------------------------------------------------------------ *)
 (* Schedule                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -619,6 +701,7 @@ let () =
         prop_karp_matches_enumeration;
         prop_ratio_matches_enumeration;
         prop_howard_matches_lawler;
+        prop_incremental_matches_scratch;
         prop_howard_matches_karp_sc;
         prop_howard_matches_karp_max_sc;
         prop_ratio_max_min_duality;
@@ -672,6 +755,11 @@ let () =
         [
           Alcotest.test_case "known loop" `Quick test_howard_known;
           Alcotest.test_case "acyclic" `Quick test_howard_acyclic;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "acyclic" `Quick test_incremental_acyclic;
+          Alcotest.test_case "memoisation and perturbation" `Quick test_incremental_memoised;
         ] );
       ( "schedule",
         [

@@ -417,13 +417,15 @@ let test_optimizer_map_independence () =
      is evaluated sequentially or through the runner's pool. *)
   let machine = Datapath.Pipelined and program = small_sort in
   let seq =
-    Optimizer.optimal ~budget:3 ~per_connection_max:2
+    Optimizer.optimal
+      ~search:{ Optimizer.default_search with Optimizer.budget = 3; per_connection_max = 2 }
       ~objective:(Experiment.wp2_cycles_objective_spec ~spec:Run_spec.default ~machine ~program)
       ()
   in
   let runner = Runner.create ~jobs:4 () in
   let par =
-    Optimizer.optimal ~budget:3 ~per_connection_max:2
+    Optimizer.optimal
+      ~search:{ Optimizer.default_search with Optimizer.budget = 3; per_connection_max = 2 }
       ~map:(Runner.map runner)
       ~objective:(Runner.objective_spec ~spec:Run_spec.default runner ~machine ~program)
       ()

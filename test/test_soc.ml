@@ -629,7 +629,9 @@ let battery_case seed =
       List.iter
         (fun engine ->
           let v =
-            Equiv_check.check ~engine ~machine:Datapath.Pipelined ~mode ~config program
+            Equiv_check.check_spec
+              ~spec:(Wp_core.Run_spec.v ~engine ())
+              ~machine:Datapath.Pipelined ~mode ~config program
           in
           if not v.Equiv_check.equivalent then begin
             (* Shrink the failing triple and write a replayable
